@@ -1,0 +1,159 @@
+//! Greedy aggregation coarsening.
+//!
+//! Standard two-pass aggregation (Vaněk-style): pass 1 forms an
+//! aggregate around every vertex whose strong neighbourhood is entirely
+//! unaggregated; pass 2 attaches remaining vertices to an adjacent
+//! aggregate (or forms singletons for isolated vertices). The result
+//! defines the tentative piecewise-constant prolongator.
+
+use cpx_sparse::{Coo, Csr};
+
+/// A coarsening: the map from fine vertices to aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Aggregation {
+    /// `assign[fine] = aggregate id`.
+    pub assign: Vec<usize>,
+    /// Number of aggregates (coarse size).
+    pub n_aggregates: usize,
+}
+
+impl Aggregation {
+    /// The tentative (piecewise-constant, unit-column-normalised)
+    /// prolongator `P: coarse → fine`.
+    pub fn tentative_prolongator(&self) -> Csr {
+        let n = self.assign.len();
+        // Normalise columns so that PᵀP = I: each column entry is
+        // 1/sqrt(aggregate size).
+        let mut sizes = vec![0usize; self.n_aggregates];
+        for &a in &self.assign {
+            sizes[a] += 1;
+        }
+        let mut coo = Coo::with_capacity(n, self.n_aggregates, n);
+        for (f, &a) in self.assign.iter().enumerate() {
+            coo.push(f, a, 1.0 / (sizes[a] as f64).sqrt());
+        }
+        coo.to_csr()
+    }
+
+    /// Aggregate sizes.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.n_aggregates];
+        for &a in &self.assign {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+}
+
+/// Greedy aggregation over a strength graph.
+pub fn aggregate_greedy(strength: &Csr) -> Aggregation {
+    let n = strength.nrows();
+    const UNASSIGNED: usize = usize::MAX;
+    let mut assign = vec![UNASSIGNED; n];
+    let mut next = 0usize;
+
+    // Pass 1: roots whose whole strong neighbourhood is free.
+    for v in 0..n {
+        if assign[v] != UNASSIGNED {
+            continue;
+        }
+        let (neigh, _) = strength.row(v);
+        if neigh.iter().any(|&u| assign[u] != UNASSIGNED) {
+            continue;
+        }
+        assign[v] = next;
+        for &u in neigh {
+            assign[u] = next;
+        }
+        next += 1;
+    }
+
+    // Pass 2: attach stragglers to a neighbouring aggregate (the one of
+    // the lowest-numbered aggregated strong neighbour), else singleton.
+    for v in 0..n {
+        if assign[v] != UNASSIGNED {
+            continue;
+        }
+        let (neigh, _) = strength.row(v);
+        if let Some(&u) = neigh.iter().find(|&&u| assign[u] != UNASSIGNED) {
+            assign[v] = assign[u];
+        } else {
+            assign[v] = next;
+            next += 1;
+        }
+    }
+
+    Aggregation {
+        assign,
+        n_aggregates: next,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strength::strength_graph;
+
+    #[test]
+    fn covers_all_vertices() {
+        let a = Csr::poisson2d(8, 8);
+        let s = strength_graph(&a, 0.25);
+        let agg = aggregate_greedy(&s);
+        assert_eq!(agg.assign.len(), 64);
+        assert!(agg.assign.iter().all(|&x| x < agg.n_aggregates));
+        assert!(agg.n_aggregates >= 1);
+        // Meaningful coarsening: at least 2x reduction on a grid.
+        assert!(agg.n_aggregates <= 32, "got {}", agg.n_aggregates);
+    }
+
+    #[test]
+    fn aggregates_nonempty() {
+        let a = Csr::poisson3d(4, 4, 4);
+        let s = strength_graph(&a, 0.25);
+        let agg = aggregate_greedy(&s);
+        assert!(agg.sizes().iter().all(|&s| s > 0));
+        assert_eq!(agg.sizes().iter().sum::<usize>(), 64);
+    }
+
+    #[test]
+    fn isolated_vertices_become_singletons() {
+        let s = Csr::zeros(3, 3);
+        let agg = aggregate_greedy(&s);
+        assert_eq!(agg.n_aggregates, 3);
+        assert_eq!(agg.assign, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn tentative_prolongator_orthonormal_columns() {
+        let a = Csr::poisson2d(6, 6);
+        let s = strength_graph(&a, 0.25);
+        let agg = aggregate_greedy(&s);
+        let p = agg.tentative_prolongator();
+        // PᵀP = I.
+        let ptp = cpx_sparse::spgemm::spgemm_spa(&p.transpose(), &p, 1).product;
+        assert_eq!(ptp.nrows(), agg.n_aggregates);
+        for i in 0..ptp.nrows() {
+            let (cols, vals) = ptp.row(i);
+            assert_eq!(cols, &[i], "column {i} not orthogonal");
+            assert!((vals[0] - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn prolongator_rows_have_one_entry() {
+        let a = Csr::poisson1d(10);
+        let s = strength_graph(&a, 0.25);
+        let agg = aggregate_greedy(&s);
+        let p = agg.tentative_prolongator();
+        for r in 0..p.nrows() {
+            assert_eq!(p.row(r).0.len(), 1);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = Csr::poisson2d(7, 9);
+        let s = strength_graph(&a, 0.25);
+        assert_eq!(aggregate_greedy(&s), aggregate_greedy(&s));
+    }
+}

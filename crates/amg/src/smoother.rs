@@ -1,0 +1,264 @@
+//! Multigrid smoothers.
+//!
+//! The paper selects **hybrid Gauss–Seidel** (Baker et al.): full
+//! Gauss–Seidel sweeps inside a task's rows, Jacobi coupling across task
+//! boundaries — "better convergence within each multigrid cycle provided
+//! the problem size is sufficiently large" and, unlike true GS, parallel.
+//! This module implements it alongside the standard smoothers, with
+//! `blocks == 1` degenerating to exact Gauss–Seidel and `blocks == n`
+//! degenerating to pure Jacobi (both verified in tests).
+
+use cpx_sparse::{Csr, SpOpStats};
+
+/// A smoother selection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Smoother {
+    /// Damped Jacobi with weight `omega`.
+    Jacobi { omega: f64 },
+    /// Forward Gauss–Seidel (sequential dependence — the baseline the
+    /// hybrid replaces).
+    GaussSeidel,
+    /// Symmetric Gauss–Seidel (forward + backward sweep).
+    SymmetricGaussSeidel,
+    /// Hybrid GS/Jacobi over `blocks` equal row blocks: GS inside a
+    /// block, Jacobi (old values) across blocks.
+    HybridGaussSeidel { blocks: usize },
+}
+
+impl Smoother {
+    /// Apply one smoothing sweep to `x` in place for `A x = b`.
+    /// Returns the op statistics of the sweep.
+    pub fn sweep(&self, a: &Csr, b: &[f64], x: &mut [f64]) -> SpOpStats {
+        let n = a.nrows();
+        assert_eq!(b.len(), n);
+        assert_eq!(x.len(), n);
+        match *self {
+            Smoother::Jacobi { omega } => {
+                let mut x_new = vec![0.0; n];
+                for i in 0..n {
+                    let (cols, vals) = a.row(i);
+                    let mut sigma = 0.0;
+                    let mut diag = 0.0;
+                    for (&c, &v) in cols.iter().zip(vals) {
+                        if c == i {
+                            diag = v;
+                        } else {
+                            sigma += v * x[c];
+                        }
+                    }
+                    debug_assert!(diag != 0.0, "zero diagonal at {i}");
+                    x_new[i] = (1.0 - omega) * x[i] + omega * (b[i] - sigma) / diag;
+                }
+                x.copy_from_slice(&x_new);
+                sweep_stats(a, 1.0)
+            }
+            Smoother::GaussSeidel => {
+                gs_block(a, b, x, 0, n, x as *const [f64]);
+                sweep_stats(a, 1.0)
+            }
+            Smoother::SymmetricGaussSeidel => {
+                gs_block(a, b, x, 0, n, x as *const [f64]);
+                gs_block_backward(a, b, x, 0, n);
+                sweep_stats(a, 2.0)
+            }
+            Smoother::HybridGaussSeidel { blocks } => {
+                assert!(blocks >= 1);
+                // Freeze the incoming iterate for cross-block (Jacobi)
+                // coupling.
+                let x_old = x.to_vec();
+                let per = n.div_ceil(blocks);
+                for blk in 0..blocks {
+                    let lo = (blk * per).min(n);
+                    let hi = ((blk + 1) * per).min(n);
+                    hybrid_gs_block(a, b, x, &x_old, lo, hi);
+                }
+                sweep_stats(a, 1.0)
+            }
+        }
+    }
+
+    /// Apply `sweeps` sweeps.
+    pub fn smooth(&self, a: &Csr, b: &[f64], x: &mut [f64], sweeps: usize) -> SpOpStats {
+        let mut total = SpOpStats::default();
+        for _ in 0..sweeps {
+            let s = self.sweep(a, b, x);
+            total.flops += s.flops;
+            total.bytes_read += s.bytes_read;
+            total.bytes_written += s.bytes_written;
+            total.input_passes = 1;
+        }
+        total
+    }
+}
+
+fn sweep_stats(a: &Csr, factor: f64) -> SpOpStats {
+    let nnz = a.nnz() as f64;
+    let n = a.nrows() as f64;
+    SpOpStats {
+        flops: factor * (2.0 * nnz + 3.0 * n),
+        bytes_read: factor * (nnz * 24.0 + n * 16.0),
+        bytes_written: factor * n * 8.0,
+        input_passes: 1,
+    }
+}
+
+/// Forward GS over rows `[lo, hi)`, reading the *current* vector for all
+/// couplings (true GS when applied to the full range).
+fn gs_block(a: &Csr, b: &[f64], x: &mut [f64], lo: usize, hi: usize, _marker: *const [f64]) {
+    for i in lo..hi {
+        let (cols, vals) = a.row(i);
+        let mut sigma = 0.0;
+        let mut diag = 0.0;
+        for (&c, &v) in cols.iter().zip(vals) {
+            if c == i {
+                diag = v;
+            } else {
+                sigma += v * x[c];
+            }
+        }
+        debug_assert!(diag != 0.0);
+        x[i] = (b[i] - sigma) / diag;
+    }
+}
+
+fn gs_block_backward(a: &Csr, b: &[f64], x: &mut [f64], lo: usize, hi: usize) {
+    for i in (lo..hi).rev() {
+        let (cols, vals) = a.row(i);
+        let mut sigma = 0.0;
+        let mut diag = 0.0;
+        for (&c, &v) in cols.iter().zip(vals) {
+            if c == i {
+                diag = v;
+            } else {
+                sigma += v * x[c];
+            }
+        }
+        debug_assert!(diag != 0.0);
+        x[i] = (b[i] - sigma) / diag;
+    }
+}
+
+/// GS inside `[lo, hi)` but couplings to rows *outside* the block read
+/// the frozen `x_old` (Jacobi across blocks).
+fn hybrid_gs_block(a: &Csr, b: &[f64], x: &mut [f64], x_old: &[f64], lo: usize, hi: usize) {
+    for i in lo..hi {
+        let (cols, vals) = a.row(i);
+        let mut sigma = 0.0;
+        let mut diag = 0.0;
+        for (&c, &v) in cols.iter().zip(vals) {
+            if c == i {
+                diag = v;
+            } else if c >= lo && c < hi {
+                sigma += v * x[c];
+            } else {
+                sigma += v * x_old[c];
+            }
+        }
+        debug_assert!(diag != 0.0);
+        x[i] = (b[i] - sigma) / diag;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn err_after(smoother: Smoother, sweeps: usize) -> f64 {
+        let a = Csr::poisson2d(10, 10);
+        let n = a.nrows();
+        let x_exact: Vec<f64> = (0..n).map(|i| ((i * 31 % 17) as f64) / 17.0).collect();
+        let mut b = vec![0.0; n];
+        a.spmv(&x_exact, &mut b);
+        let mut x = vec![0.0; n];
+        smoother.smooth(&a, &b, &mut x, sweeps);
+        x.iter()
+            .zip(&x_exact)
+            .map(|(u, v)| (u - v).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn all_smoothers_reduce_error() {
+        let initial = err_after(Smoother::Jacobi { omega: 0.8 }, 0);
+        for s in [
+            Smoother::Jacobi { omega: 0.8 },
+            Smoother::GaussSeidel,
+            Smoother::SymmetricGaussSeidel,
+            Smoother::HybridGaussSeidel { blocks: 4 },
+        ] {
+            let e = err_after(s, 20);
+            assert!(e < initial, "{s:?}: {e} !< {initial}");
+        }
+    }
+
+    #[test]
+    fn hybrid_one_block_equals_gauss_seidel() {
+        let a = Csr::poisson1d(20);
+        let b: Vec<f64> = (0..20).map(|i| (i as f64).sin()).collect();
+        let mut x1 = vec![0.0; 20];
+        let mut x2 = vec![0.0; 20];
+        Smoother::GaussSeidel.sweep(&a, &b, &mut x1);
+        Smoother::HybridGaussSeidel { blocks: 1 }.sweep(&a, &b, &mut x2);
+        for (u, v) in x1.iter().zip(&x2) {
+            assert!((u - v).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn hybrid_n_blocks_equals_jacobi() {
+        let a = Csr::poisson1d(16);
+        let b: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let mut x1: Vec<f64> = (0..16).map(|i| (i as f64).cos()).collect();
+        let mut x2 = x1.clone();
+        Smoother::Jacobi { omega: 1.0 }.sweep(&a, &b, &mut x1);
+        Smoother::HybridGaussSeidel { blocks: 16 }.sweep(&a, &b, &mut x2);
+        for (u, v) in x1.iter().zip(&x2) {
+            assert!((u - v).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn gs_converges_faster_than_jacobi() {
+        let ej = err_after(Smoother::Jacobi { omega: 1.0 }, 30);
+        let eg = err_after(Smoother::GaussSeidel, 30);
+        assert!(eg < ej, "GS {eg} vs Jacobi {ej}");
+    }
+
+    #[test]
+    fn hybrid_between_jacobi_and_gs() {
+        let ej = err_after(Smoother::Jacobi { omega: 1.0 }, 30);
+        let eh = err_after(Smoother::HybridGaussSeidel { blocks: 4 }, 30);
+        let eg = err_after(Smoother::GaussSeidel, 30);
+        assert!(eh <= ej * 1.0001, "hybrid {eh} should beat Jacobi {ej}");
+        assert!(eg <= eh * 1.0001, "GS {eg} should beat hybrid {eh}");
+    }
+
+    #[test]
+    fn symmetric_gs_costs_double() {
+        let a = Csr::poisson1d(50);
+        let b = vec![1.0; 50];
+        let mut x = vec![0.0; 50];
+        let s1 = Smoother::GaussSeidel.sweep(&a, &b, &mut x);
+        let s2 = Smoother::SymmetricGaussSeidel.sweep(&a, &b, &mut x);
+        assert!((s2.flops - 2.0 * s1.flops).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_solution_is_fixed_point() {
+        let a = Csr::poisson1d(12);
+        let x_exact: Vec<f64> = (0..12).map(|i| i as f64 * 0.5).collect();
+        let mut b = vec![0.0; 12];
+        a.spmv(&x_exact, &mut b);
+        for s in [
+            Smoother::Jacobi { omega: 0.7 },
+            Smoother::GaussSeidel,
+            Smoother::HybridGaussSeidel { blocks: 3 },
+        ] {
+            let mut x = x_exact.clone();
+            s.sweep(&a, &b, &mut x);
+            for (u, v) in x.iter().zip(&x_exact) {
+                assert!((u - v).abs() < 1e-12, "{s:?}");
+            }
+        }
+    }
+}

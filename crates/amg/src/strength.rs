@@ -1,0 +1,95 @@
+//! Strength-of-connection filtering.
+//!
+//! Aggregation quality depends on coarsening along *strong* couplings.
+//! The classical symmetric criterion is used: off-diagonal `a_ij` is
+//! strong iff `|a_ij| ≥ θ · max_k≠i |a_ik|`.
+
+use cpx_sparse::{Coo, Csr};
+
+/// Build the strength graph of `a` with threshold `theta ∈ [0, 1]`.
+/// The result has an entry `(i, j)` (value 1.0) for every strong
+/// off-diagonal coupling; the graph is symmetrised (union).
+pub fn strength_graph(a: &Csr, theta: f64) -> Csr {
+    assert!((0.0..=1.0).contains(&theta), "theta must be in [0,1]");
+    assert_eq!(a.nrows(), a.ncols(), "strength graph needs square matrix");
+    let n = a.nrows();
+    let mut coo = Coo::with_capacity(n, n, a.nnz());
+    for i in 0..n {
+        let (cols, vals) = a.row(i);
+        let max_off = cols
+            .iter()
+            .zip(vals)
+            .filter(|(&c, _)| c != i)
+            .map(|(_, &v)| v.abs())
+            .fold(0.0f64, f64::max);
+        if max_off == 0.0 {
+            continue;
+        }
+        let cutoff = theta * max_off;
+        for (&c, &v) in cols.iter().zip(vals) {
+            if c != i && v.abs() >= cutoff {
+                // Symmetrise by inserting both directions; duplicates
+                // merge in CSR conversion.
+                coo.push(i, c, 1.0);
+                coo.push(c, i, 1.0);
+            }
+        }
+    }
+    let mut g = coo.to_csr();
+    // Normalise accumulated duplicates back to 1.0.
+    for v in g.vals_mut() {
+        *v = 1.0;
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_all_neighbors_strong() {
+        let a = Csr::poisson2d(4, 4);
+        let s = strength_graph(&a, 0.25);
+        // Every off-diagonal of Poisson has equal magnitude: all strong.
+        assert_eq!(s.nnz(), a.nnz() - a.nrows()); // minus the diagonal
+    }
+
+    #[test]
+    fn threshold_filters_weak() {
+        // Row 0: strong -4 to col 1, weak -0.1 to col 2.
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 0, 5.0);
+        coo.push(0, 1, -4.0);
+        coo.push(0, 2, -0.1);
+        coo.push(1, 1, 5.0);
+        coo.push(2, 2, 5.0);
+        let a = coo.to_csr();
+        let s = strength_graph(&a, 0.5);
+        assert_eq!(s.get(0, 1), 1.0);
+        assert_eq!(s.get(0, 2), 0.0);
+        // Symmetrised.
+        assert_eq!(s.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn zero_theta_keeps_all_offdiagonals() {
+        let a = Csr::poisson1d(5);
+        let s = strength_graph(&a, 0.0);
+        assert_eq!(s.nnz(), a.nnz() - 5);
+    }
+
+    #[test]
+    fn diagonal_matrix_has_empty_graph() {
+        let a = Csr::identity(4);
+        let s = strength_graph(&a, 0.25);
+        assert_eq!(s.nnz(), 0);
+    }
+
+    #[test]
+    fn graph_is_symmetric() {
+        let a = Csr::poisson3d(3, 3, 3);
+        let s = strength_graph(&a, 0.25);
+        assert_eq!(s, s.transpose());
+    }
+}

@@ -1,0 +1,160 @@
+//! Criterion benches of the real kernels behind the paper's
+//! optimization analysis (§IV): SpGEMM variants, column renumbering,
+//! smoothers, prolongator construction and donor search. These are the
+//! host-measured counterparts of the modelled optimizations — the
+//! ablation data for Fig 6's "before/after" story.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cpx_amg::{Hierarchy, HierarchyConfig, InterpKind, Smoother};
+use cpx_coupler::search::{BruteSearch, KdTree2, PrefetchSearch};
+use cpx_sparse::renumber::{renumber_hash_merge, renumber_sort};
+use cpx_sparse::spgemm::{spgemm_hash, spgemm_spa, spgemm_twopass};
+use cpx_sparse::Csr;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// §IV-B: two-pass vs SPA vs hash SpGEMM (the sparse-accumulator and
+/// single-pass optimizations).
+fn bench_spgemm(c: &mut Criterion) {
+    let a = Csr::poisson2d(64, 64);
+    let mut g = c.benchmark_group("spgemm_AxA_poisson2d_64x64");
+    g.bench_function("twopass", |b| b.iter(|| spgemm_twopass(&a, &a)));
+    g.bench_function("spa_1chunk", |b| b.iter(|| spgemm_spa(&a, &a, 1)));
+    g.bench_function("spa_8chunks", |b| b.iter(|| spgemm_spa(&a, &a, 8)));
+    g.bench_function("hash", |b| b.iter(|| spgemm_hash(&a, &a)));
+    g.finish();
+}
+
+/// §IV-B: sort-based vs hash+merge distributed column renumbering.
+fn bench_renumber(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let refs: Vec<u64> = (0..200_000).map(|_| rng.gen_range(0..2_000)).collect();
+    let mut g = c.benchmark_group("column_renumbering_200k_refs");
+    g.bench_function("sort", |b| b.iter(|| renumber_sort(&refs)));
+    g.bench_function("hash_merge_8", |b| b.iter(|| renumber_hash_merge(&refs, 8)));
+    g.finish();
+}
+
+/// §IV-B: smoother choices (hybrid GS is the paper's recommendation).
+fn bench_smoothers(c: &mut Criterion) {
+    let a = Csr::poisson2d(96, 96);
+    let n = a.nrows();
+    let bvec = vec![1.0; n];
+    let mut g = c.benchmark_group("smoother_sweep_poisson2d_96x96");
+    for (name, s) in [
+        ("jacobi", Smoother::Jacobi { omega: 0.8 }),
+        ("gauss_seidel", Smoother::GaussSeidel),
+        ("hybrid_gs_8", Smoother::HybridGaussSeidel { blocks: 8 }),
+    ] {
+        g.bench_function(name, |bch| {
+            bch.iter(|| {
+                let mut x = vec![0.0; n];
+                s.sweep(&a, &bvec, &mut x);
+                x
+            })
+        });
+    }
+    g.finish();
+}
+
+/// §IV-B: AMG setup cost by interpolation kind (extended+i is more
+/// expensive to build — the documented trade).
+fn bench_amg_setup(c: &mut Criterion) {
+    let a = Csr::poisson2d(48, 48);
+    let mut g = c.benchmark_group("amg_setup_poisson2d_48x48");
+    for (name, interp) in [
+        ("tentative", InterpKind::Tentative),
+        ("smoothed", InterpKind::Smoothed { omega: 0.66 }),
+        ("extended_i", InterpKind::ExtendedI { omega: 0.66 }),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                Hierarchy::build(
+                    a.clone(),
+                    HierarchyConfig {
+                        interp,
+                        ..HierarchyConfig::default()
+                    },
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+/// §II-B/§V-B: donor search — brute force vs tree vs tree+prefetch (the
+/// coupling-overhead reduction).
+fn bench_search(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let donors: Vec<[f64; 2]> = (0..20_000)
+        .map(|_| [rng.gen_range(1.0..2.0), rng.gen_range(0.0..std::f64::consts::TAU)])
+        .collect();
+    let queries: Vec<[f64; 2]> = (0..2_000)
+        .map(|_| [rng.gen_range(1.0..2.0), rng.gen_range(0.0..std::f64::consts::TAU)])
+        .collect();
+    let period = std::f64::consts::TAU;
+    let mut g = c.benchmark_group("donor_search_20k_donors_2k_queries");
+    g.sample_size(10);
+    g.bench_function("brute", |b| {
+        let brute = BruteSearch::new(donors.clone(), Some(period));
+        b.iter(|| brute.map_all(&queries))
+    });
+    g.bench_function("kdtree", |b| {
+        let tree = KdTree2::build(&donors, Some(period));
+        b.iter(|| tree.map_all(&queries))
+    });
+    g.bench_function("kdtree_prefetch_steady_rotation", |b| {
+        b.iter(|| {
+            let mut pf = PrefetchSearch::new(&donors, period, 0.01);
+            let mut q = queries.clone();
+            for _ in 0..3 {
+                pf.step_map(&q);
+                for p in &mut q {
+                    p[1] = (p[1] + 0.01).rem_euclid(period);
+                }
+            }
+        })
+    });
+    g.finish();
+}
+
+/// SpMV with an identity top block (reordered interpolation operators).
+fn bench_spmv_identity(c: &mut Criterion) {
+    // Build [I; B]-shaped operator: 4096 identity rows + 4096 dense-ish.
+    let mut coo = cpx_sparse::Coo::new(8192, 4096);
+    for i in 0..4096 {
+        coo.push(i, i, 1.0);
+    }
+    let mut rng = StdRng::seed_from_u64(3);
+    for i in 4096..8192 {
+        for _ in 0..4 {
+            coo.push(i, rng.gen_range(0..4096), rng.gen_range(-1.0..1.0));
+        }
+    }
+    let m = coo.to_csr();
+    let x: Vec<f64> = (0..4096).map(|i| i as f64).collect();
+    let mut g = c.benchmark_group("spmv_identity_block");
+    g.bench_function("plain", |b| {
+        b.iter(|| {
+            let mut y = vec![0.0; 8192];
+            m.spmv(&x, &mut y);
+            y
+        })
+    });
+    g.bench_function("identity_top", |b| {
+        b.iter(|| {
+            let mut y = vec![0.0; 8192];
+            m.spmv_identity_top(4096, &x, &mut y);
+            y
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_spgemm, bench_renumber, bench_smoothers, bench_amg_setup,
+              bench_search, bench_spmv_identity
+}
+criterion_main!(kernels);

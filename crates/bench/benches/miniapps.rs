@@ -1,0 +1,91 @@
+//! Criterion benches of the mini-app functional kernels and the virtual
+//! testbed itself: one MG-CFD multigrid cycle, one SIMPIC step, one
+//! pressure projection, a functional distributed step over the threaded
+//! runtime, and DES replay throughput at paper scale (the 40k-rank
+//! machinery every figure rests on).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cpx_machine::{CollectiveKind, KernelCost, Machine, Replayer, TraceProgram};
+use cpx_mesh::mesh::combustor_box;
+use cpx_mesh::MeshHierarchy;
+use cpx_mgcfd::EulerSolver;
+use cpx_pressure::solver::MiniPressureSolver;
+use cpx_simpic::{Pic1D, SimpicConfig, SimpicTraceModel};
+
+fn bench_mgcfd_cycle(c: &mut Criterion) {
+    let mesh = combustor_box(12, 12, 12, 0.0, 1.0, 1.0, 1.0);
+    let h = MeshHierarchy::build(mesh, 3);
+    c.bench_function("mgcfd_mg_cycle_1728_cells", |b| {
+        let solver = EulerSolver::acoustic_pulse(h.clone(), 0.1);
+        b.iter(|| {
+            let mut s = solver.clone();
+            s.mg_cycle(2);
+            s.residual_norm()
+        })
+    });
+}
+
+fn bench_simpic_step(c: &mut Criterion) {
+    let cfg = SimpicConfig::base_28m().functional(256, 10);
+    c.bench_function("simpic_step_256_cells_100ppc", |b| {
+        let pic = Pic1D::quiet_start(&cfg, 0.02, 1);
+        b.iter(|| {
+            let mut p = pic.clone();
+            p.step();
+            p.mean_position()
+        })
+    });
+}
+
+fn bench_pressure_projection(c: &mut Criterion) {
+    c.bench_function("pressure_projection_10cubed", |b| {
+        let solver = MiniPressureSolver::new(10, 1000, 1);
+        b.iter_batched(
+            || MiniPressureSolver::new(10, 1000, 1),
+            |mut s| {
+                s.project();
+                s.last_pressure_iters
+            },
+            criterion::BatchSize::LargeInput,
+        );
+        let _ = &solver;
+    });
+}
+
+fn bench_des_replay(c: &mut Criterion) {
+    let machine = Machine::archer2();
+    // A 4096-rank halo+allreduce program — representative of the
+    // figure sweeps.
+    let mut program = TraceProgram::new(4096);
+    let group = program.add_world_group();
+    for r in 0..4096 {
+        let t = program.rank(r);
+        for _ in 0..20 {
+            t.compute(KernelCost::new(1e6, 1e6));
+            t.send((r + 1) % 4096, 4096, 0);
+            t.recv((r + 4095) % 4096, 0);
+            t.collective(CollectiveKind::Allreduce, group, 8);
+        }
+    }
+    c.bench_function("des_replay_4096_ranks_327k_ops", |b| {
+        let rep = Replayer::new(machine.clone());
+        b.iter(|| rep.run(&program).unwrap().makespan())
+    });
+}
+
+fn bench_simpic_trace_generation(c: &mut Criterion) {
+    let machine = Machine::archer2();
+    c.bench_function("simpic_standalone_runtime_2048_ranks", |b| {
+        let model = SimpicTraceModel::new(SimpicConfig::base_28m());
+        b.iter(|| model.per_step_runtime(2048, &machine))
+    });
+}
+
+criterion_group! {
+    name = miniapps;
+    config = Criterion::default().sample_size(10);
+    targets = bench_mgcfd_cycle, bench_simpic_step, bench_pressure_projection,
+              bench_des_replay, bench_simpic_trace_generation
+}
+criterion_main!(miniapps);

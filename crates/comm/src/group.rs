@@ -1,0 +1,655 @@
+//! Sub-communicators and collectives.
+//!
+//! A [`Group`] is an ordered set of world ranks — the analogue of an MPI
+//! communicator. Collectives are implemented as the textbook algorithms
+//! (binomial trees for broadcast/reduce, their composition for allreduce
+//! and barrier, direct exchanges for gather/allgather/alltoallv) over the
+//! runtime's point-to-point layer, so collective *timing* emerges from
+//! the same machine model everything else uses.
+//!
+//! Collective message tags live in a reserved internal space derived from
+//! the group's signature and a per-group sequence number, so collectives
+//! on different (even overlapping) groups never cross-match, and user
+//! tags can never collide with internal ones.
+
+use std::cell::Cell;
+
+use crate::payload::Payload;
+use crate::runtime::RankCtx;
+use crate::ReduceOp;
+
+/// Bit marking internal (collective) tags.
+const INTERNAL: u64 = 1 << 63;
+
+/// 64-bit mix (splitmix64 finalizer) for tag-space derivation.
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// An ordered set of ranks acting as a communicator.
+///
+/// Each member holds its own `Group` value (they are per-rank objects,
+/// like MPI communicator handles). All collective calls must be made by
+/// every member, in the same order.
+#[derive(Debug)]
+pub struct Group {
+    /// World ranks of the members, in group order.
+    ranks: Vec<usize>,
+    /// This rank's index within `ranks`.
+    my_index: usize,
+    /// Deterministic signature shared by all members.
+    sig: u64,
+    /// Per-group collective sequence number (tag-space isolation).
+    coll_seq: Cell<u64>,
+    /// Per-group split counter (child signature derivation).
+    split_seq: Cell<u64>,
+}
+
+impl Group {
+    /// The world communicator for a world of `size` ranks.
+    pub(crate) fn world(size: usize, my_rank: usize) -> Group {
+        Group {
+            ranks: (0..size).collect(),
+            my_index: my_rank,
+            sig: mix64(0x57_6f_72_6c_64 ^ (size as u64)),
+            coll_seq: Cell::new(0),
+            split_seq: Cell::new(0),
+        }
+    }
+
+    /// Construct a group directly from a member list (used by MPMD
+    /// layouts where the member lists are globally known, e.g. the
+    /// coupler's instance groups). Every member must construct the group
+    /// with the identical `ranks` list and `label`.
+    pub fn from_ranks(label: u64, ranks: Vec<usize>, my_rank: usize) -> Group {
+        let my_index = ranks
+            .iter()
+            .position(|&r| r == my_rank)
+            .expect("my_rank must be a member of the group");
+        let mut sig = mix64(label ^ 0xA11C_0111);
+        for &r in &ranks {
+            sig = mix64(sig ^ r as u64);
+        }
+        Group {
+            ranks,
+            my_index,
+            sig,
+            coll_seq: Cell::new(0),
+            split_seq: Cell::new(0),
+        }
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// This rank's index within the group.
+    #[inline]
+    pub fn index(&self) -> usize {
+        self.my_index
+    }
+
+    /// World rank of group member `i`.
+    #[inline]
+    pub fn member(&self, i: usize) -> usize {
+        self.ranks[i]
+    }
+
+    /// All members, in group order.
+    #[inline]
+    pub fn members(&self) -> &[usize] {
+        &self.ranks
+    }
+
+    /// Whether this rank is group member 0.
+    #[inline]
+    pub fn is_root(&self) -> bool {
+        self.my_index == 0
+    }
+
+    fn next_tag(&self) -> u64 {
+        let seq = self.coll_seq.get();
+        self.coll_seq.set(seq + 1);
+        INTERNAL | (mix64(self.sig ^ seq) >> 1)
+    }
+
+    // ---------------------------------------------------------------
+    // Collectives
+    // ---------------------------------------------------------------
+
+    /// Binomial-tree broadcast from group member `root`. On the root
+    /// `data` is the input; on the others it is overwritten.
+    pub fn bcast(&self, ctx: &mut RankCtx, root: usize, data: &mut Payload) {
+        let p = self.size();
+        if p == 1 {
+            return;
+        }
+        let tag = self.next_tag();
+        let rel = (self.my_index + p - root) % p;
+        let abs = |r: usize| self.ranks[(r + root) % p];
+
+        let mut mask = 1usize;
+        while mask < p {
+            if rel & mask != 0 {
+                *data = ctx.recv_tagged(abs(rel - mask), tag);
+                break;
+            }
+            mask <<= 1;
+        }
+        mask >>= 1;
+        while mask > 0 {
+            if rel + mask < p {
+                ctx.send_tagged(abs(rel + mask), tag, data.clone());
+            }
+            mask >>= 1;
+        }
+    }
+
+    /// Binomial-tree reduction of `data` to group member `root` with a
+    /// commutative operator. On return, `data` on the root holds the
+    /// reduction; on other ranks it holds a partial result.
+    pub fn reduce(&self, ctx: &mut RankCtx, root: usize, op: ReduceOp, data: &mut [f64]) {
+        let p = self.size();
+        if p == 1 {
+            return;
+        }
+        let tag = self.next_tag();
+        let rel = (self.my_index + p - root) % p;
+        let abs = |r: usize| self.ranks[(r + root) % p];
+
+        let mut mask = 1usize;
+        while mask < p {
+            if rel & mask != 0 {
+                ctx.send_tagged(abs(rel - mask), tag, Payload::F64(data.to_vec()));
+                break;
+            }
+            let src = rel | mask;
+            if src < p {
+                let other = ctx.recv_tagged(abs(src), tag).into_f64();
+                op.apply(data, &other);
+            }
+            mask <<= 1;
+        }
+    }
+
+    /// Allreduce = reduce-to-0 + broadcast. `data` holds the result on
+    /// every member afterwards.
+    pub fn allreduce(&self, ctx: &mut RankCtx, op: ReduceOp, data: &mut [f64]) {
+        self.reduce(ctx, 0, op, data);
+        let mut payload = Payload::F64(data.to_vec());
+        self.bcast(ctx, 0, &mut payload);
+        data.copy_from_slice(&payload.into_f64());
+    }
+
+    /// Scalar allreduce convenience.
+    pub fn allreduce_scalar(&self, ctx: &mut RankCtx, op: ReduceOp, x: f64) -> f64 {
+        let mut buf = [x];
+        self.allreduce(ctx, op, &mut buf);
+        buf[0]
+    }
+
+    /// Barrier (zero-byte allreduce).
+    pub fn barrier(&self, ctx: &mut RankCtx) {
+        let mut buf = [0.0];
+        self.allreduce(ctx, ReduceOp::Sum, &mut buf);
+    }
+
+    /// Gather variable-length `f64` contributions to member `root`;
+    /// returns `Some(per-member data)` on the root, `None` elsewhere.
+    pub fn gather(&self, ctx: &mut RankCtx, root: usize, data: Vec<f64>) -> Option<Vec<Vec<f64>>> {
+        let p = self.size();
+        let tag = self.next_tag();
+        if self.my_index == root {
+            let mut out: Vec<Vec<f64>> = vec![Vec::new(); p];
+            out[root] = data;
+            for i in 0..p {
+                if i != root {
+                    out[i] = ctx.recv_tagged(self.ranks[i], tag).into_f64();
+                }
+            }
+            Some(out)
+        } else {
+            ctx.send_tagged(self.ranks[root], tag, Payload::F64(data));
+            None
+        }
+    }
+
+    /// Allgather of variable-length `f64` contributions: every member
+    /// gets every member's data (gather to 0, broadcast back).
+    pub fn allgather(&self, ctx: &mut RankCtx, data: Vec<f64>) -> Vec<Vec<f64>> {
+        let p = self.size();
+        if p == 1 {
+            return vec![data];
+        }
+        let gathered = self.gather(ctx, 0, data);
+        // Flatten with a length header for the broadcast.
+        let mut payload = if let Some(parts) = gathered {
+            let mut flat = Vec::with_capacity(p + parts.iter().map(Vec::len).sum::<usize>());
+            for part in &parts {
+                flat.push(part.len() as f64);
+            }
+            for part in parts {
+                flat.extend(part);
+            }
+            Payload::F64(flat)
+        } else {
+            Payload::Empty
+        };
+        self.bcast(ctx, 0, &mut payload);
+        let flat = payload.into_f64();
+        let mut out = Vec::with_capacity(p);
+        let mut off = p;
+        for i in 0..p {
+            let len = flat[i] as usize;
+            out.push(flat[off..off + len].to_vec());
+            off += len;
+        }
+        out
+    }
+
+    /// Allgather of `u64` values (one per member).
+    pub fn allgather_u64(&self, ctx: &mut RankCtx, value: u64) -> Vec<u64> {
+        let data = vec![f64::from_bits(value)];
+        self.allgather(ctx, data)
+            .into_iter()
+            .map(|v| v[0].to_bits())
+            .collect()
+    }
+
+    /// Personalised all-to-all: `sends[i]` goes to group member `i`;
+    /// returns what each member sent to us.
+    pub fn alltoallv(&self, ctx: &mut RankCtx, sends: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+        let p = self.size();
+        assert_eq!(sends.len(), p, "alltoallv needs one buffer per member");
+        let tag = self.next_tag();
+        let me = self.my_index;
+        let mut out: Vec<Vec<f64>> = vec![Vec::new(); p];
+        // Send everything (eager), keeping own contribution local.
+        for (i, buf) in sends.into_iter().enumerate() {
+            if i == me {
+                out[me] = buf;
+            } else {
+                ctx.send_tagged(self.ranks[i], tag, Payload::F64(buf));
+            }
+        }
+        for i in 0..p {
+            if i != me {
+                out[i] = ctx.recv_tagged(self.ranks[i], tag).into_f64();
+            }
+        }
+        out
+    }
+
+    /// Inclusive prefix reduction (`MPI_Scan`): member `i` receives the
+    /// reduction of members `0..=i`. Implemented as a sequential chain —
+    /// the natural pattern for the particle global-numbering use case.
+    pub fn scan(&self, ctx: &mut RankCtx, op: ReduceOp, data: &mut [f64]) {
+        let p = self.size();
+        if p == 1 {
+            return;
+        }
+        let tag = self.next_tag();
+        let i = self.my_index;
+        if i > 0 {
+            let prefix = ctx.recv_tagged(self.ranks[i - 1], tag).into_f64();
+            let mine = data.to_vec();
+            data.copy_from_slice(&prefix);
+            op.apply(data, &mine);
+        }
+        if i + 1 < p {
+            ctx.send_tagged(self.ranks[i + 1], tag, Payload::F64(data.to_vec()));
+        }
+    }
+
+    /// Exclusive prefix reduction (`MPI_Exscan`): member `i` receives the
+    /// reduction of members `0..i`; member 0 receives `identity`.
+    pub fn exscan(&self, ctx: &mut RankCtx, op: ReduceOp, data: &mut [f64], identity: f64) {
+        let mine = data.to_vec();
+        self.scan(ctx, op, data);
+        // Convert inclusive to exclusive: undo our own contribution.
+        // For Sum this is a subtraction; Max/Min need the chain value,
+        // so recompute by shifting: member i's exclusive result is the
+        // inclusive result of member i−1.
+        match op {
+            ReduceOp::Sum => {
+                for (d, m) in data.iter_mut().zip(&mine) {
+                    *d -= m;
+                }
+            }
+            _ => {
+                // Shift the inclusive results right by one member.
+                let tag = self.next_tag();
+                let p = self.size();
+                let i = self.my_index;
+                if i + 1 < p {
+                    ctx.send_tagged(self.ranks[i + 1], tag, Payload::F64(data.to_vec()));
+                }
+                if i > 0 {
+                    let prev = ctx.recv_tagged(self.ranks[i - 1], tag).into_f64();
+                    data.copy_from_slice(&prev);
+                } else {
+                    for d in data.iter_mut() {
+                        *d = identity;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Split into disjoint sub-groups by `color`; members with equal
+    /// color land in the same child, ordered by `key` then world rank.
+    pub fn split(&self, ctx: &mut RankCtx, color: u64, key: u64) -> Group {
+        let p = self.size();
+        // Exchange (color, key) pairs.
+        let mine = vec![f64::from_bits(color), f64::from_bits(key)];
+        let all = self.allgather(ctx, mine);
+        let split_id = self.split_seq.get();
+        self.split_seq.set(split_id + 1);
+
+        let mut members: Vec<(u64, usize)> = Vec::new(); // (key, world rank)
+        for i in 0..p {
+            let c = all[i][0].to_bits();
+            let k = all[i][1].to_bits();
+            if c == color {
+                members.push((k, self.ranks[i]));
+            }
+        }
+        members.sort();
+        let ranks: Vec<usize> = members.iter().map(|&(_, r)| r).collect();
+        let my_rank = self.ranks[self.my_index];
+        let my_index = ranks
+            .iter()
+            .position(|&r| r == my_rank)
+            .expect("self must be in own split");
+        let sig = mix64(self.sig ^ mix64(color) ^ mix64(split_id ^ 0x5711));
+        Group {
+            ranks,
+            my_index,
+            sig,
+            coll_seq: Cell::new(0),
+            split_seq: Cell::new(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::World;
+    use cpx_machine::Machine;
+
+    fn world() -> World {
+        World::new(Machine::archer2())
+    }
+
+    #[test]
+    fn bcast_all_sizes() {
+        for n in [1usize, 2, 3, 5, 8, 13] {
+            let res = world().run(n, move |ctx| {
+                let g = ctx.world();
+                let mut data = if ctx.rank() == 0 {
+                    Payload::F64(vec![42.0, 7.0])
+                } else {
+                    Payload::Empty
+                };
+                g.bcast(ctx, 0, &mut data);
+                data.into_f64()
+            });
+            for (v, _) in res {
+                assert_eq!(v, vec![42.0, 7.0], "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_nonzero_root() {
+        let res = world().run(6, |ctx| {
+            let g = ctx.world();
+            let mut data = if ctx.rank() == 4 {
+                Payload::F64(vec![9.0])
+            } else {
+                Payload::Empty
+            };
+            g.bcast(ctx, 4, &mut data);
+            data.into_f64()[0]
+        });
+        assert!(res.iter().all(|(v, _)| *v == 9.0));
+    }
+
+    #[test]
+    fn allreduce_sum_various_sizes() {
+        for n in [1usize, 2, 4, 7, 16] {
+            let res = world().run(n, move |ctx| {
+                let g = ctx.world();
+                let mut buf = vec![ctx.rank() as f64 + 1.0, 1.0];
+                g.allreduce(ctx, ReduceOp::Sum, &mut buf);
+                buf
+            });
+            let expect0 = (n * (n + 1) / 2) as f64;
+            for (v, _) in res {
+                assert_eq!(v, vec![expect0, n as f64], "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_max_min() {
+        let res = world().run(5, |ctx| {
+            let g = ctx.world();
+            let mx = g.allreduce_scalar(ctx, ReduceOp::Max, ctx.rank() as f64);
+            let mn = g.allreduce_scalar(ctx, ReduceOp::Min, ctx.rank() as f64);
+            (mx, mn)
+        });
+        for ((mx, mn), _) in res {
+            assert_eq!(mx, 4.0);
+            assert_eq!(mn, 0.0);
+        }
+    }
+
+    #[test]
+    fn reduce_to_root_only() {
+        let res = world().run(4, |ctx| {
+            let g = ctx.world();
+            let mut buf = vec![1.0];
+            g.reduce(ctx, 2, ReduceOp::Sum, &mut buf);
+            buf[0]
+        });
+        assert_eq!(res[2].0, 4.0);
+    }
+
+    #[test]
+    fn gather_variable_lengths() {
+        let res = world().run(4, |ctx| {
+            let g = ctx.world();
+            let data = vec![ctx.rank() as f64; ctx.rank() + 1];
+            g.gather(ctx, 0, data)
+        });
+        let parts = res[0].0.as_ref().unwrap();
+        for (i, part) in parts.iter().enumerate() {
+            assert_eq!(part.len(), i + 1);
+            assert!(part.iter().all(|&x| x == i as f64));
+        }
+        assert!(res[1].0.is_none());
+    }
+
+    #[test]
+    fn allgather_everyone_sees_everything() {
+        let res = world().run(3, |ctx| {
+            let g = ctx.world();
+            g.allgather(ctx, vec![ctx.rank() as f64 * 10.0])
+        });
+        for (all, _) in res {
+            assert_eq!(all, vec![vec![0.0], vec![10.0], vec![20.0]]);
+        }
+    }
+
+    #[test]
+    fn allgather_u64_roundtrip() {
+        let res = world().run(4, |ctx| {
+            let g = ctx.world();
+            g.allgather_u64(ctx, u64::MAX - ctx.rank() as u64)
+        });
+        for (all, _) in res {
+            assert_eq!(
+                all,
+                vec![u64::MAX, u64::MAX - 1, u64::MAX - 2, u64::MAX - 3]
+            );
+        }
+    }
+
+    #[test]
+    fn alltoallv_transpose() {
+        let res = world().run(3, |ctx| {
+            let g = ctx.world();
+            let me = ctx.rank() as f64;
+            // Send [me*10 + dst] to each dst.
+            let sends: Vec<Vec<f64>> = (0..3).map(|d| vec![me * 10.0 + d as f64]).collect();
+            g.alltoallv(ctx, sends)
+        });
+        for (r, (got, _)) in res.into_iter().enumerate() {
+            for (s, v) in got.iter().enumerate() {
+                assert_eq!(v[0], s as f64 * 10.0 + r as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn split_into_even_odd() {
+        let res = world().run(6, |ctx| {
+            let g = ctx.world();
+            let color = (ctx.rank() % 2) as u64;
+            let sub = g.split(ctx, color, ctx.rank() as u64);
+            // Sum ranks within the sub-group.
+            let s = sub.allreduce_scalar(ctx, ReduceOp::Sum, ctx.rank() as f64);
+            (sub.size(), s)
+        });
+        for (r, ((size, sum), _)) in res.into_iter().enumerate() {
+            assert_eq!(size, 3);
+            let expect = if r % 2 == 0 { 0.0 + 2.0 + 4.0 } else { 1.0 + 3.0 + 5.0 };
+            assert_eq!(sum, expect);
+        }
+    }
+
+    #[test]
+    fn nested_split() {
+        let res = world().run(8, |ctx| {
+            let g = ctx.world();
+            let half = g.split(ctx, (ctx.rank() / 4) as u64, ctx.rank() as u64);
+            let quarter = half.split(ctx, (ctx.rank() / 2 % 2) as u64, ctx.rank() as u64);
+            quarter.allreduce_scalar(ctx, ReduceOp::Sum, 1.0)
+        });
+        assert!(res.iter().all(|(s, _)| *s == 2.0));
+    }
+
+    #[test]
+    fn from_ranks_group_collectives() {
+        // Ranks {1, 3} form an explicit group; others idle.
+        let res = world().run(4, |ctx| {
+            if ctx.rank() == 1 || ctx.rank() == 3 {
+                let g = Group::from_ranks(7, vec![1, 3], ctx.rank());
+                g.allreduce_scalar(ctx, ReduceOp::Sum, ctx.rank() as f64)
+            } else {
+                -1.0
+            }
+        });
+        assert_eq!(res[1].0, 4.0);
+        assert_eq!(res[3].0, 4.0);
+        assert_eq!(res[0].0, -1.0);
+    }
+
+    #[test]
+    fn barrier_completes() {
+        let res = world().run(9, |ctx| {
+            let g = ctx.world();
+            for _ in 0..5 {
+                g.barrier(ctx);
+            }
+            ctx.now()
+        });
+        // All ranks synchronized: clocks agree to within tree-propagation
+        // skew (microseconds of virtual time).
+        let t0 = res[0].0;
+        assert!(res.iter().all(|(t, _)| (*t - t0).abs() < 1e-3));
+        assert!(t0 > 0.0);
+    }
+
+    #[test]
+    fn collectives_larger_group_costs_more() {
+        let time_for = |n: usize| {
+            let res = world().run(n, |ctx| {
+                let g = ctx.world();
+                let mut buf = vec![1.0; 64];
+                for _ in 0..10 {
+                    g.allreduce(ctx, ReduceOp::Sum, &mut buf);
+                }
+                ctx.now()
+            });
+            res[0].0
+        };
+        assert!(time_for(16) > time_for(4));
+    }
+
+    #[test]
+    fn scan_computes_prefix_sums() {
+        let res = world().run(5, |ctx| {
+            let g = ctx.world();
+            let mut buf = vec![ctx.rank() as f64 + 1.0];
+            g.scan(ctx, ReduceOp::Sum, &mut buf);
+            buf[0]
+        });
+        for (i, (v, _)) in res.into_iter().enumerate() {
+            let want: f64 = (1..=i + 1).sum::<usize>() as f64;
+            assert_eq!(v, want, "rank {i}");
+        }
+    }
+
+    #[test]
+    fn exscan_sum_excludes_self() {
+        let res = world().run(4, |ctx| {
+            let g = ctx.world();
+            let mut buf = vec![10.0 * (ctx.rank() as f64 + 1.0)];
+            g.exscan(ctx, ReduceOp::Sum, &mut buf, 0.0);
+            buf[0]
+        });
+        assert_eq!(res[0].0, 0.0);
+        assert_eq!(res[1].0, 10.0);
+        assert_eq!(res[2].0, 30.0);
+        assert_eq!(res[3].0, 60.0);
+    }
+
+    #[test]
+    fn exscan_max_shifts_inclusive() {
+        let vals = [3.0f64, 9.0, 1.0, 5.0];
+        let res = world().run(4, move |ctx| {
+            let g = ctx.world();
+            let mut buf = vec![vals[ctx.rank()]];
+            g.exscan(ctx, ReduceOp::Max, &mut buf, f64::NEG_INFINITY);
+            buf[0]
+        });
+        assert_eq!(res[0].0, f64::NEG_INFINITY);
+        assert_eq!(res[1].0, 3.0);
+        assert_eq!(res[2].0, 9.0);
+        assert_eq!(res[3].0, 9.0);
+    }
+
+    #[test]
+    fn scan_on_subgroup() {
+        let res = world().run(6, |ctx| {
+            let g = ctx.world();
+            let sub = g.split(ctx, (ctx.rank() % 2) as u64, ctx.rank() as u64);
+            let mut buf = vec![1.0];
+            sub.scan(ctx, ReduceOp::Sum, &mut buf);
+            buf[0]
+        });
+        // Each parity class is a 3-member chain: prefixes 1, 2, 3.
+        assert_eq!(res[0].0, 1.0);
+        assert_eq!(res[2].0, 2.0);
+        assert_eq!(res[4].0, 3.0);
+        assert_eq!(res[1].0, 1.0);
+        assert_eq!(res[5].0, 3.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Typed message payloads.
+//!
+//! Messages carry one of a small set of payload types rather than raw
+//! bytes; this keeps the mini-apps free of serialization noise while
+//! still letting the runtime account for wire size exactly.
+
+/// The payload of a point-to-point message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// Double-precision field data (the common case).
+    F64(Vec<f64>),
+    /// Index lists (cell ids, particle destinations, …).
+    U64(Vec<u64>),
+    /// Raw bytes for anything else.
+    Bytes(Vec<u8>),
+    /// An empty message (synchronisation only).
+    Empty,
+}
+
+impl Payload {
+    /// Wire size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Payload::F64(v) => v.len() * 8,
+            Payload::U64(v) => v.len() * 8,
+            Payload::Bytes(v) => v.len(),
+            Payload::Empty => 0,
+        }
+    }
+
+    /// Extract an `f64` vector, panicking on type mismatch (a protocol
+    /// error in the calling mini-app).
+    pub fn into_f64(self) -> Vec<f64> {
+        match self {
+            Payload::F64(v) => v,
+            other => panic!("expected F64 payload, got {}", other.kind()),
+        }
+    }
+
+    /// Extract a `u64` vector, panicking on type mismatch.
+    pub fn into_u64(self) -> Vec<u64> {
+        match self {
+            Payload::U64(v) => v,
+            other => panic!("expected U64 payload, got {}", other.kind()),
+        }
+    }
+
+    /// Extract raw bytes, panicking on type mismatch.
+    pub fn into_bytes(self) -> Vec<u8> {
+        match self {
+            Payload::Bytes(v) => v,
+            other => panic!("expected Bytes payload, got {}", other.kind()),
+        }
+    }
+
+    /// Short type name for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Payload::F64(_) => "F64",
+            Payload::U64(_) => "U64",
+            Payload::Bytes(_) => "Bytes",
+            Payload::Empty => "Empty",
+        }
+    }
+}
+
+impl From<Vec<f64>> for Payload {
+    fn from(v: Vec<f64>) -> Self {
+        Payload::F64(v)
+    }
+}
+
+impl From<Vec<u64>> for Payload {
+    fn from(v: Vec<u64>) -> Self {
+        Payload::U64(v)
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Self {
+        Payload::Bytes(v)
+    }
+}
+
+impl From<&[f64]> for Payload {
+    fn from(v: &[f64]) -> Self {
+        Payload::F64(v.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Payload::F64(vec![0.0; 3]).size_bytes(), 24);
+        assert_eq!(Payload::U64(vec![0; 2]).size_bytes(), 16);
+        assert_eq!(Payload::Bytes(vec![0; 5]).size_bytes(), 5);
+        assert_eq!(Payload::Empty.size_bytes(), 0);
+    }
+
+    #[test]
+    fn round_trips() {
+        assert_eq!(Payload::from(vec![1.0, 2.0]).into_f64(), vec![1.0, 2.0]);
+        assert_eq!(Payload::from(vec![3u64]).into_u64(), vec![3]);
+        assert_eq!(Payload::from(vec![9u8]).into_bytes(), vec![9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected F64")]
+    fn type_mismatch_panics() {
+        Payload::Empty.into_f64();
+    }
+}

@@ -1,0 +1,435 @@
+//! The threaded rank runtime.
+//!
+//! [`World::run`] spawns one OS thread per rank and hands each a
+//! [`RankCtx`]: the rank's mailbox, its virtual clock, and its view of the
+//! machine model. All timing is *virtual* — compute is charged through
+//! the roofline model, and message timing uses the logical-time piggyback
+//! (a packet carries its sender's virtual send time; the receiver's clock
+//! advances to `max(local, send_time + p2p_time)`). Wall-clock never
+//! enters the simulation, so results are deterministic and host
+//! independent.
+
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use cpx_machine::{KernelCost, Machine};
+
+use crate::group::Group;
+use crate::payload::Payload;
+
+/// How long a blocking receive waits on the host before declaring the
+/// simulated program deadlocked. Generous: functional runs are fast.
+const DEADLOCK_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// A message in flight.
+#[derive(Debug)]
+pub(crate) struct Packet {
+    pub src: usize,
+    pub tag: u64,
+    /// Sender's virtual clock at the send call.
+    pub send_time: f64,
+    pub payload: Payload,
+}
+
+/// Rendezvous registry for shared-memory windows (and anything else that
+/// needs cross-rank shared state keyed by a deterministic id).
+#[derive(Default)]
+pub(crate) struct Registry {
+    pub(crate) map: Mutex<HashMap<u128, Arc<dyn Any + Send + Sync>>>,
+}
+
+/// Virtual-time accounting for one rank, returned by [`World::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TimeReport {
+    /// Final virtual clock (the rank's elapsed virtual time).
+    pub elapsed: f64,
+    /// Virtual seconds spent in local compute.
+    pub compute: f64,
+    /// Virtual seconds spent waiting on communication.
+    pub comm: f64,
+    /// Messages sent.
+    pub messages_sent: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+}
+
+/// Per-rank execution context. Mini-app rank programs receive `&mut
+/// RankCtx` and use it for compute charging, messaging and collectives.
+pub struct RankCtx {
+    rank: usize,
+    size: usize,
+    machine: Arc<Machine>,
+    clock: f64,
+    compute_time: f64,
+    comm_time: f64,
+    messages_sent: u64,
+    bytes_sent: u64,
+    senders: Arc<Vec<Sender<Packet>>>,
+    inbox: Receiver<Packet>,
+    /// Out-of-order messages awaiting a matching receive.
+    pending: VecDeque<Packet>,
+    pub(crate) registry: Arc<Registry>,
+}
+
+impl RankCtx {
+    /// This rank's id in the world.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The machine being modelled.
+    #[inline]
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> f64 {
+        self.clock
+    }
+
+    /// Virtual seconds this rank has spent waiting on communication.
+    #[inline]
+    pub fn comm_time(&self) -> f64 {
+        self.comm_time
+    }
+
+    /// Virtual seconds this rank has spent in charged compute.
+    #[inline]
+    pub fn compute_time(&self) -> f64 {
+        self.compute_time
+    }
+
+    /// Charge a roofline kernel cost to the virtual clock.
+    pub fn compute(&mut self, cost: KernelCost) {
+        debug_assert!(cost.is_valid(), "invalid kernel cost {cost:?}");
+        let dt = self.machine.kernel_time(cost);
+        self.clock += dt;
+        self.compute_time += dt;
+    }
+
+    /// Charge a fixed virtual duration.
+    pub fn compute_secs(&mut self, secs: f64) {
+        debug_assert!(secs >= 0.0 && secs.is_finite());
+        self.clock += secs;
+        self.compute_time += secs;
+    }
+
+    /// Send `payload` to `dst` with user `tag`. Eager: the sender is
+    /// charged only the software overhead.
+    pub fn send(&mut self, dst: usize, tag: u32, payload: impl Into<Payload>) {
+        self.send_tagged(dst, tag as u64, payload.into());
+    }
+
+    /// Blocking receive of the next message from `src` with user `tag`
+    /// (FIFO per `(src, tag)` pair).
+    pub fn recv(&mut self, src: usize, tag: u32) -> Payload {
+        self.recv_tagged(src, tag as u64)
+    }
+
+    /// Exchange payloads with a peer (send then receive; safe because
+    /// sends are eager/buffered).
+    pub fn sendrecv(
+        &mut self,
+        peer: usize,
+        tag: u32,
+        payload: impl Into<Payload>,
+    ) -> Payload {
+        self.send(peer, tag, payload);
+        self.recv(peer, tag)
+    }
+
+    /// The communicator containing every rank.
+    pub fn world(&self) -> Group {
+        Group::world(self.size, self.rank)
+    }
+
+    pub(crate) fn send_tagged(&mut self, dst: usize, tag: u64, payload: Payload) {
+        assert!(dst < self.size, "send to out-of-range rank {dst}");
+        let bytes = payload.size_bytes();
+        let pkt = Packet {
+            src: self.rank,
+            tag,
+            send_time: self.clock,
+            payload,
+        };
+        self.senders[dst]
+            .send(pkt)
+            .expect("peer mailbox closed (rank exited early?)");
+        self.clock += self.machine.send_overhead;
+        self.comm_time += self.machine.send_overhead;
+        self.messages_sent += 1;
+        self.bytes_sent += bytes as u64;
+    }
+
+    pub(crate) fn recv_tagged(&mut self, src: usize, tag: u64) -> Payload {
+        assert!(src < self.size, "recv from out-of-range rank {src}");
+        // First look in the pending buffer (preserves FIFO per (src,tag)).
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|p| p.src == src && p.tag == tag)
+        {
+            let pkt = self.pending.remove(pos).expect("position valid");
+            return self.admit(pkt);
+        }
+        loop {
+            let pkt = self
+                .inbox
+                .recv_timeout(DEADLOCK_TIMEOUT)
+                .unwrap_or_else(|_| {
+                    panic!(
+                        "rank {}: deadlock waiting for (src={src}, tag={tag}); \
+                         {} unmatched pending messages",
+                        self.rank,
+                        self.pending.len()
+                    )
+                });
+            if pkt.src == src && pkt.tag == tag {
+                return self.admit(pkt);
+            }
+            self.pending.push_back(pkt);
+        }
+    }
+
+    /// Advance the clock for a matched packet and unwrap its payload.
+    fn admit(&mut self, pkt: Packet) -> Payload {
+        let arrival = pkt.send_time
+            + self
+                .machine
+                .p2p_time(pkt.src, self.rank, pkt.payload.size_bytes());
+        let wait = (arrival - self.clock).max(0.0);
+        self.clock += wait;
+        self.comm_time += wait;
+        pkt.payload
+    }
+
+    fn report(&self) -> TimeReport {
+        TimeReport {
+            elapsed: self.clock,
+            compute: self.compute_time,
+            comm: self.comm_time,
+            messages_sent: self.messages_sent,
+            bytes_sent: self.bytes_sent,
+        }
+    }
+}
+
+/// A virtual-time world of message-passing ranks.
+pub struct World {
+    machine: Arc<Machine>,
+}
+
+impl World {
+    /// A world on `machine`.
+    pub fn new(machine: Machine) -> Self {
+        World {
+            machine: Arc::new(machine),
+        }
+    }
+
+    /// The machine.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Run `f` on `n` ranks concurrently; returns each rank's result and
+    /// virtual-time report, in rank order. Panics in any rank propagate.
+    pub fn run<T, F>(&self, n: usize, f: F) -> Vec<(T, TimeReport)>
+    where
+        T: Send + 'static,
+        F: Fn(&mut RankCtx) -> T + Send + Sync + 'static,
+    {
+        assert!(n >= 1, "world needs at least one rank");
+        let (senders, receivers): (Vec<_>, Vec<_>) =
+            (0..n).map(|_| unbounded::<Packet>()).unzip();
+        let senders = Arc::new(senders);
+        let registry = Arc::new(Registry::default());
+        let f = Arc::new(f);
+
+        let mut handles = Vec::with_capacity(n);
+        for (rank, inbox) in receivers.into_iter().enumerate() {
+            let senders = Arc::clone(&senders);
+            let machine = Arc::clone(&self.machine);
+            let registry = Arc::clone(&registry);
+            let f = Arc::clone(&f);
+            let handle = std::thread::Builder::new()
+                .name(format!("rank-{rank}"))
+                .stack_size(8 << 20)
+                .spawn(move || {
+                    let mut ctx = RankCtx {
+                        rank,
+                        size: n,
+                        machine,
+                        clock: 0.0,
+                        compute_time: 0.0,
+                        comm_time: 0.0,
+                        messages_sent: 0,
+                        bytes_sent: 0,
+                        senders,
+                        inbox,
+                        pending: VecDeque::new(),
+                        registry,
+                    };
+                    let out = f(&mut ctx);
+                    (out, ctx.report())
+                })
+                .expect("spawn rank thread");
+            handles.push(handle);
+        }
+
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(res) => res,
+                Err(e) => std::panic::resume_unwind(e),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> World {
+        World::new(Machine::archer2())
+    }
+
+    #[test]
+    fn single_rank_compute() {
+        let res = world().run(1, |ctx| {
+            ctx.compute(KernelCost::flops(2.2e9)); // exactly 1 virtual second
+            ctx.now()
+        });
+        assert!((res[0].0 - 1.0).abs() < 1e-9);
+        assert!((res[0].1.compute - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ping_pong_virtual_time() {
+        let res = world().run(2, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 0, vec![1.0f64; 1024]);
+                ctx.recv(1, 1).into_f64()
+            } else {
+                let v = ctx.recv(0, 0).into_f64();
+                ctx.send(0, 1, v.clone());
+                v
+            }
+        });
+        assert_eq!(res[0].0.len(), 1024);
+        // Rank 0 waited for a round trip: its comm time must dominate.
+        assert!(res[0].1.comm > 0.0);
+        assert!(res[0].1.elapsed >= res[0].1.comm);
+    }
+
+    #[test]
+    fn virtual_time_is_deterministic() {
+        let run = || {
+            world().run(4, |ctx| {
+                let me = ctx.rank();
+                ctx.compute(KernelCost::flops(1e8 * (me + 1) as f64));
+                ctx.send((me + 1) % 4, 0, vec![me as f64; 100]);
+                let _ = ctx.recv((me + 3) % 4, 0);
+                ctx.now()
+            })
+        };
+        let a: Vec<f64> = run().into_iter().map(|(t, _)| t).collect();
+        let b: Vec<f64> = run().into_iter().map(|(t, _)| t).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn out_of_order_tags() {
+        let res = world().run(2, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 5, vec![5.0f64]);
+                ctx.send(1, 6, vec![6.0f64]);
+                0.0
+            } else {
+                // Receive in reverse tag order.
+                let six = ctx.recv(0, 6).into_f64()[0];
+                let five = ctx.recv(0, 5).into_f64()[0];
+                six * 10.0 + five
+            }
+        });
+        assert_eq!(res[1].0, 65.0);
+    }
+
+    #[test]
+    fn sendrecv_exchanges() {
+        let res = world().run(2, |ctx| {
+            let me = ctx.rank() as f64;
+            ctx.sendrecv(1 - ctx.rank(), 0, vec![me]).into_f64()[0]
+        });
+        assert_eq!(res[0].0, 1.0);
+        assert_eq!(res[1].0, 0.0);
+    }
+
+    #[test]
+    fn fifo_per_src_tag() {
+        let res = world().run(2, |ctx| {
+            if ctx.rank() == 0 {
+                for i in 0..10 {
+                    ctx.send(1, 0, vec![i as f64]);
+                }
+                Vec::new()
+            } else {
+                (0..10).map(|_| ctx.recv(0, 0).into_f64()[0]).collect()
+            }
+        });
+        assert_eq!(res[1].0, (0..10).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rank_panic_propagates() {
+        world().run(2, |ctx| {
+            if ctx.rank() == 1 {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    fn inter_node_message_slower_than_intra() {
+        // 2 ranks on one node vs ranks 0 and 128 (different nodes).
+        let m = Machine::archer2();
+        let intra = World::new(m.clone()).run(2, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 0, vec![0.0f64; 1 << 14]);
+                0.0
+            } else {
+                let _ = ctx.recv(0, 0);
+                ctx.now()
+            }
+        })[1]
+            .0;
+        let inter = World::new(m).run(130, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(129, 0, vec![0.0f64; 1 << 14]);
+            }
+            if ctx.rank() == 129 {
+                let _ = ctx.recv(0, 0);
+                return ctx.now();
+            }
+            0.0
+        })[129]
+            .0;
+        assert!(inter > intra, "inter {inter} intra {intra}");
+    }
+}

@@ -1,0 +1,198 @@
+//! Coupled-scenario description.
+
+use cpx_coupler::trace::{CouplerKind, SearchAlgo};
+use cpx_mgcfd::MgCfdConfig;
+use cpx_simpic::SimpicConfig;
+
+/// Base-STC or Optimized-STC pressure proxy (§III–IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StcVariant {
+    /// SIMPIC calibrated to the *as-profiled* pressure solver.
+    Base,
+    /// SIMPIC calibrated to the theoretically-optimized pressure solver.
+    Optimized,
+}
+
+/// What a solver instance runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AppKind {
+    /// An MG-CFD density-solver instance.
+    MgCfd(MgCfdConfig),
+    /// The SIMPIC pressure-solver proxy.
+    Simpic(SimpicConfig),
+}
+
+/// One solver instance in the coupled run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppInstance {
+    /// Display name (paper instance numbers, e.g. `"mgcfd-13"`).
+    pub name: String,
+    /// What it runs.
+    pub kind: AppKind,
+    /// Mesh cells this instance represents (SIMPIC instances quote the
+    /// equivalent pressure-solver mesh, as the paper does for Fig 8b).
+    pub cells: f64,
+}
+
+impl AppInstance {
+    /// A density-solver instance of `cells` cells.
+    pub fn mgcfd(name: &str, cells: f64) -> AppInstance {
+        AppInstance {
+            name: name.to_string(),
+            kind: AppKind::MgCfd(MgCfdConfig::blade_row(cells)),
+            cells,
+        }
+    }
+
+    /// The SIMPIC pressure proxy for a pressure mesh of `cells` cells.
+    pub fn simpic(name: &str, cells: f64, variant: StcVariant) -> AppInstance {
+        let config = match variant {
+            StcVariant::Base => {
+                if cells <= 30.0e6 {
+                    SimpicConfig::base_28m()
+                } else if cells <= 100.0e6 {
+                    SimpicConfig::base_84m()
+                } else {
+                    SimpicConfig::base_380m()
+                }
+            }
+            StcVariant::Optimized => SimpicConfig::optimized_stc(),
+        };
+        AppInstance {
+            name: name.to_string(),
+            kind: AppKind::Simpic(config),
+            cells,
+        }
+    }
+
+    /// Whether this is the pressure-solver proxy.
+    pub fn is_pressure(&self) -> bool {
+        matches!(self.kind, AppKind::Simpic(_))
+    }
+}
+
+/// A coupler unit between two instances (by index into
+/// [`Scenario::apps`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CuSpec {
+    /// Display name.
+    pub name: String,
+    /// Donor instance index.
+    pub a: usize,
+    /// Target instance index.
+    pub b: usize,
+    /// Regime + search algorithm.
+    pub kind: CouplerKind,
+    /// Interface points on each side.
+    pub interface_points: f64,
+}
+
+impl CuSpec {
+    /// Sliding plane between density instances `a` and `b`: interface is
+    /// ~0.42% of the smaller mesh (§II-A), remapped every iteration with
+    /// the production tree + prefetch search.
+    pub fn sliding(name: &str, a: usize, b: usize, cells_a: f64, cells_b: f64) -> CuSpec {
+        CuSpec {
+            name: name.to_string(),
+            a,
+            b,
+            kind: CouplerKind::Sliding {
+                search: SearchAlgo::TreePrefetch,
+            },
+            interface_points: 0.0042 * cells_a.min(cells_b),
+        }
+    }
+
+    /// Steady-state overlap between a density instance and the pressure
+    /// proxy: ~5% of the smaller mesh, exchanged every 20 density
+    /// iterations (§II-A, §V).
+    pub fn steady(name: &str, a: usize, b: usize, cells_a: f64, cells_b: f64) -> CuSpec {
+        CuSpec {
+            name: name.to_string(),
+            a,
+            b,
+            kind: CouplerKind::Steady { period: 20 },
+            interface_points: 0.05 * cells_a.min(cells_b),
+        }
+    }
+}
+
+/// A complete coupled scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Scenario name.
+    pub name: String,
+    /// Solver instances.
+    pub apps: Vec<AppInstance>,
+    /// Coupler units.
+    pub cus: Vec<CuSpec>,
+    /// Density-solver iterations of the full run (the pressure solver
+    /// takes two timesteps per density iteration, §V).
+    pub density_iters: u64,
+}
+
+impl Scenario {
+    /// Total represented mesh cells (the paper quotes 1.25Bn effective
+    /// for the large case).
+    pub fn total_cells(&self) -> f64 {
+        self.apps.iter().map(|a| a.cells).sum()
+    }
+
+    /// Validate instance indices in the CU specs.
+    pub fn validate(&self) -> Result<(), String> {
+        for cu in &self.cus {
+            if cu.a >= self.apps.len() || cu.b >= self.apps.len() {
+                return Err(format!("{}: instance index out of range", cu.name));
+            }
+            if cu.a == cu.b {
+                return Err(format!("{}: cannot couple an instance to itself", cu.name));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simpic_variant_selection() {
+        let base = AppInstance::simpic("s", 380.0e6, StcVariant::Base);
+        match &base.kind {
+            AppKind::Simpic(c) => assert_eq!(c.particles_per_cell, 1800),
+            _ => panic!(),
+        }
+        let opt = AppInstance::simpic("s", 380.0e6, StcVariant::Optimized);
+        match &opt.kind {
+            AppKind::Simpic(c) => assert_eq!(c.particles_per_cell, 60_000),
+            _ => panic!(),
+        }
+        assert!(base.is_pressure());
+    }
+
+    #[test]
+    fn interface_fractions() {
+        let sliding = CuSpec::sliding("cu", 0, 1, 24.0e6, 150.0e6);
+        assert!((sliding.interface_points - 0.0042 * 24.0e6).abs() < 1.0);
+        let steady = CuSpec::steady("cu", 0, 1, 150.0e6, 380.0e6);
+        assert!((steady.interface_points - 0.05 * 150.0e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn scenario_validation() {
+        let mut s = Scenario {
+            name: "t".into(),
+            apps: vec![
+                AppInstance::mgcfd("a", 8.0e6),
+                AppInstance::mgcfd("b", 24.0e6),
+            ],
+            cus: vec![CuSpec::sliding("cu", 0, 1, 8.0e6, 24.0e6)],
+            density_iters: 100,
+        };
+        assert!(s.validate().is_ok());
+        assert_eq!(s.total_cells(), 32.0e6);
+        s.cus[0].b = 7;
+        assert!(s.validate().is_err());
+    }
+}

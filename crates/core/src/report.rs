@@ -1,0 +1,107 @@
+//! Study reports.
+//!
+//! Renders a coupled study (scenario + allocation + measured run) as a
+//! self-contained Markdown document — the artifact a run on a real
+//! machine would archive next to its job logs. Used by the examples and
+//! handy for diffing studies across calibrations.
+
+use cpx_perfmodel::Allocation;
+
+use crate::instance::Scenario;
+use crate::sim::CoupledRun;
+
+/// Render a full study report.
+pub fn markdown_report(scenario: &Scenario, alloc: &Allocation, run: &CoupledRun) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# Coupled study: {}\n\n", scenario.name));
+    out.push_str(&format!(
+        "- effective size: **{:.2} Bn cells** across {} instances, {} coupler units\n",
+        scenario.total_cells() / 1e9,
+        scenario.apps.len(),
+        scenario.cus.len()
+    ));
+    out.push_str(&format!(
+        "- window: **{} density iterations** ({} sampled on the testbed)\n",
+        scenario.density_iters, run.sample_iters
+    ));
+    out.push_str(&format!(
+        "- world: **{} ranks** allocated ({} to coupler units)\n\n",
+        alloc.total_ranks(),
+        alloc.cu_ranks.iter().sum::<usize>()
+    ));
+
+    out.push_str("## Instances\n\n");
+    out.push_str("| # | instance | cells | ranks | predicted (s) | measured (s) | error |\n");
+    out.push_str("|---|---|---|---|---|---|---|\n");
+    for (i, app) in scenario.apps.iter().enumerate() {
+        let predicted = alloc.app_times[i];
+        let measured = run.app_runtimes[i];
+        let err = (predicted - measured).abs() / measured.max(f64::MIN_POSITIVE);
+        out.push_str(&format!(
+            "| {} | {} | {:.0}M | {} | {:.1} | {:.1} | {:.1}% |\n",
+            i + 1,
+            app.name,
+            app.cells / 1e6,
+            alloc.app_ranks[i],
+            predicted,
+            measured,
+            err * 100.0
+        ));
+    }
+
+    out.push_str("\n## Coupler units\n\n");
+    out.push_str("| unit | ranks | predicted (s) |\n|---|---|---|\n");
+    for (i, cu) in scenario.cus.iter().enumerate() {
+        out.push_str(&format!(
+            "| {} | {} | {:.2} |\n",
+            cu.name, alloc.cu_ranks[i], alloc.cu_times[i]
+        ));
+    }
+
+    let predicted_total = alloc.predicted_runtime();
+    let err = (predicted_total - run.total_runtime).abs()
+        / run.total_runtime.max(f64::MIN_POSITIVE);
+    out.push_str(&format!(
+        "\n## Totals\n\n- predicted runtime: **{predicted_total:.1} s**\n\
+         - measured runtime: **{:.1} s** (error {:.1}%)\n\
+         - coupling overhead: **{:.2}%**\n\
+         - bottleneck: **{}**\n",
+        run.total_runtime,
+        err * 100.0,
+        run.coupling_overhead * 100.0,
+        scenario.apps[alloc.bottleneck_app()].name
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::StcVariant;
+    use crate::model::{allocate_scenario, build_models_with_grid};
+    use crate::sim::run_coupled;
+    use crate::testcases;
+    use cpx_machine::Machine;
+
+    #[test]
+    fn report_contains_every_instance_and_totals() {
+        let scenario = testcases::small_150m_28m(StcVariant::Base);
+        let machine = Machine::archer2();
+        let models =
+            build_models_with_grid(&scenario, &machine, 20.0, &[100, 400, 1600]);
+        let alloc = allocate_scenario(&models, 1200);
+        let run = run_coupled(&scenario, &alloc, &machine, 20);
+        let md = markdown_report(&scenario, &alloc, &run);
+        for app in &scenario.apps {
+            assert!(md.contains(&app.name), "missing {}", app.name);
+        }
+        for cu in &scenario.cus {
+            assert!(md.contains(&cu.name));
+        }
+        assert!(md.contains("predicted runtime"));
+        assert!(md.contains("coupling overhead"));
+        assert!(md.contains("bottleneck"));
+        // It is a plausible markdown table.
+        assert!(md.matches('|').count() > 20);
+    }
+}

@@ -1,0 +1,145 @@
+//! The paper's coupled test cases.
+
+use crate::instance::{AppInstance, CuSpec, Scenario, StcVariant};
+
+/// The small validation case (§V-A, Fig 8a): two MG-CFD instances on
+/// the NASA Rotor 37 150M-node mesh and one SIMPIC unit representing a
+/// 28M-cell pressure solve, with one sliding-plane CU between the
+/// MG-CFD units and one steady-state CU to SIMPIC. Run on 5,000 cores
+/// in the paper.
+pub fn small_150m_28m(variant: StcVariant) -> Scenario {
+    let apps = vec![
+        AppInstance::mgcfd("mgcfd-rotor37-a", 150.0e6),
+        AppInstance::mgcfd("mgcfd-rotor37-b", 150.0e6),
+        AppInstance::simpic("simpic-28m", 28.0e6, variant),
+    ];
+    let cus = vec![
+        CuSpec::sliding("cu-mgcfd-mgcfd", 0, 1, 150.0e6, 150.0e6),
+        CuSpec::steady("cu-mgcfd-simpic", 1, 2, 150.0e6, 28.0e6),
+    ];
+    Scenario {
+        name: "small-150M/28M".to_string(),
+        apps,
+        cus,
+        density_iters: 100,
+    }
+}
+
+/// The large HPC–Combustor–HPT case (§V-B, Figs 8b/9): 13 compressor
+/// rows (one 8M, eleven 24M, one 150M), the 380M-equivalent SIMPIC
+/// combustor, and two turbine rows (150M, 300M) — 1.25Bn effective
+/// cells, the production-representative problem. One revolution is
+/// 1,000 density-solver timesteps.
+pub fn large_engine(variant: StcVariant) -> Scenario {
+    let mut apps = Vec::new();
+    // Instance 1: the small first compressor row.
+    apps.push(AppInstance::mgcfd("mgcfd-01-8m", 8.0e6));
+    // Instances 2–12: eleven 24M compressor rows.
+    for i in 2..=12 {
+        apps.push(AppInstance::mgcfd(&format!("mgcfd-{i:02}-24m"), 24.0e6));
+    }
+    // Instance 13: the 150M row feeding the combustor.
+    apps.push(AppInstance::mgcfd("mgcfd-13-150m", 150.0e6));
+    // Instance 14: the combustor (SIMPIC proxy for a 380M pressure
+    // solve).
+    apps.push(AppInstance::simpic("simpic-14-380m", 380.0e6, variant));
+    // Instance 15: the 150M high-pressure turbine row.
+    apps.push(AppInstance::mgcfd("mgcfd-15-150m", 150.0e6));
+    // Instance 16: the 300M turbine row.
+    apps.push(AppInstance::mgcfd("mgcfd-16-300m", 300.0e6));
+
+    let cells = |i: usize| apps[i].cells;
+    let mut cus = Vec::new();
+    // Sliding planes along the compressor: rows 1..13 (indices 0..12).
+    for i in 0..12 {
+        cus.push(CuSpec::sliding(
+            &format!("cu-slide-{:02}-{:02}", i + 1, i + 2),
+            i,
+            i + 1,
+            cells(i),
+            cells(i + 1),
+        ));
+    }
+    // Steady-state overlaps around the combustor: 13↔14 and 14↔15.
+    cus.push(CuSpec::steady("cu-steady-13-14", 12, 13, cells(12), cells(13)));
+    cus.push(CuSpec::steady("cu-steady-14-15", 13, 14, cells(13), cells(14)));
+    // Sliding plane between the turbine rows 15↔16.
+    cus.push(CuSpec::sliding(
+        "cu-slide-15-16",
+        14,
+        15,
+        cells(14),
+        cells(15),
+    ));
+
+    Scenario {
+        name: format!(
+            "HPC-Combustor-HPT ({})",
+            match variant {
+                StcVariant::Base => "Base-STC",
+                StcVariant::Optimized => "Optimized-STC",
+            }
+        ),
+        apps,
+        cus,
+        density_iters: 1000, // one revolution = 1,000 density steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_case_shape() {
+        let s = small_150m_28m(StcVariant::Base);
+        assert!(s.validate().is_ok());
+        assert_eq!(s.apps.len(), 3);
+        assert_eq!(s.cus.len(), 2);
+        assert_eq!(s.total_cells(), 328.0e6);
+    }
+
+    #[test]
+    fn large_case_matches_fig8b() {
+        let s = large_engine(StcVariant::Base);
+        assert!(s.validate().is_ok());
+        assert_eq!(s.apps.len(), 16);
+        // Fig 8b mesh sizes.
+        assert_eq!(s.apps[0].cells, 8.0e6);
+        for i in 1..=11 {
+            assert_eq!(s.apps[i].cells, 24.0e6, "instance {}", i + 1);
+        }
+        assert_eq!(s.apps[12].cells, 150.0e6);
+        assert_eq!(s.apps[13].cells, 380.0e6);
+        assert!(s.apps[13].is_pressure());
+        assert_eq!(s.apps[14].cells, 150.0e6);
+        assert_eq!(s.apps[15].cells, 300.0e6);
+        // Effective size ≈ 1.25Bn cells (paper §V-B).
+        let total = s.total_cells();
+        assert!(
+            (1.2e9..1.3e9).contains(&total),
+            "effective size {total:.3e}"
+        );
+        // 13 sliding + 2 steady CUs.
+        let sliding = s
+            .cus
+            .iter()
+            .filter(|c| matches!(c.kind, cpx_coupler::trace::CouplerKind::Sliding { .. }))
+            .count();
+        let steady = s.cus.len() - sliding;
+        assert_eq!((sliding, steady), (13, 2));
+    }
+
+    #[test]
+    fn one_revolution_is_1000_steps() {
+        assert_eq!(large_engine(StcVariant::Base).density_iters, 1000);
+    }
+
+    #[test]
+    fn optimized_variant_swaps_simpic_config() {
+        let b = large_engine(StcVariant::Base);
+        let o = large_engine(StcVariant::Optimized);
+        assert_ne!(b.apps[13], o.apps[13]);
+        assert_eq!(b.apps[0], o.apps[0]);
+    }
+}

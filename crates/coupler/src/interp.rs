@@ -1,0 +1,175 @@
+//! Interface interpolation.
+//!
+//! Donor values are combined with normalized weights (a partition of
+//! unity), so a constant field crosses the interface exactly — the
+//! basic conservation property couplers must not break. Two schemes:
+//! nearest-donor injection and inverse-distance weighting over the `k`
+//! nearest donors.
+
+use crate::search::KdTree2;
+
+/// Interpolation weights from donors to one target point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stencil {
+    /// Donor indices.
+    pub donors: Vec<usize>,
+    /// Normalized weights (sum to 1).
+    pub weights: Vec<f64>,
+}
+
+impl Stencil {
+    /// Apply to donor values.
+    pub fn apply(&self, values: &[f64]) -> f64 {
+        self.donors
+            .iter()
+            .zip(&self.weights)
+            .map(|(&d, &w)| w * values[d])
+            .sum()
+    }
+}
+
+/// Build nearest-donor stencils for every target.
+pub fn nearest_stencils(tree: &KdTree2, targets: &[[f64; 2]]) -> Vec<Stencil> {
+    targets
+        .iter()
+        .map(|&t| Stencil {
+            donors: vec![tree.nearest(t)],
+            weights: vec![1.0],
+        })
+        .collect()
+}
+
+/// Build inverse-distance-weighted stencils over the `k` nearest donors
+/// (found by greedy repeated nearest query over donor coordinates).
+pub fn idw_stencils(
+    donors: &[[f64; 2]],
+    targets: &[[f64; 2]],
+    k: usize,
+    theta_period: Option<f64>,
+) -> Vec<Stencil> {
+    assert!(k >= 1);
+    let k = k.min(donors.len());
+    targets
+        .iter()
+        .map(|&t| {
+            // Exhaustive k-nearest (interface sets are small relative to
+            // volumes; production uses the tree — cost modelled in
+            // `trace`).
+            let mut dist: Vec<(f64, usize)> = donors
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| (dist2_periodic(t, d, theta_period), i))
+                .collect();
+            dist.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            let chosen = &dist[..k];
+            // Exact hit ⇒ pure injection.
+            if chosen[0].0 < 1e-24 {
+                return Stencil {
+                    donors: vec![chosen[0].1],
+                    weights: vec![1.0],
+                };
+            }
+            let raw: Vec<f64> = chosen.iter().map(|&(d2, _)| 1.0 / d2.sqrt()).collect();
+            let total: f64 = raw.iter().sum();
+            Stencil {
+                donors: chosen.iter().map(|&(_, i)| i).collect(),
+                weights: raw.iter().map(|w| w / total).collect(),
+            }
+        })
+        .collect()
+}
+
+fn dist2_periodic(a: [f64; 2], b: [f64; 2], theta_period: Option<f64>) -> f64 {
+    let dr = a[0] - b[0];
+    let mut dt = a[1] - b[1];
+    if let Some(p) = theta_period {
+        dt = dt.rem_euclid(p);
+        if dt > p / 2.0 {
+            dt -= p;
+        }
+    }
+    dr * dr + dt * dt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn grid_donors(n: usize) -> Vec<[f64; 2]> {
+        let mut v = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                v.push([1.0 + i as f64 / n as f64, j as f64 / n as f64]);
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn weights_are_partition_of_unity() {
+        let donors = grid_donors(8);
+        let mut rng = StdRng::seed_from_u64(1);
+        let targets: Vec<[f64; 2]> = (0..40)
+            .map(|_| [rng.gen_range(1.0..2.0), rng.gen_range(0.0..1.0)])
+            .collect();
+        for s in idw_stencils(&donors, &targets, 4, None) {
+            let sum: f64 = s.weights.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+            assert!(s.weights.iter().all(|&w| w >= 0.0));
+        }
+    }
+
+    #[test]
+    fn constant_field_transfers_exactly() {
+        let donors = grid_donors(6);
+        let values = vec![7.25; donors.len()];
+        let targets = vec![[1.33, 0.41], [1.0, 0.0], [1.99, 0.99]];
+        for s in idw_stencils(&donors, &targets, 3, None) {
+            assert!((s.apply(&values) - 7.25).abs() < 1e-12);
+        }
+        let tree = KdTree2::build(&donors, None);
+        for s in nearest_stencils(&tree, &targets) {
+            assert_eq!(s.apply(&values), 7.25);
+        }
+    }
+
+    #[test]
+    fn linear_field_approximated() {
+        // IDW is not exact for linears, but must land within the donor
+        // neighbourhood's value range.
+        let donors = grid_donors(10);
+        let values: Vec<f64> = donors.iter().map(|d| 2.0 * d[0] + d[1]).collect();
+        let target = [1.455, 0.455];
+        let s = &idw_stencils(&donors, &[target], 4, None)[0];
+        let got = s.apply(&values);
+        let want = 2.0 * target[0] + target[1];
+        assert!((got - want).abs() < 0.2, "{got} vs {want}");
+    }
+
+    #[test]
+    fn exact_hit_injects() {
+        let donors = grid_donors(5);
+        let s = &idw_stencils(&donors, &[donors[7]], 4, None)[0];
+        assert_eq!(s.donors, vec![7]);
+        assert_eq!(s.weights, vec![1.0]);
+    }
+
+    #[test]
+    fn k_clamped_to_donor_count() {
+        let donors = vec![[1.0, 0.1], [1.0, 0.9]];
+        let s = &idw_stencils(&donors, &[[1.0, 0.5]], 10, None)[0];
+        assert_eq!(s.donors.len(), 2);
+    }
+
+    #[test]
+    fn periodic_idw_uses_wrapped_neighbors() {
+        let period = std::f64::consts::TAU;
+        // Donors at θ≈0 and θ≈π; a target at θ≈2π−0.1 must weight the
+        // θ≈0 donor overwhelmingly.
+        let donors = vec![[1.0, 0.05], [1.0, std::f64::consts::PI]];
+        let s = &idw_stencils(&donors, &[[1.0, period - 0.1]], 2, Some(period))[0];
+        let w0 = s.weights[s.donors.iter().position(|&d| d == 0).unwrap()];
+        assert!(w0 > 0.8, "wrapped weight {w0}");
+    }
+}

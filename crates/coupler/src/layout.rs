@@ -1,0 +1,163 @@
+//! MPMD rank-space layout.
+//!
+//! A coupled run places every solver instance and every coupler unit on
+//! a disjoint, contiguous block of world ranks (how the production
+//! framework launches: one MPMD `mpirun` line). The layout is the
+//! single source of truth both the functional runner and the trace
+//! builder use to address instances.
+
+/// A contiguous block of world ranks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankRange {
+    /// Label (e.g. `"mgcfd-13"`, `"cu-3"`).
+    pub name: String,
+    /// First world rank.
+    pub start: usize,
+    /// Number of ranks.
+    pub len: usize,
+}
+
+impl RankRange {
+    /// The world ranks of this block.
+    pub fn ranks(&self) -> Vec<usize> {
+        (self.start..self.start + self.len).collect()
+    }
+
+    /// Whether `rank` belongs to this block.
+    pub fn contains(&self, rank: usize) -> bool {
+        rank >= self.start && rank < self.start + self.len
+    }
+}
+
+/// The world layout of a coupled run.
+#[derive(Debug, Clone, Default)]
+pub struct MpmdLayout {
+    /// Solver instances, in declaration order.
+    pub apps: Vec<RankRange>,
+    /// Coupler units, in declaration order.
+    pub cus: Vec<RankRange>,
+    next: usize,
+}
+
+impl MpmdLayout {
+    /// Empty layout.
+    pub fn new() -> MpmdLayout {
+        MpmdLayout::default()
+    }
+
+    /// Append a solver instance of `len` ranks; returns its index.
+    pub fn add_app(&mut self, name: &str, len: usize) -> usize {
+        assert!(len >= 1, "instance needs at least one rank");
+        self.apps.push(RankRange {
+            name: name.to_string(),
+            start: self.next,
+            len,
+        });
+        self.next += len;
+        self.apps.len() - 1
+    }
+
+    /// Append a coupler unit of `len` ranks; returns its index.
+    pub fn add_cu(&mut self, name: &str, len: usize) -> usize {
+        assert!(len >= 1, "coupler unit needs at least one rank");
+        self.cus.push(RankRange {
+            name: name.to_string(),
+            start: self.next,
+            len,
+        });
+        self.next += len;
+        self.cus.len() - 1
+    }
+
+    /// Total world size.
+    pub fn world_size(&self) -> usize {
+        self.next
+    }
+
+    /// Which block (and kind) owns `rank`.
+    pub fn owner_of(&self, rank: usize) -> Option<(&str, &RankRange)> {
+        for r in &self.apps {
+            if r.contains(rank) {
+                return Some(("app", r));
+            }
+        }
+        for r in &self.cus {
+            if r.contains(rank) {
+                return Some(("cu", r));
+            }
+        }
+        None
+    }
+
+    /// Verify blocks are disjoint and cover `0..world_size` exactly.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut seen = vec![false; self.world_size()];
+        for r in self.apps.iter().chain(&self.cus) {
+            for rank in r.start..r.start + r.len {
+                if rank >= seen.len() {
+                    return Err(format!("{}: rank {rank} beyond world", r.name));
+                }
+                if seen[rank] {
+                    return Err(format!("{}: rank {rank} double-assigned", r.name));
+                }
+                seen[rank] = true;
+            }
+        }
+        if let Some(hole) = seen.iter().position(|&s| !s) {
+            return Err(format!("rank {hole} unassigned"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_packs_contiguously() {
+        let mut l = MpmdLayout::new();
+        let a = l.add_app("mgcfd-1", 100);
+        let b = l.add_app("simpic", 400);
+        let c = l.add_cu("cu-0", 8);
+        assert_eq!((a, b, c), (0, 1, 0));
+        assert_eq!(l.world_size(), 508);
+        assert_eq!(l.apps[1].start, 100);
+        assert_eq!(l.cus[0].start, 500);
+        assert!(l.validate().is_ok());
+    }
+
+    #[test]
+    fn owner_lookup() {
+        let mut l = MpmdLayout::new();
+        l.add_app("a", 10);
+        l.add_cu("c", 5);
+        assert_eq!(l.owner_of(3).unwrap().1.name, "a");
+        assert_eq!(l.owner_of(12).unwrap().0, "cu");
+        assert!(l.owner_of(15).is_none());
+    }
+
+    #[test]
+    fn ranks_enumeration() {
+        let r = RankRange {
+            name: "x".into(),
+            start: 5,
+            len: 3,
+        };
+        assert_eq!(r.ranks(), vec![5, 6, 7]);
+        assert!(r.contains(5) && r.contains(7) && !r.contains(8));
+    }
+
+    #[test]
+    fn validate_catches_manual_overlap() {
+        let mut l = MpmdLayout::new();
+        l.add_app("a", 4);
+        // Simulate a corrupted layout.
+        l.apps.push(RankRange {
+            name: "bad".into(),
+            start: 2,
+            len: 2,
+        });
+        assert!(l.validate().is_err());
+    }
+}

@@ -1,0 +1,147 @@
+//! Trace-program inspection.
+//!
+//! Summaries of what a generated program *is* (op mix, message volume,
+//! rank imbalance) — used to sanity-check trace generators and to keep
+//! coupled-program construction honest (e.g. "the SIMPIC ranks carry
+//! only aggregate blocks, the MG-CFD ranks carry structural halo ops").
+
+use crate::trace::{Op, TraceProgram};
+
+/// Aggregate statistics of a trace program.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceStats {
+    /// Ranks in the program.
+    pub n_ranks: usize,
+    /// Expanded op count (Repeat bodies multiplied out).
+    pub total_ops: u64,
+    /// Expanded compute ops.
+    pub compute_ops: u64,
+    /// Expanded sends.
+    pub sends: u64,
+    /// Expanded receives.
+    pub recvs: u64,
+    /// Expanded collectives.
+    pub collectives: u64,
+    /// Total payload bytes posted by sends.
+    pub send_bytes: u64,
+    /// Max expanded ops on any rank.
+    pub max_rank_ops: u64,
+    /// Min expanded ops on any rank.
+    pub min_rank_ops: u64,
+}
+
+impl TraceStats {
+    /// Compute statistics for `program`.
+    pub fn of(program: &TraceProgram) -> TraceStats {
+        let mut stats = TraceStats {
+            n_ranks: program.n_ranks(),
+            min_rank_ops: u64::MAX,
+            ..TraceStats::default()
+        };
+        for trace in &program.traces {
+            let mut rank_ops = 0u64;
+            let visit = |op: &Op, mult: u64, stats: &mut TraceStats, rank_ops: &mut u64| {
+                *rank_ops += mult;
+                stats.total_ops += mult;
+                match op {
+                    Op::Compute(_) | Op::ComputeSecs(_) => stats.compute_ops += mult,
+                    Op::Send { bytes, .. } => {
+                        stats.sends += mult;
+                        stats.send_bytes += *bytes as u64 * mult;
+                    }
+                    Op::Recv { .. } => stats.recvs += mult,
+                    Op::Collective { .. } => stats.collectives += mult,
+                    Op::Phase(_) => {}
+                    Op::Repeat { .. } => unreachable!("flattened by caller"),
+                }
+            };
+            for op in &trace.ops {
+                match op {
+                    Op::Repeat { count, body } => {
+                        for inner in body {
+                            visit(inner, *count as u64, &mut stats, &mut rank_ops);
+                        }
+                    }
+                    other => visit(other, 1, &mut stats, &mut rank_ops),
+                }
+            }
+            stats.max_rank_ops = stats.max_rank_ops.max(rank_ops);
+            stats.min_rank_ops = stats.min_rank_ops.min(rank_ops);
+        }
+        if stats.n_ranks == 0 {
+            stats.min_rank_ops = 0;
+        }
+        stats
+    }
+
+    /// Op-count imbalance across ranks (`max/min`, `inf` if a rank is
+    /// empty).
+    pub fn op_imbalance(&self) -> f64 {
+        if self.min_rank_ops == 0 {
+            f64::INFINITY
+        } else {
+            self.max_rank_ops as f64 / self.min_rank_ops as f64
+        }
+    }
+
+    /// Sends and receives must pair up in a complete program.
+    pub fn messages_balanced(&self) -> bool {
+        self.sends == self.recvs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::KernelCost;
+    use crate::trace::CollectiveKind;
+
+    #[test]
+    fn counts_expanded_ops() {
+        let mut p = TraceProgram::new(2);
+        let g = p.add_world_group();
+        p.rank(0).ops.push(Op::Repeat {
+            count: 5,
+            body: vec![
+                Op::Compute(KernelCost::flops(1.0)),
+                Op::Send {
+                    dst: 1,
+                    bytes: 100,
+                    tag: 0,
+                },
+            ],
+        });
+        p.rank(1).ops.push(Op::Repeat {
+            count: 5,
+            body: vec![Op::Recv { src: 0, tag: 0 }],
+        });
+        p.rank(0).collective(CollectiveKind::Barrier, g, 0);
+        p.rank(1).collective(CollectiveKind::Barrier, g, 0);
+        let s = TraceStats::of(&p);
+        assert_eq!(s.n_ranks, 2);
+        assert_eq!(s.compute_ops, 5);
+        assert_eq!(s.sends, 5);
+        assert_eq!(s.recvs, 5);
+        assert_eq!(s.collectives, 2);
+        assert_eq!(s.send_bytes, 500);
+        assert!(s.messages_balanced());
+        assert_eq!(s.max_rank_ops, 11);
+        assert_eq!(s.min_rank_ops, 6);
+    }
+
+    #[test]
+    fn imbalance_detects_empty_rank() {
+        let mut p = TraceProgram::new(2);
+        p.rank(0).compute(KernelCost::flops(1.0));
+        let s = TraceStats::of(&p);
+        assert!(s.op_imbalance().is_infinite());
+    }
+
+    #[test]
+    fn empty_program() {
+        let p = TraceProgram::new(0);
+        let s = TraceStats::of(&p);
+        assert_eq!(s.total_ops, 0);
+        assert_eq!(s.min_rank_ops, 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the virtual testbed.
+
+use proptest::prelude::*;
+
+use cpx_machine::{CollectiveKind, KernelCost, Machine, Op, Replayer, TraceProgram};
+
+/// A random ring program: compute + neighbour exchange + allreduce.
+fn ring_program(n: usize, steps: u32, flops: f64, bytes: usize) -> TraceProgram {
+    let mut p = TraceProgram::new(n);
+    let g = p.add_world_group();
+    for r in 0..n {
+        let body = vec![
+            Op::Compute(KernelCost::new(flops, flops / 2.0)),
+            Op::Send {
+                dst: (r + 1) % n,
+                bytes,
+                tag: 0,
+            },
+            Op::Recv {
+                src: (r + n - 1) % n,
+                tag: 0,
+            },
+            Op::Collective {
+                kind: CollectiveKind::Allreduce,
+                group: g,
+                bytes: 8,
+            },
+        ];
+        p.rank(r).ops.push(Op::Repeat { count: steps, body });
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn replay_is_deterministic(n in 2usize..32, steps in 1u32..8, bytes in 0usize..100_000) {
+        let program = ring_program(n, steps, 1e6, bytes);
+        let rep = Replayer::new(Machine::archer2());
+        let a = rep.run(&program).unwrap();
+        let b = rep.run(&program).unwrap();
+        prop_assert_eq!(a.finish, b.finish);
+        prop_assert_eq!(a.messages, b.messages);
+    }
+
+    #[test]
+    fn makespan_bounds(n in 2usize..24, steps in 1u32..6, flops in 1e5f64..1e9) {
+        let program = ring_program(n, steps, flops, 1024);
+        let out = Replayer::new(Machine::archer2()).run(&program).unwrap();
+        let m = Machine::archer2();
+        // Lower bound: the pure compute time of one rank.
+        let compute = m.kernel_time(KernelCost::new(flops, flops / 2.0)) * steps as f64;
+        prop_assert!(out.makespan() >= compute * 0.999);
+        // All clocks non-negative and ≤ makespan.
+        for &f in &out.finish {
+            prop_assert!(f >= 0.0 && f <= out.makespan() + 1e-15);
+        }
+        // Compute + comm accounts for each rank's elapsed time.
+        for r in 0..n {
+            let total = out.compute_time[r] + out.comm_time[r];
+            prop_assert!((total - out.finish[r]).abs() < 1e-9 * out.finish[r].max(1.0));
+        }
+    }
+
+    #[test]
+    fn more_bytes_never_faster(n in 2usize..16, steps in 1u32..4) {
+        let small = Replayer::new(Machine::archer2())
+            .run(&ring_program(n, steps, 1e6, 64))
+            .unwrap()
+            .makespan();
+        let big = Replayer::new(Machine::archer2())
+            .run(&ring_program(n, steps, 1e6, 1 << 20))
+            .unwrap()
+            .makespan();
+        prop_assert!(big >= small);
+    }
+
+    #[test]
+    fn noise_is_one_sided_and_seeded(n in 2usize..12, seed in 0u64..1000) {
+        let program = ring_program(n, 3, 1e7, 512);
+        let clean = Replayer::new(Machine::archer2()).run(&program).unwrap();
+        let noisy = Replayer::new(Machine::archer2())
+            .with_noise(0.05, seed)
+            .run(&program)
+            .unwrap();
+        let noisy2 = Replayer::new(Machine::archer2())
+            .with_noise(0.05, seed)
+            .run(&program)
+            .unwrap();
+        // Noise only slows things down.
+        prop_assert!(noisy.makespan() >= clean.makespan());
+        // And not by more than the amplitude bound (2·amp on compute).
+        prop_assert!(noisy.makespan() <= clean.makespan() * 1.25);
+        // Same seed ⇒ bit-identical replay.
+        prop_assert_eq!(noisy.finish, noisy2.finish);
+    }
+
+    #[test]
+    fn trace_stats_consistent_with_replay(n in 2usize..16, steps in 1u32..5) {
+        let program = ring_program(n, steps, 1e6, 256);
+        let stats = cpx_machine::TraceStats::of(&program);
+        let out = Replayer::new(Machine::archer2()).run(&program).unwrap();
+        prop_assert_eq!(stats.sends, out.messages);
+        prop_assert_eq!(stats.send_bytes, out.bytes);
+        prop_assert!(stats.messages_balanced());
+    }
+}

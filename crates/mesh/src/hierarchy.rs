@@ -1,0 +1,202 @@
+//! Geometric multigrid mesh hierarchies for MG-CFD.
+//!
+//! MG-CFD accelerates its Euler solve with geometric multigrid over a
+//! sequence of coarsened meshes. For generated structured-topology
+//! meshes we coarsen by merging 2×2×2 blocks of cells (falling back to
+//! smaller blocks at odd boundaries); volumes add, centroids average
+//! volume-weighted, and coarse faces aggregate the fine face areas
+//! between the merged clusters.
+
+use cpx_sparse::Coo;
+
+use crate::mesh::UnstructuredMesh;
+
+/// A multigrid hierarchy of meshes, finest first, with fine→coarse cell
+/// maps between consecutive levels.
+#[derive(Debug, Clone)]
+pub struct MeshHierarchy {
+    /// Meshes, finest first.
+    pub levels: Vec<UnstructuredMesh>,
+    /// `maps[l][fine_cell] = coarse cell` between level `l` and `l+1`.
+    pub maps: Vec<Vec<usize>>,
+}
+
+impl MeshHierarchy {
+    /// Build `n_levels` levels (or fewer if the mesh bottoms out at one
+    /// cell per dimension first).
+    pub fn build(finest: UnstructuredMesh, n_levels: usize) -> MeshHierarchy {
+        assert!(n_levels >= 1);
+        assert!(
+            finest.dims.is_some(),
+            "geometric coarsening needs structured dims"
+        );
+        let mut levels = vec![finest];
+        let mut maps = Vec::new();
+        while levels.len() < n_levels {
+            let cur = levels.last().unwrap();
+            let dims = cur.dims.expect("coarsening preserves dims");
+            if dims.iter().all(|&d| d <= 1) {
+                break;
+            }
+            let (coarse, map) = coarsen_structured(cur);
+            maps.push(map);
+            levels.push(coarse);
+        }
+        MeshHierarchy { levels, maps }
+    }
+
+    /// Number of levels.
+    pub fn n_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Cells per level, finest first.
+    pub fn level_sizes(&self) -> Vec<usize> {
+        self.levels.iter().map(|m| m.n_cells()).collect()
+    }
+
+    /// Total cells over all levels (the storage/work multiplier of the
+    /// multigrid — analogous to operator complexity).
+    pub fn grid_complexity(&self) -> f64 {
+        let total: usize = self.level_sizes().iter().sum();
+        total as f64 / self.levels[0].n_cells() as f64
+    }
+}
+
+/// Merge 2×2×2 index blocks of a structured-topology mesh.
+fn coarsen_structured(fine: &UnstructuredMesh) -> (UnstructuredMesh, Vec<usize>) {
+    let [n0, n1, n2] = fine.dims.expect("structured dims required");
+    let c0 = n0.div_ceil(2);
+    let c1 = n1.div_ceil(2);
+    let c2 = n2.div_ceil(2);
+    let fine_idx = |i: usize, j: usize, k: usize| (i * n1 + j) * n2 + k;
+    let coarse_idx = |i: usize, j: usize, k: usize| (i * c1 + j) * c2 + k;
+
+    let n_fine = fine.n_cells();
+    let n_coarse = c0 * c1 * c2;
+    let mut map = vec![0usize; n_fine];
+    for i in 0..n0 {
+        for j in 0..n1 {
+            for k in 0..n2 {
+                map[fine_idx(i, j, k)] = coarse_idx(i / 2, j / 2, k / 2);
+            }
+        }
+    }
+
+    let mut volumes = vec![0.0f64; n_coarse];
+    let mut weighted = vec![[0.0f64; 3]; n_coarse];
+    for f in 0..n_fine {
+        let c = map[f];
+        let v = fine.volumes[f];
+        volumes[c] += v;
+        for d in 0..3 {
+            weighted[c][d] += v * fine.coords[f][d];
+        }
+    }
+    let coords: Vec<[f64; 3]> = weighted
+        .iter()
+        .zip(&volumes)
+        .map(|(w, &v)| [w[0] / v, w[1] / v, w[2] / v])
+        .collect();
+
+    // Aggregate fine faces crossing coarse-cell boundaries.
+    let mut face_area: std::collections::HashMap<(usize, usize), f64> =
+        std::collections::HashMap::new();
+    for &(a, b, area) in &fine.faces {
+        let (ca, cb) = (map[a], map[b]);
+        if ca != cb {
+            let key = (ca.min(cb), ca.max(cb));
+            *face_area.entry(key).or_insert(0.0) += area;
+        }
+    }
+    let mut faces: Vec<(usize, usize, f64)> = face_area
+        .into_iter()
+        .map(|((a, b), area)| (a, b, area))
+        .collect();
+    faces.sort_unstable_by_key(|&(a, b, _)| (a, b));
+
+    let mut coo = Coo::with_capacity(n_coarse, n_coarse, 2 * faces.len());
+    for &(a, b, area) in &faces {
+        coo.push(a, b, area);
+        coo.push(b, a, area);
+    }
+
+    (
+        UnstructuredMesh {
+            coords,
+            volumes,
+            adjacency: coo.to_csr(),
+            faces,
+            dims: Some([c0, c1, c2]),
+        },
+        map,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::{annulus_sector, combustor_box};
+
+    #[test]
+    fn coarsening_preserves_volume() {
+        let m = annulus_sector(8, 8, 16, 1.0, 2.0, 0.0, 1.0, 1.0);
+        let total = m.total_volume();
+        let h = MeshHierarchy::build(m, 4);
+        assert_eq!(h.n_levels(), 4);
+        for level in &h.levels {
+            assert!(
+                (level.total_volume() - total).abs() / total < 1e-10,
+                "volume not conserved"
+            );
+            assert!(level.validate().is_ok(), "{:?}", level.validate());
+        }
+    }
+
+    #[test]
+    fn sizes_shrink_roughly_8x() {
+        let m = combustor_box(16, 16, 16, 0.0, 1.0, 1.0, 1.0);
+        let h = MeshHierarchy::build(m, 3);
+        let s = h.level_sizes();
+        assert_eq!(s, vec![4096, 512, 64]);
+    }
+
+    #[test]
+    fn odd_dims_coarsen() {
+        let m = combustor_box(5, 3, 7, 0.0, 1.0, 1.0, 1.0);
+        let h = MeshHierarchy::build(m, 2);
+        let s = h.level_sizes();
+        assert_eq!(s[1], 3 * 2 * 4);
+        assert!(h.levels[1].validate().is_ok());
+    }
+
+    #[test]
+    fn maps_cover_coarse_cells() {
+        let m = combustor_box(4, 4, 4, 0.0, 1.0, 1.0, 1.0);
+        let h = MeshHierarchy::build(m, 2);
+        let map = &h.maps[0];
+        let n_coarse = h.levels[1].n_cells();
+        let mut seen = vec![false; n_coarse];
+        for &c in map {
+            assert!(c < n_coarse);
+            seen[c] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn bottoms_out_gracefully() {
+        let m = combustor_box(2, 2, 2, 0.0, 1.0, 1.0, 1.0);
+        let h = MeshHierarchy::build(m, 10);
+        assert!(h.n_levels() < 10);
+        assert_eq!(h.levels.last().unwrap().n_cells(), 1);
+    }
+
+    #[test]
+    fn grid_complexity_close_to_eight_sevenths() {
+        let m = combustor_box(32, 16, 16, 0.0, 1.0, 1.0, 1.0);
+        let h = MeshHierarchy::build(m, 4);
+        let gc = h.grid_complexity();
+        assert!(gc > 1.1 && gc < 1.25, "grid complexity {gc}");
+    }
+}

@@ -1,0 +1,31 @@
+//! # cpx-mesh
+//!
+//! Unstructured mesh substrate for the CPX coupled mini-app simulation.
+//!
+//! The paper's test cases are built from blade-row meshes (NASA Rotor 37
+//! geometry at 8M–300M cells), a combustor volume (28M–380M cells) and
+//! the coupling interfaces between them (sliding planes covering ~0.42%
+//! of cells between density-solver instances; steady-state overlap
+//! regions covering ~5% between density and pressure solvers). Those
+//! meshes are proprietary/at-scale; this crate generates synthetic
+//! equivalents that preserve everything the experiments consume:
+//!
+//! * cell counts, adjacency structure and centroid geometry
+//!   ([`mesh::UnstructuredMesh`], [`mesh::annulus_sector`],
+//!   [`mesh::combustor_box`]);
+//! * geometric multigrid hierarchies for MG-CFD
+//!   ([`hierarchy::MeshHierarchy`]);
+//! * coupling interface extraction ([`interface`]);
+//! * domain decomposition with measured halo/imbalance statistics and a
+//!   validated analytic extrapolation to rank counts far beyond what is
+//!   practical to partition directly ([`partition`]).
+
+pub mod hierarchy;
+pub mod interface;
+pub mod mesh;
+pub mod partition;
+
+pub use hierarchy::MeshHierarchy;
+pub use interface::{overlap_interface, sliding_plane_pair, InterfaceMesh};
+pub use mesh::{annulus_sector, combustor_box, UnstructuredMesh};
+pub use partition::{MeshPartition, SurfaceModel};

@@ -1,0 +1,296 @@
+//! Unstructured cell-centred meshes and their generators.
+//!
+//! Meshes are stored fully unstructured (cells + face adjacency), as the
+//! production density solver and MG-CFD treat them; the generators below
+//! happen to produce structured topologies, which is exactly how the
+//! MG-CFD reference meshes (annulus blade rows) are built.
+
+use cpx_sparse::{Coo, Csr};
+
+/// An unstructured cell-centred mesh.
+#[derive(Debug, Clone)]
+pub struct UnstructuredMesh {
+    /// Cell centroids (Cartesian).
+    pub coords: Vec<[f64; 3]>,
+    /// Cell volumes.
+    pub volumes: Vec<f64>,
+    /// Symmetric cell-to-cell face adjacency (value = face area).
+    pub adjacency: Csr,
+    /// Interior faces as `(cell_a, cell_b, area)` with `cell_a < cell_b`
+    /// — the edge list MG-CFD's edge-based kernels iterate.
+    pub faces: Vec<(usize, usize, f64)>,
+    /// Structured dims if the generator had them (used by geometric
+    /// coarsening); `None` for general meshes.
+    pub dims: Option<[usize; 3]>,
+}
+
+impl UnstructuredMesh {
+    /// Number of cells.
+    pub fn n_cells(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Number of interior faces (edges).
+    pub fn n_faces(&self) -> usize {
+        self.faces.len()
+    }
+
+    /// Total volume.
+    pub fn total_volume(&self) -> f64 {
+        self.volumes.iter().sum()
+    }
+
+    /// Axial (x) extent of the mesh.
+    pub fn x_range(&self) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for c in &self.coords {
+            lo = lo.min(c[0]);
+            hi = hi.max(c[0]);
+        }
+        (lo, hi)
+    }
+
+    /// Structural sanity checks: symmetric adjacency, faces consistent
+    /// with adjacency, positive volumes/areas.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.n_cells();
+        if self.volumes.len() != n {
+            return Err("volumes length".into());
+        }
+        if self.adjacency.nrows() != n || self.adjacency.ncols() != n {
+            return Err("adjacency shape".into());
+        }
+        if self.volumes.iter().any(|&v| !(v > 0.0)) {
+            return Err("non-positive volume".into());
+        }
+        for &(a, b, area) in &self.faces {
+            if a >= b || b >= n {
+                return Err(format!("bad face ({a},{b})"));
+            }
+            if !(area > 0.0) {
+                return Err(format!("non-positive face area at ({a},{b})"));
+            }
+            if self.adjacency.get(a, b) == 0.0 || self.adjacency.get(b, a) == 0.0 {
+                return Err(format!("face ({a},{b}) missing from adjacency"));
+            }
+        }
+        if self.adjacency.nnz() != 2 * self.faces.len() {
+            return Err(format!(
+                "adjacency nnz {} != 2 * faces {}",
+                self.adjacency.nnz(),
+                self.faces.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Build a mesh from structured grid geometry: `coords[i]` laid out over
+/// `dims = [n0, n1, n2]` with neighbour connectivity along each axis.
+fn structured_to_unstructured(
+    dims: [usize; 3],
+    coords: Vec<[f64; 3]>,
+    volumes: Vec<f64>,
+    face_area: impl Fn(usize, usize) -> f64,
+) -> UnstructuredMesh {
+    let [n0, n1, n2] = dims;
+    let n = n0 * n1 * n2;
+    assert_eq!(coords.len(), n);
+    let idx = |i: usize, j: usize, k: usize| (i * n1 + j) * n2 + k;
+    let mut faces = Vec::with_capacity(3 * n);
+    for i in 0..n0 {
+        for j in 0..n1 {
+            for k in 0..n2 {
+                let me = idx(i, j, k);
+                if i + 1 < n0 {
+                    faces.push((me, idx(i + 1, j, k), face_area(me, 0)));
+                }
+                if j + 1 < n1 {
+                    faces.push((me, idx(i, j + 1, k), face_area(me, 1)));
+                }
+                if k + 1 < n2 {
+                    faces.push((me, idx(i, j, k + 1), face_area(me, 2)));
+                }
+            }
+        }
+    }
+    let mut coo = Coo::with_capacity(n, n, 2 * faces.len());
+    for &(a, b, area) in &faces {
+        coo.push(a, b, area);
+        coo.push(b, a, area);
+    }
+    UnstructuredMesh {
+        coords,
+        volumes,
+        adjacency: coo.to_csr(),
+        faces,
+        dims: Some(dims),
+    }
+}
+
+/// Generate an annular blade-row sector mesh (the MG-CFD / density
+/// solver geometry): `n_axial × n_radial × n_theta` cells between radii
+/// `r_in..r_out`, axial extent `x0..x0+x_len`, sweeping `theta_span`
+/// radians.
+pub fn annulus_sector(
+    n_axial: usize,
+    n_radial: usize,
+    n_theta: usize,
+    r_in: f64,
+    r_out: f64,
+    x0: f64,
+    x_len: f64,
+    theta_span: f64,
+) -> UnstructuredMesh {
+    assert!(n_axial >= 1 && n_radial >= 1 && n_theta >= 1);
+    assert!(r_out > r_in && r_in > 0.0);
+    assert!(x_len > 0.0 && theta_span > 0.0);
+    let dx = x_len / n_axial as f64;
+    let dr = (r_out - r_in) / n_radial as f64;
+    let dth = theta_span / n_theta as f64;
+    let n = n_axial * n_radial * n_theta;
+    let mut coords = Vec::with_capacity(n);
+    let mut volumes = Vec::with_capacity(n);
+    for i in 0..n_axial {
+        let x = x0 + (i as f64 + 0.5) * dx;
+        for j in 0..n_radial {
+            let r = r_in + (j as f64 + 0.5) * dr;
+            for k in 0..n_theta {
+                let th = (k as f64 + 0.5) * dth;
+                coords.push([x, r * th.cos(), r * th.sin()]);
+                volumes.push(r * dr * dth * dx);
+            }
+        }
+    }
+    // Face areas by axis: axial faces r·dr·dθ, radial faces r·dθ·dx,
+    // azimuthal faces dr·dx. Radius of the cell approximated mid-cell.
+    let vol = volumes.clone();
+    structured_to_unstructured([n_axial, n_radial, n_theta], coords, volumes, move |me, axis| {
+        let cell_vol = vol[me];
+        match axis {
+            0 => cell_vol / dx,  // normal to x
+            1 => cell_vol / dr,  // normal to r
+            _ => cell_vol / dth, // normal to θ (area ≈ dr·dx·r/r)
+        }
+    })
+}
+
+/// Generate a box-shaped combustor volume mesh (`nx × ny × nz` cells
+/// over the given extents), the pressure-solver geometry stand-in.
+pub fn combustor_box(
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    x0: f64,
+    lx: f64,
+    ly: f64,
+    lz: f64,
+) -> UnstructuredMesh {
+    assert!(nx >= 1 && ny >= 1 && nz >= 1);
+    assert!(lx > 0.0 && ly > 0.0 && lz > 0.0);
+    let (dx, dy, dz) = (lx / nx as f64, ly / ny as f64, lz / nz as f64);
+    let n = nx * ny * nz;
+    let mut coords = Vec::with_capacity(n);
+    for i in 0..nx {
+        for j in 0..ny {
+            for k in 0..nz {
+                coords.push([
+                    x0 + (i as f64 + 0.5) * dx,
+                    (j as f64 + 0.5) * dy - ly / 2.0,
+                    (k as f64 + 0.5) * dz - lz / 2.0,
+                ]);
+            }
+        }
+    }
+    let volumes = vec![dx * dy * dz; n];
+    structured_to_unstructured([nx, ny, nz], coords, volumes, move |_, axis| match axis {
+        0 => dy * dz,
+        1 => dx * dz,
+        _ => dx * dy,
+    })
+}
+
+/// Pick balanced `[n_axial, n_radial, n_theta]` dims for a target cell
+/// count with a blade-row-ish aspect (axial ≈ radial, theta dominates a
+/// sector of many passages). Guarantees `product >= target / 2` and
+/// `product <= 2 * target`.
+pub fn blade_row_dims(target_cells: usize) -> [usize; 3] {
+    assert!(target_cells >= 1);
+    let c = (target_cells as f64).cbrt();
+    let nx = (c * 0.8).round().max(1.0) as usize;
+    let nr = (c * 0.8).round().max(1.0) as usize;
+    let nth = (target_cells as f64 / (nx * nr) as f64).round().max(1.0) as usize;
+    [nx, nr, nth]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn annulus_basic_properties() {
+        let m = annulus_sector(4, 3, 8, 1.0, 2.0, 0.0, 1.0, std::f64::consts::FRAC_PI_2);
+        assert_eq!(m.n_cells(), 96);
+        assert!(m.validate().is_ok(), "{:?}", m.validate());
+        // Analytic sector volume: 0.5·(r_out²−r_in²)·θ·L = 0.5·3·(π/2)·1.
+        let exact = 0.5 * 3.0 * std::f64::consts::FRAC_PI_2;
+        assert!(
+            (m.total_volume() - exact).abs() / exact < 1e-10,
+            "{} vs {exact}",
+            m.total_volume()
+        );
+    }
+
+    #[test]
+    fn combustor_basic_properties() {
+        let m = combustor_box(5, 4, 3, 2.0, 1.0, 0.8, 0.6);
+        assert_eq!(m.n_cells(), 60);
+        assert!(m.validate().is_ok());
+        assert!((m.total_volume() - 0.48).abs() < 1e-12);
+        let (lo, hi) = m.x_range();
+        assert!(lo > 2.0 && hi < 3.0);
+    }
+
+    #[test]
+    fn face_count_matches_structured_formula() {
+        let m = combustor_box(4, 5, 6, 0.0, 1.0, 1.0, 1.0);
+        // Interior faces: (nx-1)·ny·nz + nx·(ny-1)·nz + nx·ny·(nz-1).
+        let want = 3 * 5 * 6 + 4 * 4 * 6 + 4 * 5 * 5;
+        assert_eq!(m.n_faces(), want);
+    }
+
+    #[test]
+    fn adjacency_symmetric() {
+        let m = annulus_sector(3, 3, 5, 1.0, 1.5, 0.0, 0.5, 0.7);
+        assert_eq!(m.adjacency, m.adjacency.transpose());
+    }
+
+    #[test]
+    fn blade_row_dims_hit_target() {
+        for target in [1_000usize, 50_000, 200_000] {
+            let [a, b, c] = blade_row_dims(target);
+            let got = a * b * c;
+            assert!(
+                got >= target / 2 && got <= target * 2,
+                "target {target} got {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_cell_mesh() {
+        let m = combustor_box(1, 1, 1, 0.0, 1.0, 1.0, 1.0);
+        assert_eq!(m.n_cells(), 1);
+        assert_eq!(m.n_faces(), 0);
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn volumes_uniform_in_box() {
+        let m = combustor_box(3, 3, 3, 0.0, 3.0, 3.0, 3.0);
+        for &v in &m.volumes {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+}

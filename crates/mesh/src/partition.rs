@@ -1,0 +1,215 @@
+//! Mesh domain decomposition and surface-to-volume extrapolation.
+//!
+//! Functional runs partition the actual generated mesh with RCB. The
+//! 40,000-rank studies need halo sizes for meshes (and rank counts) far
+//! beyond what is practical to build directly, so [`SurfaceModel`] fits
+//! the classic surface-to-volume law `halo(p) ≈ c · (n/p)^(2/3)` to
+//! *measured* partitions of a real mesh and extrapolates; the fit is
+//! validated against held-out measured points in the tests.
+
+use cpx_sparse::partition::{partition_quality, PartitionQuality};
+use cpx_sparse::rcb_partition;
+
+use crate::mesh::UnstructuredMesh;
+
+/// A concrete decomposition of a mesh into ranks.
+#[derive(Debug, Clone)]
+pub struct MeshPartition {
+    /// `assignment[cell] = rank`.
+    pub assignment: Vec<usize>,
+    /// Number of parts.
+    pub parts: usize,
+    /// Quality metrics (loads, halos, neighbour counts).
+    pub quality: PartitionQuality,
+}
+
+impl MeshPartition {
+    /// RCB-partition `mesh` into `parts` ranks.
+    pub fn build(mesh: &UnstructuredMesh, parts: usize) -> MeshPartition {
+        let assignment = rcb_partition(&mesh.coords, parts);
+        let quality = partition_quality(&mesh.adjacency, &assignment, parts);
+        MeshPartition {
+            assignment,
+            parts,
+            quality,
+        }
+    }
+
+    /// Cells owned by `rank`.
+    pub fn cells_of(&self, rank: usize) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p == rank)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Cell count per rank.
+    pub fn loads(&self) -> Vec<usize> {
+        let mut loads = vec![0usize; self.parts];
+        for &p in &self.assignment {
+            loads[p] += 1;
+        }
+        loads
+    }
+}
+
+/// Surface-to-volume halo model `halo(n, p) = c · (n/p)^(2/3)` with an
+/// imbalance term, fitted to measured partitions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SurfaceModel {
+    /// Surface coefficient.
+    pub c: f64,
+    /// Load imbalance factor (max/avg), assumed mildly increasing with
+    /// part count: `imbalance(p) = 1 + d·log2(p)/100` capped at 1.25.
+    pub d: f64,
+}
+
+impl SurfaceModel {
+    /// Fit `c` by least squares over measured `(cells_per_part,
+    /// max_halo)` samples from real partitions of `mesh`, and `d` from
+    /// the measured imbalances.
+    pub fn fit(mesh: &UnstructuredMesh, part_counts: &[usize]) -> SurfaceModel {
+        assert!(!part_counts.is_empty());
+        let n = mesh.n_cells() as f64;
+        let mut num = 0.0;
+        let mut den = 0.0;
+        let mut imb_num = 0.0;
+        let mut imb_den = 0.0;
+        for &p in part_counts {
+            let mp = MeshPartition::build(mesh, p);
+            let x = (n / p as f64).powf(2.0 / 3.0);
+            let y = mp.quality.max_halo() as f64;
+            num += x * y;
+            den += x * x;
+            if p > 1 {
+                let lg = (p as f64).log2();
+                imb_num += lg * (mp.quality.imbalance() - 1.0) * 100.0;
+                imb_den += lg * lg;
+            }
+        }
+        SurfaceModel {
+            c: if den > 0.0 { num / den } else { 0.0 },
+            d: if imb_den > 0.0 {
+                (imb_num / imb_den).max(0.0)
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Predicted max halo cells per rank for `cells` total cells over
+    /// `parts` ranks.
+    pub fn halo(&self, cells: f64, parts: usize) -> f64 {
+        if parts <= 1 {
+            return 0.0;
+        }
+        self.c * (cells / parts as f64).powf(2.0 / 3.0)
+    }
+
+    /// Predicted load imbalance (max/avg cells per rank).
+    pub fn imbalance(&self, parts: usize) -> f64 {
+        if parts <= 1 {
+            return 1.0;
+        }
+        (1.0 + self.d * (parts as f64).log2() / 100.0).min(1.25)
+    }
+
+    /// Predicted max cells per rank (including imbalance).
+    pub fn max_load(&self, cells: f64, parts: usize) -> f64 {
+        (cells / parts as f64) * self.imbalance(parts)
+    }
+
+    /// A default model calibrated offline on a 32³ box mesh — used when
+    /// generating a mesh to fit against is unnecessary.
+    pub fn default_box() -> SurfaceModel {
+        SurfaceModel { c: 6.6, d: 1.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::combustor_box;
+
+    #[test]
+    fn partition_covers_all_cells() {
+        let m = combustor_box(8, 8, 8, 0.0, 1.0, 1.0, 1.0);
+        let mp = MeshPartition::build(&m, 8);
+        assert_eq!(mp.loads().iter().sum::<usize>(), 512);
+        assert!(mp.loads().iter().all(|&l| l > 0));
+        assert!(mp.quality.imbalance() < 1.1);
+    }
+
+    #[test]
+    fn cells_of_rank_consistent() {
+        let m = combustor_box(4, 4, 4, 0.0, 1.0, 1.0, 1.0);
+        let mp = MeshPartition::build(&m, 4);
+        let mut total = 0;
+        for r in 0..4 {
+            let cells = mp.cells_of(r);
+            total += cells.len();
+            for c in cells {
+                assert_eq!(mp.assignment[c], r);
+            }
+        }
+        assert_eq!(total, 64);
+    }
+
+    #[test]
+    fn surface_model_interpolates_measured_points() {
+        let m = combustor_box(24, 24, 24, 0.0, 1.0, 1.0, 1.0);
+        // Fit on 3-D (boxy) decompositions — the regime production runs
+        // operate in; slab decompositions at tiny p have a different
+        // surface prefactor.
+        let model = SurfaceModel::fit(&m, &[8, 16, 64]);
+        // Validate on a held-out part count.
+        let held_out = 32;
+        let mp = MeshPartition::build(&m, held_out);
+        let measured = mp.quality.max_halo() as f64;
+        let predicted = model.halo(m.n_cells() as f64, held_out);
+        let err = (predicted - measured).abs() / measured;
+        assert!(
+            err < 0.4,
+            "extrapolated halo off by {:.0}%: {predicted} vs {measured}",
+            err * 100.0
+        );
+    }
+
+    #[test]
+    fn halo_decreases_with_parts_per_rank() {
+        let model = SurfaceModel::default_box();
+        let n = 1.0e8;
+        let h1k = model.halo(n, 1000);
+        let h10k = model.halo(n, 10_000);
+        assert!(h10k < h1k);
+        // Surface scaling: 10x parts → halo shrinks ~10^(2/3) ≈ 4.64x.
+        let ratio = h1k / h10k;
+        assert!((4.0..5.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn imbalance_grows_but_caps() {
+        let model = SurfaceModel { c: 5.0, d: 2.0 };
+        assert_eq!(model.imbalance(1), 1.0);
+        assert!(model.imbalance(1024) > model.imbalance(16));
+        assert!(model.imbalance(1 << 30) <= 1.25);
+    }
+
+    #[test]
+    fn max_load_at_least_average() {
+        let model = SurfaceModel::default_box();
+        let n = 1e7;
+        for p in [10usize, 100, 1000] {
+            assert!(model.max_load(n, p) >= n / p as f64);
+        }
+    }
+
+    #[test]
+    fn single_part_no_halo() {
+        let model = SurfaceModel::default_box();
+        assert_eq!(model.halo(1e6, 1), 0.0);
+        assert_eq!(model.imbalance(1), 1.0);
+    }
+}

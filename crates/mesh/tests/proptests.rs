@@ -1,0 +1,89 @@
+//! Property-based tests for mesh generation, hierarchies and interfaces.
+
+use proptest::prelude::*;
+
+use cpx_mesh::mesh::{annulus_sector, combustor_box};
+use cpx_mesh::{overlap_interface, sliding_plane_pair, MeshHierarchy, MeshPartition};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn annulus_always_valid_and_volume_exact(
+        na in 1usize..6, nr in 1usize..5, nt in 1usize..10,
+        r_in in 0.5f64..2.0, dr in 0.1f64..2.0,
+        x_len in 0.1f64..3.0, theta in 0.1f64..6.2,
+    ) {
+        let m = annulus_sector(na, nr, nt, r_in, r_in + dr, 0.0, x_len, theta);
+        prop_assert!(m.validate().is_ok());
+        let exact = 0.5 * ((r_in + dr).powi(2) - r_in.powi(2)) * theta * x_len;
+        prop_assert!((m.total_volume() - exact).abs() / exact < 1e-9);
+    }
+
+    #[test]
+    fn box_face_count_formula(nx in 1usize..8, ny in 1usize..8, nz in 1usize..8) {
+        let m = combustor_box(nx, ny, nz, 0.0, 1.0, 1.0, 1.0);
+        let want = (nx - 1) * ny * nz + nx * (ny - 1) * nz + nx * ny * (nz - 1);
+        prop_assert_eq!(m.n_faces(), want);
+        prop_assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn hierarchy_conserves_volume(nx in 2usize..10, levels in 1usize..4) {
+        let m = combustor_box(nx, nx, nx, 0.0, 1.0, 1.0, 1.0);
+        let total = m.total_volume();
+        let h = MeshHierarchy::build(m, levels);
+        for level in &h.levels {
+            prop_assert!((level.total_volume() - total).abs() / total < 1e-9);
+            prop_assert!(level.validate().is_ok());
+        }
+        // Maps cover every coarse cell.
+        for (l, map) in h.maps.iter().enumerate() {
+            let n_coarse = h.levels[l + 1].n_cells();
+            let mut seen = vec![false; n_coarse];
+            for &c in map {
+                prop_assert!(c < n_coarse);
+                seen[c] = true;
+            }
+            prop_assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn partition_loads_sum(nx in 2usize..8, parts in 1usize..9) {
+        let m = combustor_box(nx, nx, nx, 0.0, 1.0, 1.0, 1.0);
+        let mp = MeshPartition::build(&m, parts);
+        prop_assert_eq!(mp.loads().iter().sum::<usize>(), nx * nx * nx);
+        prop_assert!(mp.assignment.iter().all(|&p| p < parts));
+    }
+
+    #[test]
+    fn overlap_interface_fraction_monotone(
+        nx in 4usize..16, f1 in 0.05f64..0.4, extra in 0.05f64..0.4
+    ) {
+        let m = combustor_box(nx, 4, 4, 0.0, 1.0, 1.0, 1.0);
+        let small = overlap_interface(&m, f1, true);
+        let big = overlap_interface(&m, (f1 + extra).min(1.0), true);
+        prop_assert!(big.len() >= small.len());
+        prop_assert!(!small.is_empty());
+        // All weights positive, coordinates finite.
+        prop_assert!(small.weights.iter().all(|&w| w > 0.0));
+        prop_assert!(small
+            .surface_coords
+            .iter()
+            .all(|c| c.iter().all(|x| x.is_finite())));
+    }
+
+    #[test]
+    fn sliding_plane_pairs_align(na in 2usize..6, nr in 1usize..4, nt in 2usize..12) {
+        let up = annulus_sector(na, nr, nt, 1.0, 2.0, 0.0, 1.0, 1.0);
+        let down = annulus_sector(na, nr, nt, 1.0, 2.0, 1.0, 1.0, 1.0);
+        let (a, b) = sliding_plane_pair(&up, &down);
+        prop_assert_eq!(a.len(), nr * nt);
+        prop_assert_eq!(b.len(), nr * nt);
+        for (ca, cb) in a.surface_coords.iter().zip(&b.surface_coords) {
+            prop_assert!((ca[0] - cb[0]).abs() < 1e-9);
+            prop_assert!((ca[1] - cb[1]).abs() < 1e-9);
+        }
+    }
+}

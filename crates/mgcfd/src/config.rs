@@ -1,0 +1,76 @@
+//! MG-CFD instance configuration.
+
+/// Configuration of one MG-CFD (density solver) instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MgCfdConfig {
+    /// Target mesh size this instance *represents* (cells). Trace
+    /// generation and the performance model use this.
+    pub target_cells: f64,
+    /// Cells of the scaled-down functional mesh actually built when the
+    /// instance runs numerics.
+    pub functional_cells: usize,
+    /// Geometric multigrid levels.
+    pub mg_levels: usize,
+    /// Solver iterations (timesteps) to run.
+    pub iterations: usize,
+    /// Smoothing sweeps per multigrid level per iteration.
+    pub smooth_sweeps: usize,
+}
+
+impl MgCfdConfig {
+    /// A blade-row instance representing `target_cells` cells at scale.
+    pub fn blade_row(target_cells: f64) -> MgCfdConfig {
+        MgCfdConfig {
+            target_cells,
+            functional_cells: 4096,
+            mg_levels: 3,
+            iterations: 25,
+            smooth_sweeps: 2,
+        }
+    }
+
+    /// The NASA Rotor 37 150M-cell validation instance (Fig 8a).
+    pub fn rotor37_150m() -> MgCfdConfig {
+        Self::blade_row(150.0e6)
+    }
+
+    /// The 8M-cell base case the performance model scales from.
+    pub fn base_8m() -> MgCfdConfig {
+        Self::blade_row(8.0e6)
+    }
+
+    /// The 24M-cell compressor-row instances of the large test (Fig 8b).
+    pub fn row_24m() -> MgCfdConfig {
+        Self::blade_row(24.0e6)
+    }
+
+    /// The 300M-cell turbine instance of the large test (Fig 8b).
+    pub fn turbine_300m() -> MgCfdConfig {
+        Self::blade_row(300.0e6)
+    }
+
+    /// Override iteration count.
+    pub fn with_iterations(mut self, iters: usize) -> Self {
+        self.iterations = iters;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_sizes() {
+        assert_eq!(MgCfdConfig::base_8m().target_cells, 8.0e6);
+        assert_eq!(MgCfdConfig::row_24m().target_cells, 24.0e6);
+        assert_eq!(MgCfdConfig::rotor37_150m().target_cells, 150.0e6);
+        assert_eq!(MgCfdConfig::turbine_300m().target_cells, 300.0e6);
+    }
+
+    #[test]
+    fn with_iterations_overrides() {
+        let c = MgCfdConfig::base_8m().with_iterations(250);
+        assert_eq!(c.iterations, 250);
+    }
+}

@@ -1,0 +1,34 @@
+//! # cpx-mgcfd
+//!
+//! MG-CFD — the unstructured finite-volume Euler mini-app used as the
+//! *density solver* proxy (compressor and turbine blade rows) in the
+//! coupled simulation, after Owenson et al.
+//!
+//! Three layers:
+//!
+//! * [`euler`] — the numerics: cell-centred compressible Euler with a
+//!   Rusanov (local Lax–Friedrichs) face flux, explicit pseudo-timestep
+//!   smoothing and a geometric multigrid cycle over a
+//!   [`cpx_mesh::MeshHierarchy`]. Conservation and positivity are tested.
+//! * [`dist`] — a rank-distributed runner over `cpx-comm` with ghost-cell
+//!   halo exchange, verified to reproduce the serial solver bit-for-bit.
+//! * [`trace`] — trace generation for the virtual testbed: given a target
+//!   mesh size (8M–300M cells) and rank count, emits the per-rank phase
+//!   trace of one solver iteration (flux compute over the rank's cells,
+//!   halo exchanges with its measured neighbour count, the residual
+//!   allreduce, and the coarse multigrid levels), grounded in measured
+//!   partition statistics extrapolated by [`cpx_mesh::SurfaceModel`].
+//!
+//! The headline scaling behaviour this must reproduce (paper §II-B): the
+//! density solver scales *well* — ~88% parallel efficiency at ~10,000
+//! cores on production meshes — so in the coupled simulation it is never
+//! the bottleneck; the pressure solver is.
+
+pub mod config;
+pub mod dist;
+pub mod euler;
+pub mod trace;
+
+pub use config::MgCfdConfig;
+pub use euler::EulerSolver;
+pub use trace::MgCfdTraceModel;

@@ -1,0 +1,33 @@
+//! # cpx-perfmodel
+//!
+//! The empirical performance model (§V): the machinery that turns
+//! standalone mini-app benchmarks into (1) an optimal rank allocation
+//! for a coupled run and (2) a runtime prediction for it.
+//!
+//! The paper's workflow (Fig 7):
+//!
+//! 1. benchmark each mini-app standalone across problem sizes and core
+//!    counts;
+//! 2. fit a curve to each parallel-efficiency/runtime profile
+//!    ([`curve::RuntimeCurve`]);
+//! 3. scale each instance's base-case runtime by its mesh size and
+//!    iteration count relative to the base case ([`scale::InstanceModel`],
+//!    the preamble of Alg 1);
+//! 4. greedily hand out the core budget one rank at a time to whichever
+//!    of {slowest app, slowest coupler unit} gains the most
+//!    ([`alloc::allocate`], Alg 1 proper), because the coupled runtime
+//!    is `max(apps) + max(CUs)`;
+//! 5. report the allocation and the predicted runtime.
+//!
+//! Improvements over the prior model that this version reproduces
+//! (§V): per-instance mesh and interface sizes (not one size for all),
+//! and support for both density- and pressure-solver instances in one
+//! allocation.
+
+pub mod alloc;
+pub mod curve;
+pub mod scale;
+
+pub use alloc::{allocate, AllocConfig, Allocation};
+pub use curve::RuntimeCurve;
+pub use scale::InstanceModel;

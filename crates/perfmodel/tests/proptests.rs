@@ -1,0 +1,90 @@
+//! Property-based tests for the performance model.
+
+use proptest::prelude::*;
+
+use cpx_perfmodel::{allocate, AllocConfig, InstanceModel, RuntimeCurve};
+
+fn arb_curve() -> impl Strategy<Value = RuntimeCurve> {
+    (1.0f64..1e4, 0.0f64..1.0, 0.0f64..0.05, 0.0f64..1e-3).prop_map(|(a, b, c, d)| RuntimeCurve {
+        a,
+        b,
+        c,
+        d,
+    })
+}
+
+fn arb_instance(idx: usize) -> impl Strategy<Value = InstanceModel> {
+    (arb_curve(), 1.0f64..100.0, 1.0f64..100.0).prop_map(move |(curve, size, iters)| {
+        InstanceModel::new(&format!("inst-{idx}"), curve, 1.0, 1.0, size, iters, 1)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn curve_fit_reproduces_its_samples(
+        a in 1.0f64..1e5, b in 0.0f64..2.0, c in 0.0f64..0.1, d in 0.0f64..1e-3
+    ) {
+        let truth = RuntimeCurve { a, b, c, d };
+        let samples: Vec<(usize, f64)> = [1usize, 4, 16, 64, 256, 1024, 4096]
+            .iter()
+            .map(|&p| (p, truth.predict(p)))
+            .collect();
+        let fit = RuntimeCurve::fit(&samples);
+        prop_assert!(
+            fit.relative_error(&samples) < 0.05,
+            "err {} for {truth:?} -> {fit:?}",
+            fit.relative_error(&samples)
+        );
+    }
+
+    #[test]
+    fn prediction_positive_everywhere(curve in arb_curve(), p in 1usize..100_000) {
+        prop_assert!(curve.predict(p) > 0.0);
+    }
+
+    #[test]
+    fn allocation_never_exceeds_budget(
+        apps in proptest::collection::vec(arb_instance(0), 1..6),
+        cus in proptest::collection::vec(arb_instance(1), 0..4),
+        extra in 0usize..2000,
+    ) {
+        let min: usize = apps.iter().chain(&cus).map(|m| m.min_ranks).sum();
+        let budget = min + extra;
+        let out = allocate(&apps, &cus, AllocConfig { budget });
+        prop_assert!(out.total_ranks() <= budget);
+        // Every instance got at least its minimum.
+        for (m, &r) in apps.iter().zip(&out.app_ranks) {
+            prop_assert!(r >= m.min_ranks);
+        }
+        for (m, &r) in cus.iter().zip(&out.cu_ranks) {
+            prop_assert!(r >= m.min_ranks);
+        }
+        // Reported times are consistent with the models.
+        for (i, m) in apps.iter().enumerate() {
+            let want = m.predicted_time(out.app_ranks[i]);
+            prop_assert!((out.app_times[i] - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn more_budget_is_monotone(
+        apps in proptest::collection::vec(arb_instance(0), 1..5),
+        budget in 10usize..500,
+    ) {
+        let min: usize = apps.iter().map(|m| m.min_ranks).sum();
+        let t1 = allocate(&apps, &[], AllocConfig { budget: min + budget }).predicted_runtime();
+        let t2 = allocate(&apps, &[], AllocConfig { budget: min + 2 * budget }).predicted_runtime();
+        prop_assert!(t2 <= t1 * 1.0001, "{t2} > {t1}");
+    }
+
+    #[test]
+    fn efficiency_bounded_by_one_for_sane_curves(curve in arb_curve(), p in 2usize..10_000) {
+        // With non-negative B/C/D terms, superlinear speedup is
+        // impossible.
+        let e = curve.parallel_efficiency(1, p);
+        prop_assert!(e <= 1.0 + 1e-9, "PE {e}");
+        prop_assert!(e > 0.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! The asynchronous task-based spray/solver split (§IV-A), functionally.
+//!
+//! The paper adopts Thari et al.'s optimization: divide the MPI space
+//! into distinct *spray* and *solver* communicators that run
+//! independently and synchronise through one-sided MPI-3 shared-memory
+//! windows. This module implements both organisations on the threaded
+//! virtual-time runtime so the optimization's effect is *measured*, not
+//! just asserted:
+//!
+//! * [`run_synchronous`] — the baseline: every rank owns a spatial
+//!   partition of both the flow and the droplets; the clustered droplets
+//!   leave most ranks idle at the per-step synchronisation.
+//! * [`run_async`] — the optimization: a few dedicated spray ranks carry
+//!   the droplets (balanced by count, since the spray communicator is
+//!   free to partition them by index rather than by position) while the
+//!   solver ranks advance the flow; the two sides meet at a
+//!   shared-window fence once per step.
+
+use cpx_comm::{World, Window};
+use cpx_machine::{KernelCost, Machine};
+
+use crate::spray;
+
+/// Cost (seconds of memory-bound work) per droplet per step.
+const DROPLET_SECS: f64 = 2.0e-7;
+/// Cost per solver cell per step.
+const CELL_SECS: f64 = 1.0e-7;
+
+fn secs_cost(bw: f64, t: f64) -> KernelCost {
+    KernelCost::bytes(t * bw)
+}
+
+/// Virtual makespan of `steps` steps with spatial (synchronous)
+/// partitioning on `ranks` ranks: every rank does its cell share plus
+/// its (clustered) droplet share, then all synchronise.
+pub fn run_synchronous(
+    machine: Machine,
+    ranks: usize,
+    cells: f64,
+    droplets: f64,
+    steps: usize,
+) -> f64 {
+    let fractions = spray::rank_fractions(ranks);
+    let res = World::new(machine).run(ranks, move |ctx| {
+        let g = ctx.world();
+        let bw = ctx.machine().mem_bw_per_core;
+        let my_cells = cells / ctx.size() as f64;
+        let my_droplets = droplets * fractions[ctx.rank()];
+        for _ in 0..steps {
+            ctx.compute(secs_cost(bw, CELL_SECS * my_cells));
+            ctx.compute(secs_cost(bw, DROPLET_SECS * my_droplets));
+            g.barrier(ctx); // field/particle synchronisation point
+        }
+        ctx.now()
+    });
+    res.into_iter().map(|(t, _)| t).fold(0.0, f64::max)
+}
+
+/// Virtual makespan of the asynchronous split: `spray_ranks` ranks carry
+/// the droplets (balanced), the rest carry the flow; they synchronise
+/// once per step through a shared-memory window fence.
+pub fn run_async(
+    machine: Machine,
+    ranks: usize,
+    spray_ranks: usize,
+    cells: f64,
+    droplets: f64,
+    steps: usize,
+) -> f64 {
+    assert!(spray_ranks >= 1 && spray_ranks < ranks);
+    assert!(
+        ranks <= machine.cores_per_node,
+        "shared-memory split lives within a node"
+    );
+    let res = World::new(machine).run(ranks, move |ctx| {
+        let me = ctx.rank();
+        let bw = ctx.machine().mem_bw_per_core;
+        let is_spray = me < spray_ranks;
+        let world = ctx.world();
+        // The window the two communicators meet through: one slot per
+        // spray rank for the particle source terms.
+        let window = Window::create(ctx, &world, 1, spray_ranks);
+        // Distinct spray and solver communicators (the paper's split).
+        let comm = world.split(ctx, is_spray as u64, me as u64);
+        let _ = &comm;
+        let solver_ranks = ctx.size() - spray_ranks;
+        for _ in 0..steps {
+            if is_spray {
+                // Balanced droplet share: the spray communicator is free
+                // to partition by index.
+                let my_droplets = droplets / spray_ranks as f64;
+                ctx.compute(secs_cost(bw, DROPLET_SECS * my_droplets));
+                window.put(ctx, me, &[1.0]);
+            } else {
+                let my_cells = cells / solver_ranks as f64;
+                ctx.compute(secs_cost(bw, CELL_SECS * my_cells));
+                // Read the source terms deposited by the spray side.
+                let _ = window.get(ctx, 0, spray_ranks);
+            }
+            // One-sided epoch boundary.
+            window.fence(ctx, &world);
+        }
+        ctx.now()
+    });
+    res.into_iter().map(|(t, _)| t).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CELLS: f64 = 4.0e6;
+    const DROPLETS: f64 = 1.0e6;
+
+    #[test]
+    fn async_split_beats_spatial_partitioning() {
+        // 64 ranks in a node, clustered droplets. The split wins by
+        // *overlapping* spray and solver work, so the communicator
+        // sizes must balance the two sides: s* solves
+        // cells/(p−s) · c_cell = droplets/s · c_drop ⇒ s ≈ 21 here.
+        let machine = Machine::archer2();
+        let sync = run_synchronous(machine.clone(), 64, CELLS, DROPLETS, 5);
+        let split = run_async(machine, 64, 21, CELLS, DROPLETS, 5);
+        assert!(
+            split < 0.8 * sync,
+            "async {split:.4}s vs synchronous {sync:.4}s"
+        );
+    }
+
+    #[test]
+    fn synchronous_time_tracks_the_spray_peak() {
+        // The synchronous makespan is set by the core-holding rank.
+        let machine = Machine::archer2();
+        let t = run_synchronous(machine.clone(), 64, CELLS, DROPLETS, 3);
+        let peak_droplets = DROPLETS * spray::max_fraction(64);
+        let expected = 3.0
+            * (CELL_SECS * CELLS / 64.0 + DROPLET_SECS * peak_droplets);
+        assert!(
+            (t - expected).abs() / expected < 0.1,
+            "measured {t} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn async_balance_point_matters() {
+        // Too few spray ranks re-creates a bottleneck on the spray side.
+        let machine = Machine::archer2();
+        let starved = run_async(machine.clone(), 64, 1, CELLS, DROPLETS, 3);
+        let balanced = run_async(machine, 64, 21, CELLS, DROPLETS, 3);
+        assert!(balanced < starved, "balanced {balanced} vs starved {starved}");
+    }
+
+    #[test]
+    fn async_makespan_is_max_of_sides() {
+        // With generous spray ranks the solver side dominates; the
+        // makespan should approach the solver-side work alone.
+        let machine = Machine::archer2();
+        let t = run_async(machine.clone(), 32, 16, CELLS, DROPLETS, 3);
+        let solver_side = 3.0 * CELL_SECS * CELLS / 16.0;
+        let spray_side = 3.0 * DROPLET_SECS * DROPLETS / 16.0;
+        let floor = solver_side.max(spray_side);
+        assert!(t >= floor * 0.99);
+        assert!(t < floor * 1.5, "t {t} vs floor {floor}");
+    }
+}

@@ -1,0 +1,270 @@
+//! Plasma diagnostics and kinetic validation.
+//!
+//! Beyond the conservation checks, the canonical kinetic validation of
+//! any PIC code is the **two-stream instability**: two
+//! counter-propagating cold beams are linearly unstable for
+//! `k·v_beam < ω_p`, and the field energy must grow exponentially out
+//! of the noise floor before saturating by particle trapping. The test
+//! below runs it and checks both the growth and the saturation — this
+//! exercises the full nonlinear deposit→solve→push loop in a regime far
+//! from the quiet-start tests.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::config::SimpicConfig;
+use crate::pic::{Particle, Pic1D};
+
+/// Time histories recorded by [`run_with_history`].
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    /// Field energy per step.
+    pub field_energy: Vec<f64>,
+    /// Kinetic energy per step.
+    pub kinetic_energy: Vec<f64>,
+    /// Mean particle speed per step.
+    pub mean_speed: Vec<f64>,
+}
+
+impl History {
+    /// Total energy at step `i`.
+    pub fn total(&self, i: usize) -> f64 {
+        self.field_energy[i] + self.kinetic_energy[i]
+    }
+
+    /// Step at which the field energy peaks.
+    pub fn field_peak_step(&self) -> usize {
+        self.field_energy
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Fit the exponential growth rate of the field energy between two
+    /// steps: the slope of `ln W(t)` over `[from, to]`, per unit time.
+    pub fn growth_rate(&self, from: usize, to: usize, dt: f64) -> f64 {
+        assert!(to > from);
+        let w0 = self.field_energy[from].max(1e-300);
+        let w1 = self.field_energy[to].max(1e-300);
+        (w1 / w0).ln() / ((to - from) as f64 * dt)
+    }
+}
+
+/// Load a thermal (Maxwellian) plasma: quiet-start positions with
+/// Box–Muller-sampled velocities at temperature `v_th²`.
+pub fn thermal(config: &SimpicConfig, v_th: f64, seed: u64) -> Pic1D {
+    let mut pic = Pic1D::quiet_start(config, 0.0, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7EA1);
+    for p in pic.particles.iter_mut() {
+        // Box–Muller.
+        let u1: f64 = rng.gen_range(1e-12..1.0);
+        let u2: f64 = rng.gen::<f64>();
+        p.v = v_th * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+    pic
+}
+
+/// Measured velocity-distribution moments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Moments {
+    /// Mean velocity (drift).
+    pub drift: f64,
+    /// Velocity variance (temperature).
+    pub temperature: f64,
+}
+
+/// Compute the drift and temperature of the particle ensemble.
+pub fn moments(pic: &Pic1D) -> Moments {
+    let n = pic.particles.len() as f64;
+    let drift = pic.particles.iter().map(|p| p.v).sum::<f64>() / n;
+    let temperature = pic
+        .particles
+        .iter()
+        .map(|p| (p.v - drift).powi(2))
+        .sum::<f64>()
+        / n;
+    Moments { drift, temperature }
+}
+
+/// Set up a two-stream configuration: half the particles drift right at
+/// `+v0`, half left at `−v0`, with a small seeded velocity perturbation.
+pub fn two_stream(config: &SimpicConfig, v0: f64, seed: u64) -> Pic1D {
+    let mut pic = Pic1D::quiet_start(config, 0.0, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+    let length = pic.length;
+    for (i, p) in pic.particles.iter_mut().enumerate() {
+        let beam = if i % 2 == 0 { 1.0 } else { -1.0 };
+        // Seed the fundamental mode so growth starts promptly.
+        let phase = std::f64::consts::TAU * p.x / length;
+        p.v = beam * v0 * (1.0 + 0.001 * phase.sin()) + 1e-4 * (rng.gen::<f64>() - 0.5);
+    }
+    pic
+}
+
+/// Advance `steps` steps recording energies.
+pub fn run_with_history(pic: &mut Pic1D, steps: usize) -> History {
+    let mut h = History::default();
+    for _ in 0..steps {
+        pic.step();
+        h.field_energy.push(pic.field_energy());
+        h.kinetic_energy.push(pic.kinetic_energy());
+        let n = pic.particles.len() as f64;
+        h.mean_speed
+            .push(pic.particles.iter().map(|p: &Particle| p.v.abs()).sum::<f64>() / n);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> SimpicConfig {
+        // Enough cells/particles to resolve the unstable mode cleanly.
+        let mut c = SimpicConfig::base_28m().functional(128, 400);
+        c.dt_fraction = 0.02;
+        c
+    }
+
+    #[test]
+    fn two_stream_instability_grows_and_saturates() {
+        // k = 2π/L (fundamental), instability requires k·v0 < ω_p = 1:
+        // choose v0 = 0.08 → k·v0 ≈ 0.5.
+        let mut pic = two_stream(&config(), 0.08, 1);
+        let steps = 400;
+        let h = run_with_history(&mut pic, steps);
+
+        // 1. Exponential growth out of the noise floor: several decades.
+        let peak = h.field_peak_step();
+        assert!(peak > 10, "peak at step {peak} — no growth phase");
+        let floor = h.field_energy[5];
+        let peak_energy = h.field_energy[peak];
+        assert!(
+            peak_energy > 50.0 * floor,
+            "field energy grew only {:.1}x",
+            peak_energy / floor
+        );
+
+        // 2. Positive linear growth rate in the growth window.
+        let mid = peak / 2;
+        let rate = h.growth_rate(mid.max(5), peak, pic.dt);
+        assert!(rate > 0.0, "growth rate {rate}");
+
+        // 3. Saturation: after the peak the field energy stays within
+        // an order of magnitude of the peak (trapping oscillations),
+        // rather than growing without bound.
+        let tail_max = h.field_energy[peak..]
+            .iter()
+            .copied()
+            .fold(0.0f64, f64::max);
+        assert!(tail_max <= peak_energy * 1.0001, "post-peak growth");
+    }
+
+    #[test]
+    fn stable_fast_beams_do_not_grow() {
+        // k·v0 > ω_p: two-stream is stable for the resolvable modes; the
+        // field stays near the noise floor.
+        let cfg = config();
+        let mut pic = two_stream(&cfg, 3.0, 2);
+        let h = run_with_history(&mut pic, 150);
+        let early = h.field_energy[5];
+        let late = h.field_energy[149];
+        assert!(
+            late < 100.0 * early.max(1e-12),
+            "stable beams grew: {early} -> {late}"
+        );
+    }
+
+    #[test]
+    fn energy_conserved_through_the_instability() {
+        // The instability converts kinetic → field energy; the *total*
+        // must stay within the leapfrog/CIC tolerance band.
+        let mut pic = two_stream(&config(), 0.08, 3);
+        let h = run_with_history(&mut pic, 300);
+        let e0 = h.total(0);
+        for i in 0..h.field_energy.len() {
+            let e = h.total(i);
+            assert!(
+                (e - e0).abs() / e0 < 0.2,
+                "step {i}: energy drift {:.1}%",
+                (e - e0).abs() / e0 * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn momentum_stays_near_zero() {
+        // Symmetric beams: total momentum starts ~0 and must stay small
+        // relative to the per-beam momentum scale.
+        let mut pic = two_stream(&config(), 0.08, 4);
+        let beam_scale = 0.08 * pic.particles.len() as f64 / 2.0;
+        run_with_history(&mut pic, 200);
+        let total_p: f64 = pic.particles.iter().map(|p| p.v).sum();
+        assert!(
+            total_p.abs() < 0.05 * beam_scale,
+            "momentum drift {total_p}"
+        );
+    }
+
+    #[test]
+    fn history_accessors() {
+        let mut pic = two_stream(&config(), 0.08, 5);
+        let h = run_with_history(&mut pic, 20);
+        assert_eq!(h.field_energy.len(), 20);
+        assert_eq!(h.kinetic_energy.len(), 20);
+        assert_eq!(h.mean_speed.len(), 20);
+        assert!(h.total(0) > 0.0);
+    }
+
+    #[test]
+    fn maxwellian_loading_hits_requested_temperature() {
+        let cfg = SimpicConfig::base_28m().functional(64, 10);
+        let v_th = 0.05;
+        let pic = thermal(&cfg, v_th, 7);
+        let m = moments(&pic);
+        assert!(m.drift.abs() < 0.01 * v_th * 10.0, "drift {}", m.drift);
+        let rel = (m.temperature - v_th * v_th).abs() / (v_th * v_th);
+        assert!(rel < 0.1, "temperature off by {:.1}%", rel * 100.0);
+    }
+
+    #[test]
+    fn thermal_plasma_noise_scales_inversely_with_particle_count() {
+        // PIC shot noise: steady-state field energy of a thermal plasma
+        // scales like 1/N_particles at fixed physical parameters — the
+        // statistical fingerprint of a correct deposit/solve loop.
+        let v_th = 0.05;
+        let energy_at = |ppc: usize| -> f64 {
+            let mut cfg = SimpicConfig::base_28m().functional(64, 10);
+            cfg.particles_per_cell = ppc;
+            let mut pic = thermal(&cfg, v_th, 11);
+            let mut acc = 0.0;
+            for _ in 0..30 {
+                pic.step();
+                acc += pic.field_energy();
+            }
+            acc / 30.0
+        };
+        let coarse = energy_at(50);
+        let fine = energy_at(400); // 8x the particles
+        let ratio = coarse / fine;
+        assert!(
+            (3.0..20.0).contains(&ratio),
+            "noise ratio {ratio} (expected ~8)"
+        );
+    }
+
+    #[test]
+    fn thermal_plasma_remains_stable() {
+        let cfg = SimpicConfig::base_28m().functional(64, 10);
+        let mut pic = thermal(&cfg, 0.05, 13);
+        let t0 = moments(&pic).temperature;
+        for _ in 0..200 {
+            pic.step();
+        }
+        let t1 = moments(&pic).temperature;
+        // Numerical heating bounded over 200 steps.
+        assert!(t1 < 3.0 * t0, "heating: {t0} -> {t1}");
+        assert!(pic.particles.iter().all(|p| (0.0..=1.0).contains(&p.x)));
+    }
+}

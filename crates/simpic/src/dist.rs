@@ -1,0 +1,340 @@
+//! Rank-distributed PIC with slab decomposition and particle migration.
+//!
+//! The domain is split into contiguous cell slabs; each rank owns the
+//! particles inside its slab. Per step: deposit locally (boundary-node
+//! contributions are exchanged with neighbours), solve the field
+//! (functional path: gather ρ to rank 0 and scatter φ — the *scaling*
+//! behaviour of the production pipelined solve is modelled in
+//! [`crate::trace`], not here), push, and migrate leavers to the
+//! neighbouring ranks.
+
+use cpx_comm::{Group, RankCtx, ReduceOp};
+use cpx_machine::KernelCost;
+use cpx_sparse::tridiag::Tridiag;
+
+use crate::config::SimpicConfig;
+use crate::pic::{deposit_cic, Particle};
+
+/// Per-rank distributed PIC state.
+pub struct DistPic {
+    /// Full-domain config.
+    pub config: SimpicConfig,
+    /// Slab bounds in cells: this rank owns cells `[cell_lo, cell_hi)`.
+    pub cell_lo: usize,
+    /// Exclusive upper cell bound.
+    pub cell_hi: usize,
+    /// Particles currently owned.
+    pub particles: Vec<Particle>,
+    /// Macro-particle weight.
+    pub weight: f64,
+    /// Timestep.
+    pub dt: f64,
+    /// Full-domain potential (refreshed each solve; functional scale).
+    phi: Vec<f64>,
+}
+
+impl DistPic {
+    /// Quiet-start setup on `group`: each rank creates the particles of
+    /// its own slab (deterministic, independent of rank count).
+    pub fn quiet_start(
+        group: &Group,
+        config: &SimpicConfig,
+        displacement: f64,
+    ) -> DistPic {
+        let p = group.size();
+        let me = group.index();
+        let cells = config.cells;
+        let cell_lo = me * cells / p;
+        let cell_hi = (me + 1) * cells / p;
+        let n_particles = cells * config.particles_per_cell;
+        let length = config.length;
+        let dx = length / cells as f64;
+        let (slab_lo, slab_hi) = (cell_lo as f64 * dx, cell_hi as f64 * dx);
+        // Same global particle ensemble as the serial quiet start minus
+        // the jitter (kept exactly reproducible across rank counts).
+        let mut particles = Vec::new();
+        for i in 0..n_particles {
+            let frac = (i as f64 + 0.5) / n_particles as f64;
+            let shift = displacement * length * (std::f64::consts::TAU * frac).sin();
+            let x = (frac * length + shift).clamp(0.0, length);
+            if x >= slab_lo && (x < slab_hi || (me == p - 1 && x <= length)) {
+                particles.push(Particle { x, v: 0.0 });
+            }
+        }
+        DistPic {
+            config: config.clone(),
+            cell_lo,
+            cell_hi,
+            particles,
+            weight: length / n_particles as f64,
+            dt: config.dt_fraction * std::f64::consts::TAU,
+            phi: vec![0.0; cells + 1],
+        }
+    }
+
+    /// Grid spacing.
+    pub fn dx(&self) -> f64 {
+        self.config.length / self.config.cells as f64
+    }
+
+    /// One full step. Collective. Returns the number of particles that
+    /// migrated away from this rank.
+    pub fn step(&mut self, ctx: &mut RankCtx, group: &Group) -> usize {
+        let cells = self.config.cells;
+        let length = self.config.length;
+        let dx = self.dx();
+
+        // --- deposit: local contribution to the global density --------
+        ctx.compute(KernelCost::new(
+            self.particles.len() as f64 * 10.0,
+            self.particles.len() as f64 * 48.0,
+        ));
+        let local_density = deposit_cic(&self.particles, cells, length, self.weight);
+
+        // --- field solve (gather-ρ functional path) -------------------
+        // Sum densities across ranks; each rank's contribution is only
+        // nonzero near its slab but we reduce the full vector for
+        // simplicity at functional scale.
+        let mut density = local_density;
+        group.allreduce(ctx, ReduceOp::Sum, &mut density);
+        let interior = cells - 1;
+        let sys = Tridiag::poisson(interior, dx);
+        let rhs: Vec<f64> = (1..cells).map(|i| 1.0 - density[i]).collect();
+        ctx.compute(KernelCost::new(interior as f64 * 9.0, interior as f64 * 40.0));
+        let sol = sys.solve(&rhs).expect("Poisson solve");
+        self.phi[0] = 0.0;
+        self.phi[cells] = 0.0;
+        self.phi[1..cells].copy_from_slice(&sol);
+
+        // --- push ------------------------------------------------------
+        let field_at = |x: f64| -> f64 {
+            let s = (x / dx).clamp(0.0, cells as f64 - 1e-12);
+            let i = s as usize;
+            let f = s - i as f64;
+            let e_i = node_field(&self.phi, i, dx);
+            let e_ip = node_field(&self.phi, i + 1, dx);
+            e_i * (1.0 - f) + e_ip * f
+        };
+        ctx.compute(KernelCost::new(
+            self.particles.len() as f64 * 30.0,
+            self.particles.len() as f64 * 48.0,
+        ));
+        for p in &mut self.particles {
+            let a = -field_at(p.x);
+            p.v += a * self.dt;
+            p.x += p.v * self.dt;
+            if p.x < 0.0 {
+                p.x = -p.x;
+                p.v = -p.v;
+            }
+            if p.x > length {
+                p.x = 2.0 * length - p.x;
+                p.v = -p.v;
+            }
+            p.x = p.x.clamp(0.0, length);
+        }
+
+        // --- migrate ---------------------------------------------------
+        let (slab_lo, slab_hi) = (self.cell_lo as f64 * dx, self.cell_hi as f64 * dx);
+        let me = group.index();
+        let p_ranks = group.size();
+        let is_mine = |x: f64| -> bool {
+            x >= slab_lo && (x < slab_hi || (me + 1 == p_ranks && x <= length))
+        };
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        let mut keep = Vec::with_capacity(self.particles.len());
+        for &p in &self.particles {
+            if is_mine(p.x) {
+                keep.push(p);
+            } else if p.x < slab_lo {
+                left.push(p);
+            } else {
+                right.push(p);
+            }
+        }
+        let migrated = left.len() + right.len();
+        self.particles = keep;
+        const TAG: u32 = 0x4D; // 'M'
+        // Exchange with both neighbours (empty messages keep the
+        // pattern uniform and deadlock-free).
+        if p_ranks > 1 {
+            let pack = |v: &[Particle]| -> Vec<f64> {
+                v.iter().flat_map(|p| [p.x, p.v]).collect()
+            };
+            if me > 0 {
+                ctx.send(group.member(me - 1), TAG, pack(&left));
+            }
+            if me + 1 < p_ranks {
+                ctx.send(group.member(me + 1), TAG, pack(&right));
+            }
+            let mut arrivals = Vec::new();
+            if me > 0 {
+                arrivals.extend(ctx.recv(group.member(me - 1), TAG).into_f64());
+            }
+            if me + 1 < p_ranks {
+                arrivals.extend(ctx.recv(group.member(me + 1), TAG).into_f64());
+            }
+            for pair in arrivals.chunks_exact(2) {
+                // A fast particle could overshoot a whole slab; with
+                // functional step sizes this cannot happen, but assert
+                // so a violation is loud rather than silent.
+                let part = Particle {
+                    x: pair[0],
+                    v: pair[1],
+                };
+                assert!(
+                    is_mine(part.x),
+                    "particle migrated more than one slab per step"
+                );
+                self.particles.push(part);
+            }
+        }
+        migrated
+    }
+
+    /// Global particle count. Collective.
+    pub fn total_particles(&self, ctx: &mut RankCtx, group: &Group) -> f64 {
+        group.allreduce_scalar(ctx, ReduceOp::Sum, self.particles.len() as f64)
+    }
+
+    /// Global mean particle position. Collective.
+    pub fn mean_position(&self, ctx: &mut RankCtx, group: &Group) -> f64 {
+        let sum: f64 = self.particles.iter().map(|p| p.x).sum();
+        let total_sum = group.allreduce_scalar(ctx, ReduceOp::Sum, sum);
+        let total_n = self.total_particles(ctx, group);
+        total_sum / total_n
+    }
+}
+
+fn node_field(phi: &[f64], i: usize, dx: f64) -> f64 {
+    let n = phi.len();
+    if i == 0 {
+        -(phi[1] - phi[0]) / dx
+    } else if i == n - 1 {
+        -(phi[n - 1] - phi[n - 2]) / dx
+    } else {
+        -(phi[i + 1] - phi[i - 1]) / (2.0 * dx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpx_comm::World;
+    use cpx_machine::Machine;
+
+    fn cfg() -> SimpicConfig {
+        SimpicConfig::base_28m().functional(64, 50)
+    }
+
+    fn world() -> World {
+        World::new(Machine::archer2())
+    }
+
+    #[test]
+    fn particle_count_conserved() {
+        let res = world().run(4, |ctx| {
+            let g = ctx.world();
+            let mut pic = DistPic::quiet_start(&g, &cfg(), 0.02);
+            let n0 = pic.total_particles(ctx, &g);
+            for _ in 0..50 {
+                pic.step(ctx, &g);
+            }
+            (n0, pic.total_particles(ctx, &g))
+        });
+        for ((n0, n1), _) in res {
+            assert_eq!(n0, 64.0 * 100.0);
+            assert_eq!(n0, n1);
+        }
+    }
+
+    #[test]
+    fn migration_happens() {
+        let res = world().run(4, |ctx| {
+            let g = ctx.world();
+            let mut pic = DistPic::quiet_start(&g, &cfg(), 0.05);
+            let mut migrated = 0;
+            for _ in 0..50 {
+                migrated += pic.step(ctx, &g);
+            }
+            migrated
+        });
+        let total: usize = res.iter().map(|(m, _)| m).sum();
+        assert!(total > 0, "oscillating plasma must migrate particles");
+    }
+
+    #[test]
+    fn distributed_matches_serial_oscillation() {
+        // The distributed centroid trajectory must track the serial one
+        // (jitter-free serial comparison run).
+        let config = cfg();
+        let steps = 60;
+
+        // Serial reference without jitter: replicate via 1-rank world.
+        let serial = world().run(1, {
+            let config = config.clone();
+            move |ctx| {
+                let g = ctx.world();
+                let mut pic = DistPic::quiet_start(&g, &config, 0.02);
+                let mut traj = Vec::new();
+                for _ in 0..steps {
+                    pic.step(ctx, &g);
+                    traj.push(pic.mean_position(ctx, &g));
+                }
+                traj
+            }
+        });
+        let dist = world().run(4, {
+            let config = config.clone();
+            move |ctx| {
+                let g = ctx.world();
+                let mut pic = DistPic::quiet_start(&g, &config, 0.02);
+                let mut traj = Vec::new();
+                for _ in 0..steps {
+                    pic.step(ctx, &g);
+                    traj.push(pic.mean_position(ctx, &g));
+                }
+                traj
+            }
+        });
+        for (a, b) in serial[0].0.iter().zip(&dist[0].0) {
+            assert!(
+                (a - b).abs() < 1e-9,
+                "trajectories diverge: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn particles_remain_in_their_slabs() {
+        let res = world().run(3, |ctx| {
+            let g = ctx.world();
+            let mut pic = DistPic::quiet_start(&g, &cfg(), 0.03);
+            for _ in 0..30 {
+                pic.step(ctx, &g);
+            }
+            let dx = pic.dx();
+            let lo = pic.cell_lo as f64 * dx;
+            let hi = pic.cell_hi as f64 * dx;
+            pic.particles
+                .iter()
+                .all(|p| p.x >= lo - 1e-12 && p.x <= hi + dx)
+        });
+        assert!(res.iter().all(|(ok, _)| *ok));
+    }
+
+    #[test]
+    fn slabs_cover_grid_exactly() {
+        let res = world().run(5, |ctx| {
+            let g = ctx.world();
+            let pic = DistPic::quiet_start(&g, &cfg(), 0.0);
+            (pic.cell_lo, pic.cell_hi)
+        });
+        assert_eq!(res[0].0 .0, 0);
+        assert_eq!(res[4].0 .1, 64);
+        for w in res.windows(2) {
+            assert_eq!(w[0].0 .1, w[1].0 .0, "slabs must tile");
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # cpx-simpic
+//!
+//! SIMPIC — the 1-D electrostatic Particle-In-Cell mini-app (after the
+//! Sandia/LECAD prototype) used as the **performance proxy** for the
+//! production combustion pressure solver.
+//!
+//! The paper's key move (§III): the pressure solver's compute-
+//! communication pattern (synchronous Lagrangian–Eulerian: update
+//! fields, pass to particles, update particles — Fig 2) is shared by an
+//! electrostatic PIC code, so a SIMPIC configuration can be *hand-picked*
+//! to replicate the pressure solver's runtime and parallel-efficiency
+//! curve. The calibration table (Fig 3):
+//!
+//! | pressure-solver mesh | SIMPIC cells | particles/cell | timesteps |
+//! |---------------------|--------------|----------------|-----------|
+//! | 28M                 | 512,000      | 100            | 50,000    |
+//! | 84M                 | 512,000      | 300            | 50,000    |
+//! | 380M                | 512,000      | 1,800          | 50,000    |
+//!
+//! plus the **Optimized-STC** (1.18M cells, 60,000 ppc, 450 steps) that
+//! synthetically matches the theoretically-optimized pressure solver of
+//! §IV.
+//!
+//! Layers: [`pic`] — the functional 1-D electrostatic PIC (CIC
+//! weighting, Thomas-solver field solve, leapfrog push) with physics
+//! tests (charge conservation, plasma-frequency oscillation);
+//! [`dist`] — the rank-distributed runner with particle migration;
+//! [`trace`] — the scale model whose limiter is the pipelined
+//! field-solve sweep across ranks, calibrated to the paper's curves.
+
+pub mod config;
+pub mod diagnostics;
+pub mod dist;
+pub mod pic;
+pub mod trace;
+
+pub use config::SimpicConfig;
+pub use pic::Pic1D;
+pub use trace::SimpicTraceModel;

@@ -1,0 +1,364 @@
+//! Functional 1-D electrostatic particle-in-cell.
+//!
+//! Normalized units (`ε0 = 1`, electron `q = −1`, `m = 1`, background
+//! ion density `n0 = 1`), so the cold-plasma frequency is exactly
+//! `ω_p = 1` — which the physics test below measures from the simulated
+//! oscillation. Per step, as in SIMPIC and the production pressure
+//! solver's Lagrangian–Eulerian loop (Fig 2): deposit charge (CIC),
+//! solve the field (tridiagonal Poisson), gather forces, push particles
+//! (leapfrog), handle wall reflections.
+
+use cpx_sparse::tridiag::Tridiag;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::config::SimpicConfig;
+
+/// One macro-particle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Particle {
+    /// Position in `[0, L]`.
+    pub x: f64,
+    /// Velocity.
+    pub v: f64,
+}
+
+/// The serial PIC state.
+#[derive(Debug, Clone)]
+pub struct Pic1D {
+    /// Domain length.
+    pub length: f64,
+    /// Grid cells (nodes = cells + 1).
+    pub cells: usize,
+    /// Macro-particles.
+    pub particles: Vec<Particle>,
+    /// Macro-particle weight (charge magnitude per particle).
+    pub weight: f64,
+    /// Timestep.
+    pub dt: f64,
+    /// Node-centred electric field from the last solve.
+    pub e_field: Vec<f64>,
+    /// Node-centred potential from the last solve.
+    pub phi: Vec<f64>,
+}
+
+impl Pic1D {
+    /// A uniform quiet-start plasma per `config` (functional scale), with
+    /// a sinusoidal Langmuir-mode displacement `ξ(x) = d·L·sin(2πx/L)`
+    /// to excite a cold plasma oscillation. (A *uniform* displacement
+    /// would be screened by the grounded walls, and the odd fundamental
+    /// picks up a wall-image linear field; the first even mode is an
+    /// exact SHM eigenmode at `ω_p` between grounded walls.)
+    pub fn quiet_start(config: &SimpicConfig, displacement: f64, seed: u64) -> Pic1D {
+        let n_particles = config.cells * config.particles_per_cell;
+        let length = config.length;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut particles = Vec::with_capacity(n_particles);
+        for i in 0..n_particles {
+            // Evenly spaced with a tiny deterministic jitter to avoid
+            // grid-locked artifacts.
+            let frac = (i as f64 + 0.5) / n_particles as f64;
+            let shift = displacement * length * (std::f64::consts::TAU * frac).sin();
+            let jitter = (rng.gen::<f64>() - 0.5) * 1e-6 * length;
+            let x = (frac * length + shift + jitter).clamp(0.0, length);
+            particles.push(Particle { x, v: 0.0 });
+        }
+        // Weight so that mean electron density equals the ion background
+        // (n0 = 1): total charge = length.
+        let weight = length / n_particles as f64;
+        let dt = config.dt_fraction * std::f64::consts::TAU; // fraction of plasma period
+        Pic1D {
+            length,
+            cells: config.cells,
+            particles,
+            weight,
+            dt,
+            e_field: vec![0.0; config.cells + 1],
+            phi: vec![0.0; config.cells + 1],
+        }
+    }
+
+    /// Grid spacing.
+    pub fn dx(&self) -> f64 {
+        self.length / self.cells as f64
+    }
+
+    /// CIC charge deposit: electron number density on the nodes.
+    pub fn deposit(&self) -> Vec<f64> {
+        deposit_cic(
+            &self.particles,
+            self.cells,
+            self.length,
+            self.weight,
+        )
+    }
+
+    /// Solve `−φ'' = ρ` (ion background minus electrons) with grounded
+    /// walls, updating `phi` and `e_field`.
+    pub fn solve_field(&mut self) {
+        let n_nodes = self.cells + 1;
+        let dx = self.dx();
+        let electron_density = self.deposit();
+        // Charge density: ions (+1 uniform) minus electrons.
+        let rho: Vec<f64> = (0..n_nodes).map(|i| 1.0 - electron_density[i]).collect();
+        // Interior nodes 1..cells with Dirichlet phi=0 at both walls.
+        let interior = self.cells - 1;
+        let sys = Tridiag::poisson(interior, dx);
+        let rhs: Vec<f64> = (1..self.cells).map(|i| rho[i]).collect();
+        let sol = sys.solve(&rhs).expect("Poisson tridiagonal is SPD");
+        self.phi[0] = 0.0;
+        self.phi[n_nodes - 1] = 0.0;
+        self.phi[1..self.cells].copy_from_slice(&sol);
+        // E = −dφ/dx (central differences, one-sided at walls).
+        for i in 0..n_nodes {
+            self.e_field[i] = if i == 0 {
+                -(self.phi[1] - self.phi[0]) / dx
+            } else if i == n_nodes - 1 {
+                -(self.phi[n_nodes - 1] - self.phi[n_nodes - 2]) / dx
+            } else {
+                -(self.phi[i + 1] - self.phi[i - 1]) / (2.0 * dx)
+            };
+        }
+    }
+
+    /// Gather the field at a position (CIC interpolation).
+    pub fn field_at(&self, x: f64) -> f64 {
+        let dx = self.dx();
+        let s = (x / dx).clamp(0.0, self.cells as f64 - 1e-12);
+        let i = s as usize;
+        let f = s - i as f64;
+        self.e_field[i] * (1.0 - f) + self.e_field[i + 1] * f
+    }
+
+    /// One leapfrog step: kick, drift, reflect at the walls.
+    pub fn push(&mut self) {
+        let dt = self.dt;
+        let length = self.length;
+        // Gather fields first (all particles see the same field epoch).
+        let accel: Vec<f64> = self
+            .particles
+            .iter()
+            .map(|p| -self.field_at(p.x)) // electron: a = qE/m = −E
+            .collect();
+        for (p, &a) in self.particles.iter_mut().zip(&accel) {
+            p.v += a * dt;
+            p.x += p.v * dt;
+            // Specular wall reflection.
+            if p.x < 0.0 {
+                p.x = -p.x;
+                p.v = -p.v;
+            }
+            if p.x > length {
+                p.x = 2.0 * length - p.x;
+                p.v = -p.v;
+            }
+            p.x = p.x.clamp(0.0, length);
+        }
+    }
+
+    /// One full timestep (field solve then particle push).
+    pub fn step(&mut self) {
+        self.solve_field();
+        self.push();
+    }
+
+    /// Total electron charge currently deposited (must equal
+    /// `weight · N_particles` — CIC partitions unity).
+    pub fn deposited_charge(&self) -> f64 {
+        self.deposit().iter().sum::<f64>() * self.dx()
+    }
+
+    /// Kinetic energy of the particles.
+    pub fn kinetic_energy(&self) -> f64 {
+        0.5 * self.weight * self.particles.iter().map(|p| p.v * p.v).sum::<f64>()
+    }
+
+    /// Electrostatic field energy `½∫E²dx` (trapezoidal).
+    pub fn field_energy(&self) -> f64 {
+        let dx = self.dx();
+        let mut sum = 0.0;
+        for i in 0..self.e_field.len() - 1 {
+            let a = self.e_field[i];
+            let b = self.e_field[i + 1];
+            sum += 0.5 * (a * a + b * b) * 0.5 * dx;
+        }
+        sum
+    }
+
+    /// Mean particle displacement from the uniform configuration —
+    /// the oscillation diagnostic.
+    pub fn mean_position(&self) -> f64 {
+        self.particles.iter().map(|p| p.x).sum::<f64>() / self.particles.len() as f64
+    }
+}
+
+/// CIC deposit shared by the serial and distributed paths: electron
+/// *number density* on `cells + 1` nodes.
+pub fn deposit_cic(
+    particles: &[Particle],
+    cells: usize,
+    length: f64,
+    weight: f64,
+) -> Vec<f64> {
+    let dx = length / cells as f64;
+    let mut density = vec![0.0f64; cells + 1];
+    for p in particles {
+        let s = (p.x / dx).clamp(0.0, cells as f64 - 1e-12);
+        let i = s as usize;
+        let f = s - i as f64;
+        density[i] += weight * (1.0 - f) / dx;
+        density[i + 1] += weight * f / dx;
+    }
+    density
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> SimpicConfig {
+        SimpicConfig::base_28m().functional(64, 200)
+    }
+
+    #[test]
+    fn quiet_start_neutral() {
+        let pic = Pic1D::quiet_start(&small_config(), 0.0, 1);
+        // Total electron charge equals domain length (= total ion
+        // charge) by construction.
+        assert!((pic.deposited_charge() - pic.length).abs() < 1e-12);
+    }
+
+    #[test]
+    fn charge_conserved_through_steps() {
+        let mut pic = Pic1D::quiet_start(&small_config(), 0.01, 2);
+        let q0 = pic.deposited_charge();
+        for _ in 0..100 {
+            pic.step();
+        }
+        assert!((pic.deposited_charge() - q0).abs() < 1e-12);
+        assert_eq!(pic.particles.len(), 64 * 100);
+    }
+
+    #[test]
+    fn unperturbed_plasma_stays_quiet() {
+        let mut pic = Pic1D::quiet_start(&small_config(), 0.0, 3);
+        for _ in 0..50 {
+            pic.step();
+        }
+        // Field energy stays at noise level.
+        assert!(pic.field_energy() < 1e-8, "field energy {}", pic.field_energy());
+    }
+
+    #[test]
+    fn plasma_oscillation_at_omega_p() {
+        // Excite the first even Langmuir mode; its modal amplitude
+        // D(t) = (2/N) Σ (x_i − eq_i)·sin(2π eq_i / L) performs SHM at
+        // ω_p = 1, i.e. with period 2π. Measure the period from
+        // successive downward zero crossings.
+        let cfg = small_config();
+        let equilibrium = Pic1D::quiet_start(&cfg, 0.0, 4); // same seed ⇒ same jitter
+        let mut pic = Pic1D::quiet_start(&cfg, 0.02, 4);
+        let n = pic.particles.len() as f64;
+        let modal = |p: &Pic1D| -> f64 {
+            2.0 / n
+                * p.particles
+                    .iter()
+                    .zip(&equilibrium.particles)
+                    .map(|(a, b)| {
+                        (a.x - b.x) * (std::f64::consts::TAU * b.x / p.length).sin()
+                    })
+                    .sum::<f64>()
+        };
+        assert!((modal(&pic) - 0.02).abs() < 1e-3, "initial amplitude");
+        let mut series = Vec::new();
+        let steps = 400;
+        for _ in 0..steps {
+            pic.step();
+            series.push(modal(&pic));
+        }
+        let mut crossings = Vec::new();
+        for i in 1..series.len() {
+            if series[i - 1] > 0.0 && series[i] <= 0.0 {
+                crossings.push(i as f64 * pic.dt);
+            }
+        }
+        assert!(crossings.len() >= 2, "no oscillation observed");
+        let period = crossings[1] - crossings[0];
+        let expected = std::f64::consts::TAU;
+        let err = (period - expected).abs() / expected;
+        assert!(
+            err < 0.15,
+            "plasma period {period} vs 2π, error {:.0}%",
+            err * 100.0
+        );
+    }
+
+    #[test]
+    fn energy_bounded_during_oscillation() {
+        let mut pic = Pic1D::quiet_start(&small_config(), 0.02, 5);
+        pic.solve_field();
+        let mut max_total: f64 = 0.0;
+        let mut min_total = f64::INFINITY;
+        for _ in 0..200 {
+            pic.step();
+            let e = pic.kinetic_energy() + pic.field_energy();
+            max_total = max_total.max(e);
+            min_total = min_total.min(e);
+        }
+        assert!(max_total > 0.0);
+        // Unstaggered leapfrog + CIC on a noise-level signal: require
+        // boundedness (no secular blow-up), not tight conservation.
+        assert!(
+            max_total / min_total.max(1e-300) < 10.0,
+            "energy band [{min_total}, {max_total}]"
+        );
+    }
+
+    #[test]
+    fn particles_stay_in_domain() {
+        let mut pic = Pic1D::quiet_start(&small_config(), 0.05, 6);
+        for _ in 0..200 {
+            pic.step();
+        }
+        for p in &pic.particles {
+            assert!((0.0..=pic.length).contains(&p.x));
+        }
+    }
+
+    #[test]
+    fn deposit_partitions_unity() {
+        // A single particle anywhere deposits exactly its weight.
+        for x in [0.0, 0.123, 0.5, 0.77, 1.0] {
+            let parts = vec![Particle { x, v: 0.0 }];
+            let d = deposit_cic(&parts, 10, 1.0, 2.5);
+            let total: f64 = d.iter().sum::<f64>() * 0.1;
+            assert!((total - 2.5).abs() < 1e-12, "x={x}: {total}");
+        }
+    }
+
+    #[test]
+    fn field_solve_residual_small() {
+        let mut pic = Pic1D::quiet_start(&small_config(), 0.03, 7);
+        pic.solve_field();
+        // Check −φ'' = ρ at a few interior nodes.
+        let dx = pic.dx();
+        let density = pic.deposit();
+        for i in [5usize, 20, 40] {
+            let lap = (pic.phi[i - 1] - 2.0 * pic.phi[i] + pic.phi[i + 1]) / (dx * dx);
+            let rho = 1.0 - density[i];
+            assert!((-lap - rho).abs() < 1e-8, "node {i}: {} vs {rho}", -lap);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = small_config();
+        let run = || {
+            let mut pic = Pic1D::quiet_start(&cfg, 0.01, 42);
+            for _ in 0..20 {
+                pic.step();
+            }
+            pic.mean_position()
+        };
+        assert_eq!(run(), run());
+    }
+}

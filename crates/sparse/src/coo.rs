@@ -1,0 +1,133 @@
+//! Coordinate-format matrix builder.
+
+use crate::csr::Csr;
+
+/// A matrix under construction as `(row, col, value)` triplets.
+/// Duplicate entries are summed on conversion to CSR.
+#[derive(Debug, Clone, Default)]
+pub struct Coo {
+    nrows: usize,
+    ncols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl Coo {
+    /// An empty `nrows × ncols` builder.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        Coo {
+            nrows,
+            ncols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// With pre-reserved triplet capacity.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        Coo {
+            nrows,
+            ncols,
+            entries: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of triplets pushed so far (before duplicate merging).
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Add `value` at `(row, col)`; duplicates accumulate.
+    #[inline]
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        debug_assert!(row < self.nrows, "row {row} out of {}", self.nrows);
+        debug_assert!(col < self.ncols, "col {col} out of {}", self.ncols);
+        self.entries.push((row, col, value));
+    }
+
+    /// Convert to CSR, summing duplicate `(row, col)` entries.
+    pub fn to_csr(&self) -> Csr {
+        let mut entries = self.entries.clone();
+        entries.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+
+        let mut rowptr = Vec::with_capacity(self.nrows + 1);
+        let mut colidx = Vec::with_capacity(entries.len());
+        let mut vals = Vec::with_capacity(entries.len());
+        rowptr.push(0);
+        let mut row = 0usize;
+        let mut last: Option<(usize, usize)> = None;
+        for (r, c, v) in entries {
+            if last == Some((r, c)) {
+                *vals.last_mut().expect("duplicate implies prior entry") += v;
+                continue;
+            }
+            while row < r {
+                rowptr.push(colidx.len());
+                row += 1;
+            }
+            colidx.push(c);
+            vals.push(v);
+            last = Some((r, c));
+        }
+        while row < self.nrows {
+            rowptr.push(colidx.len());
+            row += 1;
+        }
+        Csr::from_raw(self.nrows, self.ncols, rowptr, colidx, vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_simple() {
+        let mut coo = Coo::new(2, 3);
+        coo.push(0, 0, 1.0);
+        coo.push(1, 2, 2.0);
+        coo.push(0, 2, 3.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 3);
+        assert_eq!(csr.get(0, 0), 1.0);
+        assert_eq!(csr.get(0, 2), 3.0);
+        assert_eq!(csr.get(1, 2), 2.0);
+        assert_eq!(csr.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn duplicates_sum() {
+        let mut coo = Coo::new(1, 1);
+        coo.push(0, 0, 1.5);
+        coo.push(0, 0, 2.5);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 1);
+        assert_eq!(csr.get(0, 0), 4.0);
+    }
+
+    #[test]
+    fn empty_rows_kept() {
+        let mut coo = Coo::new(4, 4);
+        coo.push(3, 1, 1.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nrows(), 4);
+        assert_eq!(csr.row(0).0.len(), 0);
+        assert_eq!(csr.row(3).0, &[1]);
+    }
+
+    #[test]
+    fn fully_empty_matrix() {
+        let coo = Coo::new(3, 3);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 0);
+        assert!(csr.validate().is_ok());
+    }
+}

@@ -1,0 +1,530 @@
+//! Compressed sparse row matrices.
+
+use crate::coo::Coo;
+use crate::SpOpStats;
+
+/// A CSR matrix with sorted, unique column indices per row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    nrows: usize,
+    ncols: usize,
+    rowptr: Vec<usize>,
+    colidx: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl Csr {
+    /// Construct from raw arrays. Debug-asserts the CSR invariants; use
+    /// [`Csr::validate`] for a checked verdict.
+    pub fn from_raw(
+        nrows: usize,
+        ncols: usize,
+        rowptr: Vec<usize>,
+        colidx: Vec<usize>,
+        vals: Vec<f64>,
+    ) -> Self {
+        let m = Csr {
+            nrows,
+            ncols,
+            rowptr,
+            colidx,
+            vals,
+        };
+        debug_assert!(m.validate().is_ok(), "{:?}", m.validate());
+        m
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        Csr {
+            nrows: n,
+            ncols: n,
+            rowptr: (0..=n).collect(),
+            colidx: (0..n).collect(),
+            vals: vec![1.0; n],
+        }
+    }
+
+    /// An `nrows × ncols` zero matrix.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Csr {
+            nrows,
+            ncols,
+            rowptr: vec![0; nrows + 1],
+            colidx: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Check the CSR structural invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.rowptr.len() != self.nrows + 1 {
+            return Err(format!(
+                "rowptr length {} != nrows+1 {}",
+                self.rowptr.len(),
+                self.nrows + 1
+            ));
+        }
+        if self.rowptr[0] != 0 {
+            return Err("rowptr[0] != 0".into());
+        }
+        if *self.rowptr.last().unwrap() != self.colidx.len() {
+            return Err("rowptr[last] != nnz".into());
+        }
+        if self.colidx.len() != self.vals.len() {
+            return Err("colidx and vals length mismatch".into());
+        }
+        for r in 0..self.nrows {
+            if self.rowptr[r] > self.rowptr[r + 1] {
+                return Err(format!("rowptr decreasing at row {r}"));
+            }
+            let cols = &self.colidx[self.rowptr[r]..self.rowptr[r + 1]];
+            for w in cols.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(format!("row {r}: columns not strictly increasing"));
+                }
+            }
+            if let Some(&c) = cols.last() {
+                if c >= self.ncols {
+                    return Err(format!("row {r}: column {c} out of range {}", self.ncols));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.colidx.len()
+    }
+
+    /// Row pointer array (length `nrows + 1`).
+    #[inline]
+    pub fn rowptr(&self) -> &[usize] {
+        &self.rowptr
+    }
+
+    /// Column index array.
+    #[inline]
+    pub fn colidx(&self) -> &[usize] {
+        &self.colidx
+    }
+
+    /// Value array.
+    #[inline]
+    pub fn vals(&self) -> &[f64] {
+        &self.vals
+    }
+
+    /// Mutable value array (structure stays fixed).
+    #[inline]
+    pub fn vals_mut(&mut self) -> &mut [f64] {
+        &mut self.vals
+    }
+
+    /// The `(columns, values)` of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> (&[usize], &[f64]) {
+        let (s, e) = (self.rowptr[r], self.rowptr[r + 1]);
+        (&self.colidx[s..e], &self.vals[s..e])
+    }
+
+    /// Entry `(r, c)`, zero if not stored.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        let (cols, vals) = self.row(r);
+        match cols.binary_search(&c) {
+            Ok(i) => vals[i],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// The diagonal, zero-filled where absent.
+    pub fn diag(&self) -> Vec<f64> {
+        (0..self.nrows.min(self.ncols))
+            .map(|i| self.get(i, i))
+            .collect()
+    }
+
+    /// `y = A x`. Returns the op statistics of the kernel.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) -> SpOpStats {
+        assert_eq!(x.len(), self.ncols, "spmv: x length");
+        assert_eq!(y.len(), self.nrows, "spmv: y length");
+        for r in 0..self.nrows {
+            let (cols, vals) = self.row(r);
+            let mut acc = 0.0;
+            for (&c, &v) in cols.iter().zip(vals) {
+                acc += v * x[c];
+            }
+            y[r] = acc;
+        }
+        self.spmv_stats()
+    }
+
+    /// Op statistics a single SpMV incurs (used for cost modelling
+    /// without executing).
+    pub fn spmv_stats(&self) -> SpOpStats {
+        let nnz = self.nnz() as f64;
+        SpOpStats {
+            flops: 2.0 * nnz,
+            // vals + colidx + x gather + rowptr + y write
+            bytes_read: nnz * (8.0 + 8.0 + 8.0) + self.nrows as f64 * 8.0,
+            bytes_written: self.nrows as f64 * 8.0,
+            input_passes: 1,
+        }
+    }
+
+    /// SpMV for operators whose top `k` rows form an identity block
+    /// (reordered interpolation/restriction, §IV-B): the identity rows
+    /// are a copy, saving their flops and matrix reads.
+    pub fn spmv_identity_top(&self, k: usize, x: &[f64], y: &mut [f64]) -> SpOpStats {
+        assert!(k <= self.nrows);
+        assert_eq!(x.len(), self.ncols);
+        assert_eq!(y.len(), self.nrows);
+        y[..k].copy_from_slice(&x[..k]);
+        let mut tail_nnz = 0usize;
+        for r in k..self.nrows {
+            let (cols, vals) = self.row(r);
+            tail_nnz += cols.len();
+            let mut acc = 0.0;
+            for (&c, &v) in cols.iter().zip(vals) {
+                acc += v * x[c];
+            }
+            y[r] = acc;
+        }
+        SpOpStats {
+            flops: 2.0 * tail_nnz as f64,
+            bytes_read: tail_nnz as f64 * 24.0 + (self.nrows - k) as f64 * 8.0 + k as f64 * 8.0,
+            bytes_written: self.nrows as f64 * 8.0,
+            input_passes: 1,
+        }
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Csr {
+        let mut counts = vec![0usize; self.ncols + 1];
+        for &c in &self.colidx {
+            counts[c + 1] += 1;
+        }
+        for i in 0..self.ncols {
+            counts[i + 1] += counts[i];
+        }
+        let rowptr = counts.clone();
+        let mut next = counts;
+        let mut colidx = vec![0usize; self.nnz()];
+        let mut vals = vec![0.0f64; self.nnz()];
+        for r in 0..self.nrows {
+            let (cols, vs) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vs) {
+                let slot = next[c];
+                colidx[slot] = r;
+                vals[slot] = v;
+                next[c] += 1;
+            }
+        }
+        Csr::from_raw(self.ncols, self.nrows, rowptr, colidx, vals)
+    }
+
+    /// Scale all values by `k`.
+    pub fn scale(&mut self, k: f64) {
+        for v in &mut self.vals {
+            *v *= k;
+        }
+    }
+
+    /// `A + B` (same shape).
+    pub fn add(&self, other: &Csr) -> Csr {
+        assert_eq!(self.nrows, other.nrows);
+        assert_eq!(self.ncols, other.ncols);
+        let mut coo = Coo::with_capacity(self.nrows, self.ncols, self.nnz() + other.nnz());
+        for m in [self, other] {
+            for r in 0..m.nrows {
+                let (cols, vals) = m.row(r);
+                for (&c, &v) in cols.iter().zip(vals) {
+                    coo.push(r, c, v);
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// Dense representation (tests only; quadratic memory).
+    pub fn to_dense(&self) -> Vec<Vec<f64>> {
+        let mut d = vec![vec![0.0; self.ncols]; self.nrows];
+        for r in 0..self.nrows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                d[r][c] = v;
+            }
+        }
+        d
+    }
+
+    /// Extract the submatrix with the given rows and columns (both maps
+    /// are old-index lists; used by partitioners and AMG).
+    pub fn submatrix(&self, rows: &[usize], cols: &[usize]) -> Csr {
+        let mut col_map = vec![usize::MAX; self.ncols];
+        for (new, &old) in cols.iter().enumerate() {
+            col_map[old] = new;
+        }
+        let mut coo = Coo::new(rows.len(), cols.len());
+        for (new_r, &old_r) in rows.iter().enumerate() {
+            let (cs, vs) = self.row(old_r);
+            for (&c, &v) in cs.iter().zip(vs) {
+                if col_map[c] != usize::MAX {
+                    coo.push(new_r, col_map[c], v);
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// Infinity norm of `A x - b` (convergence checks).
+    pub fn residual_inf(&self, x: &[f64], b: &[f64]) -> f64 {
+        let mut y = vec![0.0; self.nrows];
+        self.spmv(x, &mut y);
+        y.iter()
+            .zip(b)
+            .map(|(yi, bi)| (yi - bi).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// The standard 1-D Poisson (tridiagonal `[-1, 2, -1]`) test matrix.
+    pub fn poisson1d(n: usize) -> Csr {
+        let mut coo = Coo::with_capacity(n, n, 3 * n);
+        for i in 0..n {
+            if i > 0 {
+                coo.push(i, i - 1, -1.0);
+            }
+            coo.push(i, i, 2.0);
+            if i + 1 < n {
+                coo.push(i, i + 1, -1.0);
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// The standard 2-D 5-point Poisson matrix on an `nx × ny` grid.
+    pub fn poisson2d(nx: usize, ny: usize) -> Csr {
+        let n = nx * ny;
+        let idx = |i: usize, j: usize| i * ny + j;
+        let mut coo = Coo::with_capacity(n, n, 5 * n);
+        for i in 0..nx {
+            for j in 0..ny {
+                let me = idx(i, j);
+                coo.push(me, me, 4.0);
+                if i > 0 {
+                    coo.push(me, idx(i - 1, j), -1.0);
+                }
+                if i + 1 < nx {
+                    coo.push(me, idx(i + 1, j), -1.0);
+                }
+                if j > 0 {
+                    coo.push(me, idx(i, j - 1), -1.0);
+                }
+                if j + 1 < ny {
+                    coo.push(me, idx(i, j + 1), -1.0);
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// The 3-D 7-point Poisson matrix on an `nx × ny × nz` grid.
+    pub fn poisson3d(nx: usize, ny: usize, nz: usize) -> Csr {
+        let n = nx * ny * nz;
+        let idx = |i: usize, j: usize, k: usize| (i * ny + j) * nz + k;
+        let mut coo = Coo::with_capacity(n, n, 7 * n);
+        for i in 0..nx {
+            for j in 0..ny {
+                for k in 0..nz {
+                    let me = idx(i, j, k);
+                    coo.push(me, me, 6.0);
+                    if i > 0 {
+                        coo.push(me, idx(i - 1, j, k), -1.0);
+                    }
+                    if i + 1 < nx {
+                        coo.push(me, idx(i + 1, j, k), -1.0);
+                    }
+                    if j > 0 {
+                        coo.push(me, idx(i, j - 1, k), -1.0);
+                    }
+                    if j + 1 < ny {
+                        coo.push(me, idx(i, j + 1, k), -1.0);
+                    }
+                    if k > 0 {
+                        coo.push(me, idx(i, j, k - 1), -1.0);
+                    }
+                    if k + 1 < nz {
+                        coo.push(me, idx(i, j, k + 1), -1.0);
+                    }
+                }
+            }
+        }
+        coo.to_csr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_spmv() {
+        let a = Csr::identity(5);
+        let x: Vec<f64> = (0..5).map(|i| i as f64).collect();
+        let mut y = vec![0.0; 5];
+        a.spmv(&x, &mut y);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn poisson1d_structure() {
+        let a = Csr::poisson1d(4);
+        assert_eq!(a.nnz(), 10);
+        assert_eq!(a.get(0, 0), 2.0);
+        assert_eq!(a.get(1, 0), -1.0);
+        assert_eq!(a.get(0, 3), 0.0);
+        assert!(a.validate().is_ok());
+    }
+
+    #[test]
+    fn poisson2d_row_sums() {
+        // Interior rows sum to 0, boundary rows positive.
+        let a = Csr::poisson2d(4, 4);
+        let idx = |i: usize, j: usize| i * 4 + j;
+        let interior = idx(1, 1);
+        let (_, vals) = a.row(interior);
+        assert_eq!(vals.iter().sum::<f64>(), 0.0);
+        let corner = idx(0, 0);
+        let (_, vals) = a.row(corner);
+        assert!(vals.iter().sum::<f64>() > 0.0);
+    }
+
+    #[test]
+    fn poisson3d_symmetric() {
+        let a = Csr::poisson3d(3, 3, 3);
+        let at = a.transpose();
+        assert_eq!(a, at);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut coo = Coo::new(3, 5);
+        coo.push(0, 4, 1.0);
+        coo.push(2, 1, -2.0);
+        coo.push(1, 1, 3.0);
+        let a = coo.to_csr();
+        let att = a.transpose().transpose();
+        assert_eq!(a, att);
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let a = Csr::poisson2d(3, 3);
+        let x: Vec<f64> = (0..9).map(|i| (i as f64).sin()).collect();
+        let mut y = vec![0.0; 9];
+        a.spmv(&x, &mut y);
+        let d = a.to_dense();
+        for r in 0..9 {
+            let want: f64 = d[r].iter().zip(&x).map(|(a, b)| a * b).sum();
+            assert!((y[r] - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn spmv_identity_top_matches_plain() {
+        // Build [I; B] style operator.
+        let mut coo = Coo::new(4, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(1, 1, 1.0);
+        coo.push(2, 0, 0.5);
+        coo.push(2, 1, 0.5);
+        coo.push(3, 0, 0.25);
+        let a = coo.to_csr();
+        let x = vec![2.0, 4.0];
+        let mut y1 = vec![0.0; 4];
+        let mut y2 = vec![0.0; 4];
+        let full = a.spmv(&x, &mut y1);
+        let opt = a.spmv_identity_top(2, &x, &mut y2);
+        assert_eq!(y1, y2);
+        assert!(opt.flops < full.flops, "identity-top must save flops");
+    }
+
+    #[test]
+    fn add_matrices() {
+        let a = Csr::identity(3);
+        let mut b = Csr::identity(3);
+        b.scale(2.0);
+        let c = a.add(&b);
+        assert_eq!(c.get(0, 0), 3.0);
+        assert_eq!(c.nnz(), 3);
+    }
+
+    #[test]
+    fn diag_extraction() {
+        let a = Csr::poisson1d(3);
+        assert_eq!(a.diag(), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn submatrix_extraction() {
+        let a = Csr::poisson1d(5);
+        let s = a.submatrix(&[1, 2, 3], &[1, 2, 3]);
+        assert_eq!(s.nrows(), 3);
+        assert_eq!(s.get(0, 0), 2.0);
+        assert_eq!(s.get(0, 1), -1.0);
+        assert_eq!(s.get(2, 1), -1.0);
+    }
+
+    #[test]
+    fn residual_of_exact_solution_is_zero() {
+        let a = Csr::identity(4);
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(a.residual_inf(&x, &x), 0.0);
+    }
+
+    #[test]
+    fn validate_catches_unsorted_columns() {
+        let bad = Csr {
+            nrows: 1,
+            ncols: 3,
+            rowptr: vec![0, 2],
+            colidx: vec![2, 0],
+            vals: vec![1.0, 1.0],
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_out_of_range_column() {
+        let bad = Csr {
+            nrows: 1,
+            ncols: 2,
+            rowptr: vec![0, 1],
+            colidx: vec![5],
+            vals: vec![1.0],
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn spmv_stats_proportional_to_nnz() {
+        let small = Csr::poisson1d(10).spmv_stats();
+        let large = Csr::poisson1d(100).spmv_stats();
+        assert!(large.flops > 9.0 * small.flops);
+        assert!(large.bytes() > 9.0 * small.bytes());
+    }
+}

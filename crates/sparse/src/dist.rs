@@ -1,0 +1,345 @@
+//! Row-block distributed CSR with halo exchange.
+//!
+//! The distributed layout matches what the paper describes for the
+//! production AMG (§IV-B): matrix rows are spread across ranks in
+//! contiguous blocks in compressed sparse row format; off-block column
+//! references become *halo* entries whose values are fetched from their
+//! owners before each SpMV. The halo plan (who needs what from whom) is
+//! negotiated once with an all-to-all and reused.
+
+use cpx_comm::{Group, RankCtx, ReduceOp};
+use cpx_machine::KernelCost;
+
+use crate::csr::Csr;
+use crate::renumber::renumber_hash_merge;
+
+/// This rank's block of a row-distributed sparse matrix.
+#[derive(Debug, Clone)]
+pub struct DistCsr {
+    /// Global row offsets: rank `p` owns global rows
+    /// `offsets[p]..offsets[p+1]`.
+    offsets: Vec<usize>,
+    /// This rank's index in the distribution.
+    my_part: usize,
+    /// Local matrix: `local_rows × (owned + halo)` with owned columns
+    /// first (local numbering) and halo columns after.
+    local: Csr,
+    /// Global column id of each halo slot.
+    halo_globals: Vec<u64>,
+    /// For each peer part: the local indices of *our* rows whose values
+    /// we must send before an SpMV.
+    send_lists: Vec<Vec<usize>>,
+    /// For each peer part: the halo slots filled by that peer's values.
+    recv_slots: Vec<Vec<usize>>,
+}
+
+impl DistCsr {
+    /// Build this rank's block from a replicated global matrix (tests
+    /// and setup paths build globally and distribute; production-scale
+    /// paths in this workspace use trace generation instead).
+    ///
+    /// `group` is the communicator over which the matrix is distributed;
+    /// `offsets` (length `group.size() + 1`) gives the row blocks. This
+    /// is a collective call.
+    pub fn from_global(
+        ctx: &mut RankCtx,
+        group: &Group,
+        global: &Csr,
+        offsets: &[usize],
+    ) -> DistCsr {
+        let p = group.size();
+        assert_eq!(offsets.len(), p + 1, "offsets must have one entry per part + 1");
+        assert_eq!(offsets[p], global.nrows(), "offsets must cover all rows");
+        let me = group.index();
+        let (lo, hi) = (offsets[me], offsets[me + 1]);
+        let owned = hi - lo;
+
+        // Collect the off-block global columns referenced by our rows.
+        let mut halo_refs: Vec<u64> = Vec::new();
+        for r in lo..hi {
+            let (cols, _) = global.row(r);
+            for &c in cols {
+                if c < lo || c >= hi {
+                    halo_refs.push(c as u64);
+                }
+            }
+        }
+        let renum = renumber_hash_merge(&halo_refs, 1);
+        let halo_globals = renum.table.clone();
+
+        // Build the local matrix with owned columns first, halo after.
+        let mut coo = crate::coo::Coo::new(owned, owned + halo_globals.len());
+        for r in lo..hi {
+            let (cols, vals) = global.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let lc = if c >= lo && c < hi {
+                    c - lo
+                } else {
+                    owned + renum.local_of(c as u64).expect("halo id registered")
+                };
+                coo.push(r - lo, lc, v);
+            }
+        }
+        let local = coo.to_csr();
+
+        // Who owns each halo id, and which slot it fills.
+        let owner_of = |gid: usize| -> usize {
+            // offsets is ascending; find p with offsets[p] <= gid < offsets[p+1].
+            match offsets.binary_search(&gid) {
+                Ok(i) => i,
+                Err(i) => i - 1,
+            }
+        };
+        let mut want_from: Vec<Vec<u64>> = vec![Vec::new(); p];
+        let mut recv_slots: Vec<Vec<usize>> = vec![Vec::new(); p];
+        for (slot, &gid) in halo_globals.iter().enumerate() {
+            let owner = owner_of(gid as usize);
+            debug_assert_ne!(owner, me, "halo id cannot be owned locally");
+            want_from[owner].push(gid);
+            recv_slots[owner].push(slot);
+        }
+
+        // Tell each owner which of its rows we want (ids as f64 bit
+        // patterns — lossless for u64 transport).
+        let requests: Vec<Vec<f64>> = want_from
+            .iter()
+            .map(|ids| ids.iter().map(|&g| f64::from_bits(g)).collect())
+            .collect();
+        let incoming = group.alltoallv(ctx, requests);
+        let send_lists: Vec<Vec<usize>> = incoming
+            .into_iter()
+            .map(|ids| {
+                ids.into_iter()
+                    .map(|bits| {
+                        let gid = bits.to_bits() as usize;
+                        assert!(gid >= lo && gid < hi, "peer requested non-owned row");
+                        gid - lo
+                    })
+                    .collect()
+            })
+            .collect();
+
+        DistCsr {
+            offsets: offsets.to_vec(),
+            my_part: me,
+            local,
+            halo_globals,
+            send_lists,
+            recv_slots,
+        }
+    }
+
+    /// Number of locally owned rows.
+    pub fn owned(&self) -> usize {
+        self.local.nrows()
+    }
+
+    /// Number of halo slots.
+    pub fn halo_len(&self) -> usize {
+        self.halo_globals.len()
+    }
+
+    /// The local matrix (owned + halo column space).
+    pub fn local_matrix(&self) -> &Csr {
+        &self.local
+    }
+
+    /// Global row offsets.
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// Total bytes this rank sends in one halo exchange.
+    pub fn halo_send_bytes(&self) -> usize {
+        self.send_lists.iter().map(|l| l.len() * 8).sum()
+    }
+
+    /// Exchange halo values of `x` (length [`DistCsr::owned`]) and return
+    /// the extended vector `[x, halo]`. Collective.
+    pub fn exchange_halo(&self, ctx: &mut RankCtx, group: &Group, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.owned(), "x must be the owned block");
+        let p = group.size();
+        // Pack per-peer sends (gather charged at memory bandwidth).
+        let mut sends: Vec<Vec<f64>> = Vec::with_capacity(p);
+        let mut pack_bytes = 0usize;
+        for peer in 0..p {
+            let list = &self.send_lists[peer];
+            pack_bytes += list.len() * 16;
+            sends.push(list.iter().map(|&i| x[i]).collect());
+        }
+        ctx.compute(KernelCost::bytes(pack_bytes as f64));
+        let received = group.alltoallv(ctx, sends);
+        let mut ext = Vec::with_capacity(self.owned() + self.halo_len());
+        ext.extend_from_slice(x);
+        ext.resize(self.owned() + self.halo_len(), 0.0);
+        for peer in 0..p {
+            for (vals, &slot) in received[peer].iter().zip(&self.recv_slots[peer]) {
+                ext[self.owned() + slot] = *vals;
+            }
+        }
+        ext
+    }
+
+    /// Distributed `y = A x` over the group. `x` and the returned `y`
+    /// are the owned blocks. Collective.
+    pub fn spmv(&self, ctx: &mut RankCtx, group: &Group, x: &[f64]) -> Vec<f64> {
+        let ext = self.exchange_halo(ctx, group, x);
+        let mut y = vec![0.0; self.owned()];
+        let stats = self.local.spmv(&ext, &mut y);
+        ctx.compute(KernelCost::new(stats.flops, stats.bytes()));
+        y
+    }
+
+    /// Distributed dot product of two owned blocks. Collective.
+    pub fn dot(&self, ctx: &mut RankCtx, group: &Group, a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), b.len());
+        let local: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        ctx.compute(KernelCost::new(
+            2.0 * a.len() as f64,
+            16.0 * a.len() as f64,
+        ));
+        group.allreduce_scalar(ctx, ReduceOp::Sum, local)
+    }
+
+    /// The part that owns global row `gid`.
+    pub fn owner_of(&self, gid: usize) -> usize {
+        match self.offsets.binary_search(&gid) {
+            Ok(i) => i.min(self.offsets.len() - 2),
+            Err(i) => i - 1,
+        }
+    }
+
+    /// This rank's part index.
+    pub fn my_part(&self) -> usize {
+        self.my_part
+    }
+}
+
+/// Even row-block offsets for `n` rows over `p` parts.
+pub fn even_offsets(n: usize, p: usize) -> Vec<usize> {
+    (0..=p).map(|i| i * n / p).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpx_comm::World;
+    use cpx_machine::Machine;
+
+    fn world() -> World {
+        World::new(Machine::archer2())
+    }
+
+    #[test]
+    fn distributed_spmv_matches_serial() {
+        let global = Csr::poisson2d(8, 8);
+        let n = global.nrows();
+        let x_full: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut y_want = vec![0.0; n];
+        global.spmv(&x_full, &mut y_want);
+
+        for p in [1usize, 2, 3, 5] {
+            let g2 = global.clone();
+            let xf = x_full.clone();
+            let res = world().run(p, move |ctx| {
+                let group = ctx.world();
+                let offsets = even_offsets(g2.nrows(), group.size());
+                let dist = DistCsr::from_global(ctx, &group, &g2, &offsets);
+                let me = group.index();
+                let x_local = xf[offsets[me]..offsets[me + 1]].to_vec();
+                dist.spmv(ctx, &group, &x_local)
+            });
+            let mut y_got = Vec::new();
+            for (block, _) in res {
+                y_got.extend(block);
+            }
+            for i in 0..n {
+                assert!(
+                    (y_got[i] - y_want[i]).abs() < 1e-12,
+                    "p={p} row {i}: {} vs {}",
+                    y_got[i],
+                    y_want[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn halo_sizes_match_structure() {
+        // 1-D Poisson split in 2: each part needs exactly 1 halo value.
+        let global = Csr::poisson1d(10);
+        let res = world().run(2, move |ctx| {
+            let group = ctx.world();
+            let offsets = even_offsets(10, 2);
+            let dist = DistCsr::from_global(ctx, &group, &global, &offsets);
+            (dist.halo_len(), dist.halo_send_bytes())
+        });
+        for ((halo, send_bytes), _) in res {
+            assert_eq!(halo, 1);
+            assert_eq!(send_bytes, 8);
+        }
+    }
+
+    #[test]
+    fn distributed_dot_matches_serial() {
+        let n = 40;
+        let a_full: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let b_full: Vec<f64> = (0..n).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let want: f64 = a_full.iter().zip(&b_full).map(|(x, y)| x * y).sum();
+        let global = Csr::identity(n);
+        let res = world().run(4, move |ctx| {
+            let group = ctx.world();
+            let offsets = even_offsets(n, 4);
+            let dist = DistCsr::from_global(ctx, &group, &global, &offsets);
+            let me = group.index();
+            let a = a_full[offsets[me]..offsets[me + 1]].to_vec();
+            let b = b_full[offsets[me]..offsets[me + 1]].to_vec();
+            dist.dot(ctx, &group, &a, &b)
+        });
+        for (got, _) in res {
+            assert!((got - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn owner_lookup() {
+        let global = Csr::poisson1d(10);
+        let res = world().run(2, move |ctx| {
+            let group = ctx.world();
+            let dist = DistCsr::from_global(ctx, &group, &global, &[0, 5, 10]);
+            (
+                dist.owner_of(0),
+                dist.owner_of(4),
+                dist.owner_of(5),
+                dist.owner_of(9),
+            )
+        });
+        assert_eq!(res[0].0, (0, 0, 1, 1));
+    }
+
+    #[test]
+    fn uneven_offsets_work() {
+        let global = Csr::poisson1d(9);
+        let want: Vec<f64> = {
+            let x: Vec<f64> = (0..9).map(|i| i as f64).collect();
+            let mut y = vec![0.0; 9];
+            global.spmv(&x, &mut y);
+            y
+        };
+        let res = world().run(3, move |ctx| {
+            let group = ctx.world();
+            let offsets = vec![0, 2, 3, 9]; // deliberately uneven
+            let dist = DistCsr::from_global(ctx, &group, &global, &offsets);
+            let me = group.index();
+            let x: Vec<f64> = (offsets[me]..offsets[me + 1]).map(|i| i as f64).collect();
+            dist.spmv(ctx, &group, &x)
+        });
+        let mut got = Vec::new();
+        for (block, _) in res {
+            got.extend(block);
+        }
+        for i in 0..9 {
+            assert!((got[i] - want[i]).abs() < 1e-12);
+        }
+    }
+}

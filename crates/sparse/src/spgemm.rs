@@ -1,0 +1,427 @@
+//! Sparse general matrix–matrix multiplication.
+//!
+//! SpGEMM dominates the AMG setup phase (Galerkin triple products) that
+//! the paper's profiling identifies as a pressure-field bottleneck
+//! (§IV-B). Three functionally identical variants are provided whose
+//! *cost profiles* differ exactly as the paper describes:
+//!
+//! * [`spgemm_twopass`] — the traditional algorithm: a symbolic pass
+//!   sizes the output, then a numeric pass fills it. The inputs are read
+//!   **twice**.
+//! * [`spgemm_spa`] — Gustavson's algorithm with a dense **sparse
+//!   accumulator (SPA)**: constant-time access to output entries, one
+//!   pass over the inputs, and per-chunk output buffers that are copied
+//!   into contiguous storage at the end — the "allocate each thread a
+//!   large chunk of memory and copy the disjoint results" optimization.
+//! * [`spgemm_hash`] — per-row hash-map accumulation (the variant whose
+//!   column-renumbering behaviour §IV-B's distributed optimization
+//!   targets; see [`crate::renumber`]).
+//!
+//! All variants produce bit-identical CSR results (sorted columns,
+//! duplicates summed) and report [`SpOpStats`] so callers can compare the
+//! modelled cost of each.
+
+use std::collections::HashMap;
+
+use crate::csr::Csr;
+use crate::SpOpStats;
+
+/// Result of an SpGEMM: the product and the kernel's op statistics.
+#[derive(Debug, Clone)]
+pub struct SpGemmResult {
+    /// `C = A · B`.
+    pub product: Csr,
+    /// Operation counts of the chosen algorithm.
+    pub stats: SpOpStats,
+}
+
+fn check_dims(a: &Csr, b: &Csr) {
+    assert_eq!(
+        a.ncols(),
+        b.nrows(),
+        "spgemm: inner dimensions {} vs {}",
+        a.ncols(),
+        b.nrows()
+    );
+}
+
+/// Multiply-add work (`flops`) of the product, i.e. the number of scalar
+/// products formed: `sum over a_ik of nnz(B row k)`.
+fn multiply_work(a: &Csr, b: &Csr) -> f64 {
+    let mut work = 0usize;
+    for r in 0..a.nrows() {
+        let (cols, _) = a.row(r);
+        for &k in cols {
+            work += b.row(k).0.len();
+        }
+    }
+    work as f64
+}
+
+/// Classic two-pass SpGEMM: symbolic sizing pass + numeric pass.
+pub fn spgemm_twopass(a: &Csr, b: &Csr) -> SpGemmResult {
+    check_dims(a, b);
+    let n = a.nrows();
+    let m = b.ncols();
+
+    // --- symbolic pass: count nnz per output row --------------------
+    let mut marker = vec![usize::MAX; m];
+    let mut row_nnz = vec![0usize; n];
+    for r in 0..n {
+        let (acols, _) = a.row(r);
+        let mut count = 0usize;
+        for &k in acols {
+            let (bcols, _) = b.row(k);
+            for &c in bcols {
+                if marker[c] != r {
+                    marker[c] = r;
+                    count += 1;
+                }
+            }
+        }
+        row_nnz[r] = count;
+    }
+    let mut rowptr = vec![0usize; n + 1];
+    for r in 0..n {
+        rowptr[r + 1] = rowptr[r] + row_nnz[r];
+    }
+    let nnz = rowptr[n];
+
+    // --- numeric pass ------------------------------------------------
+    let mut colidx = vec![0usize; nnz];
+    let mut vals = vec![0.0f64; nnz];
+    let mut acc = vec![0.0f64; m];
+    let mut marker2 = vec![usize::MAX; m];
+    let mut touched: Vec<usize> = Vec::new();
+    for r in 0..n {
+        touched.clear();
+        let (acols, avals) = a.row(r);
+        for (&k, &av) in acols.iter().zip(avals) {
+            let (bcols, bvals) = b.row(k);
+            for (&c, &bv) in bcols.iter().zip(bvals) {
+                if marker2[c] != r {
+                    marker2[c] = r;
+                    acc[c] = av * bv;
+                    touched.push(c);
+                } else {
+                    acc[c] += av * bv;
+                }
+            }
+        }
+        touched.sort_unstable();
+        let base = rowptr[r];
+        for (i, &c) in touched.iter().enumerate() {
+            colidx[base + i] = c;
+            vals[base + i] = acc[c];
+        }
+    }
+
+    let work = multiply_work(a, b);
+    let read_once = (a.nnz() + b.nnz()) as f64 * 16.0 + (a.nrows() + b.nrows()) as f64 * 8.0;
+    let stats = SpOpStats {
+        flops: 2.0 * work,
+        // Inputs are traversed twice — the cost the SPA variant removes.
+        bytes_read: 2.0 * read_once,
+        bytes_written: nnz as f64 * 16.0,
+        input_passes: 2,
+    };
+    SpGemmResult {
+        product: Csr::from_raw(n, m, rowptr, colidx, vals),
+        stats,
+    }
+}
+
+/// Gustavson SpGEMM with a dense sparse accumulator (SPA) and per-chunk
+/// output buffers: a single pass over the inputs.
+///
+/// `chunks` models the number of parallel workers each given a private
+/// output buffer; the disjoint per-chunk results are copied to contiguous
+/// storage at the end (that copy is charged in the stats). Functionally
+/// the result is independent of `chunks`.
+pub fn spgemm_spa(a: &Csr, b: &Csr, chunks: usize) -> SpGemmResult {
+    check_dims(a, b);
+    assert!(chunks >= 1, "need at least one chunk");
+    let n = a.nrows();
+    let m = b.ncols();
+
+    // Per-chunk private outputs (rows are block-distributed to chunks).
+    let rows_per_chunk = n.div_ceil(chunks);
+    let mut chunk_rowptr: Vec<Vec<usize>> = Vec::with_capacity(chunks);
+    let mut chunk_colidx: Vec<Vec<usize>> = Vec::with_capacity(chunks);
+    let mut chunk_vals: Vec<Vec<f64>> = Vec::with_capacity(chunks);
+
+    // SPA: dense accumulator + row-stamped marker + touched list.
+    let mut acc = vec![0.0f64; m];
+    let mut marker = vec![usize::MAX; m];
+    let mut touched: Vec<usize> = Vec::new();
+
+    for chunk in 0..chunks {
+        let lo = chunk * rows_per_chunk;
+        let hi = ((chunk + 1) * rows_per_chunk).min(n);
+        let mut rp = Vec::with_capacity(hi.saturating_sub(lo) + 1);
+        rp.push(0usize);
+        let mut ci: Vec<usize> = Vec::new();
+        let mut va: Vec<f64> = Vec::new();
+        for r in lo..hi {
+            touched.clear();
+            let (acols, avals) = a.row(r);
+            for (&k, &av) in acols.iter().zip(avals) {
+                let (bcols, bvals) = b.row(k);
+                for (&c, &bv) in bcols.iter().zip(bvals) {
+                    if marker[c] != r {
+                        marker[c] = r;
+                        acc[c] = av * bv;
+                        touched.push(c);
+                    } else {
+                        acc[c] += av * bv;
+                    }
+                }
+            }
+            touched.sort_unstable();
+            for &c in &touched {
+                ci.push(c);
+                va.push(acc[c]);
+            }
+            rp.push(ci.len());
+        }
+        chunk_rowptr.push(rp);
+        chunk_colidx.push(ci);
+        chunk_vals.push(va);
+    }
+
+    // Concatenate the disjoint chunk results into contiguous CSR.
+    let nnz: usize = chunk_colidx.iter().map(Vec::len).sum();
+    let mut rowptr = Vec::with_capacity(n + 1);
+    rowptr.push(0usize);
+    let mut colidx = Vec::with_capacity(nnz);
+    let mut vals = Vec::with_capacity(nnz);
+    for chunk in 0..chunks {
+        let base = colidx.len();
+        for w in chunk_rowptr[chunk].windows(2) {
+            rowptr.push(base + w[1]);
+        }
+        colidx.extend_from_slice(&chunk_colidx[chunk]);
+        vals.extend_from_slice(&chunk_vals[chunk]);
+    }
+    // Rows beyond the last chunk boundary (when n == 0 edge case).
+    while rowptr.len() < n + 1 {
+        rowptr.push(colidx.len());
+    }
+
+    let work = multiply_work(a, b);
+    let read_once = (a.nnz() + b.nnz()) as f64 * 16.0 + (a.nrows() + b.nrows()) as f64 * 8.0;
+    let stats = SpOpStats {
+        flops: 2.0 * work,
+        bytes_read: read_once,
+        // Output written once into chunks, then copied contiguous.
+        bytes_written: 2.0 * nnz as f64 * 16.0,
+        input_passes: 1,
+    };
+    SpGemmResult {
+        product: Csr::from_raw(n, m, rowptr, colidx, vals),
+        stats,
+    }
+}
+
+/// Hash-map accumulation SpGEMM (one pass; per-row `HashMap`).
+pub fn spgemm_hash(a: &Csr, b: &Csr) -> SpGemmResult {
+    check_dims(a, b);
+    let n = a.nrows();
+    let m = b.ncols();
+    let mut rowptr = Vec::with_capacity(n + 1);
+    rowptr.push(0usize);
+    let mut colidx: Vec<usize> = Vec::new();
+    let mut vals: Vec<f64> = Vec::new();
+    let mut map: HashMap<usize, f64> = HashMap::new();
+    for r in 0..n {
+        map.clear();
+        let (acols, avals) = a.row(r);
+        for (&k, &av) in acols.iter().zip(avals) {
+            let (bcols, bvals) = b.row(k);
+            for (&c, &bv) in bcols.iter().zip(bvals) {
+                *map.entry(c).or_insert(0.0) += av * bv;
+            }
+        }
+        let mut row: Vec<(usize, f64)> = map.iter().map(|(&c, &v)| (c, v)).collect();
+        row.sort_unstable_by_key(|&(c, _)| c);
+        for (c, v) in row {
+            colidx.push(c);
+            vals.push(v);
+        }
+        rowptr.push(colidx.len());
+    }
+    let nnz = colidx.len();
+    let work = multiply_work(a, b);
+    let read_once = (a.nnz() + b.nnz()) as f64 * 16.0 + (a.nrows() + b.nrows()) as f64 * 8.0;
+    let stats = SpOpStats {
+        flops: 2.0 * work,
+        // Hashing costs extra traffic per multiply (probe + bucket).
+        bytes_read: read_once + work * 16.0,
+        bytes_written: nnz as f64 * 16.0,
+        input_passes: 1,
+    };
+    SpGemmResult {
+        product: Csr::from_raw(n, m, rowptr, colidx, vals),
+        stats,
+    }
+}
+
+/// The Galerkin triple product `R · A · P` (AMG coarse operator), using
+/// the SPA variant internally. Returns the product and combined stats.
+pub fn triple_product(r: &Csr, a: &Csr, p: &Csr, chunks: usize) -> SpGemmResult {
+    let ap = spgemm_spa(a, p, chunks);
+    let rap = spgemm_spa(r, &ap.product, chunks);
+    let stats = SpOpStats {
+        flops: ap.stats.flops + rap.stats.flops,
+        bytes_read: ap.stats.bytes_read + rap.stats.bytes_read,
+        bytes_written: ap.stats.bytes_written + rap.stats.bytes_written,
+        input_passes: 1,
+    };
+    SpGemmResult {
+        product: rap.product,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn dense_mul(a: &Csr, b: &Csr) -> Vec<Vec<f64>> {
+        let da = a.to_dense();
+        let db = b.to_dense();
+        let mut c = vec![vec![0.0; b.ncols()]; a.nrows()];
+        for i in 0..a.nrows() {
+            for k in 0..a.ncols() {
+                if da[i][k] != 0.0 {
+                    for j in 0..b.ncols() {
+                        c[i][j] += da[i][k] * db[k][j];
+                    }
+                }
+            }
+        }
+        c
+    }
+
+    fn assert_matches_dense(c: &Csr, want: &[Vec<f64>]) {
+        for i in 0..c.nrows() {
+            for j in 0..c.ncols() {
+                assert!(
+                    (c.get(i, j) - want[i][j]).abs() < 1e-12,
+                    "mismatch at ({i},{j}): {} vs {}",
+                    c.get(i, j),
+                    want[i][j]
+                );
+            }
+        }
+    }
+
+    fn random_csr(nrows: usize, ncols: usize, per_row: usize, seed: u64) -> Csr {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut coo = Coo::new(nrows, ncols);
+        for r in 0..nrows {
+            for _ in 0..per_row {
+                coo.push(r, rng.gen_range(0..ncols), rng.gen_range(-1.0..1.0));
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn all_variants_match_dense_reference() {
+        let a = random_csr(20, 15, 4, 1);
+        let b = random_csr(15, 25, 3, 2);
+        let want = dense_mul(&a, &b);
+        assert_matches_dense(&spgemm_twopass(&a, &b).product, &want);
+        assert_matches_dense(&spgemm_spa(&a, &b, 1).product, &want);
+        assert_matches_dense(&spgemm_spa(&a, &b, 4).product, &want);
+        assert_matches_dense(&spgemm_hash(&a, &b).product, &want);
+    }
+
+    #[test]
+    fn variants_bit_identical() {
+        let a = random_csr(30, 30, 5, 3);
+        let b = random_csr(30, 30, 5, 4);
+        let c1 = spgemm_twopass(&a, &b).product;
+        let c2 = spgemm_spa(&a, &b, 3).product;
+        let c3 = spgemm_hash(&a, &b).product;
+        assert_eq!(c1, c2);
+        assert_eq!(c1, c3);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = random_csr(10, 10, 3, 5);
+        let i = Csr::identity(10);
+        assert_eq!(spgemm_spa(&a, &i, 2).product, a);
+        assert_eq!(spgemm_spa(&i, &a, 2).product, a);
+    }
+
+    #[test]
+    fn spa_reads_half_of_twopass() {
+        let a = Csr::poisson2d(16, 16);
+        let two = spgemm_twopass(&a, &a);
+        let spa = spgemm_spa(&a, &a, 4);
+        assert_eq!(two.stats.input_passes, 2);
+        assert_eq!(spa.stats.input_passes, 1);
+        assert!(
+            (two.stats.bytes_read - 2.0 * spa.stats.bytes_read).abs() < 1e-6,
+            "two-pass must read inputs twice"
+        );
+        assert_eq!(two.stats.flops, spa.stats.flops);
+    }
+
+    #[test]
+    fn hash_costs_more_traffic_than_spa() {
+        let a = Csr::poisson2d(12, 12);
+        let spa = spgemm_spa(&a, &a, 1);
+        let hash = spgemm_hash(&a, &a);
+        assert!(hash.stats.bytes_read > spa.stats.bytes_read);
+    }
+
+    #[test]
+    fn triple_product_galerkin_symmetry() {
+        // R = P^T on a symmetric A keeps the product symmetric.
+        let a = Csr::poisson1d(9);
+        // Simple aggregation P: 3 fine rows per coarse column.
+        let mut coo = Coo::new(9, 3);
+        for f in 0..9 {
+            coo.push(f, f / 3, 1.0);
+        }
+        let p = coo.to_csr();
+        let r = p.transpose();
+        let rap = triple_product(&r, &a, &p, 2).product;
+        assert_eq!(rap.nrows(), 3);
+        assert_eq!(rap, rap.transpose());
+    }
+
+    #[test]
+    fn empty_rows_handled() {
+        let mut coo = Coo::new(4, 4);
+        coo.push(0, 0, 1.0);
+        let a = coo.to_csr();
+        let b = Csr::identity(4);
+        let c = spgemm_spa(&a, &b, 3).product;
+        assert_eq!(c.nnz(), 1);
+        assert_eq!(c.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn chunk_count_does_not_change_result() {
+        let a = random_csr(50, 50, 6, 9);
+        let base = spgemm_spa(&a, &a, 1).product;
+        for chunks in [2, 3, 7, 50, 64] {
+            assert_eq!(spgemm_spa(&a, &a, chunks).product, base, "chunks={chunks}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn dimension_mismatch_panics() {
+        let a = Csr::identity(3);
+        let b = Csr::identity(4);
+        spgemm_spa(&a, &b, 1);
+    }
+}

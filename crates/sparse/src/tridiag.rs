@@ -1,0 +1,158 @@
+//! Tridiagonal solvers.
+//!
+//! SIMPIC's field solve is a 1-D Poisson equation — a tridiagonal system.
+//! The serial Thomas algorithm solves a rank's sub-block; the distributed
+//! variant in `cpx-simpic` couples blocks through a pipelined sweep whose
+//! serialisation across ranks is the scaling limiter the paper's SIMPIC
+//! curves exhibit.
+
+/// A tridiagonal system `lower[i]·x[i-1] + diag[i]·x[i] + upper[i]·x[i+1]
+/// = rhs[i]` (with `lower[0]` and `upper[n-1]` ignored).
+#[derive(Debug, Clone)]
+pub struct Tridiag {
+    /// Sub-diagonal (index 0 unused).
+    pub lower: Vec<f64>,
+    /// Diagonal.
+    pub diag: Vec<f64>,
+    /// Super-diagonal (last index unused).
+    pub upper: Vec<f64>,
+}
+
+impl Tridiag {
+    /// The 1-D Poisson operator `[-1, 2, -1] / h²` on `n` interior nodes.
+    pub fn poisson(n: usize, h: f64) -> Self {
+        let h2 = h * h;
+        Tridiag {
+            lower: vec![-1.0 / h2; n],
+            diag: vec![2.0 / h2; n],
+            upper: vec![-1.0 / h2; n],
+        }
+    }
+
+    /// System size.
+    pub fn len(&self) -> usize {
+        self.diag.len()
+    }
+
+    /// Whether the system is empty.
+    pub fn is_empty(&self) -> bool {
+        self.diag.is_empty()
+    }
+
+    /// Solve by the Thomas algorithm. Returns `None` if a pivot vanishes
+    /// (the system is singular or needs pivoting).
+    pub fn solve(&self, rhs: &[f64]) -> Option<Vec<f64>> {
+        let n = self.len();
+        assert_eq!(rhs.len(), n, "rhs length");
+        if n == 0 {
+            return Some(Vec::new());
+        }
+        let mut c = vec![0.0f64; n]; // modified upper
+        let mut d = vec![0.0f64; n]; // modified rhs
+        if self.diag[0] == 0.0 {
+            return None;
+        }
+        c[0] = self.upper.first().copied().unwrap_or(0.0) / self.diag[0];
+        d[0] = rhs[0] / self.diag[0];
+        for i in 1..n {
+            let m = self.diag[i] - self.lower[i] * c[i - 1];
+            if m == 0.0 {
+                return None;
+            }
+            c[i] = if i + 1 < n { self.upper[i] / m } else { 0.0 };
+            d[i] = (rhs[i] - self.lower[i] * d[i - 1]) / m;
+        }
+        let mut x = vec![0.0f64; n];
+        x[n - 1] = d[n - 1];
+        for i in (0..n - 1).rev() {
+            x[i] = d[i] - c[i] * x[i + 1];
+        }
+        Some(x)
+    }
+
+    /// Residual infinity norm `‖A x − b‖_∞`.
+    pub fn residual_inf(&self, x: &[f64], rhs: &[f64]) -> f64 {
+        let n = self.len();
+        let mut worst: f64 = 0.0;
+        for i in 0..n {
+            let mut ax = self.diag[i] * x[i];
+            if i > 0 {
+                ax += self.lower[i] * x[i - 1];
+            }
+            if i + 1 < n {
+                ax += self.upper[i] * x[i + 1];
+            }
+            worst = worst.max((ax - rhs[i]).abs());
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_poisson_quadratic() {
+        // -u'' = 2 on (0,1), u(0)=u(1)=0 → u(x) = x(1-x).
+        let n = 64;
+        let h = 1.0 / (n as f64 + 1.0);
+        let sys = Tridiag::poisson(n, h);
+        let rhs = vec![2.0; n];
+        let x = sys.solve(&rhs).unwrap();
+        for i in 0..n {
+            let xi = (i as f64 + 1.0) * h;
+            let exact = xi * (1.0 - xi);
+            assert!(
+                (x[i] - exact).abs() < 1e-10,
+                "node {i}: {} vs {exact}",
+                x[i]
+            );
+        }
+        assert!(sys.residual_inf(&x, &rhs) < 1e-8);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let sys = Tridiag {
+            lower: vec![0.0, 0.0],
+            diag: vec![0.0, 1.0],
+            upper: vec![0.0, 0.0],
+        };
+        assert!(sys.solve(&[1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn size_one_system() {
+        let sys = Tridiag {
+            lower: vec![0.0],
+            diag: vec![4.0],
+            upper: vec![0.0],
+        };
+        assert_eq!(sys.solve(&[8.0]).unwrap(), vec![2.0]);
+    }
+
+    #[test]
+    fn empty_system() {
+        let sys = Tridiag {
+            lower: vec![],
+            diag: vec![],
+            upper: vec![],
+        };
+        assert!(sys.solve(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn general_system_matches_manual() {
+        // [2 1 0; 1 3 1; 0 1 2] x = [3, 5, 3] → x = [1, 1, 1].
+        let sys = Tridiag {
+            lower: vec![0.0, 1.0, 1.0],
+            diag: vec![2.0, 3.0, 2.0],
+            upper: vec![1.0, 1.0, 0.0],
+        };
+        let x = sys.solve(&[3.0, 5.0, 3.0]).unwrap();
+        for v in x {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests for the sparse substrate.
+
+use proptest::prelude::*;
+
+use cpx_sparse::coo::Coo;
+use cpx_sparse::csr::Csr;
+use cpx_sparse::renumber::{renumber_hash_merge, renumber_sort};
+use cpx_sparse::spgemm::{spgemm_hash, spgemm_spa, spgemm_twopass};
+use cpx_sparse::{partition::partition_quality, rcb_partition};
+
+/// Strategy: a random sparse matrix as (nrows, ncols, triplets).
+fn arb_csr(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = Csr> {
+    (1..max_dim, 1..max_dim).prop_flat_map(move |(nr, nc)| {
+        proptest::collection::vec(
+            (0..nr, 0..nc, -100i32..100),
+            0..max_nnz,
+        )
+        .prop_map(move |trips| {
+            let mut coo = Coo::new(nr, nc);
+            for (r, c, v) in trips {
+                coo.push(r, c, v as f64 * 0.25);
+            }
+            coo.to_csr()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_from_coo_always_valid(a in arb_csr(20, 80)) {
+        prop_assert!(a.validate().is_ok());
+    }
+
+    #[test]
+    fn transpose_is_involution(a in arb_csr(20, 80)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn transpose_preserves_entries(a in arb_csr(12, 40)) {
+        let at = a.transpose();
+        for r in 0..a.nrows() {
+            let (cols, vals) = a.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                prop_assert_eq!(at.get(c, r), v);
+            }
+        }
+    }
+
+    #[test]
+    fn spmv_linear_in_x(a in arb_csr(15, 60), k in -4.0f64..4.0) {
+        let n = a.ncols();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let kx: Vec<f64> = x.iter().map(|v| k * v).collect();
+        let mut y1 = vec![0.0; a.nrows()];
+        let mut y2 = vec![0.0; a.nrows()];
+        a.spmv(&x, &mut y1);
+        a.spmv(&kx, &mut y2);
+        for (u, v) in y1.iter().zip(&y2) {
+            prop_assert!((k * u - v).abs() < 1e-9 * (1.0 + u.abs()));
+        }
+    }
+
+    #[test]
+    fn spgemm_variants_agree(seed in 0u64..1000) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (n, k, m) = (
+            rng.gen_range(1..15usize),
+            rng.gen_range(1..15usize),
+            rng.gen_range(1..15usize),
+        );
+        let mut ca = Coo::new(n, k);
+        let mut cb = Coo::new(k, m);
+        for _ in 0..rng.gen_range(0..40) {
+            ca.push(rng.gen_range(0..n), rng.gen_range(0..k), rng.gen_range(-2.0..2.0));
+        }
+        for _ in 0..rng.gen_range(0..40) {
+            cb.push(rng.gen_range(0..k), rng.gen_range(0..m), rng.gen_range(-2.0..2.0));
+        }
+        let (a, b) = (ca.to_csr(), cb.to_csr());
+        let c1 = spgemm_twopass(&a, &b).product;
+        let c2 = spgemm_spa(&a, &b, 1 + (seed as usize % 5)).product;
+        let c3 = spgemm_hash(&a, &b).product;
+        prop_assert_eq!(&c1, &c2);
+        prop_assert_eq!(&c1, &c3);
+        prop_assert!(c1.validate().is_ok());
+    }
+
+    #[test]
+    fn spgemm_respects_distributivity(seed in 0u64..200) {
+        // A(B + C) == AB + AC (within fp tolerance).
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(2..10usize);
+        let mk = |rng: &mut StdRng| {
+            let mut c = Coo::new(n, n);
+            for _ in 0..rng.gen_range(0..25) {
+                c.push(rng.gen_range(0..n), rng.gen_range(0..n), rng.gen_range(-1.0..1.0));
+            }
+            c.to_csr()
+        };
+        let a = mk(&mut rng);
+        let b = mk(&mut rng);
+        let c = mk(&mut rng);
+        let lhs = spgemm_spa(&a, &b.add(&c), 2).product;
+        let rhs = spgemm_spa(&a, &b, 2).product.add(&spgemm_spa(&a, &c, 2).product);
+        for r in 0..n {
+            for cc in 0..n {
+                prop_assert!((lhs.get(r, cc) - rhs.get(r, cc)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn renumber_methods_identical(refs in proptest::collection::vec(0u64..500, 0..400), workers in 1usize..9) {
+        let a = renumber_sort(&refs);
+        let b = renumber_hash_merge(&refs, workers);
+        prop_assert_eq!(&a.table, &b.table);
+        // Table sorted and unique.
+        for w in a.table.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        // Every reference resolvable.
+        for &r in &refs {
+            prop_assert!(a.local_of(r).is_some());
+        }
+    }
+
+    #[test]
+    fn rcb_partition_covers(nx in 1usize..10, ny in 1usize..10, parts in 1usize..9) {
+        let mut coords = Vec::new();
+        for i in 0..nx {
+            for j in 0..ny {
+                coords.push([i as f64, j as f64, 0.0]);
+            }
+        }
+        let a = rcb_partition(&coords, parts);
+        prop_assert_eq!(a.len(), coords.len());
+        prop_assert!(a.iter().all(|&p| p < parts));
+        // When there are at least as many points as parts, no part empty.
+        if coords.len() >= parts {
+            let mut seen = vec![false; parts];
+            for &p in &a {
+                seen[p] = true;
+            }
+            prop_assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn partition_quality_conserves_load(n in 2usize..12, parts in 1usize..6) {
+        let (adj, coords) = cpx_sparse::partition::grid_adjacency(n, n, 1);
+        let a = rcb_partition(&coords, parts);
+        let q = partition_quality(&adj, &a, parts);
+        prop_assert!(q.max_load as f64 >= q.avg_load);
+        prop_assert!(q.imbalance() >= 1.0 - 1e-12);
+        // Halo of every part bounded by total remote cells.
+        for &h in &q.halo_sizes {
+            prop_assert!(h <= n * n);
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! Umbrella crate for the CPX coupled mini-app reproduction workspace.
+//!
+//! This crate exists to host workspace-level integration tests (`tests/`)
+//! and runnable examples (`examples/`). The actual library surface lives in
+//! the `cpx-*` crates; the most convenient entry point is
+//! [`cpx_core::prelude`].
+
+pub use cpx_core as core;

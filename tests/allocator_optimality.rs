@@ -1,0 +1,96 @@
+//! Algorithm 1 vs exhaustive search: on problems small enough to brute-
+//! force, the greedy allocation must be (near-)optimal — the property
+//! the paper's whole resource-distribution methodology rests on.
+
+use cpx_perfmodel::{allocate, AllocConfig, InstanceModel, RuntimeCurve};
+
+fn instance(name: &str, a: f64, c: f64, d: f64) -> InstanceModel {
+    InstanceModel::new(
+        name,
+        RuntimeCurve { a, b: 0.0, c, d },
+        1.0,
+        1.0,
+        1.0,
+        1.0,
+        1,
+    )
+}
+
+/// Exhaustive best runtime for two apps (+ optional CU) and a budget.
+fn brute_force_two_apps(apps: &[InstanceModel; 2], cu: Option<&InstanceModel>, budget: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    let cu_range = if cu.is_some() { 1..budget - 1 } else { 1..2 };
+    for cu_ranks in cu_range {
+        let app_budget = if cu.is_some() { budget - cu_ranks } else { budget };
+        for p0 in 1..app_budget {
+            let p1 = app_budget - p0;
+            if p1 < 1 {
+                continue;
+            }
+            let apps_max = apps[0].predicted_time(p0).max(apps[1].predicted_time(p1));
+            let cu_time = cu.map(|m| m.predicted_time(cu_ranks)).unwrap_or(0.0);
+            best = best.min(apps_max + cu_time);
+        }
+    }
+    best
+}
+
+#[test]
+fn greedy_matches_exhaustive_without_cus() {
+    for (a0, a1) in [(100.0, 100.0), (100.0, 350.0), (20.0, 900.0)] {
+        let apps = [instance("a", a0, 0.0, 0.0), instance("b", a1, 0.0, 0.0)];
+        let budget = 60;
+        let greedy = allocate(&apps, &[], AllocConfig { budget }).predicted_runtime();
+        let optimal = brute_force_two_apps(&apps, None, budget);
+        assert!(
+            greedy <= optimal * 1.05,
+            "a=({a0},{a1}): greedy {greedy} vs optimal {optimal}"
+        );
+    }
+}
+
+#[test]
+fn greedy_matches_exhaustive_with_cu() {
+    let apps = [instance("a", 150.0, 0.0, 0.0), instance("b", 90.0, 0.0, 0.0)];
+    let cu = instance("cu", 40.0, 0.0, 0.0);
+    let budget = 50;
+    let greedy = allocate(&apps, std::slice::from_ref(&cu), AllocConfig { budget })
+        .predicted_runtime();
+    let optimal = brute_force_two_apps(&apps, Some(&cu), budget);
+    assert!(
+        greedy <= optimal * 1.08,
+        "greedy {greedy} vs optimal {optimal}"
+    );
+}
+
+#[test]
+fn greedy_near_optimal_with_saturating_instance() {
+    // One instance has a pipeline term (sweet spot inside the budget);
+    // greedy must not lose much to the exhaustive optimum.
+    let apps = [
+        instance("pipeline", 400.0, 0.0, 0.5), // sweet spot ≈ √800 ≈ 28
+        instance("ideal", 200.0, 0.0, 0.0),
+    ];
+    let budget = 80;
+    let greedy = allocate(&apps, &[], AllocConfig { budget }).predicted_runtime();
+    let optimal = brute_force_two_apps(&apps, None, budget);
+    assert!(
+        greedy <= optimal * 1.10,
+        "greedy {greedy} vs optimal {optimal}"
+    );
+}
+
+#[test]
+fn greedy_handles_log_terms() {
+    let apps = [
+        instance("collective-bound", 300.0, 0.3, 0.0),
+        instance("ideal", 150.0, 0.0, 0.0),
+    ];
+    let budget = 70;
+    let greedy = allocate(&apps, &[], AllocConfig { budget }).predicted_runtime();
+    let optimal = brute_force_two_apps(&apps, None, budget);
+    assert!(
+        greedy <= optimal * 1.08,
+        "greedy {greedy} vs optimal {optimal}"
+    );
+}

@@ -1,0 +1,164 @@
+//! Cross-validation of the two execution backends: the threaded
+//! virtual-time runtime (`cpx-comm`) and the discrete-event trace
+//! replayer (`cpx-machine`) must agree on the timing of identical
+//! communication patterns — the replayer is the testbed stand-in, the
+//! threaded runtime is the functional reference.
+
+use cpx_comm::{ReduceOp, World};
+use cpx_machine::{CollectiveKind, KernelCost, Machine, Replayer, TraceProgram};
+
+/// Ring halo exchange + compute, threaded.
+fn threaded_ring(n: usize, steps: usize, flops: f64, bytes: usize) -> f64 {
+    let res = World::new(Machine::archer2()).run(n, move |ctx| {
+        let me = ctx.rank();
+        let p = ctx.size();
+        for _ in 0..steps {
+            ctx.compute(KernelCost::new(flops, flops));
+            ctx.send((me + 1) % p, 7, vec![0.0f64; bytes / 8]);
+            let _ = ctx.recv((me + p - 1) % p, 7);
+        }
+        ctx.now()
+    });
+    res.iter().map(|(t, _)| *t).fold(0.0, f64::max)
+}
+
+/// The same pattern as a trace program.
+fn des_ring(n: usize, steps: u32, flops: f64, bytes: usize) -> f64 {
+    let mut program = TraceProgram::new(n);
+    for r in 0..n {
+        let body = vec![
+            cpx_machine::Op::Compute(KernelCost::new(flops, flops)),
+            cpx_machine::Op::Send {
+                dst: (r + 1) % n,
+                bytes,
+                tag: 7,
+            },
+            cpx_machine::Op::Recv {
+                src: (r + n - 1) % n,
+                tag: 7,
+            },
+        ];
+        program.rank(r).ops.push(cpx_machine::Op::Repeat { count: steps, body });
+    }
+    Replayer::new(Machine::archer2())
+        .run(&program)
+        .unwrap()
+        .makespan()
+}
+
+#[test]
+fn ring_pattern_times_agree() {
+    for (n, flops, bytes) in [(8usize, 1e7, 8192), (32, 1e6, 1024), (64, 1e8, 65_536)] {
+        let t_threaded = threaded_ring(n, 20, flops, bytes);
+        let t_des = des_ring(n, 20, flops, bytes);
+        let rel = (t_threaded - t_des).abs() / t_des;
+        assert!(
+            rel < 0.05,
+            "n={n}: threaded {t_threaded} vs DES {t_des} ({:.1}% apart)",
+            rel * 100.0
+        );
+    }
+}
+
+#[test]
+fn compute_only_times_identical() {
+    let flops = 3.3e9;
+    let t_threaded = World::new(Machine::archer2())
+        .run(4, move |ctx| {
+            ctx.compute(KernelCost::flops(flops));
+            ctx.now()
+        })
+        .into_iter()
+        .map(|(t, _)| t)
+        .fold(0.0, f64::max);
+    let mut program = TraceProgram::new(4);
+    for r in 0..4 {
+        program.rank(r).compute(KernelCost::flops(flops));
+    }
+    let t_des = Replayer::new(Machine::archer2())
+        .run(&program)
+        .unwrap()
+        .makespan();
+    assert!((t_threaded - t_des).abs() < 1e-12);
+}
+
+#[test]
+fn allreduce_costs_same_order() {
+    // Collectives use tree algorithms over p2p in the threaded runtime
+    // and an analytic α–β model in the replayer; they must agree to
+    // within a small factor (both ~2·log2(p)·α for small payloads).
+    let n = 64;
+    let iters = 50;
+    let t_threaded = World::new(Machine::archer2())
+        .run(n, move |ctx| {
+            let g = ctx.world();
+            for _ in 0..iters {
+                g.allreduce_scalar(ctx, ReduceOp::Sum, 1.0);
+            }
+            ctx.now()
+        })
+        .into_iter()
+        .map(|(t, _)| t)
+        .fold(0.0, f64::max);
+    let mut program = TraceProgram::new(n);
+    let group = program.add_world_group();
+    for r in 0..n {
+        let t = program.rank(r);
+        for _ in 0..iters {
+            t.collective(CollectiveKind::Allreduce, group, 8);
+        }
+    }
+    let t_des = Replayer::new(Machine::archer2())
+        .run(&program)
+        .unwrap()
+        .makespan();
+    let ratio = t_threaded / t_des;
+    assert!(
+        (0.3..3.5).contains(&ratio),
+        "threaded {t_threaded} vs DES {t_des}: ratio {ratio}"
+    );
+}
+
+#[test]
+fn mixed_workload_within_tolerance() {
+    // Compute + neighbour exchange + occasional allreduce: the shape of
+    // every mini-app step. Compute-dominated, so agreement is tight.
+    let n = 16;
+    let t_threaded = World::new(Machine::archer2())
+        .run(n, move |ctx| {
+            let me = ctx.rank();
+            let p = ctx.size();
+            let g = ctx.world();
+            for step in 0..10 {
+                ctx.compute(KernelCost::new(5e7, 5e7));
+                ctx.send((me + 1) % p, 3, vec![1.0f64; 512]);
+                let _ = ctx.recv((me + p - 1) % p, 3);
+                if step % 5 == 0 {
+                    g.allreduce_scalar(ctx, ReduceOp::Max, me as f64);
+                }
+            }
+            ctx.now()
+        })
+        .into_iter()
+        .map(|(t, _)| t)
+        .fold(0.0, f64::max);
+    let mut program = TraceProgram::new(n);
+    let group = program.add_world_group();
+    for r in 0..n {
+        for step in 0..10 {
+            let t = program.rank(r);
+            t.compute(KernelCost::new(5e7, 5e7));
+            t.send((r + 1) % n, 4096, 3);
+            t.recv((r + n - 1) % n, 3);
+            if step % 5 == 0 {
+                t.collective(CollectiveKind::Allreduce, group, 8);
+            }
+        }
+    }
+    let t_des = Replayer::new(Machine::archer2())
+        .run(&program)
+        .unwrap()
+        .makespan();
+    let rel = (t_threaded - t_des).abs() / t_des;
+    assert!(rel < 0.1, "threaded {t_threaded} vs DES {t_des}");
+}
