@@ -34,7 +34,12 @@ pub fn estimate_eig_max(a: &Csr, iters: usize) -> f64 {
         if norm == 0.0 {
             return 1.0;
         }
-        lambda = norm / v.iter().map(|x| x * x).sum::<f64>().sqrt().max(f64::MIN_POSITIVE);
+        lambda = norm
+            / v.iter()
+                .map(|x| x * x)
+                .sum::<f64>()
+                .sqrt()
+                .max(f64::MIN_POSITIVE);
         let inv = 1.0 / norm;
         for (vi, ai) in v.iter_mut().zip(&av) {
             *vi = ai * inv;

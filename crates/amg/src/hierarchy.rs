@@ -350,7 +350,7 @@ mod tests {
         let a = Csr::poisson3d(10, 10, 10);
         let h = Hierarchy::build(a, HierarchyConfig::default());
         let oc = h.operator_complexity();
-        assert!(oc >= 1.0 && oc < 3.0, "operator complexity {oc}");
+        assert!((1.0..3.0).contains(&oc), "operator complexity {oc}");
     }
 
     #[test]
@@ -385,7 +385,7 @@ mod tests {
                 diag += 1.0;
             }
             coo.push(i, i, diag);
-            }
+        }
         let a = coo.to_csr();
         let h = Hierarchy::build(a.clone(), HierarchyConfig::default());
         // Compatible RHS: b = A * something.

@@ -111,11 +111,7 @@ mod tests {
                 cv.iter().sum::<f64>().abs() < 1e-12
             });
             if row_sum.abs() < 1e-12 && all_interior {
-                assert!(
-                    (fine[r] - 1.0).abs() < 1e-10,
-                    "row {r}: {} != 1",
-                    fine[r]
-                );
+                assert!((fine[r] - 1.0).abs() < 1e-10, "row {r}: {} != 1", fine[r]);
             }
         }
     }

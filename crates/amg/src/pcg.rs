@@ -188,7 +188,13 @@ mod tests {
     fn plain_cg_converges() {
         let (a, b, x_exact) = problem(12);
         let mut x = vec![0.0; b.len()];
-        let out = pcg(&a, &b, &mut x, &Preconditioner::Identity, CgConfig::default());
+        let out = pcg(
+            &a,
+            &b,
+            &mut x,
+            &Preconditioner::Identity,
+            CgConfig::default(),
+        );
         assert!(out.converged, "relres {}", out.final_relres);
         for (u, v) in x.iter().zip(&x_exact) {
             assert!((u - v).abs() < 1e-6);
@@ -222,7 +228,13 @@ mod tests {
         assert!(amg.iters <= 30, "AMG-PCG took {} iterations", amg.iters);
 
         let mut x2 = vec![0.0; b.len()];
-        let plain = pcg(&a, &b, &mut x2, &Preconditioner::Identity, CgConfig::default());
+        let plain = pcg(
+            &a,
+            &b,
+            &mut x2,
+            &Preconditioner::Identity,
+            CgConfig::default(),
+        );
         assert!(
             amg.iters < plain.iters,
             "AMG {} vs plain {}",
@@ -271,7 +283,13 @@ mod tests {
         let (a, _, _) = problem(8);
         let b = vec![0.0; a.nrows()];
         let mut x = vec![0.0; a.nrows()];
-        let out = pcg(&a, &b, &mut x, &Preconditioner::Identity, CgConfig::default());
+        let out = pcg(
+            &a,
+            &b,
+            &mut x,
+            &Preconditioner::Identity,
+            CgConfig::default(),
+        );
         assert!(out.converged);
         assert_eq!(out.iters, 0);
     }
@@ -280,7 +298,13 @@ mod tests {
     fn warm_start_respected() {
         let (a, b, x_exact) = problem(10);
         let mut x = x_exact.clone();
-        let out = pcg(&a, &b, &mut x, &Preconditioner::Identity, CgConfig::default());
+        let out = pcg(
+            &a,
+            &b,
+            &mut x,
+            &Preconditioner::Identity,
+            CgConfig::default(),
+        );
         assert_eq!(out.iters, 0, "exact start must converge instantly");
     }
 }

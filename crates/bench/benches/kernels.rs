@@ -87,10 +87,20 @@ fn bench_amg_setup(c: &mut Criterion) {
 fn bench_search(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(11);
     let donors: Vec<[f64; 2]> = (0..20_000)
-        .map(|_| [rng.gen_range(1.0..2.0), rng.gen_range(0.0..std::f64::consts::TAU)])
+        .map(|_| {
+            [
+                rng.gen_range(1.0..2.0),
+                rng.gen_range(0.0..std::f64::consts::TAU),
+            ]
+        })
         .collect();
     let queries: Vec<[f64; 2]> = (0..2_000)
-        .map(|_| [rng.gen_range(1.0..2.0), rng.gen_range(0.0..std::f64::consts::TAU)])
+        .map(|_| {
+            [
+                rng.gen_range(1.0..2.0),
+                rng.gen_range(0.0..std::f64::consts::TAU),
+            ]
+        })
         .collect();
     let period = std::f64::consts::TAU;
     let mut g = c.benchmark_group("donor_search_20k_donors_2k_queries");

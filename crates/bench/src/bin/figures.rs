@@ -243,7 +243,10 @@ fn fig4ab(machine: &Machine) {
 fn fig4c(machine: &Machine) {
     header("Fig 4c: SIMPIC 380M-equivalent base case, 1,000→10,000 cores");
     let s = simpic_series(SimpicConfig::base_380m(), &SWEEP_LARGE, machine);
-    println!("{:>8} {:>12} {:>10} {:>10}", "ranks", "t/step (s)", "speedup", "PE");
+    println!(
+        "{:>8} {:>12} {:>10} {:>10}",
+        "ranks", "t/step (s)", "speedup", "PE"
+    );
     for i in 0..s.points.len() {
         println!(
             "{:>8} {:>12.3} {:>10.2} {:>10.2}",
@@ -393,7 +396,10 @@ fn fig8a(machine: &Machine) {
         );
     }
     for (i, cu) in scenario.cus.iter().enumerate() {
-        println!("{:>20} {:>8} {:>14.2}", cu.name, alloc.cu_ranks[i], alloc.cu_times[i]);
+        println!(
+            "{:>20} {:>8} {:>14.2}",
+            cu.name, alloc.cu_ranks[i], alloc.cu_times[i]
+        );
     }
     println!(
         "coupled runtime: predicted {:.1}s, measured {:.1}s; worst instance error {:.0}%",

@@ -92,7 +92,10 @@ pub fn comparison_table(a: &Series, b: &Series) -> String {
     for (&(p, ta), &(_, tb)) in a.points.iter().zip(&b.points) {
         let err = (ta - tb).abs() / ta;
         errs.push(err);
-        out.push_str(&format!("{p:>8} {ta:>14.3} {tb:>14.3} {:>7.1}%\n", err * 100.0));
+        out.push_str(&format!(
+            "{p:>8} {ta:>14.3} {tb:>14.3} {:>7.1}%\n",
+            err * 100.0
+        ));
     }
     let max = errs.iter().copied().fold(0.0, f64::max);
     let mean = errs.iter().sum::<f64>() / errs.len() as f64;

@@ -1,0 +1,416 @@
+//! Fault injection for the virtual-time runtime.
+//!
+//! A [`FaultPlan`] is a *seeded, declarative* description of the faults a
+//! run should experience: per-rank crashes at a given virtual time,
+//! per-message link faults (drop / duplicate / delay, each with a
+//! probability), and transient link-degradation windows during which the
+//! drop probability rises and latency is inflated. All fault decisions
+//! are **pure functions of the plan** — a message's fate is derived by
+//! hashing `(seed, src, dst, attempt-sequence)` — so two runs with the
+//! same plan inject byte-identical faults regardless of host scheduling.
+//! That is what makes resilience experiments on the virtual runtime
+//! reproducible: the same seed yields the same per-rank outcomes and the
+//! same [`crate::TimeReport`]s, bit for bit.
+//!
+//! The error surface is [`CommError`]; fallible operations
+//! ([`crate::RankCtx::try_send`], [`crate::RankCtx::recv_timeout`],
+//! `Group::try_*` collectives) return it, and the classic infallible APIs
+//! are thin wrappers that panic on it (the panic payload *is* the
+//! `CommError`, which [`crate::World::run_with_plan`] catches and turns
+//! into a [`crate::RankOutcome::Failed`]).
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Errors surfaced by fallible communication operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CommError {
+    /// The peer rank crashed (at the given virtual time) and the message
+    /// being waited for can never arrive.
+    PeerDead {
+        /// World rank of the crashed peer.
+        peer: usize,
+        /// Virtual time at which it crashed.
+        at: f64,
+    },
+    /// A `recv_timeout` deadline elapsed before a matching message's
+    /// arrival time.
+    Timeout {
+        /// Expected source rank.
+        src: usize,
+        /// Expected tag.
+        tag: u64,
+        /// Virtual seconds waited before giving up.
+        waited: f64,
+    },
+    /// The fault plan dropped this message on the link.
+    Dropped {
+        /// Destination rank.
+        dst: usize,
+        /// Message tag.
+        tag: u64,
+        /// Send-attempt sequence number on this link (for diagnostics;
+        /// retries get fresh numbers).
+        attempt: u64,
+    },
+    /// A rank outside the world was addressed.
+    RankOutOfRange {
+        /// The offending rank id.
+        rank: usize,
+        /// World size.
+        size: usize,
+    },
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::PeerDead { peer, at } => {
+                write!(f, "peer rank {peer} is dead (crashed at t={at:.6}s)")
+            }
+            CommError::Timeout { src, tag, waited } => write!(
+                f,
+                "timed out after {waited:.6}s waiting for message from rank {src} tag {tag:#x}"
+            ),
+            CommError::Dropped { dst, tag, attempt } => write!(
+                f,
+                "message to rank {dst} tag {tag:#x} dropped by fault plan (attempt {attempt})"
+            ),
+            CommError::RankOutOfRange { rank, size } => {
+                write!(f, "rank {rank} out of range for world of size {size}")
+            }
+        }
+    }
+}
+
+impl Error for CommError {}
+
+/// A transient window of link degradation: while the sender's virtual
+/// clock is inside `[from, until)`, every message suffers `extra_drop`
+/// additional drop probability and its transfer time is multiplied by
+/// `delay_factor`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkDegradation {
+    /// Window start (virtual seconds).
+    pub from: f64,
+    /// Window end (virtual seconds, exclusive).
+    pub until: f64,
+    /// Drop probability added to the base rate inside the window.
+    pub extra_drop: f64,
+    /// Multiplier (≥ 1) applied to the point-to-point transfer time.
+    pub delay_factor: f64,
+}
+
+impl LinkDegradation {
+    fn active(&self, now: f64) -> bool {
+        now >= self.from && now < self.until
+    }
+}
+
+/// The per-message fate decided by a [`FaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkEvent {
+    /// The message is silently lost on the link.
+    pub dropped: bool,
+    /// A duplicate copy is also delivered (the receiver's transport layer
+    /// discards it, as a sequence-numbered protocol would).
+    pub duplicated: bool,
+    /// Multiplier on the base transfer time (from degradation windows).
+    pub delay_factor: f64,
+    /// Additive delivery jitter in virtual seconds.
+    pub jitter: f64,
+}
+
+impl LinkEvent {
+    /// The event for a fault-free link.
+    pub fn clean() -> LinkEvent {
+        LinkEvent {
+            dropped: false,
+            duplicated: false,
+            delay_factor: 1.0,
+            jitter: 0.0,
+        }
+    }
+}
+
+/// A seeded, serializable description of the faults to inject into a
+/// [`crate::World`] run. See the module docs for the determinism
+/// contract.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for all per-message fault decisions.
+    pub seed: u64,
+    /// `(rank, virtual time)` crash schedule. A rank dies the first time
+    /// its clock reaches the given time at a charge point (compute, send,
+    /// receive); its virtual clock is clamped to the crash time.
+    crashes: Vec<(usize, f64)>,
+    /// Base probability that any message is dropped on the link.
+    pub drop_prob: f64,
+    /// Probability that a message is delivered twice.
+    pub dup_prob: f64,
+    /// Probability that a message suffers `delay_secs` extra latency.
+    pub delay_prob: f64,
+    /// Extra latency (virtual seconds) charged to delayed messages.
+    pub delay_secs: f64,
+    /// Transient degradation windows (apply to all links).
+    pub degradations: Vec<LinkDegradation>,
+    /// Virtual seconds between a crash and surviving ranks being able to
+    /// observe it (failure-detector latency).
+    pub detect_latency: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan::new(0)
+    }
+}
+
+/// splitmix64 finalizer: the mixing core of every fault decision.
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Map 64 random bits to a uniform `f64` in `[0, 1)`.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl FaultPlan {
+    /// An empty (fault-free) plan with the given decision seed.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            crashes: Vec::new(),
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            delay_prob: 0.0,
+            delay_secs: 0.0,
+            degradations: Vec::new(),
+            detect_latency: 1e-4,
+        }
+    }
+
+    /// Schedule `rank` to crash when its virtual clock reaches `at`.
+    pub fn with_crash(mut self, rank: usize, at: f64) -> FaultPlan {
+        assert!(at >= 0.0 && at.is_finite(), "crash time must be finite");
+        self.crashes.retain(|&(r, _)| r != rank);
+        self.crashes.push((rank, at));
+        self.crashes.sort_by_key(|&(r, _)| r);
+        self
+    }
+
+    /// Set the base per-message drop probability.
+    pub fn with_drop_prob(mut self, p: f64) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&p));
+        self.drop_prob = p;
+        self
+    }
+
+    /// Set the per-message duplication probability.
+    pub fn with_dup_prob(mut self, p: f64) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&p));
+        self.dup_prob = p;
+        self
+    }
+
+    /// With probability `p`, add `secs` of delivery latency to a message.
+    pub fn with_delay(mut self, p: f64, secs: f64) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&p));
+        assert!(secs >= 0.0 && secs.is_finite());
+        self.delay_prob = p;
+        self.delay_secs = secs;
+        self
+    }
+
+    /// Add a transient link-degradation window.
+    pub fn with_degradation(mut self, window: LinkDegradation) -> FaultPlan {
+        assert!(window.from <= window.until, "degradation window inverted");
+        assert!((0.0..=1.0).contains(&window.extra_drop));
+        assert!(window.delay_factor >= 1.0, "delay factor must be >= 1");
+        self.degradations.push(window);
+        self
+    }
+
+    /// Set the failure-detector latency.
+    pub fn with_detect_latency(mut self, secs: f64) -> FaultPlan {
+        assert!(secs >= 0.0 && secs.is_finite());
+        self.detect_latency = secs;
+        self
+    }
+
+    /// The crash schedule, sorted by rank.
+    pub fn crashes(&self) -> &[(usize, f64)] {
+        &self.crashes
+    }
+
+    /// The virtual time at which `rank` is scheduled to crash, if any.
+    pub fn crash_time(&self, rank: usize) -> Option<f64> {
+        self.crashes
+            .iter()
+            .find(|&&(r, _)| r == rank)
+            .map(|&(_, t)| t)
+    }
+
+    /// Whether the plan injects no faults at all (lets the runtime skip
+    /// all fault bookkeeping on the hot path).
+    pub fn is_trivial(&self) -> bool {
+        self.crashes.is_empty()
+            && self.drop_prob == 0.0
+            && self.dup_prob == 0.0
+            && self.delay_prob == 0.0
+            && self.degradations.is_empty()
+    }
+
+    /// Decide the fate of send attempt `seq` from `src` to `dst` issued
+    /// at sender virtual time `now`. Pure: the same arguments always
+    /// yield the same event.
+    pub fn link_event(&self, src: usize, dst: usize, seq: u64, now: f64) -> LinkEvent {
+        if self.is_trivial() {
+            return LinkEvent::clean();
+        }
+        let mut drop_p = self.drop_prob;
+        let mut factor = 1.0;
+        for w in &self.degradations {
+            if w.active(now) {
+                drop_p = (drop_p + w.extra_drop).min(1.0);
+                factor *= w.delay_factor;
+            }
+        }
+        let link =
+            mix64(self.seed ^ ((src as u64) << 32 | dst as u64).wrapping_mul(0x9e3779b97f4a7c15));
+        let h = mix64(link ^ mix64(seq ^ 0x00fa_0174));
+        LinkEvent {
+            dropped: unit(mix64(h ^ 0xd80b)) < drop_p,
+            duplicated: unit(mix64(h ^ 0xd0bb)) < self.dup_prob,
+            delay_factor: factor,
+            jitter: if unit(mix64(h ^ 0xde1a)) < self.delay_prob {
+                self.delay_secs
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Signal payload used to unwind a rank thread at its scheduled crash
+/// time. [`crate::World::run_with_plan`] downcasts it into
+/// [`crate::RankOutcome::Crashed`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CrashSignal {
+    pub at: f64,
+}
+
+/// Shared registry of crashed ranks. A dying rank marks itself here
+/// *before* unwinding, and every one of its channel sends completes
+/// before the mark, so a surviving rank that (a) observes the mark and
+/// then (b) drains its inbox is guaranteed to have seen every message
+/// the dead rank ever sent — that ordering is what makes `PeerDead`
+/// detection deterministic.
+#[derive(Default)]
+pub(crate) struct DeadRegistry {
+    map: Mutex<HashMap<usize, f64>>,
+}
+
+impl DeadRegistry {
+    pub fn mark(&self, rank: usize, at: f64) {
+        self.map.lock().entry(rank).or_insert(at);
+    }
+
+    pub fn time_of(&self, rank: usize) -> Option<f64> {
+        self.map.lock().get(&rank).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = CommError::PeerDead { peer: 3, at: 1.5 };
+        assert!(e.to_string().contains("rank 3"));
+        let e = CommError::Dropped {
+            dst: 1,
+            tag: 7,
+            attempt: 2,
+        };
+        assert!(e.to_string().contains("dropped"));
+    }
+
+    #[test]
+    fn link_events_are_deterministic() {
+        let plan = FaultPlan::new(42)
+            .with_drop_prob(0.3)
+            .with_dup_prob(0.2)
+            .with_delay(0.5, 1e-5);
+        for seq in 0..100 {
+            let a = plan.link_event(0, 1, seq, 0.5);
+            let b = plan.link_event(0, 1, seq, 0.5);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn drop_rate_tracks_probability() {
+        let plan = FaultPlan::new(7).with_drop_prob(0.25);
+        let dropped = (0..10_000)
+            .filter(|&seq| plan.link_event(2, 5, seq, 0.0).dropped)
+            .count();
+        let rate = dropped as f64 / 10_000.0;
+        assert!((rate - 0.25).abs() < 0.03, "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn links_decide_independently() {
+        let plan = FaultPlan::new(9).with_drop_prob(0.5);
+        let a: Vec<bool> = (0..64)
+            .map(|s| plan.link_event(0, 1, s, 0.0).dropped)
+            .collect();
+        let b: Vec<bool> = (0..64)
+            .map(|s| plan.link_event(1, 0, s, 0.0).dropped)
+            .collect();
+        assert_ne!(a, b, "link (0,1) and (1,0) should have distinct streams");
+    }
+
+    #[test]
+    fn degradation_window_applies_inside_only() {
+        let plan = FaultPlan::new(1).with_degradation(LinkDegradation {
+            from: 1.0,
+            until: 2.0,
+            extra_drop: 1.0,
+            delay_factor: 4.0,
+        });
+        let inside = plan.link_event(0, 1, 0, 1.5);
+        assert!(inside.dropped);
+        assert_eq!(inside.delay_factor, 4.0);
+        let outside = plan.link_event(0, 1, 0, 2.5);
+        assert!(!outside.dropped);
+        assert_eq!(outside.delay_factor, 1.0);
+    }
+
+    #[test]
+    fn crash_schedule_lookup() {
+        let plan = FaultPlan::new(0).with_crash(3, 0.25).with_crash(1, 0.5);
+        assert_eq!(plan.crash_time(3), Some(0.25));
+        assert_eq!(plan.crash_time(1), Some(0.5));
+        assert_eq!(plan.crash_time(0), None);
+        assert_eq!(plan.crashes(), &[(1, 0.5), (3, 0.25)]);
+        assert!(!plan.is_trivial());
+        assert!(FaultPlan::new(99).is_trivial());
+    }
+
+    #[test]
+    fn dead_registry_first_mark_wins() {
+        let reg = DeadRegistry::default();
+        assert_eq!(reg.time_of(2), None);
+        reg.mark(2, 1.0);
+        reg.mark(2, 5.0);
+        assert_eq!(reg.time_of(2), Some(1.0));
+    }
+}

@@ -11,15 +11,29 @@
 //! the group's signature and a per-group sequence number, so collectives
 //! on different (even overlapping) groups never cross-match, and user
 //! tags can never collide with internal ones.
+//!
+//! Under a fault plan, collective point-to-point stages retry dropped
+//! messages with exponential backoff charged to virtual time, and a
+//! member whose partner crashed observes `CommError::PeerDead` within a
+//! bounded number of attempts instead of deadlocking. The `try_*`
+//! variants surface those errors; the classic infallible collectives
+//! wrap them and panic (payload = the `CommError`) on unrecoverable
+//! failure.
 
 use std::cell::Cell;
 
+use crate::fault::CommError;
 use crate::payload::Payload;
 use crate::runtime::RankCtx;
 use crate::ReduceOp;
 
 /// Bit marking internal (collective) tags.
 const INTERNAL: u64 = 1 << 63;
+
+/// Send retries a collective stage attempts before giving up on a
+/// dropped link. Detection of a dead peer is immediate (registry), so
+/// this bounds only the drop-retry loop.
+const COLLECTIVE_MAX_ATTEMPTS: u32 = 24;
 
 /// 64-bit mix (splitmix64 finalizer) for tag-space derivation.
 fn mix64(mut x: u64) -> u64 {
@@ -53,7 +67,7 @@ impl Group {
         Group {
             ranks: (0..size).collect(),
             my_index: my_rank,
-            sig: mix64(0x57_6f_72_6c_64 ^ (size as u64)),
+            sig: mix64(0x57_6f72_6c64 ^ (size as u64)),
             coll_seq: Cell::new(0),
             split_seq: Cell::new(0),
         }
@@ -118,24 +132,123 @@ impl Group {
     }
 
     // ---------------------------------------------------------------
+    // Fault-aware point-to-point stages
+    // ---------------------------------------------------------------
+
+    /// Send one collective-stage message to group member `i`, retrying
+    /// fault-injected drops with exponential backoff (charged to the
+    /// virtual clock and the sender's `recovery_time`). Propagates
+    /// `PeerDead` immediately; returns the final `Dropped` error when
+    /// the retry budget is exhausted.
+    fn fsend(
+        &self,
+        ctx: &mut RankCtx,
+        member: usize,
+        tag: u64,
+        payload: Payload,
+    ) -> Result<(), CommError> {
+        let dst = self.ranks[member];
+        let mut attempt = 0u32;
+        loop {
+            match ctx.try_send_tagged(dst, tag, payload.clone()) {
+                Ok(()) => return Ok(()),
+                Err(e @ CommError::Dropped { .. }) => {
+                    attempt += 1;
+                    if attempt >= COLLECTIVE_MAX_ATTEMPTS {
+                        return Err(e);
+                    }
+                    ctx.charge_backoff(attempt as u64);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Receive one collective-stage message from group member `i`,
+    /// observing `PeerDead` for crashed partners instead of
+    /// deadlocking.
+    fn frecv(&self, ctx: &mut RankCtx, member: usize, tag: u64) -> Result<Payload, CommError> {
+        ctx.recv_checked(self.ranks[member], tag)
+    }
+
+    /// Unwrap a fallible collective result for the infallible wrappers:
+    /// panic with the `CommError` as payload (so
+    /// [`crate::World::run_with_plan`] reports it as
+    /// [`crate::RankOutcome::Failed`]).
+    fn unwrap_coll<T>(r: Result<T, CommError>) -> T {
+        match r {
+            Ok(t) => t,
+            Err(e) => std::panic::panic_any(e),
+        }
+    }
+
+    /// Abandon a collective after an unrecoverable stage error:
+    /// broadcast abort markers to every other member on all of the
+    /// collective's reserved tags (ULFM-style revoke), so members
+    /// blocked waiting on *us* observe the failure instead of
+    /// deadlocking. Cascades terminate because each member aborts a
+    /// given collective at most once and markers bypass fault
+    /// injection.
+    fn abort_collective(&self, ctx: &mut RankCtx, tags: &[u64], e: &CommError) {
+        let (peer, at) = match e {
+            CommError::PeerDead { peer, at } => (*peer, *at),
+            _ => (self.ranks[self.my_index], ctx.now()),
+        };
+        for &tag in tags {
+            for i in 0..self.size() {
+                if i != self.my_index {
+                    ctx.send_abort(self.ranks[i], tag, peer, at);
+                }
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------
     // Collectives
     // ---------------------------------------------------------------
 
     /// Binomial-tree broadcast from group member `root`. On the root
-    /// `data` is the input; on the others it is overwritten.
+    /// `data` is the input; on the others it is overwritten. Panics on
+    /// unrecoverable faults; see [`Group::try_bcast`].
     pub fn bcast(&self, ctx: &mut RankCtx, root: usize, data: &mut Payload) {
+        Self::unwrap_coll(self.try_bcast(ctx, root, data));
+    }
+
+    /// Fallible broadcast: retries dropped stage messages with backoff,
+    /// reports `PeerDead` if a tree partner crashed (revoking the
+    /// collective for the other members).
+    pub fn try_bcast(
+        &self,
+        ctx: &mut RankCtx,
+        root: usize,
+        data: &mut Payload,
+    ) -> Result<(), CommError> {
+        let tag = self.next_tag();
+        let r = self.bcast_stage(ctx, root, data, tag);
+        if let Err(ref e) = r {
+            self.abort_collective(ctx, &[tag], e);
+        }
+        r
+    }
+
+    fn bcast_stage(
+        &self,
+        ctx: &mut RankCtx,
+        root: usize,
+        data: &mut Payload,
+        tag: u64,
+    ) -> Result<(), CommError> {
         let p = self.size();
         if p == 1 {
-            return;
+            return Ok(());
         }
-        let tag = self.next_tag();
         let rel = (self.my_index + p - root) % p;
-        let abs = |r: usize| self.ranks[(r + root) % p];
+        let idx = |r: usize| (r + root) % p;
 
         let mut mask = 1usize;
         while mask < p {
             if rel & mask != 0 {
-                *data = ctx.recv_tagged(abs(rel - mask), tag);
+                *data = self.frecv(ctx, idx(rel - mask), tag)?;
                 break;
             }
             mask <<= 1;
@@ -143,112 +256,225 @@ impl Group {
         mask >>= 1;
         while mask > 0 {
             if rel + mask < p {
-                ctx.send_tagged(abs(rel + mask), tag, data.clone());
+                self.fsend(ctx, idx(rel + mask), tag, data.clone())?;
             }
             mask >>= 1;
         }
+        Ok(())
     }
 
     /// Binomial-tree reduction of `data` to group member `root` with a
     /// commutative operator. On return, `data` on the root holds the
-    /// reduction; on other ranks it holds a partial result.
+    /// reduction; on other ranks it holds a partial result. Panics on
+    /// unrecoverable faults; see [`Group::try_reduce`].
     pub fn reduce(&self, ctx: &mut RankCtx, root: usize, op: ReduceOp, data: &mut [f64]) {
+        Self::unwrap_coll(self.try_reduce(ctx, root, op, data));
+    }
+
+    /// Fallible reduction (see [`Group::try_bcast`] for the fault
+    /// contract).
+    pub fn try_reduce(
+        &self,
+        ctx: &mut RankCtx,
+        root: usize,
+        op: ReduceOp,
+        data: &mut [f64],
+    ) -> Result<(), CommError> {
+        let tag = self.next_tag();
+        let r = self.reduce_stage(ctx, root, op, data, tag);
+        if let Err(ref e) = r {
+            self.abort_collective(ctx, &[tag], e);
+        }
+        r
+    }
+
+    fn reduce_stage(
+        &self,
+        ctx: &mut RankCtx,
+        root: usize,
+        op: ReduceOp,
+        data: &mut [f64],
+        tag: u64,
+    ) -> Result<(), CommError> {
         let p = self.size();
         if p == 1 {
-            return;
+            return Ok(());
         }
-        let tag = self.next_tag();
         let rel = (self.my_index + p - root) % p;
-        let abs = |r: usize| self.ranks[(r + root) % p];
+        let idx = |r: usize| (r + root) % p;
 
         let mut mask = 1usize;
         while mask < p {
             if rel & mask != 0 {
-                ctx.send_tagged(abs(rel - mask), tag, Payload::F64(data.to_vec()));
+                self.fsend(ctx, idx(rel - mask), tag, Payload::F64(data.to_vec()))?;
                 break;
             }
             let src = rel | mask;
             if src < p {
-                let other = ctx.recv_tagged(abs(src), tag).into_f64();
+                let other = self.frecv(ctx, idx(src), tag)?.into_f64();
                 op.apply(data, &other);
             }
             mask <<= 1;
         }
+        Ok(())
     }
 
     /// Allreduce = reduce-to-0 + broadcast. `data` holds the result on
-    /// every member afterwards.
+    /// every member afterwards. Panics on unrecoverable faults; see
+    /// [`Group::try_allreduce`].
     pub fn allreduce(&self, ctx: &mut RankCtx, op: ReduceOp, data: &mut [f64]) {
-        self.reduce(ctx, 0, op, data);
-        let mut payload = Payload::F64(data.to_vec());
-        self.bcast(ctx, 0, &mut payload);
-        data.copy_from_slice(&payload.into_f64());
+        Self::unwrap_coll(self.try_allreduce(ctx, op, data));
+    }
+
+    /// Fallible allreduce: every surviving member either gets the
+    /// result or an error within a bounded number of retries. Both
+    /// stage tags are reserved up front so the group's tag sequence
+    /// stays aligned across members even when some abort mid-way.
+    pub fn try_allreduce(
+        &self,
+        ctx: &mut RankCtx,
+        op: ReduceOp,
+        data: &mut [f64],
+    ) -> Result<(), CommError> {
+        let t_reduce = self.next_tag();
+        let t_bcast = self.next_tag();
+        let r = (|| {
+            self.reduce_stage(ctx, 0, op, data, t_reduce)?;
+            let mut payload = Payload::F64(data.to_vec());
+            self.bcast_stage(ctx, 0, &mut payload, t_bcast)?;
+            data.copy_from_slice(&payload.into_f64());
+            Ok(())
+        })();
+        if let Err(ref e) = r {
+            self.abort_collective(ctx, &[t_reduce, t_bcast], e);
+        }
+        r
     }
 
     /// Scalar allreduce convenience.
     pub fn allreduce_scalar(&self, ctx: &mut RankCtx, op: ReduceOp, x: f64) -> f64 {
-        let mut buf = [x];
-        self.allreduce(ctx, op, &mut buf);
-        buf[0]
+        Self::unwrap_coll(self.try_allreduce_scalar(ctx, op, x))
     }
 
-    /// Barrier (zero-byte allreduce).
+    /// Fallible scalar allreduce.
+    pub fn try_allreduce_scalar(
+        &self,
+        ctx: &mut RankCtx,
+        op: ReduceOp,
+        x: f64,
+    ) -> Result<f64, CommError> {
+        let mut buf = [x];
+        self.try_allreduce(ctx, op, &mut buf)?;
+        Ok(buf[0])
+    }
+
+    /// Barrier (zero-byte allreduce). Panics on unrecoverable faults;
+    /// see [`Group::try_barrier`].
     pub fn barrier(&self, ctx: &mut RankCtx) {
+        Self::unwrap_coll(self.try_barrier(ctx));
+    }
+
+    /// Fallible barrier: surviving members detect a crashed member
+    /// within bounded retries instead of hanging.
+    pub fn try_barrier(&self, ctx: &mut RankCtx) -> Result<(), CommError> {
         let mut buf = [0.0];
-        self.allreduce(ctx, ReduceOp::Sum, &mut buf);
+        self.try_allreduce(ctx, ReduceOp::Sum, &mut buf)
     }
 
     /// Gather variable-length `f64` contributions to member `root`;
     /// returns `Some(per-member data)` on the root, `None` elsewhere.
+    /// Panics on unrecoverable faults; see [`Group::try_gather`].
     pub fn gather(&self, ctx: &mut RankCtx, root: usize, data: Vec<f64>) -> Option<Vec<Vec<f64>>> {
-        let p = self.size();
+        Self::unwrap_coll(self.try_gather(ctx, root, data))
+    }
+
+    /// Fallible gather.
+    pub fn try_gather(
+        &self,
+        ctx: &mut RankCtx,
+        root: usize,
+        data: Vec<f64>,
+    ) -> Result<Option<Vec<Vec<f64>>>, CommError> {
         let tag = self.next_tag();
+        let r = self.gather_stage(ctx, root, data, tag);
+        if let Err(ref e) = r {
+            self.abort_collective(ctx, &[tag], e);
+        }
+        r
+    }
+
+    fn gather_stage(
+        &self,
+        ctx: &mut RankCtx,
+        root: usize,
+        data: Vec<f64>,
+        tag: u64,
+    ) -> Result<Option<Vec<Vec<f64>>>, CommError> {
+        let p = self.size();
         if self.my_index == root {
             let mut out: Vec<Vec<f64>> = vec![Vec::new(); p];
             out[root] = data;
-            for i in 0..p {
+            for (i, slot) in out.iter_mut().enumerate() {
                 if i != root {
-                    out[i] = ctx.recv_tagged(self.ranks[i], tag).into_f64();
+                    *slot = self.frecv(ctx, i, tag)?.into_f64();
                 }
             }
-            Some(out)
+            Ok(Some(out))
         } else {
-            ctx.send_tagged(self.ranks[root], tag, Payload::F64(data));
-            None
+            self.fsend(ctx, root, tag, Payload::F64(data))?;
+            Ok(None)
         }
     }
 
     /// Allgather of variable-length `f64` contributions: every member
-    /// gets every member's data (gather to 0, broadcast back).
+    /// gets every member's data (gather to 0, broadcast back). Panics
+    /// on unrecoverable faults; see [`Group::try_allgather`].
     pub fn allgather(&self, ctx: &mut RankCtx, data: Vec<f64>) -> Vec<Vec<f64>> {
+        Self::unwrap_coll(self.try_allgather(ctx, data))
+    }
+
+    /// Fallible allgather.
+    pub fn try_allgather(
+        &self,
+        ctx: &mut RankCtx,
+        data: Vec<f64>,
+    ) -> Result<Vec<Vec<f64>>, CommError> {
         let p = self.size();
         if p == 1 {
-            return vec![data];
+            return Ok(vec![data]);
         }
-        let gathered = self.gather(ctx, 0, data);
-        // Flatten with a length header for the broadcast.
-        let mut payload = if let Some(parts) = gathered {
-            let mut flat = Vec::with_capacity(p + parts.iter().map(Vec::len).sum::<usize>());
-            for part in &parts {
-                flat.push(part.len() as f64);
+        let t_gather = self.next_tag();
+        let t_bcast = self.next_tag();
+        let r = (|| {
+            let gathered = self.gather_stage(ctx, 0, data, t_gather)?;
+            // Flatten with a length header for the broadcast.
+            let mut payload = if let Some(parts) = gathered {
+                let mut flat = Vec::with_capacity(p + parts.iter().map(Vec::len).sum::<usize>());
+                for part in &parts {
+                    flat.push(part.len() as f64);
+                }
+                for part in parts {
+                    flat.extend(part);
+                }
+                Payload::F64(flat)
+            } else {
+                Payload::Empty
+            };
+            self.bcast_stage(ctx, 0, &mut payload, t_bcast)?;
+            let flat = payload.into_f64();
+            let mut out = Vec::with_capacity(p);
+            let mut off = p;
+            for i in 0..p {
+                let len = flat[i] as usize;
+                out.push(flat[off..off + len].to_vec());
+                off += len;
             }
-            for part in parts {
-                flat.extend(part);
-            }
-            Payload::F64(flat)
-        } else {
-            Payload::Empty
-        };
-        self.bcast(ctx, 0, &mut payload);
-        let flat = payload.into_f64();
-        let mut out = Vec::with_capacity(p);
-        let mut off = p;
-        for i in 0..p {
-            let len = flat[i] as usize;
-            out.push(flat[off..off + len].to_vec());
-            off += len;
+            Ok(out)
+        })();
+        if let Err(ref e) = r {
+            self.abort_collective(ctx, &[t_gather, t_bcast], e);
         }
-        out
+        r
     }
 
     /// Allgather of `u64` values (one per member).
@@ -261,27 +487,43 @@ impl Group {
     }
 
     /// Personalised all-to-all: `sends[i]` goes to group member `i`;
-    /// returns what each member sent to us.
+    /// returns what each member sent to us. Panics on unrecoverable
+    /// faults; see [`Group::try_alltoallv`].
     pub fn alltoallv(&self, ctx: &mut RankCtx, sends: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+        Self::unwrap_coll(self.try_alltoallv(ctx, sends))
+    }
+
+    /// Fallible personalised all-to-all.
+    pub fn try_alltoallv(
+        &self,
+        ctx: &mut RankCtx,
+        sends: Vec<Vec<f64>>,
+    ) -> Result<Vec<Vec<f64>>, CommError> {
         let p = self.size();
         assert_eq!(sends.len(), p, "alltoallv needs one buffer per member");
         let tag = self.next_tag();
         let me = self.my_index;
-        let mut out: Vec<Vec<f64>> = vec![Vec::new(); p];
-        // Send everything (eager), keeping own contribution local.
-        for (i, buf) in sends.into_iter().enumerate() {
-            if i == me {
-                out[me] = buf;
-            } else {
-                ctx.send_tagged(self.ranks[i], tag, Payload::F64(buf));
+        let r = (|| {
+            let mut out: Vec<Vec<f64>> = vec![Vec::new(); p];
+            // Send everything (eager), keeping own contribution local.
+            for (i, buf) in sends.into_iter().enumerate() {
+                if i == me {
+                    out[me] = buf;
+                } else {
+                    self.fsend(ctx, i, tag, Payload::F64(buf))?;
+                }
             }
-        }
-        for i in 0..p {
-            if i != me {
-                out[i] = ctx.recv_tagged(self.ranks[i], tag).into_f64();
+            for (i, slot) in out.iter_mut().enumerate() {
+                if i != me {
+                    *slot = self.frecv(ctx, i, tag)?.into_f64();
+                }
             }
+            Ok(out)
+        })();
+        if let Err(ref e) = r {
+            self.abort_collective(ctx, &[tag], e);
         }
-        out
+        r
     }
 
     /// Inclusive prefix reduction (`MPI_Scan`): member `i` receives the
@@ -343,7 +585,6 @@ impl Group {
     /// Split into disjoint sub-groups by `color`; members with equal
     /// color land in the same child, ordered by `key` then world rank.
     pub fn split(&self, ctx: &mut RankCtx, color: u64, key: u64) -> Group {
-        let p = self.size();
         // Exchange (color, key) pairs.
         let mine = vec![f64::from_bits(color), f64::from_bits(key)];
         let all = self.allgather(ctx, mine);
@@ -351,9 +592,9 @@ impl Group {
         self.split_seq.set(split_id + 1);
 
         let mut members: Vec<(u64, usize)> = Vec::new(); // (key, world rank)
-        for i in 0..p {
-            let c = all[i][0].to_bits();
-            let k = all[i][1].to_bits();
+        for (i, vals) in all.iter().enumerate() {
+            let c = vals[0].to_bits();
+            let k = vals[1].to_bits();
             if c == color {
                 members.push((k, self.ranks[i]));
             }
@@ -529,7 +770,11 @@ mod tests {
         });
         for (r, ((size, sum), _)) in res.into_iter().enumerate() {
             assert_eq!(size, 3);
-            let expect = if r % 2 == 0 { 0.0 + 2.0 + 4.0 } else { 1.0 + 3.0 + 5.0 };
+            let expect = if r % 2 == 0 {
+                0.0 + 2.0 + 4.0
+            } else {
+                1.0 + 3.0 + 5.0
+            };
             assert_eq!(sum, expect);
         }
     }
@@ -634,6 +879,75 @@ mod tests {
         assert_eq!(res[1].0, 3.0);
         assert_eq!(res[2].0, 9.0);
         assert_eq!(res[3].0, 9.0);
+    }
+
+    #[test]
+    fn collectives_survive_lossy_links() {
+        use crate::fault::FaultPlan;
+        let lossy = FaultPlan::new(21).with_drop_prob(0.25).with_dup_prob(0.1);
+        let program = |ctx: &mut RankCtx| {
+            let g = ctx.world();
+            let sum = g.allreduce_scalar(ctx, ReduceOp::Sum, ctx.rank() as f64 + 1.0);
+            let all = g.allgather(ctx, vec![ctx.rank() as f64]);
+            g.barrier(ctx);
+            (sum, all)
+        };
+        let faulty = world().run_with_plan(6, lossy, program);
+        let clean = world().run(6, program);
+        for (f, (c, _)) in faulty.iter().zip(&clean) {
+            match &f.outcome {
+                crate::RankOutcome::Completed(v) => assert_eq!(v, c),
+                o => panic!("expected completion under lossy links, got {o:?}"),
+            }
+        }
+        let total_retries: u64 = faulty.iter().map(|r| r.report.retries).sum();
+        assert!(total_retries > 0, "p=0.25 drops should have forced retries");
+    }
+
+    #[test]
+    fn survivors_observe_peer_death_in_allreduce() {
+        use crate::fault::FaultPlan;
+        // Rank 2 dies before the collective; everyone else must get
+        // PeerDead (directly or via a dead tree partner) in bounded time
+        // rather than deadlock.
+        let plan = FaultPlan::new(22).with_crash(2, 0.0);
+        let runs = world().run_with_plan(4, plan, |ctx| {
+            ctx.compute_secs(1e-3);
+            let g = ctx.world();
+            g.try_allreduce_scalar(ctx, ReduceOp::Sum, 1.0)
+        });
+        assert!(matches!(
+            runs[2].outcome,
+            crate::RankOutcome::Crashed { .. }
+        ));
+        for r in [0, 1, 3] {
+            match &runs[r].outcome {
+                crate::RankOutcome::Completed(Err(CommError::PeerDead { .. })) => {}
+                o => panic!("rank {r}: expected PeerDead, got {o:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn infallible_collective_abort_reported_as_failed() {
+        use crate::fault::FaultPlan;
+        let plan = FaultPlan::new(23).with_crash(0, 0.0);
+        let runs = world().run_with_plan(3, plan, |ctx| {
+            ctx.compute_secs(1e-3);
+            let g = ctx.world();
+            g.barrier(ctx); // panics with CommError payload on survivors
+            ctx.rank()
+        });
+        assert!(matches!(
+            runs[0].outcome,
+            crate::RankOutcome::Crashed { .. }
+        ));
+        for r in [1, 2] {
+            match &runs[r].outcome {
+                crate::RankOutcome::Failed(CommError::PeerDead { .. }) => {}
+                o => panic!("rank {r}: expected Failed(PeerDead), got {o:?}"),
+            }
+        }
     }
 
     #[test]

@@ -28,17 +28,49 @@
 //! Functional runs validate the numerics and the communication patterns;
 //! the scaling figures use the trace replayer in `cpx-machine`, which is
 //! cross-validated against this runtime in the integration tests.
+//!
+//! # Fault model & resilience
+//!
+//! Large coupled runs occupy thousands of nodes for hours, where
+//! component failure is the norm rather than the exception — so the
+//! runtime can execute any rank program under a seeded
+//! [`fault::FaultPlan`] describing rank crashes (at a virtual time),
+//! per-message link faults (drop / duplicate / delay) and transient
+//! link-degradation windows:
+//!
+//! * [`World::run_with_plan`] returns a [`runtime::RankOutcome`] per
+//!   rank (completed value, crash time, the [`CommError`] that aborted
+//!   it, or a preserved panic payload) instead of re-raising the first
+//!   panic, so survivors remain observable.
+//! * Fallible point-to-point APIs — [`RankCtx::try_send`],
+//!   [`RankCtx::try_recv_from`], [`RankCtx::recv_timeout`] (virtual-time
+//!   deadline) — surface [`CommError`]s. The classic infallible calls
+//!   are thin wrappers: they retry dropped messages with exponential
+//!   backoff charged to virtual time and panic on unrecoverable errors.
+//! * `Group::try_*` collectives retry dropped internal messages with
+//!   backoff and detect dead peers within a bounded number of attempts,
+//!   rather than deadlocking; the infallible collectives wrap them.
+//! * [`TimeReport`] records the resilience cost: `retries`,
+//!   `dropped_msgs` and `recovery_time` (backoff + failure detection).
+//!
+//! Every fault decision is a pure function of `(plan seed, src, dst,
+//! attempt counter)` and crash detection is sequenced through a
+//! dead-rank registry ordered after the victim's last send, so fault
+//! runs keep the runtime's determinism guarantee: same plan, same seed →
+//! identical per-rank outcomes and bit-identical `TimeReport`s.
 
+pub mod fault;
 pub mod group;
 pub mod nonblocking;
 pub mod payload;
 pub mod runtime;
 pub mod window;
 
+pub use fault::{CommError, FaultPlan, LinkDegradation};
 pub use group::Group;
 pub use nonblocking::{irecv, isend, wait_all, RecvRequest};
 pub use payload::Payload;
-pub use runtime::{RankCtx, TimeReport, World};
+pub use runtime::{RankCtx, RankOutcome, RankRun, TimeReport, World};
 pub use window::Window;
 
 /// Reduction operators for collectives.

@@ -8,7 +8,14 @@
 //! arrival — so compute performed between post and wait genuinely
 //! overlaps communication in virtual time, exactly as on a real
 //! machine.
+//!
+//! Under a fault plan the same contract holds as for blocking calls:
+//! `isend` retries fault-injected drops internally, and a wait on a
+//! request whose sender crashed observes the failure. The fallible
+//! variants ([`RecvRequest::try_wait`], [`RecvRequest::wait_timeout`])
+//! surface the [`CommError`] instead of panicking.
 
+use crate::fault::CommError;
 use crate::payload::Payload;
 use crate::runtime::RankCtx;
 
@@ -39,6 +46,26 @@ impl RecvRequest {
         match self.done.take() {
             Some(p) => p,
             None => ctx.recv(self.src, self.tag),
+        }
+    }
+
+    /// Fallible wait: like [`RecvRequest::wait`] but reports a dead
+    /// sender as `Err(CommError::PeerDead)` instead of panicking.
+    pub fn try_wait(mut self, ctx: &mut RankCtx) -> Result<Payload, CommError> {
+        match self.done.take() {
+            Some(p) => Ok(p),
+            None => ctx.try_recv_from(self.src, self.tag),
+        }
+    }
+
+    /// Wait with a virtual-time deadline (see [`RankCtx::recv_timeout`]
+    /// for the exact semantics). On `Err(CommError::Timeout)` the
+    /// request is consumed but the message, if one eventually arrives,
+    /// stays pending and can be matched by a fresh receive.
+    pub fn wait_timeout(mut self, ctx: &mut RankCtx, timeout: f64) -> Result<Payload, CommError> {
+        match self.done.take() {
+            Some(p) => Ok(p),
+            None => ctx.recv_timeout(self.src, self.tag, timeout),
         }
     }
 
@@ -115,27 +142,44 @@ mod tests {
 
     #[test]
     fn wait_all_preserves_order() {
-        let res = world().run(3, |ctx| {
-            match ctx.rank() {
-                0 => {
-                    isend(ctx, 2, 1, vec![10.0f64]);
-                    Vec::new()
-                }
-                1 => {
-                    isend(ctx, 2, 2, vec![20.0f64]);
-                    Vec::new()
-                }
-                _ => {
-                    let r1 = irecv(ctx, 0, 1);
-                    let r2 = irecv(ctx, 1, 2);
-                    wait_all(ctx, vec![r1, r2])
-                        .into_iter()
-                        .map(|p| p.into_f64()[0])
-                        .collect()
-                }
+        let res = world().run(3, |ctx| match ctx.rank() {
+            0 => {
+                isend(ctx, 2, 1, vec![10.0f64]);
+                Vec::new()
+            }
+            1 => {
+                isend(ctx, 2, 2, vec![20.0f64]);
+                Vec::new()
+            }
+            _ => {
+                let r1 = irecv(ctx, 0, 1);
+                let r2 = irecv(ctx, 1, 2);
+                wait_all(ctx, vec![r1, r2])
+                    .into_iter()
+                    .map(|p| p.into_f64()[0])
+                    .collect()
             }
         });
         assert_eq!(res[2].0, vec![10.0, 20.0]);
+    }
+
+    #[test]
+    fn try_wait_detects_dead_sender() {
+        use crate::fault::FaultPlan;
+        let plan = FaultPlan::new(31).with_crash(0, 0.0);
+        let runs = world().run_with_plan(2, plan, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.compute_secs(1.0); // dies at t=0
+                Ok(Payload::Empty)
+            } else {
+                let req = irecv(ctx, 0, 0);
+                req.try_wait(ctx)
+            }
+        });
+        match &runs[1].outcome {
+            crate::RankOutcome::Completed(Err(CommError::PeerDead { peer: 0, .. })) => {}
+            o => panic!("expected PeerDead, got {o:?}"),
+        }
     }
 
     #[test]

@@ -8,23 +8,60 @@
 //! advances to `max(local, send_time + p2p_time)`). Wall-clock never
 //! enters the simulation, so results are deterministic and host
 //! independent.
+//!
+//! # Fault injection
+//!
+//! [`World::run_with_plan`] runs the same program under a
+//! [`FaultPlan`]: messages can be dropped, duplicated or delayed, and
+//! ranks can be scheduled to crash at a virtual time. Fallible
+//! operations ([`RankCtx::try_send`], [`RankCtx::recv_timeout`]) report
+//! [`CommError`]s; the classic infallible APIs retry dropped messages
+//! with exponential backoff (charged to virtual time and recorded in
+//! [`TimeReport::retries`] / [`TimeReport::recovery_time`]) and panic on
+//! unrecoverable errors. Instead of re-raising the first panic,
+//! `run_with_plan` returns a [`RankOutcome`] per rank, so survivors'
+//! results and timing are observable even when other ranks died.
+//!
+//! Determinism is preserved under faults: every fault decision is a pure
+//! function of the plan (see [`crate::fault`]), crash detection is
+//! sequenced through a dead-rank registry whose marks are ordered after
+//! all of the dead rank's sends, and a dying rank's clock is clamped to
+//! its scheduled crash time. Same plan, same seed → same outcomes and
+//! bit-identical `TimeReport`s.
 
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
-use std::sync::Arc;
-use std::time::Duration;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Once};
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
 use cpx_machine::{KernelCost, Machine};
 
+use crate::fault::{CommError, CrashSignal, DeadRegistry, FaultPlan};
 use crate::group::Group;
 use crate::payload::Payload;
 
 /// How long a blocking receive waits on the host before declaring the
 /// simulated program deadlocked. Generous: functional runs are fast.
 const DEADLOCK_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Host-time slice between dead-registry checks while blocked in a
+/// receive. Small enough that fault runs stay fast, large enough not to
+/// spin.
+const POLL_SLICE: Duration = Duration::from_millis(2);
+
+/// Host-time budget a `recv_timeout` waits for a message from a live
+/// peer before concluding nothing is coming and reporting a virtual
+/// timeout.
+const TIMEOUT_WALL_BUDGET: Duration = Duration::from_millis(250);
+
+/// Attempts before the infallible send gives up on a dropped link.
+/// With any drop probability < 1 the retry loop terminates long before
+/// this; the cap only guards pathological plans.
+const MAX_SEND_ATTEMPTS: u64 = 64;
 
 /// A message in flight.
 #[derive(Debug)]
@@ -33,6 +70,15 @@ pub(crate) struct Packet {
     pub tag: u64,
     /// Sender's virtual clock at the send call.
     pub send_time: f64,
+    /// Extra delivery latency injected by the fault plan.
+    pub extra_delay: f64,
+    /// Fault-injected duplicate: discarded by the receiver's transport
+    /// intake, as a sequence-numbered protocol would.
+    pub dup: bool,
+    /// Collective-abort marker (ULFM-style revoke): payload carries
+    /// `[crashed peer, crash time]` and matching it yields a
+    /// `CommError::PeerDead` instead of data.
+    pub abort: bool,
     pub payload: Payload,
 }
 
@@ -56,6 +102,81 @@ pub struct TimeReport {
     pub messages_sent: u64,
     /// Payload bytes sent.
     pub bytes_sent: u64,
+    /// Send retries after fault-injected message drops.
+    pub retries: u64,
+    /// Messages the fault plan dropped on the link.
+    pub dropped_msgs: u64,
+    /// Virtual seconds spent recovering from faults: retry backoff plus
+    /// failure-detection waits. Also included in `comm`.
+    pub recovery_time: f64,
+}
+
+/// How one rank's execution ended under [`World::run_with_plan`].
+pub enum RankOutcome<T> {
+    /// The rank program ran to completion.
+    Completed(T),
+    /// The rank aborted on an unrecoverable communication error (e.g. a
+    /// collective observed a dead peer).
+    Failed(CommError),
+    /// The fault plan crashed this rank at the given virtual time.
+    Crashed {
+        /// Virtual time of the crash.
+        at: f64,
+    },
+    /// The rank program panicked; the original payload is preserved.
+    Panicked(Box<dyn Any + Send>),
+}
+
+impl<T> RankOutcome<T> {
+    /// The completed value, if any.
+    pub fn completed(self) -> Option<T> {
+        match self {
+            RankOutcome::Completed(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Whether the rank ran to completion.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, RankOutcome::Completed(_))
+    }
+
+    /// The panic message, for `Panicked` outcomes carrying a string.
+    pub fn panic_message(&self) -> Option<&str> {
+        match self {
+            RankOutcome::Panicked(p) => p
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| p.downcast_ref::<String>().map(String::as_str)),
+            _ => None,
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for RankOutcome<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RankOutcome::Completed(t) => f.debug_tuple("Completed").field(t).finish(),
+            RankOutcome::Failed(e) => f.debug_tuple("Failed").field(e).finish(),
+            RankOutcome::Crashed { at } => f.debug_struct("Crashed").field("at", at).finish(),
+            RankOutcome::Panicked(_) => {
+                let msg = self.panic_message().unwrap_or("<non-string payload>");
+                f.debug_tuple("Panicked").field(&msg).finish()
+            }
+        }
+    }
+}
+
+/// One rank's result under a fault plan: its outcome plus its
+/// virtual-time report (valid up to the crash/abort point for
+/// non-completed ranks).
+#[derive(Debug)]
+pub struct RankRun<T> {
+    /// How the rank ended.
+    pub outcome: RankOutcome<T>,
+    /// Virtual-time accounting (up to the point of death for crashed
+    /// ranks).
+    pub report: TimeReport,
 }
 
 /// Per-rank execution context. Mini-app rank programs receive `&mut
@@ -69,10 +190,20 @@ pub struct RankCtx {
     comm_time: f64,
     messages_sent: u64,
     bytes_sent: u64,
+    retries: u64,
+    dropped_msgs: u64,
+    recovery_time: f64,
     senders: Arc<Vec<Sender<Packet>>>,
     inbox: Receiver<Packet>,
     /// Out-of-order messages awaiting a matching receive.
     pending: VecDeque<Packet>,
+    plan: Arc<FaultPlan>,
+    dead: Arc<DeadRegistry>,
+    /// Scheduled crash time for this rank (cached from the plan).
+    crash_at: Option<f64>,
+    /// Per-destination send-attempt counters feeding the fault plan's
+    /// decision function (sender-local, hence scheduling-independent).
+    send_seq: HashMap<usize, u64>,
     pub(crate) registry: Arc<Registry>,
 }
 
@@ -113,12 +244,37 @@ impl RankCtx {
         self.compute_time
     }
 
+    /// The active fault plan (trivial when running without faults).
+    #[inline]
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// If this rank's scheduled crash time has been reached, clamp the
+    /// clock to it, mark the dead registry, and unwind. Called at every
+    /// virtual-time charge point, so a crash fires at the first charge
+    /// that crosses the scheduled time.
+    fn check_crash(&mut self) {
+        if let Some(at) = self.crash_at {
+            if self.clock >= at {
+                self.clock = at;
+                // Order matters: every send this rank ever made has
+                // already completed (program order), so marking now lets
+                // survivors conclude "drained inbox + mark observed ⇒ no
+                // more messages coming" deterministically.
+                self.dead.mark(self.rank, at);
+                panic::panic_any(CrashSignal { at });
+            }
+        }
+    }
+
     /// Charge a roofline kernel cost to the virtual clock.
     pub fn compute(&mut self, cost: KernelCost) {
         debug_assert!(cost.is_valid(), "invalid kernel cost {cost:?}");
         let dt = self.machine.kernel_time(cost);
         self.clock += dt;
         self.compute_time += dt;
+        self.check_crash();
     }
 
     /// Charge a fixed virtual duration.
@@ -126,28 +282,107 @@ impl RankCtx {
         debug_assert!(secs >= 0.0 && secs.is_finite());
         self.clock += secs;
         self.compute_time += secs;
+        self.check_crash();
     }
 
     /// Send `payload` to `dst` with user `tag`. Eager: the sender is
-    /// charged only the software overhead.
+    /// charged only the software overhead. Retries fault-injected drops
+    /// internally; panics on unrecoverable errors.
     pub fn send(&mut self, dst: usize, tag: u32, payload: impl Into<Payload>) {
         self.send_tagged(dst, tag as u64, payload.into());
     }
 
+    /// Fallible send: returns `Err(CommError::Dropped)` when the fault
+    /// plan drops the message (the caller owns retry policy), or
+    /// `Err(CommError::RankOutOfRange)` for a bad destination.
+    pub fn try_send(
+        &mut self,
+        dst: usize,
+        tag: u32,
+        payload: impl Into<Payload>,
+    ) -> Result<(), CommError> {
+        self.try_send_tagged(dst, tag as u64, payload.into())
+    }
+
     /// Blocking receive of the next message from `src` with user `tag`
-    /// (FIFO per `(src, tag)` pair).
+    /// (FIFO per `(src, tag)` pair). Panics if `src` crashed.
     pub fn recv(&mut self, src: usize, tag: u32) -> Payload {
         self.recv_tagged(src, tag as u64)
     }
 
+    /// Fallible blocking receive: returns `Err(CommError::PeerDead)` if
+    /// `src` crashed and every message it ever sent has been consumed.
+    pub fn try_recv_from(&mut self, src: usize, tag: u32) -> Result<Payload, CommError> {
+        self.recv_checked(src, tag as u64)
+    }
+
+    /// Receive with a *virtual-time* deadline: waits at most `timeout`
+    /// virtual seconds. If the matching message's arrival time is within
+    /// the deadline it is admitted normally; if it would arrive later
+    /// (or nothing is coming), the clock advances by `timeout` and
+    /// `Err(CommError::Timeout)` is returned with the message left
+    /// pending. A crashed peer yields `Err(CommError::PeerDead)`.
+    ///
+    /// Determinism note: when the peer is alive and simply never sends,
+    /// the timeout verdict is reached after a bounded host-time wait —
+    /// deterministic in outcome, though the host wait itself is not part
+    /// of the virtual timeline.
+    pub fn recv_timeout(
+        &mut self,
+        src: usize,
+        tag: u32,
+        timeout: f64,
+    ) -> Result<Payload, CommError> {
+        let tag = tag as u64;
+        if src >= self.size {
+            return Err(CommError::RankOutOfRange {
+                rank: src,
+                size: self.size,
+            });
+        }
+        self.check_crash();
+        let deadline = self.clock + timeout;
+        let wall_start = Instant::now();
+        loop {
+            self.drain_inbox();
+            if let Some(pos) = self.match_pending(src, tag) {
+                let pkt = &self.pending[pos];
+                if self.arrival_of(pkt) <= deadline {
+                    let pkt = self.pending.remove(pos).expect("position valid");
+                    return self.admit_checked(pkt);
+                }
+                return Err(self.charge_timeout(src, tag, timeout));
+            }
+            if let Some(at) = self.dead.time_of(src) {
+                // The mark is ordered after all of src's sends; one more
+                // drain closes the race with messages enqueued before it.
+                self.drain_inbox();
+                if let Some(pos) = self.match_pending(src, tag) {
+                    let pkt = &self.pending[pos];
+                    if self.arrival_of(pkt) <= deadline {
+                        let pkt = self.pending.remove(pos).expect("position valid");
+                        return self.admit_checked(pkt);
+                    }
+                    return Err(self.charge_timeout(src, tag, timeout));
+                }
+                return Err(self.charge_peer_dead(src, at));
+            }
+            if wall_start.elapsed() >= TIMEOUT_WALL_BUDGET {
+                return Err(self.charge_timeout(src, tag, timeout));
+            }
+            match self.inbox.recv_timeout(POLL_SLICE) {
+                Ok(pkt) => self.intake(pkt),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(self.charge_timeout(src, tag, timeout))
+                }
+            }
+        }
+    }
+
     /// Exchange payloads with a peer (send then receive; safe because
     /// sends are eager/buffered).
-    pub fn sendrecv(
-        &mut self,
-        peer: usize,
-        tag: u32,
-        payload: impl Into<Payload>,
-    ) -> Payload {
+    pub fn sendrecv(&mut self, peer: usize, tag: u32, payload: impl Into<Payload>) -> Payload {
         self.send(peer, tag, payload);
         self.recv(peer, tag)
     }
@@ -157,64 +392,262 @@ impl RankCtx {
         Group::world(self.size, self.rank)
     }
 
+    /// Infallible send: retries fault-injected drops with exponential
+    /// backoff charged to virtual time; panics (with the `CommError` as
+    /// payload) if the retry budget is exhausted.
     pub(crate) fn send_tagged(&mut self, dst: usize, tag: u64, payload: Payload) {
         assert!(dst < self.size, "send to out-of-range rank {dst}");
+        let mut attempt = 0u64;
+        loop {
+            match self.try_send_tagged(dst, tag, payload.clone()) {
+                Ok(()) => return,
+                Err(e @ CommError::Dropped { .. }) => {
+                    attempt += 1;
+                    if attempt >= MAX_SEND_ATTEMPTS {
+                        panic::panic_any(e);
+                    }
+                    self.charge_backoff(attempt);
+                }
+                Err(e) => panic::panic_any(e),
+            }
+        }
+    }
+
+    pub(crate) fn try_send_tagged(
+        &mut self,
+        dst: usize,
+        tag: u64,
+        payload: Payload,
+    ) -> Result<(), CommError> {
+        if dst >= self.size {
+            return Err(CommError::RankOutOfRange {
+                rank: dst,
+                size: self.size,
+            });
+        }
+        self.check_crash();
+        let seq = {
+            let c = self.send_seq.entry(dst).or_insert(0);
+            let s = *c;
+            *c += 1;
+            s
+        };
+        let event = self.plan.link_event(self.rank, dst, seq, self.clock);
+        // The sender pays its software overhead whether or not the link
+        // eats the message (it did issue the send).
         let bytes = payload.size_bytes();
+        let send_time = self.clock;
+        self.clock += self.machine.send_overhead;
+        self.comm_time += self.machine.send_overhead;
+        if event.dropped {
+            self.dropped_msgs += 1;
+            self.check_crash();
+            return Err(CommError::Dropped {
+                dst,
+                tag,
+                attempt: seq,
+            });
+        }
+        let base = self.machine.p2p_time(self.rank, dst, bytes);
+        let extra_delay = base * (event.delay_factor - 1.0) + event.jitter;
+        let pkt = Packet {
+            src: self.rank,
+            tag,
+            send_time,
+            extra_delay,
+            dup: false,
+            abort: false,
+            payload,
+        };
+        // A SendError means dst already crashed and dropped its inbox;
+        // the message vanishes exactly as it would on a real network.
+        // The send itself still "happened" from our side, so accounting
+        // is unchanged — semantics never depend on the host-level race.
+        if event.duplicated {
+            let dup = Packet {
+                src: self.rank,
+                tag,
+                send_time: pkt.send_time,
+                extra_delay,
+                dup: true,
+                abort: false,
+                payload: pkt.payload.clone(),
+            };
+            let _ = self.senders[dst].send(dup);
+        }
+        let _ = self.senders[dst].send(pkt);
+        self.messages_sent += 1;
+        self.bytes_sent += bytes as u64;
+        self.check_crash();
+        Ok(())
+    }
+
+    /// Send a collective-abort marker (control plane: bypasses the
+    /// fault plan and is charged nothing — revocation is assumed
+    /// reliable, which is what bounds abort-cascade termination).
+    pub(crate) fn send_abort(&mut self, dst: usize, tag: u64, peer: usize, at: f64) {
+        if dst >= self.size || dst == self.rank {
+            return;
+        }
         let pkt = Packet {
             src: self.rank,
             tag,
             send_time: self.clock,
-            payload,
+            extra_delay: 0.0,
+            dup: false,
+            abort: true,
+            payload: Payload::F64(vec![peer as f64, at]),
         };
-        self.senders[dst]
-            .send(pkt)
-            .expect("peer mailbox closed (rank exited early?)");
-        self.clock += self.machine.send_overhead;
-        self.comm_time += self.machine.send_overhead;
-        self.messages_sent += 1;
-        self.bytes_sent += bytes as u64;
+        let _ = self.senders[dst].send(pkt);
     }
 
+    /// Charge exponential backoff before a send retry.
+    pub(crate) fn charge_backoff(&mut self, attempt: u64) {
+        let base = self.machine.send_overhead.max(self.machine.intra_latency);
+        let dt = base * (1u64 << attempt.min(10)) as f64;
+        self.clock += dt;
+        self.comm_time += dt;
+        self.recovery_time += dt;
+        self.retries += 1;
+        self.check_crash();
+    }
+
+    /// Charge the failure-detection wait for a dead peer and build the
+    /// error. Deterministic: depends only on the crash time, the plan's
+    /// detection latency, and this rank's own clock.
+    fn charge_peer_dead(&mut self, peer: usize, at: f64) -> CommError {
+        let detect = (at + self.plan.detect_latency - self.clock).max(0.0);
+        self.clock += detect;
+        self.comm_time += detect;
+        self.recovery_time += detect;
+        CommError::PeerDead { peer, at }
+    }
+
+    fn charge_timeout(&mut self, src: usize, tag: u64, timeout: f64) -> CommError {
+        self.clock += timeout;
+        self.comm_time += timeout;
+        CommError::Timeout {
+            src,
+            tag,
+            waited: timeout,
+        }
+    }
+
+    /// Infallible receive; panics (payload = the `CommError`) if the
+    /// peer is dead.
     pub(crate) fn recv_tagged(&mut self, src: usize, tag: u64) -> Payload {
-        assert!(src < self.size, "recv from out-of-range rank {src}");
-        // First look in the pending buffer (preserves FIFO per (src,tag)).
-        if let Some(pos) = self
-            .pending
+        match self.recv_checked(src, tag) {
+            Ok(p) => p,
+            Err(e) => panic::panic_any(e),
+        }
+    }
+
+    /// Fallible receive: blocks until a matching message arrives or the
+    /// peer is known dead with no matching message left.
+    pub(crate) fn recv_checked(&mut self, src: usize, tag: u64) -> Result<Payload, CommError> {
+        if src >= self.size {
+            return Err(CommError::RankOutOfRange {
+                rank: src,
+                size: self.size,
+            });
+        }
+        self.check_crash();
+        if let Some(pos) = self.match_pending(src, tag) {
+            let pkt = self.pending.remove(pos).expect("position valid");
+            return self.admit_checked(pkt);
+        }
+        let wall_start = Instant::now();
+        loop {
+            self.drain_inbox();
+            if let Some(pos) = self.match_pending(src, tag) {
+                let pkt = self.pending.remove(pos).expect("position valid");
+                return self.admit_checked(pkt);
+            }
+            if let Some(at) = self.dead.time_of(src) {
+                // Final drain: anything src sent was enqueued before the
+                // mark we just observed.
+                self.drain_inbox();
+                if let Some(pos) = self.match_pending(src, tag) {
+                    let pkt = self.pending.remove(pos).expect("position valid");
+                    return self.admit_checked(pkt);
+                }
+                return Err(self.charge_peer_dead(src, at));
+            }
+            if wall_start.elapsed() >= DEADLOCK_TIMEOUT {
+                panic!(
+                    "rank {}: deadlock waiting for message from rank {src} tag {tag:#x}; \
+                     {} unmatched pending messages",
+                    self.rank,
+                    self.pending.len()
+                );
+            }
+            match self.inbox.recv_timeout(POLL_SLICE) {
+                Ok(pkt) => self.intake(pkt),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => panic!(
+                    "rank {}: all peers exited while waiting for message from \
+                     rank {src} tag {tag:#x} ({} unmatched pending messages)",
+                    self.rank,
+                    self.pending.len()
+                ),
+            }
+        }
+    }
+
+    /// Move everything currently in the channel into the pending buffer.
+    fn drain_inbox(&mut self) {
+        while let Ok(pkt) = self.inbox.try_recv() {
+            self.intake(pkt);
+        }
+    }
+
+    /// Transport intake: fault-injected duplicates are discarded here
+    /// (the runtime behaves as a sequence-numbered protocol that dedups
+    /// at the receiver), everything else is buffered for matching.
+    fn intake(&mut self, pkt: Packet) {
+        if !pkt.dup {
+            self.pending.push_back(pkt);
+        }
+    }
+
+    fn match_pending(&self, src: usize, tag: u64) -> Option<usize> {
+        self.pending
             .iter()
             .position(|p| p.src == src && p.tag == tag)
-        {
-            let pkt = self.pending.remove(pos).expect("position valid");
-            return self.admit(pkt);
-        }
-        loop {
-            let pkt = self
-                .inbox
-                .recv_timeout(DEADLOCK_TIMEOUT)
-                .unwrap_or_else(|_| {
-                    panic!(
-                        "rank {}: deadlock waiting for (src={src}, tag={tag}); \
-                         {} unmatched pending messages",
-                        self.rank,
-                        self.pending.len()
-                    )
-                });
-            if pkt.src == src && pkt.tag == tag {
-                return self.admit(pkt);
-            }
-            self.pending.push_back(pkt);
+    }
+
+    fn arrival_of(&self, pkt: &Packet) -> f64 {
+        pkt.send_time
+            + self
+                .machine
+                .p2p_time(pkt.src, self.rank, pkt.payload.size_bytes())
+            + pkt.extra_delay
+    }
+
+    /// Admit a matched packet, converting abort markers into the
+    /// `PeerDead` they announce.
+    fn admit_checked(&mut self, pkt: Packet) -> Result<Payload, CommError> {
+        let abort = pkt.abort;
+        let payload = self.admit(pkt);
+        if abort {
+            let info = payload.into_f64();
+            Err(CommError::PeerDead {
+                peer: info[0] as usize,
+                at: info[1],
+            })
+        } else {
+            Ok(payload)
         }
     }
 
     /// Advance the clock for a matched packet and unwrap its payload.
     fn admit(&mut self, pkt: Packet) -> Payload {
-        let arrival = pkt.send_time
-            + self
-                .machine
-                .p2p_time(pkt.src, self.rank, pkt.payload.size_bytes());
-        let wait = (arrival - self.clock).max(0.0);
+        let wait = (self.arrival_of(&pkt) - self.clock).max(0.0);
         self.clock += wait;
         self.comm_time += wait;
-        pkt.payload
+        let payload = pkt.payload;
+        self.check_crash();
+        payload
     }
 
     fn report(&self) -> TimeReport {
@@ -224,8 +657,27 @@ impl RankCtx {
             comm: self.comm_time,
             messages_sent: self.messages_sent,
             bytes_sent: self.bytes_sent,
+            retries: self.retries,
+            dropped_msgs: self.dropped_msgs,
+            recovery_time: self.recovery_time,
         }
     }
+}
+
+/// Silence the default panic-hook noise for fault-injected unwinds
+/// (scheduled crashes and `CommError` aborts are expected outcomes, not
+/// bugs); everything else still reports through the previous hook.
+fn install_quiet_fault_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let quiet = info.payload().is::<CrashSignal>() || info.payload().is::<CommError>();
+            if !quiet {
+                previous(info);
+            }
+        }));
+    });
 }
 
 /// A virtual-time world of message-passing ranks.
@@ -253,11 +705,50 @@ impl World {
         T: Send + 'static,
         F: Fn(&mut RankCtx) -> T + Send + Sync + 'static,
     {
+        self.run_with_plan(n, FaultPlan::default(), f)
+            .into_iter()
+            .enumerate()
+            .map(|(rank, run)| match run.outcome {
+                RankOutcome::Completed(t) => (t, run.report),
+                RankOutcome::Panicked(payload) => panic::resume_unwind(payload),
+                RankOutcome::Failed(e) => panic!("rank {rank} failed: {e}"),
+                RankOutcome::Crashed { at } => {
+                    panic!("rank {rank} crashed at t={at:.6}s (fault plan)")
+                }
+            })
+            .collect()
+    }
+
+    /// Run `f` on `n` ranks without faults, returning per-rank
+    /// [`RankOutcome`]s instead of re-raising panics.
+    pub fn run_outcomes<T, F>(&self, n: usize, f: F) -> Vec<RankRun<T>>
+    where
+        T: Send + 'static,
+        F: Fn(&mut RankCtx) -> T + Send + Sync + 'static,
+    {
+        self.run_with_plan(n, FaultPlan::default(), f)
+    }
+
+    /// Run `f` on `n` ranks under a [`FaultPlan`]. Every rank gets an
+    /// outcome: completed ranks their value, crashed ranks their crash
+    /// time, aborted ranks the `CommError` that killed them, and
+    /// panicking ranks their original payload — plus a [`TimeReport`]
+    /// valid up to the point of death. Nothing is re-raised; the caller
+    /// decides what survival means.
+    pub fn run_with_plan<T, F>(&self, n: usize, plan: FaultPlan, f: F) -> Vec<RankRun<T>>
+    where
+        T: Send + 'static,
+        F: Fn(&mut RankCtx) -> T + Send + Sync + 'static,
+    {
         assert!(n >= 1, "world needs at least one rank");
-        let (senders, receivers): (Vec<_>, Vec<_>) =
-            (0..n).map(|_| unbounded::<Packet>()).unzip();
+        if !plan.is_trivial() {
+            install_quiet_fault_hook();
+        }
+        let (senders, receivers): (Vec<_>, Vec<_>) = (0..n).map(|_| unbounded::<Packet>()).unzip();
         let senders = Arc::new(senders);
         let registry = Arc::new(Registry::default());
+        let dead = Arc::new(DeadRegistry::default());
+        let plan = Arc::new(plan);
         let f = Arc::new(f);
 
         let mut handles = Vec::with_capacity(n);
@@ -265,11 +756,14 @@ impl World {
             let senders = Arc::clone(&senders);
             let machine = Arc::clone(&self.machine);
             let registry = Arc::clone(&registry);
+            let dead = Arc::clone(&dead);
+            let plan = Arc::clone(&plan);
             let f = Arc::clone(&f);
             let handle = std::thread::Builder::new()
                 .name(format!("rank-{rank}"))
                 .stack_size(8 << 20)
                 .spawn(move || {
+                    let crash_at = plan.crash_time(rank);
                     let mut ctx = RankCtx {
                         rank,
                         size: n,
@@ -279,13 +773,42 @@ impl World {
                         comm_time: 0.0,
                         messages_sent: 0,
                         bytes_sent: 0,
+                        retries: 0,
+                        dropped_msgs: 0,
+                        recovery_time: 0.0,
                         senders,
                         inbox,
                         pending: VecDeque::new(),
+                        plan,
+                        dead: Arc::clone(&dead),
+                        crash_at,
+                        send_seq: HashMap::new(),
                         registry,
                     };
-                    let out = f(&mut ctx);
-                    (out, ctx.report())
+                    let result = panic::catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
+                    let outcome = match result {
+                        Ok(t) => RankOutcome::Completed(t),
+                        Err(payload) => match payload.downcast::<CrashSignal>() {
+                            Ok(sig) => RankOutcome::Crashed { at: sig.at },
+                            Err(payload) => match payload.downcast::<CommError>() {
+                                Ok(e) => {
+                                    // An aborting rank will never answer its
+                                    // peers again; mark it so they detect the
+                                    // failure instead of deadlocking.
+                                    dead.mark(ctx.rank, ctx.clock);
+                                    RankOutcome::Failed(*e)
+                                }
+                                Err(payload) => {
+                                    dead.mark(ctx.rank, ctx.clock);
+                                    RankOutcome::Panicked(payload)
+                                }
+                            },
+                        },
+                    };
+                    RankRun {
+                        outcome,
+                        report: ctx.report(),
+                    }
                 })
                 .expect("spawn rank thread");
             handles.push(handle);
@@ -295,7 +818,9 @@ impl World {
             .into_iter()
             .map(|h| match h.join() {
                 Ok(res) => res,
-                Err(e) => std::panic::resume_unwind(e),
+                // The closure catches all unwinds; a join error would
+                // mean the harness itself is broken.
+                Err(e) => panic::resume_unwind(e),
             })
             .collect()
     }
@@ -406,6 +931,18 @@ mod tests {
     }
 
     #[test]
+    fn run_outcomes_captures_panics() {
+        let runs = world().run_outcomes(2, |ctx| {
+            if ctx.rank() == 1 {
+                panic!("boom");
+            }
+            ctx.rank()
+        });
+        assert!(runs[0].outcome.is_completed());
+        assert_eq!(runs[1].outcome.panic_message(), Some("boom"));
+    }
+
+    #[test]
     fn inter_node_message_slower_than_intra() {
         // 2 ranks on one node vs ranks 0 and 128 (different nodes).
         let m = Machine::archer2();
@@ -431,5 +968,217 @@ mod tests {
         })[129]
             .0;
         assert!(inter > intra, "inter {inter} intra {intra}");
+    }
+
+    // ---------------------------------------------------------------
+    // Fault injection
+    // ---------------------------------------------------------------
+
+    #[test]
+    fn scheduled_crash_reported_with_clamped_clock() {
+        let plan = FaultPlan::new(1).with_crash(1, 0.5);
+        let runs = world().run_with_plan(2, plan, |ctx| {
+            for _ in 0..100 {
+                ctx.compute(KernelCost::flops(2.2e8)); // 0.1 s per step
+            }
+            ctx.now()
+        });
+        assert!(runs[0].outcome.is_completed());
+        match runs[1].outcome {
+            RankOutcome::Crashed { at } => assert_eq!(at, 0.5),
+            ref o => panic!("expected crash, got {o:?}"),
+        }
+        assert_eq!(runs[1].report.elapsed, 0.5);
+    }
+
+    #[test]
+    fn survivor_detects_dead_peer_in_recv() {
+        let plan = FaultPlan::new(2).with_crash(0, 0.0);
+        let runs = world().run_with_plan(2, plan, |ctx| {
+            if ctx.rank() == 1 {
+                ctx.try_recv_from(0, 9)
+            } else {
+                ctx.compute_secs(1.0); // crashes immediately (t=0)
+                Ok(Payload::Empty)
+            }
+        });
+        match &runs[1].outcome {
+            RankOutcome::Completed(Err(CommError::PeerDead { peer: 0, .. })) => {}
+            o => panic!("expected PeerDead, got {o:?}"),
+        }
+        assert!(runs[1].report.recovery_time > 0.0);
+    }
+
+    #[test]
+    fn messages_sent_before_crash_still_deliverable() {
+        // Rank 0 sends, *then* crashes; rank 1 must still receive the
+        // message (it was already on the wire).
+        let plan = FaultPlan::new(3).with_crash(0, 1.0);
+        let runs = world().run_with_plan(2, plan, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 0, vec![7.0f64]);
+                ctx.compute_secs(10.0); // dies here
+                0.0
+            } else {
+                ctx.recv(0, 0).into_f64()[0]
+            }
+        });
+        match runs[1].outcome {
+            RankOutcome::Completed(v) => assert_eq!(v, 7.0),
+            ref o => panic!("expected completion, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn dropped_sends_retry_transparently() {
+        let plan = FaultPlan::new(4).with_drop_prob(0.4);
+        let runs = world().run_with_plan(2, plan, |ctx| {
+            if ctx.rank() == 0 {
+                for i in 0..50 {
+                    ctx.send(1, 0, vec![i as f64]);
+                }
+                Vec::new()
+            } else {
+                (0..50).map(|_| ctx.recv(0, 0).into_f64()[0]).collect()
+            }
+        });
+        match &runs[1].outcome {
+            RankOutcome::Completed(v) => {
+                assert_eq!(*v, (0..50).map(|i| i as f64).collect::<Vec<_>>());
+            }
+            o => panic!("expected completion, got {o:?}"),
+        }
+        let r0 = &runs[0].report;
+        assert!(r0.dropped_msgs > 0, "expected drops at p=0.4 over 50 sends");
+        assert_eq!(r0.retries, r0.dropped_msgs);
+        assert!(r0.recovery_time > 0.0);
+    }
+
+    #[test]
+    fn fault_runs_are_bit_deterministic() {
+        let run = || {
+            let plan = FaultPlan::new(11)
+                .with_drop_prob(0.2)
+                .with_dup_prob(0.2)
+                .with_delay(0.3, 2e-6);
+            world().run_with_plan(4, plan, |ctx| {
+                let me = ctx.rank();
+                ctx.compute(KernelCost::flops(1e8 * (me + 1) as f64));
+                for round in 0..5 {
+                    ctx.send((me + 1) % 4, round, vec![me as f64; 64]);
+                    let _ = ctx.recv((me + 3) % 4, round);
+                }
+                ctx.now()
+            })
+        };
+        let a = run();
+        let b = run();
+        for (ra, rb) in a.iter().zip(&b) {
+            assert_eq!(ra.report, rb.report);
+            match (&ra.outcome, &rb.outcome) {
+                (RankOutcome::Completed(x), RankOutcome::Completed(y)) => {
+                    assert_eq!(x.to_bits(), y.to_bits())
+                }
+                _ => panic!("both runs should complete"),
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_do_not_corrupt_fifo() {
+        let plan = FaultPlan::new(5).with_dup_prob(0.5);
+        let runs = world().run_with_plan(2, plan, |ctx| {
+            if ctx.rank() == 0 {
+                for i in 0..20 {
+                    ctx.send(1, 0, vec![i as f64]);
+                }
+                Vec::new()
+            } else {
+                (0..20).map(|_| ctx.recv(0, 0).into_f64()[0]).collect()
+            }
+        });
+        match &runs[1].outcome {
+            RankOutcome::Completed(v) => {
+                assert_eq!(*v, (0..20).map(|i| i as f64).collect::<Vec<_>>());
+            }
+            o => panic!("expected completion, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let runs = world().run_with_plan(2, FaultPlan::new(6), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.compute_secs(1.0); // message arrives around t=1
+                ctx.send(1, 0, vec![3.0f64]);
+                0.0
+            } else {
+                // Deadline far before arrival: virtual timeout.
+                let early = ctx.recv_timeout(0, 0, 1e-6);
+                assert!(matches!(early, Err(CommError::Timeout { .. })));
+                // Now wait properly: the message is still pending.
+                ctx.recv(0, 0).into_f64()[0]
+            }
+        });
+        match runs[1].outcome {
+            RankOutcome::Completed(v) => assert_eq!(v, 3.0),
+            ref o => panic!("expected completion, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn recv_timeout_within_deadline_succeeds() {
+        let runs = world().run_with_plan(2, FaultPlan::new(7), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 0, vec![4.0f64]);
+                0.0
+            } else {
+                ctx.compute_secs(0.5); // message already arrived virtually
+                ctx.recv_timeout(0, 0, 1.0).unwrap().into_f64()[0]
+            }
+        });
+        match runs[1].outcome {
+            RankOutcome::Completed(v) => assert_eq!(v, 4.0),
+            ref o => panic!("expected completion, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn try_send_reports_out_of_range() {
+        let runs = world().run_outcomes(1, |ctx| ctx.try_send(5, 0, vec![1.0f64]));
+        match &runs[0].outcome {
+            RankOutcome::Completed(Err(CommError::RankOutOfRange { rank: 5, size: 1 })) => {}
+            o => panic!("expected RankOutOfRange, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn degradation_window_slows_delivery() {
+        let elapsed_with = |plan: FaultPlan| {
+            let runs = world().run_with_plan(2, plan, |ctx| {
+                if ctx.rank() == 0 {
+                    ctx.compute_secs(0.5); // send from inside the window
+                    ctx.send(1, 0, vec![0.0f64; 1 << 16]);
+                    0.0
+                } else {
+                    let _ = ctx.recv(0, 0);
+                    ctx.now()
+                }
+            });
+            match runs[1].outcome {
+                RankOutcome::Completed(t) => t,
+                ref o => panic!("expected completion, got {o:?}"),
+            }
+        };
+        let clean = elapsed_with(FaultPlan::new(8));
+        let degraded = elapsed_with(FaultPlan::new(8).with_degradation(
+            crate::fault::LinkDegradation {
+                from: 0.0,
+                until: 1.0,
+                extra_drop: 0.0,
+                delay_factor: 50.0,
+            },
+        ));
+        assert!(degraded > clean, "degraded {degraded} clean {clean}");
     }
 }

@@ -104,10 +104,7 @@ fn rank_main(ctx: &mut RankCtx, cfg: &FunctionalConfig) -> FunctionalOutcome {
     let init_a = EulerSolver::acoustic_pulse(MeshHierarchy::build(mesh_a.clone(), 1), 0.05).state;
     let init_b = EulerSolver::acoustic_pulse(MeshHierarchy::build(mesh_b.clone(), 1), 0.05).state;
     let mass0 = |mesh: &cpx_mesh::UnstructuredMesh, st: &[[f64; 5]]| -> f64 {
-        st.iter()
-            .zip(&mesh.volumes)
-            .map(|(u, &v)| u[0] * v)
-            .sum()
+        st.iter().zip(&mesh.volumes).map(|(u, &v)| u[0] * v).sum()
     };
     let mass_a0 = mass0(&mesh_a, &init_a);
     let mass_b0 = mass0(&mesh_b, &init_b);
@@ -142,9 +139,23 @@ fn rank_main(ctx: &mut RankCtx, cfg: &FunctionalConfig) -> FunctionalOutcome {
         0 | 1 => {
             // An MG-CFD instance rank.
             let (mesh, part, init, base, iface, my_iface_side_a) = if role == 0 {
-                (mesh_a.clone(), &part_a, init_a.clone(), 0usize, &iface_a, true)
+                (
+                    mesh_a.clone(),
+                    &part_a,
+                    init_a.clone(),
+                    0usize,
+                    &iface_a,
+                    true,
+                )
             } else {
-                (mesh_b.clone(), &part_b, init_b.clone(), p_mg, &iface_b, false)
+                (
+                    mesh_b.clone(),
+                    &part_b,
+                    init_b.clone(),
+                    p_mg,
+                    &iface_b,
+                    false,
+                )
             };
             let group = Group::from_ranks(10 + role as u64, (base..base + p_mg).collect(), me);
             let mut solver = DistributedEuler::new(&group, mesh.clone(), part, init);
@@ -171,8 +182,7 @@ fn rank_main(ctx: &mut RankCtx, cfg: &FunctionalConfig) -> FunctionalOutcome {
                                 field[chunk[0] as usize] = chunk[1];
                             }
                         }
-                        outcome.last_sent_mean =
-                            field.iter().sum::<f64>() / field.len() as f64;
+                        outcome.last_sent_mean = field.iter().sum::<f64>() / field.len() as f64;
                         ctx.send(cu_rank, TAG_GATHER, field);
                     }
                 } else {
@@ -211,7 +221,7 @@ fn rank_main(ctx: &mut RankCtx, cfg: &FunctionalConfig) -> FunctionalOutcome {
                 pic.step(ctx, &group);
                 // Receive the steady-state boundary value on the root.
                 if it % 20 == 0 && group.is_root() {
-                    let v = ctx.recv(p_mg, TAG_STEADY, ).into_f64();
+                    let v = ctx.recv(p_mg, TAG_STEADY).into_f64();
                     debug_assert_eq!(v.len(), 1);
                 }
             }
@@ -240,10 +250,8 @@ fn rank_main(ctx: &mut RankCtx, cfg: &FunctionalConfig) -> FunctionalOutcome {
     let world = ctx.world();
     outcome.mass_a = world.allreduce_scalar(ctx, ReduceOp::Max, outcome.mass_a);
     outcome.mass_b = world.allreduce_scalar(ctx, ReduceOp::Max, outcome.mass_b);
-    outcome.simpic_particles =
-        world.allreduce_scalar(ctx, ReduceOp::Max, outcome.simpic_particles);
-    outcome.exchanges = world
-        .allreduce_scalar(ctx, ReduceOp::Max, outcome.exchanges as f64) as u64;
+    outcome.simpic_particles = world.allreduce_scalar(ctx, ReduceOp::Max, outcome.simpic_particles);
+    outcome.exchanges = world.allreduce_scalar(ctx, ReduceOp::Max, outcome.exchanges as f64) as u64;
     outcome.last_sent_mean = world.allreduce_scalar(ctx, ReduceOp::Max, outcome.last_sent_mean);
     let transfer_len =
         world.allreduce_scalar(ctx, ReduceOp::Max, outcome.last_transfer.len() as f64);
@@ -298,8 +306,7 @@ mod tests {
             assert!((0.5..2.0).contains(&v), "transferred density {v}");
         }
         // Nearest-donor transfer preserves the mean to first order.
-        let mean_recv =
-            out.last_transfer.iter().sum::<f64>() / out.last_transfer.len() as f64;
+        let mean_recv = out.last_transfer.iter().sum::<f64>() / out.last_transfer.len() as f64;
         assert!(
             (mean_recv - out.last_sent_mean).abs() < 0.1,
             "sent mean {} vs received mean {}",

@@ -117,6 +117,56 @@ impl CuSpec {
     }
 }
 
+/// An injected failure plus the recovery policy a resilient coupled
+/// run models against it.
+///
+/// One rank of `crash_app` dies at `crash_time` (virtual seconds into
+/// the full run). The run takes coordinated checkpoints every
+/// `checkpoint_interval` density iterations; on the crash it rolls back
+/// to the last checkpoint and redistributes the dead rank's work within
+/// the instance's own group (shrinking, ULFM-style), finishing the
+/// window at the degraded rank count. Independently,
+/// `dropped_cu_exchanges` lists density iterations whose coupler-unit
+/// payloads are lost in flight — the target side falls back to its
+/// last-good mapping (stale data) rather than stalling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultScenario {
+    /// Index into [`Scenario::apps`] of the instance losing a rank.
+    pub crash_app: usize,
+    /// Virtual time (seconds into the full run) at which the rank dies.
+    /// A time at or beyond the clean runtime means no crash occurs.
+    pub crash_time: f64,
+    /// Coordinated-checkpoint period in density iterations.
+    pub checkpoint_interval: u64,
+    /// Density iterations whose CU exchanges are dropped in flight.
+    pub dropped_cu_exchanges: Vec<u64>,
+}
+
+impl FaultScenario {
+    /// A single rank crash in `crash_app` at `crash_time`, with the
+    /// default 20-iteration checkpoint period and no dropped exchanges.
+    pub fn crash(crash_app: usize, crash_time: f64) -> FaultScenario {
+        FaultScenario {
+            crash_app,
+            crash_time,
+            checkpoint_interval: 20,
+            dropped_cu_exchanges: Vec::new(),
+        }
+    }
+
+    /// Set the checkpoint period (density iterations).
+    pub fn with_checkpoint_interval(mut self, iters: u64) -> FaultScenario {
+        self.checkpoint_interval = iters;
+        self
+    }
+
+    /// Drop the CU exchange payloads of the given density iterations.
+    pub fn with_dropped_exchanges(mut self, iters: Vec<u64>) -> FaultScenario {
+        self.dropped_cu_exchanges = iters;
+        self
+    }
+}
+
 /// A complete coupled scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
@@ -129,6 +179,8 @@ pub struct Scenario {
     /// Density-solver iterations of the full run (the pressure solver
     /// takes two timesteps per density iteration, §V).
     pub density_iters: u64,
+    /// Injected failure, if the run should model resilience.
+    pub fault: Option<FaultScenario>,
 }
 
 impl Scenario {
@@ -138,7 +190,7 @@ impl Scenario {
         self.apps.iter().map(|a| a.cells).sum()
     }
 
-    /// Validate instance indices in the CU specs.
+    /// Validate instance indices in the CU specs and the fault config.
     pub fn validate(&self) -> Result<(), String> {
         for cu in &self.cus {
             if cu.a >= self.apps.len() || cu.b >= self.apps.len() {
@@ -148,7 +200,28 @@ impl Scenario {
                 return Err(format!("{}: cannot couple an instance to itself", cu.name));
             }
         }
+        if let Some(fault) = &self.fault {
+            if fault.crash_app >= self.apps.len() {
+                return Err(format!(
+                    "fault: crash_app {} out of range ({} apps)",
+                    fault.crash_app,
+                    self.apps.len()
+                ));
+            }
+            if fault.crash_time.is_nan() || fault.crash_time < 0.0 {
+                return Err(format!("fault: invalid crash_time {}", fault.crash_time));
+            }
+            if fault.checkpoint_interval == 0 {
+                return Err("fault: checkpoint_interval must be >= 1".into());
+            }
+        }
         Ok(())
+    }
+
+    /// This scenario with an injected failure attached.
+    pub fn with_fault(mut self, fault: FaultScenario) -> Scenario {
+        self.fault = Some(fault);
+        self
     }
 }
 
@@ -189,10 +262,43 @@ mod tests {
             ],
             cus: vec![CuSpec::sliding("cu", 0, 1, 8.0e6, 24.0e6)],
             density_iters: 100,
+            fault: None,
         };
         assert!(s.validate().is_ok());
         assert_eq!(s.total_cells(), 32.0e6);
         s.cus[0].b = 7;
         assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn fault_scenario_validation() {
+        let base = Scenario {
+            name: "t".into(),
+            apps: vec![
+                AppInstance::mgcfd("a", 8.0e6),
+                AppInstance::mgcfd("b", 24.0e6),
+            ],
+            cus: vec![],
+            density_iters: 100,
+            fault: None,
+        };
+        let ok = base.clone().with_fault(
+            FaultScenario::crash(1, 12.5)
+                .with_checkpoint_interval(10)
+                .with_dropped_exchanges(vec![3, 40]),
+        );
+        assert!(ok.validate().is_ok());
+        let f = ok.fault.as_ref().unwrap();
+        assert_eq!(f.checkpoint_interval, 10);
+        assert_eq!(f.dropped_cu_exchanges, vec![3, 40]);
+
+        let bad_app = base.clone().with_fault(FaultScenario::crash(5, 1.0));
+        assert!(bad_app.validate().is_err());
+        let bad_time = base.clone().with_fault(FaultScenario::crash(0, f64::NAN));
+        assert!(bad_time.validate().is_err());
+        let bad_k = base
+            .clone()
+            .with_fault(FaultScenario::crash(0, 1.0).with_checkpoint_interval(0));
+        assert!(bad_k.validate().is_err());
     }
 }

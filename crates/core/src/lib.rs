@@ -40,7 +40,7 @@ pub mod testcases;
 
 /// Convenient re-exports.
 pub mod prelude {
-    pub use crate::instance::{AppInstance, AppKind, CuSpec, Scenario, StcVariant};
+    pub use crate::instance::{AppInstance, AppKind, CuSpec, FaultScenario, Scenario, StcVariant};
     pub use crate::model::{self, ScenarioModels};
     pub use crate::report::markdown_report;
     pub use crate::sim::{self, CoupledRun};
@@ -49,6 +49,6 @@ pub mod prelude {
     pub use cpx_perfmodel::{allocate, AllocConfig, Allocation};
 }
 
-pub use instance::{AppInstance, AppKind, CuSpec, Scenario, StcVariant};
+pub use instance::{AppInstance, AppKind, CuSpec, FaultScenario, Scenario, StcVariant};
 pub use model::ScenarioModels;
 pub use sim::CoupledRun;

@@ -50,13 +50,10 @@ pub fn default_grid(max_p: usize) -> Vec<usize> {
 /// measured by a standalone virtual run.
 pub fn app_step_runtime(kind: &AppKind, p: usize, machine: &Machine) -> f64 {
     match kind {
-        AppKind::MgCfd(cfg) => {
-            MgCfdTraceModel::new(cfg.clone()).per_step_runtime(p, machine)
-        }
+        AppKind::MgCfd(cfg) => MgCfdTraceModel::new(cfg.clone()).per_step_runtime(p, machine),
         AppKind::Simpic(cfg) => {
             // Two pressure-solver timesteps per density iteration (§V).
-            2.0 * SimpicTraceModel::new(cfg.clone())
-                .per_pressure_step_runtime(p, machine)
+            2.0 * SimpicTraceModel::new(cfg.clone()).per_pressure_step_runtime(p, machine)
         }
     }
 }

@@ -59,8 +59,8 @@ pub fn markdown_report(scenario: &Scenario, alloc: &Allocation, run: &CoupledRun
     }
 
     let predicted_total = alloc.predicted_runtime();
-    let err = (predicted_total - run.total_runtime).abs()
-        / run.total_runtime.max(f64::MIN_POSITIVE);
+    let err =
+        (predicted_total - run.total_runtime).abs() / run.total_runtime.max(f64::MIN_POSITIVE);
     out.push_str(&format!(
         "\n## Totals\n\n- predicted runtime: **{predicted_total:.1} s**\n\
          - measured runtime: **{:.1} s** (error {:.1}%)\n\
@@ -71,6 +71,26 @@ pub fn markdown_report(scenario: &Scenario, alloc: &Allocation, run: &CoupledRun
         run.coupling_overhead * 100.0,
         scenario.apps[alloc.bottleneck_app()].name
     ));
+
+    if run.faults_survived > 0 {
+        out.push_str(&format!(
+            "\n## Resilience\n\n- faults survived: **{}**\n\
+             - recovery overhead: **{:.1} s** ({:.1}% of runtime)\n\
+             - checkpoint cost: **{:.1} s**\n\
+             - stale CU exchanges: **{}**\n",
+            run.faults_survived,
+            run.recovery_overhead,
+            run.recovery_overhead / run.total_runtime.max(f64::MIN_POSITIVE) * 100.0,
+            run.checkpoint_cost,
+            run.stale_exchanges
+        ));
+        if let Some(fault) = &scenario.fault {
+            out.push_str(&format!(
+                "- injected: rank crash in **{}** at t={:.1} s, checkpoints every {} iterations\n",
+                scenario.apps[fault.crash_app].name, fault.crash_time, fault.checkpoint_interval
+            ));
+        }
+    }
     out
 }
 
@@ -87,8 +107,7 @@ mod tests {
     fn report_contains_every_instance_and_totals() {
         let scenario = testcases::small_150m_28m(StcVariant::Base);
         let machine = Machine::archer2();
-        let models =
-            build_models_with_grid(&scenario, &machine, 20.0, &[100, 400, 1600]);
+        let models = build_models_with_grid(&scenario, &machine, 20.0, &[100, 400, 1600]);
         let alloc = allocate_scenario(&models, 1200);
         let run = run_coupled(&scenario, &alloc, &machine, 20);
         let md = markdown_report(&scenario, &alloc, &run);
@@ -101,7 +120,29 @@ mod tests {
         assert!(md.contains("predicted runtime"));
         assert!(md.contains("coupling overhead"));
         assert!(md.contains("bottleneck"));
+        assert!(!md.contains("Resilience"), "clean run has no fault section");
         // It is a plausible markdown table.
         assert!(md.matches('|').count() > 20);
+    }
+
+    #[test]
+    fn report_includes_resilience_section_for_faulty_run() {
+        use crate::instance::FaultScenario;
+        use crate::sim::run_coupled_resilient;
+
+        let scenario = testcases::small_150m_28m(StcVariant::Base);
+        let machine = Machine::archer2();
+        let models = build_models_with_grid(&scenario, &machine, 20.0, &[100, 400, 1600]);
+        let alloc = allocate_scenario(&models, 1200);
+        let clean = run_coupled(&scenario, &alloc, &machine, 20);
+        let scenario = scenario.with_fault(
+            FaultScenario::crash(0, clean.total_runtime * 0.5).with_checkpoint_interval(10),
+        );
+        let run = run_coupled_resilient(&scenario, &alloc, &machine, 20);
+        let md = markdown_report(&scenario, &alloc, &run);
+        assert!(md.contains("## Resilience"));
+        assert!(md.contains("faults survived: **1**"));
+        assert!(md.contains("recovery overhead"));
+        assert!(md.contains("checkpoints every 10 iterations"));
     }
 }

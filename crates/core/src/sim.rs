@@ -44,15 +44,32 @@ pub struct CoupledRun {
     pub sample_iters: u64,
     /// World size of the run.
     pub world_size: usize,
+    /// Injected faults the run absorbed without aborting: a survived
+    /// rank crash counts one, each stale CU exchange counts one.
+    pub faults_survived: u32,
+    /// Extra runtime attributable to resilience — checkpoints, rollback
+    /// re-execution, recovery coordination and the degraded-speed
+    /// remainder — versus the fault-free run (seconds).
+    pub recovery_overhead: f64,
+    /// Seconds spent writing coordinated checkpoints.
+    pub checkpoint_cost: f64,
+    /// CU exchanges whose payload was lost and that fell back to the
+    /// last-good (stale) mapping.
+    pub stale_exchanges: u64,
 }
 
 /// Evenly-spaced sample of an instance's ranks acting as its interface
-/// surface ranks for a CU of `cu_p` ranks.
+/// surface ranks for a CU of `cu_p` ranks. Deduplicated (preserving
+/// order): a rank that would be sampled twice — possible when the
+/// stride floors onto the same index — must appear once, or the emitted
+/// gather/scatter ops would double-count it.
 fn surface_sample(ranks: &[usize], cu_p: usize) -> Vec<usize> {
     let want = (4 * cu_p).clamp(8, 256).min(ranks.len());
     let stride = (ranks.len() as f64 / want as f64).max(1.0);
+    let mut seen = std::collections::HashSet::new();
     (0..want)
         .map(|k| ranks[(k as f64 * stride) as usize % ranks.len()])
+        .filter(|&r| seen.insert(r))
         .collect()
 }
 
@@ -138,11 +155,9 @@ fn build_program(
                 Block::Aggregate(secs) => {
                     for &r in &ranks {
                         program.rank(r).compute_secs(*secs);
-                        program.rank(r).collective(
-                            CollectiveKind::Allreduce,
-                            app_groups[ai],
-                            8,
-                        );
+                        program
+                            .rank(r)
+                            .collective(CollectiveKind::Allreduce, app_groups[ai], 8);
                     }
                 }
             }
@@ -237,24 +252,162 @@ pub fn run_coupled_with(
         coupling_overhead,
         sample_iters,
         world_size: layout.world_size(),
+        faults_survived: 0,
+        recovery_overhead: 0.0,
+        checkpoint_cost: 0.0,
+        stale_exchanges: 0,
+    }
+}
+
+/// Coordinated-checkpoint cost: every solver rank drains its state (the
+/// five conservative variables per local cell, bandwidth-bound at twice
+/// the memory traffic) and the world closes with a consistency-marker
+/// allreduce. Replayed as its own trace so the price reflects the
+/// machine model, not a hand constant.
+fn checkpoint_secs(scenario: &Scenario, alloc: &Allocation, machine: &Machine) -> f64 {
+    let world: usize = alloc.app_ranks.iter().sum::<usize>() + alloc.cu_ranks.iter().sum::<usize>();
+    let mut program = TraceProgram::new(world);
+    let everyone = program.add_group((0..world).collect());
+    let mut rank = 0usize;
+    for (app, &p) in scenario.apps.iter().zip(&alloc.app_ranks) {
+        let state_share = app.cells / p as f64 * 5.0 * 8.0;
+        for _ in 0..p {
+            program
+                .rank(rank)
+                .compute(cpx_machine::KernelCost::bytes(state_share * 2.0));
+            program
+                .rank(rank)
+                .collective(CollectiveKind::Allreduce, everyone, 8);
+            rank += 1;
+        }
+    }
+    for r in rank..world {
+        program
+            .rank(r)
+            .collective(CollectiveKind::Allreduce, everyone, 8);
+    }
+    Replayer::new(machine.clone())
+        .run(&program)
+        .expect("checkpoint trace replays")
+        .makespan()
+}
+
+/// Execute the coupled run under the scenario's injected
+/// [`FaultScenario`](crate::instance::FaultScenario), modelling
+/// checkpoint/rollback/shrink recovery.
+///
+/// The clean run fixes the per-iteration pace. Coordinated checkpoints
+/// every `K` density iterations charge their replayed cost throughout.
+/// When the crash lands inside the window, the run rolls back to the
+/// last checkpoint (losing `crash_iter mod K` iterations), pays a
+/// restart (checkpoint read-back plus a log-depth coordination sweep),
+/// and finishes every remaining iteration at the pace of the *shrunk*
+/// allocation — the crashed instance's group redistributes the dead
+/// rank's cells over one fewer rank, ULFM-style, rather than aborting
+/// the whole coupled job. Dropped CU exchanges never stall the target:
+/// it re-applies its last-good mapping (the prefetch-search cache) and
+/// the staleness is counted.
+///
+/// Without a fault attached this is exactly [`run_coupled`].
+pub fn run_coupled_resilient(
+    scenario: &Scenario,
+    alloc: &Allocation,
+    machine: &Machine,
+    sample_iters: u64,
+) -> CoupledRun {
+    let clean = run_coupled(scenario, alloc, machine, sample_iters);
+    let Some(fault) = &scenario.fault else {
+        return clean;
+    };
+
+    let iters = scenario.density_iters;
+    let k = fault.checkpoint_interval.max(1);
+    let ckpt = checkpoint_secs(scenario, alloc, machine);
+    let t_iter = clean.total_runtime / iters as f64;
+
+    // Stale CU exchanges: the payload is lost in flight, so the target
+    // side's surface ranks re-apply the cached last-good mapping on top
+    // of the wasted exchange — a local interpolation pass, no network.
+    let mut stale_exchanges = 0u64;
+    let mut stale_cost = 0.0;
+    for &it in &fault.dropped_cu_exchanges {
+        if it >= iters {
+            continue;
+        }
+        for (ci, cu) in scenario.cus.iter().enumerate() {
+            let model = CouplerTraceModel::new(cu.kind, cu.interface_points, cu.interface_points);
+            if model.exchanges_on(it) {
+                stale_exchanges += 1;
+                stale_cost += model.interp_secs_per_rank(alloc.cu_ranks[ci].max(1));
+            }
+        }
+    }
+
+    let n_ckpts = iters / k;
+    let mut checkpoint_cost = n_ckpts as f64 * ckpt;
+    let mut faults_survived = stale_exchanges as u32;
+    let mut total_runtime = clean.total_runtime + checkpoint_cost + stale_cost;
+
+    let crash_happens =
+        fault.crash_time < clean.total_runtime && alloc.app_ranks[fault.crash_app] > 1;
+    if crash_happens {
+        faults_survived += 1;
+        let crash_iter = ((fault.crash_time / t_iter) as u64).min(iters - 1);
+        let last_ckpt = (crash_iter / k) * k;
+
+        // Shrunk allocation: the crashed instance's group absorbs the
+        // dead rank's share over one fewer rank.
+        let mut shrunk = alloc.clone();
+        shrunk.app_ranks[fault.crash_app] -= 1;
+        let (program, _) = build_program(scenario, &shrunk, machine, sample_iters, true);
+        let degraded = Replayer::new(machine.clone())
+            .run(&program)
+            .expect("shrunk program replays");
+        let t_iter_degraded = degraded.makespan() / sample_iters as f64;
+
+        // Restart: read the checkpoint back (priced like the write) and
+        // re-establish communicators with a log-depth sweep.
+        let world = clean.world_size as f64;
+        let restart = ckpt + machine.inter_latency * world.max(2.0).log2();
+
+        // Timeline: full speed until the crash, with the checkpoints
+        // taken so far; roll back and redo everything since the last
+        // checkpoint — and the rest of the window — at the degraded
+        // pace, still checkpointing.
+        let ckpts_before = crash_iter / k;
+        checkpoint_cost = n_ckpts as f64 * ckpt;
+        total_runtime = fault.crash_time
+            + ckpts_before as f64 * ckpt
+            + restart
+            + (iters - last_ckpt) as f64 * t_iter_degraded
+            + (n_ckpts - ckpts_before) as f64 * ckpt
+            + stale_cost;
+    }
+
+    let recovery_overhead = (total_runtime - clean.total_runtime).max(0.0);
+    CoupledRun {
+        app_runtimes: clean.app_runtimes,
+        total_runtime,
+        coupling_overhead: clean.coupling_overhead,
+        sample_iters,
+        world_size: clean.world_size,
+        faults_survived,
+        recovery_overhead,
+        checkpoint_cost,
+        stale_exchanges,
     }
 }
 
 /// Standalone ("uncoupled") runtime of each instance at its allocated
 /// rank count over the full window — the paper's Fig 9a comparison
 /// baseline.
-pub fn standalone_runtimes(
-    scenario: &Scenario,
-    alloc: &Allocation,
-    machine: &Machine,
-) -> Vec<f64> {
+pub fn standalone_runtimes(scenario: &Scenario, alloc: &Allocation, machine: &Machine) -> Vec<f64> {
     scenario
         .apps
         .iter()
         .zip(&alloc.app_ranks)
         .map(|(app, &p)| {
-            crate::model::app_step_runtime(&app.kind, p, machine)
-                * scenario.density_iters as f64
+            crate::model::app_step_runtime(&app.kind, p, machine) * scenario.density_iters as f64
         })
         .collect()
 }
@@ -272,12 +425,7 @@ mod tests {
 
     fn small_alloc(budget: usize) -> (crate::instance::Scenario, Allocation) {
         let scenario = testcases::small_150m_28m(StcVariant::Base);
-        let models = build_models_with_grid(
-            &scenario,
-            &machine(),
-            20.0,
-            &[100, 400, 1600, 6400],
-        );
+        let models = build_models_with_grid(&scenario, &machine(), 20.0, &[100, 400, 1600, 6400]);
         let alloc = allocate_scenario(&models, budget);
         (scenario, alloc)
     }
@@ -341,8 +489,8 @@ mod tests {
         let standalone = standalone_runtimes(&scenario, &alloc, &m);
         // The bottleneck instance's coupled time ≈ its standalone time.
         let bottleneck = alloc.bottleneck_app();
-        let rel = (run.app_runtimes[bottleneck] - standalone[bottleneck]).abs()
-            / standalone[bottleneck];
+        let rel =
+            (run.app_runtimes[bottleneck] - standalone[bottleneck]).abs() / standalone[bottleneck];
         assert!(
             rel < 0.35,
             "bottleneck coupled {} vs standalone {}",
@@ -361,5 +509,108 @@ mod tests {
         let tiny: Vec<usize> = (0..4).collect();
         let s = surface_sample(&tiny, 16);
         assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn surface_sample_never_repeats_a_rank() {
+        // Distinct inputs stay distinct…
+        let ranks: Vec<usize> = (0..37).collect();
+        let s = surface_sample(&ranks, 16);
+        let mut uniq = s.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), s.len(), "sample repeated a rank: {s:?}");
+        // …and a degenerate rank list collapses, preserving first-seen
+        // order.
+        let dup = vec![9, 9, 9, 9, 5, 5, 5, 5];
+        assert_eq!(surface_sample(&dup, 16), vec![9, 5]);
+    }
+
+    #[test]
+    fn resilient_run_without_fault_matches_clean() {
+        let (scenario, alloc) = small_alloc(2000);
+        let m = machine();
+        let clean = run_coupled(&scenario, &alloc, &m, 20);
+        let res = run_coupled_resilient(&scenario, &alloc, &m, 20);
+        assert_eq!(res.faults_survived, 0);
+        assert_eq!(res.recovery_overhead, 0.0);
+        assert_eq!(res.total_runtime, clean.total_runtime);
+    }
+
+    #[test]
+    fn resilient_run_survives_rank_crash_with_quantified_overhead() {
+        let (scenario, alloc) = small_alloc(2000);
+        let m = machine();
+        let clean = run_coupled(&scenario, &alloc, &m, 20);
+        let scenario = scenario.with_fault(
+            crate::instance::FaultScenario::crash(0, clean.total_runtime * 0.4)
+                .with_checkpoint_interval(10),
+        );
+        let res = run_coupled_resilient(&scenario, &alloc, &m, 20);
+        assert_eq!(res.faults_survived, 1);
+        assert!(res.recovery_overhead > 0.0);
+        assert!(res.checkpoint_cost > 0.0);
+        assert!(
+            res.total_runtime > clean.total_runtime,
+            "resilient {} vs clean {}",
+            res.total_runtime,
+            clean.total_runtime
+        );
+        assert_eq!(
+            res.total_runtime - clean.total_runtime,
+            res.recovery_overhead
+        );
+        // Losing one rank of ~700 must not blow the run up: the
+        // overhead stays a modest fraction of the clean runtime.
+        assert!(
+            res.recovery_overhead < clean.total_runtime,
+            "overhead {} vs clean {}",
+            res.recovery_overhead,
+            clean.total_runtime
+        );
+    }
+
+    #[test]
+    fn tighter_checkpoints_cost_more_but_lose_less_work() {
+        let (scenario, alloc) = small_alloc(2000);
+        let m = machine();
+        let clean = run_coupled(&scenario, &alloc, &m, 20);
+        let at = clean.total_runtime * 0.55;
+        let run_with_k = |k: u64| {
+            let s = scenario.clone().with_fault(
+                crate::instance::FaultScenario::crash(0, at).with_checkpoint_interval(k),
+            );
+            run_coupled_resilient(&s, &alloc, &m, 20)
+        };
+        let tight = run_with_k(5);
+        let loose = run_with_k(50);
+        assert!(
+            tight.checkpoint_cost > loose.checkpoint_cost,
+            "ckpt cost: K=5 {} vs K=50 {}",
+            tight.checkpoint_cost,
+            loose.checkpoint_cost
+        );
+        // Determinism: the same fault replays to the same overhead.
+        let again = run_with_k(5);
+        assert_eq!(tight.total_runtime, again.total_runtime);
+        assert_eq!(tight.recovery_overhead, again.recovery_overhead);
+    }
+
+    #[test]
+    fn dropped_exchanges_counted_as_stale_not_fatal() {
+        let (scenario, alloc) = small_alloc(2000);
+        let m = machine();
+        let clean = run_coupled(&scenario, &alloc, &m, 20);
+        // Crash beyond the end: only the dropped exchanges fire. Both
+        // CUs exchange on iteration 0 (sliding every iter, steady on
+        // period boundaries); iteration 7 is sliding-only.
+        let scenario = scenario.with_fault(
+            crate::instance::FaultScenario::crash(0, clean.total_runtime * 10.0)
+                .with_dropped_exchanges(vec![0, 7]),
+        );
+        let res = run_coupled_resilient(&scenario, &alloc, &m, 20);
+        assert_eq!(res.stale_exchanges, 3);
+        assert_eq!(res.faults_survived, 3);
+        assert!(res.recovery_overhead > 0.0); // checkpoints + stale applies
     }
 }

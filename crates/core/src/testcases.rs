@@ -22,6 +22,7 @@ pub fn small_150m_28m(variant: StcVariant) -> Scenario {
         apps,
         cus,
         density_iters: 100,
+        fault: None,
     }
 }
 
@@ -61,8 +62,20 @@ pub fn large_engine(variant: StcVariant) -> Scenario {
         ));
     }
     // Steady-state overlaps around the combustor: 13↔14 and 14↔15.
-    cus.push(CuSpec::steady("cu-steady-13-14", 12, 13, cells(12), cells(13)));
-    cus.push(CuSpec::steady("cu-steady-14-15", 13, 14, cells(13), cells(14)));
+    cus.push(CuSpec::steady(
+        "cu-steady-13-14",
+        12,
+        13,
+        cells(12),
+        cells(13),
+    ));
+    cus.push(CuSpec::steady(
+        "cu-steady-14-15",
+        13,
+        14,
+        cells(13),
+        cells(14),
+    ));
     // Sliding plane between the turbine rows 15↔16.
     cus.push(CuSpec::sliding(
         "cu-slide-15-16",
@@ -83,6 +96,7 @@ pub fn large_engine(variant: StcVariant) -> Scenario {
         apps,
         cus,
         density_iters: 1000, // one revolution = 1,000 density steps
+        fault: None,
     }
 }
 

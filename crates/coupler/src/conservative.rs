@@ -49,12 +49,7 @@ impl ConservativeMap {
         assert_eq!(field.len(), self.donor_target.len());
         assert_eq!(target_weights.len(), self.n_targets);
         let mut accum = vec![0.0; self.n_targets];
-        for ((&t, &f), &w) in self
-            .donor_target
-            .iter()
-            .zip(field)
-            .zip(donor_weights)
-        {
+        for ((&t, &f), &w) in self.donor_target.iter().zip(field).zip(donor_weights) {
             accum[t] += w * f;
         }
         accum

@@ -256,6 +256,26 @@ impl PrefetchSearch {
             }
         }
     }
+
+    /// Advance one step on the *cached* mapping alone — the degraded
+    /// path when fresh query coordinates never arrived (e.g. the
+    /// exchange payload was dropped). The cached queries are rotated by
+    /// the known per-step Δθ so a later [`PrefetchSearch::step_map`]
+    /// resynchronises cleanly, and the last-good donors are returned
+    /// unchanged. `None` if no mapping has been computed yet.
+    pub fn advance_cached(&mut self) -> Option<Vec<usize>> {
+        let (queries, mapping) = self.cached.as_mut()?;
+        for q in queries.iter_mut() {
+            q[1] = (q[1] + self.dtheta_per_step).rem_euclid(self.theta_period);
+        }
+        self.searches_saved += mapping.len();
+        Some(mapping.clone())
+    }
+
+    /// The last-good mapping, if one exists.
+    pub fn last_map(&self) -> Option<&[usize]> {
+        self.cached.as_ref().map(|(_, m)| m.as_slice())
+    }
 }
 
 fn angular_close(a: f64, b: f64, period: f64) -> bool {
@@ -367,6 +387,39 @@ mod tests {
             }
         }
         assert!(prefetch.searches_saved > 0, "prefetch must save work");
+    }
+
+    #[test]
+    fn advance_cached_returns_last_good_and_resyncs() {
+        let period = std::f64::consts::TAU;
+        let donors = random_points(300, 4);
+        let dtheta = 0.013;
+        let mut prefetch = PrefetchSearch::new(&donors, period, dtheta);
+        assert!(prefetch.advance_cached().is_none(), "nothing cached yet");
+        assert!(prefetch.last_map().is_none());
+
+        let mut queries = random_points(100, 5);
+        let good = prefetch.step_map(&queries);
+        // Two degraded steps: the stale mapping is exactly the last-good
+        // one and costs zero searches.
+        let done_before = prefetch.searches_done;
+        assert_eq!(prefetch.advance_cached().unwrap(), good);
+        assert_eq!(prefetch.advance_cached().unwrap(), good);
+        assert_eq!(prefetch.searches_done, done_before);
+        assert_eq!(prefetch.last_map().unwrap(), &good[..]);
+
+        // Fresh data resumes: rotate the real queries by the three steps
+        // taken and the prefetch path must still agree with brute force.
+        for q in &mut queries {
+            q[1] = (q[1] + 3.0 * dtheta).rem_euclid(period);
+        }
+        let got = prefetch.step_map(&queries);
+        let brute = BruteSearch::new(donors.clone(), Some(period));
+        for (i, (g, w)) in got.iter().zip(&brute.map_all(&queries)).enumerate() {
+            let dg = dist2(queries[i], donors[*g], Some(period));
+            let dw = dist2(queries[i], donors[*w], Some(period));
+            assert!((dg - dw).abs() < 1e-12, "query {i} after resync");
+        }
     }
 
     #[test]

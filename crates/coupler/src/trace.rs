@@ -71,7 +71,7 @@ impl CouplerTraceModel {
     pub fn exchanges_on(&self, iter: u64) -> bool {
         match self.kind {
             CouplerKind::Sliding { .. } => true,
-            CouplerKind::Steady { period } => iter % period as u64 == 0,
+            CouplerKind::Steady { period } => iter.is_multiple_of(period as u64),
         }
     }
 
@@ -131,7 +131,14 @@ impl CouplerTraceModel {
         tag_base: u32,
     ) {
         self.emit_exchange_deferred(
-            program, cu_ranks, a_surface, b_surface, machine, first_exchange, tag_base, None,
+            program,
+            cu_ranks,
+            a_surface,
+            b_surface,
+            machine,
+            first_exchange,
+            tag_base,
+            None,
         );
     }
 
@@ -300,10 +307,8 @@ mod tests {
         // a 150M-cell MG-CFD iteration on 331 ranks.
         let m = Machine::archer2();
         let cu = sliding(SearchAlgo::TreePrefetch).per_exchange_runtime(63, &m);
-        let density = cpx_mgcfd::MgCfdTraceModel::new(
-            cpx_mgcfd::MgCfdConfig::rotor37_150m(),
-        )
-        .per_step_runtime(331, &m);
+        let density = cpx_mgcfd::MgCfdTraceModel::new(cpx_mgcfd::MgCfdConfig::rotor37_150m())
+            .per_step_runtime(331, &m);
         let overhead = cu / density;
         assert!(
             overhead < 0.01,

@@ -65,7 +65,10 @@ impl std::fmt::Display for ReplayError {
                 "collective mismatch on group {group}: {expected:?} vs {found:?}"
             ),
             ReplayError::NotAMember { rank, group } => {
-                write!(f, "rank {rank} posted collective on group {group} it is not in")
+                write!(
+                    f,
+                    "rank {rank} posted collective on group {group} it is not in"
+                )
             }
         }
     }
@@ -136,18 +139,14 @@ impl ReplayOutcome {
         if span == 0.0 {
             return 1.0;
         }
-        let mean: f64 =
-            self.compute_time.iter().sum::<f64>() / self.compute_time.len() as f64;
+        let mean: f64 = self.compute_time.iter().sum::<f64>() / self.compute_time.len() as f64;
         mean / span
     }
 
     /// Max finish time over a subset of ranks (an app instance's runtime
     /// inside a coupled program).
     pub fn makespan_of(&self, ranks: &[usize]) -> f64 {
-        ranks
-            .iter()
-            .map(|&r| self.finish[r])
-            .fold(0.0, f64::max)
+        ranks.iter().map(|&r| self.finish[r]).fold(0.0, f64::max)
     }
 }
 
@@ -411,13 +410,7 @@ impl Replayer {
                             Some(arrival) => {
                                 let wait = (arrival - clock[rank]).max(0.0);
                                 clock[rank] += wait;
-                                charge_comm(
-                                    rank,
-                                    wait,
-                                    &phase,
-                                    &mut comm_time,
-                                    &mut phase_comm,
-                                );
+                                charge_comm(rank, wait, &phase, &mut comm_time, &mut phase_comm);
                                 advance!();
                             }
                             None => {
@@ -432,16 +425,13 @@ impl Replayer {
                             return Err(ReplayError::NotAMember { rank, group });
                         }
                         let gsize = program.groups[group].len();
-                        let entry =
-                            pending_colls
-                                .entry(group)
-                                .or_insert_with(|| PendingColl {
-                                    kind,
-                                    arrived: 0,
-                                    max_clock: 0.0,
-                                    max_bytes: 0,
-                                    waiters: Vec::with_capacity(gsize),
-                                });
+                        let entry = pending_colls.entry(group).or_insert_with(|| PendingColl {
+                            kind,
+                            arrived: 0,
+                            max_clock: 0.0,
+                            max_bytes: 0,
+                            waiters: Vec::with_capacity(gsize),
+                        });
                         if entry.kind != kind {
                             return Err(ReplayError::CollectiveMismatch {
                                 group,
@@ -460,22 +450,11 @@ impl Replayer {
                         if entry.arrived == gsize {
                             let coll = pending_colls.remove(&group).expect("just inserted");
                             let t_end = coll.max_clock
-                                + collective_time(
-                                    &self.machine,
-                                    coll.kind,
-                                    gsize,
-                                    coll.max_bytes,
-                                );
+                                + collective_time(&self.machine, coll.kind, gsize, coll.max_bytes);
                             for (r, at) in coll.waiters {
                                 let wait = t_end - at;
                                 clock[r] = t_end;
-                                charge_comm(
-                                    r,
-                                    wait,
-                                    &phase,
-                                    &mut comm_time,
-                                    &mut phase_comm,
-                                );
+                                charge_comm(r, wait, &phase, &mut comm_time, &mut phase_comm);
                                 if r != rank {
                                     blocked[r] = None;
                                     if !queued[r] && !done[r] {

@@ -207,10 +207,10 @@ impl TraceProgram {
                     Op::Collective { group, .. } if *group >= self.groups.len() => {
                         return Err(format!("rank {rank}: unknown group {group}"));
                     }
-                    Op::Repeat { body, .. } => {
-                        if body.iter().any(|o| matches!(o, Op::Repeat { .. })) {
-                            return Err(format!("rank {rank}: nested Repeat"));
-                        }
+                    Op::Repeat { body, .. }
+                        if body.iter().any(|o| matches!(o, Op::Repeat { .. })) =>
+                    {
+                        return Err(format!("rank {rank}: nested Repeat"));
                     }
                     _ => {}
                 }
@@ -239,8 +239,7 @@ mod tests {
         let world = p.add_world_group();
         for r in 0..4 {
             p.rank(r).compute(KernelCost::flops(1e6));
-            p.rank(r)
-                .collective(CollectiveKind::Allreduce, world, 8);
+            p.rank(r).collective(CollectiveKind::Allreduce, world, 8);
         }
         p.rank(0).send(1, 100, 7);
         p.rank(1).recv(0, 7);
@@ -265,8 +264,7 @@ mod tests {
     #[test]
     fn validate_rejects_unknown_group() {
         let mut p = TraceProgram::new(2);
-        p.rank(0)
-            .collective(CollectiveKind::Barrier, 3, 0);
+        p.rank(0).collective(CollectiveKind::Barrier, 3, 0);
         assert!(p.validate().is_err());
     }
 

@@ -67,10 +67,7 @@ pub fn sliding_plane_pair(
     upstream: &UnstructuredMesh,
     downstream: &UnstructuredMesh,
 ) -> (InterfaceMesh, InterfaceMesh) {
-    (
-        axial_layer(upstream, true),
-        axial_layer(downstream, false),
-    )
+    (axial_layer(upstream, true), axial_layer(downstream, false))
 }
 
 fn axial_layer(mesh: &UnstructuredMesh, last: bool) -> InterfaceMesh {

@@ -61,14 +61,14 @@ impl UnstructuredMesh {
         if self.adjacency.nrows() != n || self.adjacency.ncols() != n {
             return Err("adjacency shape".into());
         }
-        if self.volumes.iter().any(|&v| !(v > 0.0)) {
+        if self.volumes.iter().any(|&v| v.is_nan() || v <= 0.0) {
             return Err("non-positive volume".into());
         }
         for &(a, b, area) in &self.faces {
             if a >= b || b >= n {
                 return Err(format!("bad face ({a},{b})"));
             }
-            if !(area > 0.0) {
+            if area.is_nan() || area <= 0.0 {
                 return Err(format!("non-positive face area at ({a},{b})"));
             }
             if self.adjacency.get(a, b) == 0.0 || self.adjacency.get(b, a) == 0.0 {
@@ -166,14 +166,19 @@ pub fn annulus_sector(
     // Face areas by axis: axial faces r·dr·dθ, radial faces r·dθ·dx,
     // azimuthal faces dr·dx. Radius of the cell approximated mid-cell.
     let vol = volumes.clone();
-    structured_to_unstructured([n_axial, n_radial, n_theta], coords, volumes, move |me, axis| {
-        let cell_vol = vol[me];
-        match axis {
-            0 => cell_vol / dx,  // normal to x
-            1 => cell_vol / dr,  // normal to r
-            _ => cell_vol / dth, // normal to θ (area ≈ dr·dx·r/r)
-        }
-    })
+    structured_to_unstructured(
+        [n_axial, n_radial, n_theta],
+        coords,
+        volumes,
+        move |me, axis| {
+            let cell_vol = vol[me];
+            match axis {
+                0 => cell_vol / dx,  // normal to x
+                1 => cell_vol / dr,  // normal to r
+                _ => cell_vol / dth, // normal to θ (area ≈ dr·dx·r/r)
+            }
+        },
+    )
 }
 
 /// Generate a box-shaped combustor volume mesh (`nx × ny × nz` cells

@@ -93,8 +93,14 @@ impl DistributedEuler {
             state: initial,
             owned,
             walls,
-            send_lists: send_sets.into_iter().map(|s| s.into_iter().collect()).collect(),
-            recv_lists: recv_sets.into_iter().map(|s| s.into_iter().collect()).collect(),
+            send_lists: send_sets
+                .into_iter()
+                .map(|s| s.into_iter().collect())
+                .collect(),
+            recv_lists: recv_sets
+                .into_iter()
+                .map(|s| s.into_iter().collect())
+                .collect(),
             faces,
             cfl: 0.4,
         }
@@ -114,7 +120,7 @@ impl DistributedEuler {
     fn exchange_ghosts(&mut self, ctx: &mut RankCtx, group: &Group) {
         let p = group.size();
         const TAG: u32 = 0x47; // 'G'
-        // Post all sends first (eager), then receive.
+                               // Post all sends first (eager), then receive.
         for peer in 0..p {
             if self.send_lists[peer].is_empty() {
                 continue;
@@ -160,7 +166,12 @@ impl DistributedEuler {
             }
         }
         let global_min = group.allreduce_scalar(ctx, ReduceOp::Min, local_min);
-        let dt = self.cfl * if global_min.is_finite() { global_min } else { 1.0 };
+        let dt = self.cfl
+            * if global_min.is_finite() {
+                global_min
+            } else {
+                1.0
+            };
 
         // Flux accumulation over this rank's faces; identical order to
         // serial for the owned endpoints.
@@ -356,16 +367,11 @@ mod tests {
     fn mass_conserved_distributed() {
         let mesh = combustor_box(5, 5, 5, 0.0, 1.0, 1.0, 1.0);
         let init = initial(&mesh);
-        let m0: f64 = init
-            .iter()
-            .zip(&mesh.volumes)
-            .map(|(u, &v)| u[0] * v)
-            .sum();
+        let m0: f64 = init.iter().zip(&mesh.volumes).map(|(u, &v)| u[0] * v).sum();
         let res = World::new(Machine::archer2()).run(3, move |ctx| {
             let group = ctx.world();
             let partition = MeshPartition::build(&mesh, group.size());
-            let mut solver =
-                DistributedEuler::new(&group, mesh.clone(), &partition, init.clone());
+            let mut solver = DistributedEuler::new(&group, mesh.clone(), &partition, init.clone());
             for _ in 0..20 {
                 solver.step(ctx, &group);
             }

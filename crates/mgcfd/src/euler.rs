@@ -48,8 +48,7 @@ pub fn pressure(u: &Conserved) -> f64 {
 /// Acoustic + convective wave speed bound of a state.
 pub fn wave_speed(u: &Conserved) -> f64 {
     let inv_rho = 1.0 / u[0];
-    let speed =
-        ((u[1] * u[1] + u[2] * u[2] + u[3] * u[3]).sqrt()) * inv_rho;
+    let speed = ((u[1] * u[1] + u[2] * u[2] + u[3] * u[3]).sqrt()) * inv_rho;
     let p = pressure(u);
     let a = (GAMMA * p * inv_rho).max(0.0).sqrt();
     speed + a
@@ -305,9 +304,7 @@ impl EulerSolver {
 
     /// Whether density and pressure are positive everywhere.
     pub fn is_physical(&self) -> bool {
-        self.state
-            .iter()
-            .all(|u| u[0] > 0.0 && pressure(u) > 0.0)
+        self.state.iter().all(|u| u[0] > 0.0 && pressure(u) > 0.0)
     }
 }
 

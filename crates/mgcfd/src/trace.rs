@@ -14,9 +14,7 @@
 //! paper's behaviour: high parallel efficiency (≈90%) out to ~10,000
 //! cores on production-size meshes.
 
-use cpx_machine::{
-    CollectiveKind, KernelCost, Machine, Op, Replayer, TraceProgram,
-};
+use cpx_machine::{CollectiveKind, KernelCost, Machine, Op, Replayer, TraceProgram};
 use cpx_mesh::SurfaceModel;
 
 use crate::config::MgCfdConfig;
@@ -76,18 +74,15 @@ impl MgCfdTraceModel {
     /// Emit `steps` solver iterations for an instance on `ranks` (world
     /// rank ids, group-ordered) with registered collective group
     /// `group`. Ops are wrapped in a `Repeat` for compactness.
-    pub fn emit(
-        &self,
-        program: &mut TraceProgram,
-        ranks: &[usize],
-        group: usize,
-        steps: u32,
-    ) {
+    pub fn emit(&self, program: &mut TraceProgram, ranks: &[usize], group: usize, steps: u32) {
         let p = ranks.len();
         assert!(p >= 1);
         for (i, &world_rank) in ranks.iter().enumerate() {
             let body = self.step_body(i, p, ranks, group);
-            program.rank(world_rank).ops.push(Op::Repeat { count: steps, body });
+            program
+                .rank(world_rank)
+                .ops
+                .push(Op::Repeat { count: steps, body });
         }
     }
 
@@ -209,7 +204,10 @@ mod tests {
         let m = model(8.0e6);
         let e16k = pe(&m, 100, 16_384);
         let e64k = pe(&m, 100, 65_536);
-        assert!(e64k < e16k, "PE must keep falling: 64k {e64k} vs 16k {e16k}");
+        assert!(
+            e64k < e16k,
+            "PE must keep falling: 64k {e64k} vs 16k {e16k}"
+        );
         assert!(e64k > 0.6, "still no collapse at 64k: {e64k}");
     }
 

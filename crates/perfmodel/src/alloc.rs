@@ -177,7 +177,11 @@ mod tests {
         let apps = vec![ideal("light", 100.0, 1), ideal("heavy", 300.0, 1)];
         let out = allocate(&apps, &[], AllocConfig { budget: 400 });
         let ratio = out.app_ranks[1] as f64 / out.app_ranks[0] as f64;
-        assert!((2.5..3.5).contains(&ratio), "ratio {ratio} ({:?})", out.app_ranks);
+        assert!(
+            (2.5..3.5).contains(&ratio),
+            "ratio {ratio} ({:?})",
+            out.app_ranks
+        );
         // Runtimes end up balanced.
         let t = &out.app_times;
         assert!((t[0] - t[1]).abs() / t[1] < 0.1, "{t:?}");

@@ -61,10 +61,8 @@ impl RuntimeCurve {
                 let mut den = 0.0;
                 for (x, t, w) in &rows {
                     let w2 = w * w;
-                    let pred_minus_j: f64 = (0..4)
-                        .filter(|&k| k != j)
-                        .map(|k| beta[k] * x[k])
-                        .sum();
+                    let pred_minus_j: f64 =
+                        (0..4).filter(|&k| k != j).map(|k| beta[k] * x[k]).sum();
                     num += w2 * x[j] * (t - pred_minus_j);
                     den += w2 * x[j] * x[j];
                 }

@@ -16,7 +16,7 @@
 //!   solver ranks advance the flow; the two sides meet at a
 //!   shared-window fence once per step.
 
-use cpx_comm::{World, Window};
+use cpx_comm::{Window, World};
 use cpx_machine::{KernelCost, Machine};
 
 use crate::spray;
@@ -133,8 +133,7 @@ mod tests {
         let machine = Machine::archer2();
         let t = run_synchronous(machine.clone(), 64, CELLS, DROPLETS, 3);
         let peak_droplets = DROPLETS * spray::max_fraction(64);
-        let expected = 3.0
-            * (CELL_SECS * CELLS / 64.0 + DROPLET_SECS * peak_droplets);
+        let expected = 3.0 * (CELL_SECS * CELLS / 64.0 + DROPLET_SECS * peak_droplets);
         assert!(
             (t - expected).abs() / expected < 0.1,
             "measured {t} vs expected {expected}"
@@ -147,7 +146,10 @@ mod tests {
         let machine = Machine::archer2();
         let starved = run_async(machine.clone(), 64, 1, CELLS, DROPLETS, 3);
         let balanced = run_async(machine, 64, 21, CELLS, DROPLETS, 3);
-        assert!(balanced < starved, "balanced {balanced} vs starved {starved}");
+        assert!(
+            balanced < starved,
+            "balanced {balanced} vs starved {starved}"
+        );
     }
 
     #[test]

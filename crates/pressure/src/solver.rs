@@ -41,10 +41,7 @@ impl MiniPressureSolver {
         for i in 0..n {
             for j in 0..n {
                 for k in 0..n {
-                    let (x, y) = (
-                        (i as f64 + 0.5) / n as f64,
-                        (j as f64 + 0.5) / n as f64,
-                    );
+                    let (x, y) = ((i as f64 + 0.5) / n as f64, (j as f64 + 0.5) / n as f64);
                     // A compressing axial stream plus a swirl —
                     // deliberately not divergence-free (u_x varies
                     // along x).
@@ -79,9 +76,24 @@ impl MiniPressureSolver {
                 for k in 0..n {
                     let c = self.idx(i, j, k);
                     let mut d = 0.0;
-                    d += self.u[c][0] - if i > 0 { self.u[self.idx(i - 1, j, k)][0] } else { 0.0 };
-                    d += self.u[c][1] - if j > 0 { self.u[self.idx(i, j - 1, k)][1] } else { 0.0 };
-                    d += self.u[c][2] - if k > 0 { self.u[self.idx(i, j, k - 1)][2] } else { 0.0 };
+                    d += self.u[c][0]
+                        - if i > 0 {
+                            self.u[self.idx(i - 1, j, k)][0]
+                        } else {
+                            0.0
+                        };
+                    d += self.u[c][1]
+                        - if j > 0 {
+                            self.u[self.idx(i, j - 1, k)][1]
+                        } else {
+                            0.0
+                        };
+                    d += self.u[c][2]
+                        - if k > 0 {
+                            self.u[self.idx(i, j, k - 1)][2]
+                        } else {
+                            0.0
+                        };
                     div[c] = d;
                 }
             }
@@ -130,9 +142,21 @@ impl MiniPressureSolver {
                 for k in 0..n {
                     let c = self.idx(i, j, k);
                     let grad = [
-                        if i + 1 < n { p[self.idx(i + 1, j, k)] - p[c] } else { 0.0 },
-                        if j + 1 < n { p[self.idx(i, j + 1, k)] - p[c] } else { 0.0 },
-                        if k + 1 < n { p[self.idx(i, j, k + 1)] - p[c] } else { 0.0 },
+                        if i + 1 < n {
+                            p[self.idx(i + 1, j, k)] - p[c]
+                        } else {
+                            0.0
+                        },
+                        if j + 1 < n {
+                            p[self.idx(i, j + 1, k)] - p[c]
+                        } else {
+                            0.0
+                        },
+                        if k + 1 < n {
+                            p[self.idx(i, j, k + 1)] - p[c]
+                        } else {
+                            0.0
+                        },
                     ];
                     for d in 0..3 {
                         self.u[c][d] -= grad[d];
@@ -223,11 +247,10 @@ mod tests {
             assert!(s.interior_divergence_norm() < 1e-6);
         }
         // Velocity stays bounded.
-        let max_u = s
-            .u
-            .iter()
-            .flat_map(|v| v.iter())
-            .fold(0.0f64, |a, &b| a.max(b.abs()));
+        let max_u =
+            s.u.iter()
+                .flat_map(|v| v.iter())
+                .fold(0.0f64, |a, &b| a.max(b.abs()));
         assert!(max_u < 10.0, "velocity blew up: {max_u}");
     }
 

@@ -82,11 +82,7 @@ impl SprayCloud {
             pos.push(p);
             vel.push([rng.gen_range(0.5..1.5), 0.0, 0.0]);
         }
-        SprayCloud {
-            pos,
-            vel,
-            tau: 0.1,
-        }
+        SprayCloud { pos, vel, tau: 0.1 }
     }
 
     /// Advance droplets by `dt` under Stokes drag toward the carrier
@@ -182,8 +178,7 @@ mod tests {
         for _ in 0..10 {
             cloud.update(0.02, fluid);
         }
-        let mean_vx: f64 =
-            cloud.vel.iter().map(|v| v[0]).sum::<f64>() / cloud.vel.len() as f64;
+        let mean_vx: f64 = cloud.vel.iter().map(|v| v[0]).sum::<f64>() / cloud.vel.len() as f64;
         assert!((0.3..1.0).contains(&mean_vx), "mean v_x {mean_vx}");
     }
 

@@ -320,7 +320,10 @@ impl PressureTraceModel {
                 let ops = self.setup_ops(bw, p, group);
                 prog.rank(i).ops.extend(ops);
             }
-            Replayer::new(machine.clone()).run(&prog).expect("setup").makespan()
+            Replayer::new(machine.clone())
+                .run(&prog)
+                .expect("setup")
+                .makespan()
         };
         let mut prog = TraceProgram::new(p);
         let ranks: Vec<usize> = (0..p).collect();
@@ -423,7 +426,10 @@ mod tests {
         let e128 = elapsed(128);
         let e512 = elapsed(512);
         let e2048 = elapsed(2048);
-        assert!(e512 > 0.55 * e128, "spray must stop scaling: {e512} vs {e128}");
+        assert!(
+            e512 > 0.55 * e128,
+            "spray must stop scaling: {e512} vs {e128}"
+        );
         assert!(e2048 > 0.6 * e512);
         // Spray PE at 512 vs 128 is then below 50% (4x ranks, <2x faster).
         let spray_pe = (e128 * 128.0) / (e512 * 512.0);

@@ -94,13 +94,19 @@ mod tests {
     #[test]
     fn fig3_table_values() {
         let c28 = SimpicConfig::base_28m();
-        assert_eq!((c28.cells, c28.particles_per_cell, c28.timesteps), (512_000, 100, 50_000));
+        assert_eq!(
+            (c28.cells, c28.particles_per_cell, c28.timesteps),
+            (512_000, 100, 50_000)
+        );
         let c84 = SimpicConfig::base_84m();
         assert_eq!(c84.particles_per_cell, 300);
         let c380 = SimpicConfig::base_380m();
         assert_eq!(c380.particles_per_cell, 1_800);
         let opt = SimpicConfig::optimized_stc();
-        assert_eq!((opt.cells, opt.particles_per_cell, opt.timesteps), (1_180_000, 60_000, 450));
+        assert_eq!(
+            (opt.cells, opt.particles_per_cell, opt.timesteps),
+            (1_180_000, 60_000, 450)
+        );
     }
 
     #[test]

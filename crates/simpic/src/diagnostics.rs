@@ -110,8 +110,13 @@ pub fn run_with_history(pic: &mut Pic1D, steps: usize) -> History {
         h.field_energy.push(pic.field_energy());
         h.kinetic_energy.push(pic.kinetic_energy());
         let n = pic.particles.len() as f64;
-        h.mean_speed
-            .push(pic.particles.iter().map(|p: &Particle| p.v.abs()).sum::<f64>() / n);
+        h.mean_speed.push(
+            pic.particles
+                .iter()
+                .map(|p: &Particle| p.v.abs())
+                .sum::<f64>()
+                / n,
+        );
     }
     h
 }

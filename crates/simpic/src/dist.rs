@@ -36,11 +36,7 @@ pub struct DistPic {
 impl DistPic {
     /// Quiet-start setup on `group`: each rank creates the particles of
     /// its own slab (deterministic, independent of rank count).
-    pub fn quiet_start(
-        group: &Group,
-        config: &SimpicConfig,
-        displacement: f64,
-    ) -> DistPic {
+    pub fn quiet_start(group: &Group, config: &SimpicConfig, displacement: f64) -> DistPic {
         let p = group.size();
         let me = group.index();
         let cells = config.cells;
@@ -100,7 +96,10 @@ impl DistPic {
         let interior = cells - 1;
         let sys = Tridiag::poisson(interior, dx);
         let rhs: Vec<f64> = (1..cells).map(|i| 1.0 - density[i]).collect();
-        ctx.compute(KernelCost::new(interior as f64 * 9.0, interior as f64 * 40.0));
+        ctx.compute(KernelCost::new(
+            interior as f64 * 9.0,
+            interior as f64 * 40.0,
+        ));
         let sol = sys.solve(&rhs).expect("Poisson solve");
         self.phi[0] = 0.0;
         self.phi[cells] = 0.0;
@@ -156,12 +155,10 @@ impl DistPic {
         let migrated = left.len() + right.len();
         self.particles = keep;
         const TAG: u32 = 0x4D; // 'M'
-        // Exchange with both neighbours (empty messages keep the
-        // pattern uniform and deadlock-free).
+                               // Exchange with both neighbours (empty messages keep the
+                               // pattern uniform and deadlock-free).
         if p_ranks > 1 {
-            let pack = |v: &[Particle]| -> Vec<f64> {
-                v.iter().flat_map(|p| [p.x, p.v]).collect()
-            };
+            let pack = |v: &[Particle]| -> Vec<f64> { v.iter().flat_map(|p| [p.x, p.v]).collect() };
             if me > 0 {
                 ctx.send(group.member(me - 1), TAG, pack(&left));
             }
@@ -299,10 +296,7 @@ mod tests {
             }
         });
         for (a, b) in serial[0].0.iter().zip(&dist[0].0) {
-            assert!(
-                (a - b).abs() < 1e-9,
-                "trajectories diverge: {a} vs {b}"
-            );
+            assert!((a - b).abs() < 1e-9, "trajectories diverge: {a} vs {b}");
         }
     }
 

@@ -84,12 +84,7 @@ impl Pic1D {
 
     /// CIC charge deposit: electron number density on the nodes.
     pub fn deposit(&self) -> Vec<f64> {
-        deposit_cic(
-            &self.particles,
-            self.cells,
-            self.length,
-            self.weight,
-        )
+        deposit_cic(&self.particles, self.cells, self.length, self.weight)
     }
 
     /// Solve `−φ'' = ρ` (ion background minus electrons) with grounded
@@ -193,12 +188,7 @@ impl Pic1D {
 
 /// CIC deposit shared by the serial and distributed paths: electron
 /// *number density* on `cells + 1` nodes.
-pub fn deposit_cic(
-    particles: &[Particle],
-    cells: usize,
-    length: f64,
-    weight: f64,
-) -> Vec<f64> {
+pub fn deposit_cic(particles: &[Particle], cells: usize, length: f64, weight: f64) -> Vec<f64> {
     let dx = length / cells as f64;
     let mut density = vec![0.0f64; cells + 1];
     for p in particles {
@@ -245,7 +235,11 @@ mod tests {
             pic.step();
         }
         // Field energy stays at noise level.
-        assert!(pic.field_energy() < 1e-8, "field energy {}", pic.field_energy());
+        assert!(
+            pic.field_energy() < 1e-8,
+            "field energy {}",
+            pic.field_energy()
+        );
     }
 
     #[test]
@@ -263,9 +257,7 @@ mod tests {
                 * p.particles
                     .iter()
                     .zip(&equilibrium.particles)
-                    .map(|(a, b)| {
-                        (a.x - b.x) * (std::f64::consts::TAU * b.x / p.length).sin()
-                    })
+                    .map(|(a, b)| (a.x - b.x) * (std::f64::consts::TAU * b.x / p.length).sin())
                     .sum::<f64>()
         };
         assert!((modal(&pic) - 0.02).abs() < 1e-3, "initial amplitude");

@@ -14,9 +14,7 @@
 //! mini-app batches field solves against particle work, as the real
 //! code overlaps its pipeline.
 
-use cpx_machine::{
-    CollectiveKind, KernelCost, Machine, Op, Replayer, TraceProgram,
-};
+use cpx_machine::{CollectiveKind, KernelCost, Machine, Op, Replayer, TraceProgram};
 
 use crate::config::SimpicConfig;
 
@@ -166,13 +164,7 @@ impl SimpicTraceModel {
     /// Emit `steps` SIMPIC timesteps for an instance on `ranks` with
     /// collective group `group`. A full pipelined sweep runs every
     /// [`CHAIN_INTERVAL`] steps.
-    pub fn emit(
-        &self,
-        program: &mut TraceProgram,
-        ranks: &[usize],
-        group: usize,
-        steps: u32,
-    ) {
+    pub fn emit(&self, program: &mut TraceProgram, ranks: &[usize], group: usize, steps: u32) {
         let p = ranks.len();
         let blocks = steps / CHAIN_INTERVAL;
         let leftover = steps % CHAIN_INTERVAL;

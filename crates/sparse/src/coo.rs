@@ -56,7 +56,7 @@ impl Coo {
     /// Convert to CSR, summing duplicate `(row, col)` entries.
     pub fn to_csr(&self) -> Csr {
         let mut entries = self.entries.clone();
-        entries.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
 
         let mut rowptr = Vec::with_capacity(self.nrows + 1);
         let mut colidx = Vec::with_capacity(entries.len());

@@ -48,7 +48,11 @@ impl DistCsr {
         offsets: &[usize],
     ) -> DistCsr {
         let p = group.size();
-        assert_eq!(offsets.len(), p + 1, "offsets must have one entry per part + 1");
+        assert_eq!(
+            offsets.len(),
+            p + 1,
+            "offsets must have one entry per part + 1"
+        );
         assert_eq!(offsets[p], global.nrows(), "offsets must cover all rows");
         let me = group.index();
         let (lo, hi) = (offsets[me], offsets[me + 1]);
@@ -194,10 +198,7 @@ impl DistCsr {
     pub fn dot(&self, ctx: &mut RankCtx, group: &Group, a: &[f64], b: &[f64]) -> f64 {
         assert_eq!(a.len(), b.len());
         let local: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
-        ctx.compute(KernelCost::new(
-            2.0 * a.len() as f64,
-            16.0 * a.len() as f64,
-        ));
+        ctx.compute(KernelCost::new(2.0 * a.len() as f64, 16.0 * a.len() as f64));
         group.allreduce_scalar(ctx, ReduceOp::Sum, local)
     }
 

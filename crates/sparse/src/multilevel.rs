@@ -84,7 +84,13 @@ pub fn multilevel_partition(adj: &Csr, parts: usize, config: MultilevelConfig) -
     // --- initial partition on the coarsest graph ----------------------
     let coarsest = graphs.last().unwrap();
     let mut assignment = greedy_graph_partition(&coarsest.adj, parts);
-    balance_fix(&coarsest.adj, &coarsest.vwgt, &mut assignment, parts, config.balance);
+    balance_fix(
+        &coarsest.adj,
+        &coarsest.vwgt,
+        &mut assignment,
+        parts,
+        config.balance,
+    );
     refine(coarsest, &mut assignment, parts, config);
 
     // --- uncoarsen + refine -------------------------------------------

@@ -113,7 +113,13 @@ fn rcb_recurse(
     });
     let (left, right) = ids.split_at_mut(split);
     rcb_recurse(coords, left, first_part, left_parts, assignment);
-    rcb_recurse(coords, right, first_part + left_parts, right_parts, assignment);
+    rcb_recurse(
+        coords,
+        right,
+        first_part + left_parts,
+        right_parts,
+        assignment,
+    );
 }
 
 /// Greedy BFS graph growing over a symmetric adjacency CSR: grow parts

@@ -11,11 +11,7 @@ use cpx_sparse::{partition::partition_quality, rcb_partition};
 /// Strategy: a random sparse matrix as (nrows, ncols, triplets).
 fn arb_csr(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = Csr> {
     (1..max_dim, 1..max_dim).prop_flat_map(move |(nr, nc)| {
-        proptest::collection::vec(
-            (0..nr, 0..nc, -100i32..100),
-            0..max_nnz,
-        )
-        .prop_map(move |trips| {
+        proptest::collection::vec((0..nr, 0..nc, -100i32..100), 0..max_nnz).prop_map(move |trips| {
             let mut coo = Coo::new(nr, nc);
             for (r, c, v) in trips {
                 coo.push(r, c, v as f64 * 0.25);

@@ -14,15 +14,23 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(40_000);
     let machine = Machine::archer2();
-    let grid = [100usize, 200, 400, 800, 1600, 3200, 6400, 12_800, 25_600, 40_000];
+    let grid = [
+        100usize, 200, 400, 800, 1600, 3200, 6400, 12_800, 25_600, 40_000,
+    ];
 
     for variant in [StcVariant::Base, StcVariant::Optimized] {
         let scenario = testcases::large_engine(variant);
-        println!("\n=== {} | one revolution (1,000 density steps) ===", scenario.name);
+        println!(
+            "\n=== {} | one revolution (1,000 density steps) ===",
+            scenario.name
+        );
         let models = model::build_models_with_grid(&scenario, &machine, 1000.0, &grid);
         let alloc = model::allocate_scenario(&models, budget);
 
-        println!("{:>4} {:>20} {:>9} {:>8} {:>14}", "#", "instance", "mesh", "ranks", "predicted");
+        println!(
+            "{:>4} {:>20} {:>9} {:>8} {:>14}",
+            "#", "instance", "mesh", "ranks", "predicted"
+        );
         for (i, app) in scenario.apps.iter().enumerate() {
             println!(
                 "{:>4} {:>20} {:>8.0}M {:>8} {:>13.0}s",
@@ -47,9 +55,23 @@ fn main() {
             (alloc.predicted_runtime() - run.total_runtime).abs() / run.total_runtime * 100.0,
             run.coupling_overhead * 100.0
         );
+        println!("bottleneck: {}", scenario.apps[alloc.bottleneck_app()].name);
+
+        // Resilience: lose one rank of the bottleneck instance halfway
+        // through the revolution, checkpointing every 100 iterations.
+        let crash_app = alloc.bottleneck_app();
+        let faulty = scenario.clone().with_fault(
+            FaultScenario::crash(crash_app, run.total_runtime * 0.5).with_checkpoint_interval(100),
+        );
+        let res = sim::run_coupled_resilient(&faulty, &alloc, &machine, 20);
         println!(
-            "bottleneck: {}",
-            scenario.apps[alloc.bottleneck_app()].name
+            "with a rank lost in {}: +{:.0}s recovery overhead ({:.1}%), \
+             {:.0}s in checkpoints, {} fault(s) survived",
+            scenario.apps[crash_app].name,
+            res.recovery_overhead,
+            res.recovery_overhead / res.total_runtime * 100.0,
+            res.checkpoint_cost,
+            res.faults_survived
         );
     }
 }

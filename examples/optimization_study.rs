@@ -10,7 +10,9 @@
 
 use std::time::Instant;
 
-use cpx_amg::{pcg, CgConfig, CycleType, Hierarchy, HierarchyConfig, InterpKind, Preconditioner, Smoother};
+use cpx_amg::{
+    pcg, CgConfig, CycleType, Hierarchy, HierarchyConfig, InterpKind, Preconditioner, Smoother,
+};
 use cpx_coupler::search::{BruteSearch, KdTree2};
 use cpx_machine::Machine;
 use cpx_pressure::{PressureConfig, PressureTraceModel};
@@ -22,7 +24,10 @@ fn main() {
     println!("=== SpGEMM variants (A·A, 2-D Poisson 128x128) ===");
     let a = Csr::poisson2d(128, 128);
     for (name, f) in [
-        ("two-pass (baseline)", (|a: &Csr| spgemm_twopass(a, a)) as fn(&Csr) -> _),
+        (
+            "two-pass (baseline)",
+            (|a: &Csr| spgemm_twopass(a, a)) as fn(&Csr) -> _,
+        ),
         ("SPA single-pass", |a: &Csr| spgemm_spa(a, a, 8)),
         ("hash accumulation", |a: &Csr| spgemm_hash(a, a)),
     ] {
@@ -44,7 +49,10 @@ fn main() {
     a3.spmv(&x_exact, &mut b);
     for (sname, smoother) in [
         ("Jacobi", Smoother::Jacobi { omega: 0.8 }),
-        ("hybrid GS (paper)", Smoother::HybridGaussSeidel { blocks: 8 }),
+        (
+            "hybrid GS (paper)",
+            Smoother::HybridGaussSeidel { blocks: 8 },
+        ),
     ] {
         for (iname, interp) in [
             ("smoothed", InterpKind::Smoothed { omega: 0.66 }),
@@ -80,10 +88,20 @@ fn main() {
     println!("\n=== Donor search (20k donors, 5k queries) ===");
     let mut rng = StdRng::seed_from_u64(7);
     let donors: Vec<[f64; 2]> = (0..20_000)
-        .map(|_| [rng.gen_range(1.0..2.0), rng.gen_range(0.0..6.28)])
+        .map(|_| {
+            [
+                rng.gen_range(1.0..2.0),
+                rng.gen_range(0.0..std::f64::consts::TAU),
+            ]
+        })
         .collect();
     let queries: Vec<[f64; 2]> = (0..5_000)
-        .map(|_| [rng.gen_range(1.0..2.0), rng.gen_range(0.0..6.28)])
+        .map(|_| {
+            [
+                rng.gen_range(1.0..2.0),
+                rng.gen_range(0.0..std::f64::consts::TAU),
+            ]
+        })
         .collect();
     let t0 = Instant::now();
     let brute = BruteSearch::new(donors.clone(), None).map_all(&queries);
@@ -94,13 +112,19 @@ fn main() {
     let t_tree = t0.elapsed();
     assert_eq!(brute.len(), tree_map.len());
     println!("  brute force: {t_brute:>10.2?}");
-    println!("  k-d tree:    {t_tree:>10.2?}  ({:.0}x faster)", t_brute.as_secs_f64() / t_tree.as_secs_f64());
+    println!(
+        "  k-d tree:    {t_tree:>10.2?}  ({:.0}x faster)",
+        t_brute.as_secs_f64() / t_tree.as_secs_f64()
+    );
 
     println!("\n=== Modelled effect on the pressure solver (Fig 6a) ===");
     let machine = Machine::archer2();
     let base = PressureTraceModel::new(PressureConfig::swirl_28m());
     let opt = PressureTraceModel::new(PressureConfig::swirl_28m().optimized());
-    println!("  {:>8} {:>12} {:>12} {:>9}", "ranks", "base t/step", "opt t/step", "speedup");
+    println!(
+        "  {:>8} {:>12} {:>12} {:>9}",
+        "ranks", "base t/step", "opt t/step", "speedup"
+    );
     for p in [512usize, 1024, 2048, 4096] {
         let tb = base.per_step_runtime(p, &machine);
         let to = opt.per_step_runtime(p, &machine);

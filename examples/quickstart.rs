@@ -13,7 +13,11 @@ fn main() {
     // SIMPIC pressure proxy (Fig 8a), on an ARCHER2-class machine.
     let scenario = testcases::small_150m_28m(StcVariant::Base);
     let machine = Machine::archer2();
-    println!("scenario: {} ({:.0}M cells effective)", scenario.name, scenario.total_cells() / 1e6);
+    println!(
+        "scenario: {} ({:.0}M cells effective)",
+        scenario.name,
+        scenario.total_cells() / 1e6
+    );
 
     // 1. Benchmark the mini-apps standalone and fit runtime curves
     //    (Fig 7 workflow). The grid is the rank counts benchmarked.
@@ -31,9 +35,15 @@ fn main() {
         .iter()
         .zip(alloc.app_ranks.iter().zip(&alloc.app_times))
     {
-        println!("  {:<20} {:>5} ranks, predicted {:>8.1}s", app.name, ranks, time);
+        println!(
+            "  {:<20} {:>5} ranks, predicted {:>8.1}s",
+            app.name, ranks, time
+        );
     }
-    println!("predicted coupled runtime: {:.1}s", alloc.predicted_runtime());
+    println!(
+        "predicted coupled runtime: {:.1}s",
+        alloc.predicted_runtime()
+    );
 
     // 3. Run the coupled simulation on the virtual testbed and compare.
     let run = sim::run_coupled(&scenario, &alloc, &machine, 20);

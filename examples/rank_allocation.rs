@@ -12,7 +12,9 @@ use cpx_core::prelude::*;
 
 fn main() {
     let machine = Machine::archer2();
-    let grid = [100usize, 200, 400, 800, 1600, 3200, 6400, 12_800, 25_600, 40_000];
+    let grid = [
+        100usize, 200, 400, 800, 1600, 3200, 6400, 12_800, 25_600, 40_000,
+    ];
 
     for variant in [StcVariant::Base, StcVariant::Optimized] {
         let scenario = testcases::large_engine(variant);

@@ -9,10 +9,7 @@ use cpx_core::prelude::*;
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let budget: usize = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(5000);
+    let budget: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(5000);
     let out_path = args.next().unwrap_or_else(|| "study_report.md".to_string());
 
     let machine = Machine::archer2();

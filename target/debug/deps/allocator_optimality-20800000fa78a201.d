@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/allocator_optimality-20800000fa78a201.d: tests/allocator_optimality.rs Cargo.toml
+
+/root/repo/target/debug/deps/liballocator_optimality-20800000fa78a201.rmeta: tests/allocator_optimality.rs Cargo.toml
+
+tests/allocator_optimality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/allocator_optimality-342ccc016a303300.d: tests/allocator_optimality.rs
+
+/root/repo/target/debug/deps/allocator_optimality-342ccc016a303300: tests/allocator_optimality.rs
+
+tests/allocator_optimality.rs:

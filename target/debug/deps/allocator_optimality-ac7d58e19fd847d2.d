@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/allocator_optimality-ac7d58e19fd847d2.d: tests/allocator_optimality.rs
+
+/root/repo/target/debug/deps/allocator_optimality-ac7d58e19fd847d2: tests/allocator_optimality.rs
+
+tests/allocator_optimality.rs:

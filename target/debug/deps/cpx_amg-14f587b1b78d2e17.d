@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/cpx_amg-14f587b1b78d2e17.d: crates/amg/src/lib.rs crates/amg/src/aggregate.rs crates/amg/src/chebyshev.rs crates/amg/src/cycle.rs crates/amg/src/hierarchy.rs crates/amg/src/interp.rs crates/amg/src/pcg.rs crates/amg/src/smoother.rs crates/amg/src/strength.rs
+
+/root/repo/target/debug/deps/libcpx_amg-14f587b1b78d2e17.rlib: crates/amg/src/lib.rs crates/amg/src/aggregate.rs crates/amg/src/chebyshev.rs crates/amg/src/cycle.rs crates/amg/src/hierarchy.rs crates/amg/src/interp.rs crates/amg/src/pcg.rs crates/amg/src/smoother.rs crates/amg/src/strength.rs
+
+/root/repo/target/debug/deps/libcpx_amg-14f587b1b78d2e17.rmeta: crates/amg/src/lib.rs crates/amg/src/aggregate.rs crates/amg/src/chebyshev.rs crates/amg/src/cycle.rs crates/amg/src/hierarchy.rs crates/amg/src/interp.rs crates/amg/src/pcg.rs crates/amg/src/smoother.rs crates/amg/src/strength.rs
+
+crates/amg/src/lib.rs:
+crates/amg/src/aggregate.rs:
+crates/amg/src/chebyshev.rs:
+crates/amg/src/cycle.rs:
+crates/amg/src/hierarchy.rs:
+crates/amg/src/interp.rs:
+crates/amg/src/pcg.rs:
+crates/amg/src/smoother.rs:
+crates/amg/src/strength.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/cpx_amg-66d819f4cef5eeb6.d: crates/amg/src/lib.rs crates/amg/src/aggregate.rs crates/amg/src/chebyshev.rs crates/amg/src/cycle.rs crates/amg/src/hierarchy.rs crates/amg/src/interp.rs crates/amg/src/pcg.rs crates/amg/src/smoother.rs crates/amg/src/strength.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcpx_amg-66d819f4cef5eeb6.rmeta: crates/amg/src/lib.rs crates/amg/src/aggregate.rs crates/amg/src/chebyshev.rs crates/amg/src/cycle.rs crates/amg/src/hierarchy.rs crates/amg/src/interp.rs crates/amg/src/pcg.rs crates/amg/src/smoother.rs crates/amg/src/strength.rs Cargo.toml
+
+crates/amg/src/lib.rs:
+crates/amg/src/aggregate.rs:
+crates/amg/src/chebyshev.rs:
+crates/amg/src/cycle.rs:
+crates/amg/src/hierarchy.rs:
+crates/amg/src/interp.rs:
+crates/amg/src/pcg.rs:
+crates/amg/src/smoother.rs:
+crates/amg/src/strength.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

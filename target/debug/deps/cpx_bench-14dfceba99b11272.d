@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cpx_bench-14dfceba99b11272.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/cpx_bench-14dfceba99b11272: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

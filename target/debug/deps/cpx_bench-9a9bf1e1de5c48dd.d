@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cpx_bench-9a9bf1e1de5c48dd.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcpx_bench-9a9bf1e1de5c48dd.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cpx_bench-be111641afe08118.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcpx_bench-be111641afe08118.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcpx_bench-be111641afe08118.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

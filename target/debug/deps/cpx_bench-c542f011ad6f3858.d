@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cpx_bench-c542f011ad6f3858.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcpx_bench-c542f011ad6f3858.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcpx_bench-c542f011ad6f3858.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

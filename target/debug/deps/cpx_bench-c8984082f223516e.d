@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cpx_bench-c8984082f223516e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcpx_bench-c8984082f223516e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcpx_bench-c8984082f223516e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

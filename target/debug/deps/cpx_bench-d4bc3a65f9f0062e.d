@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cpx_bench-d4bc3a65f9f0062e.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcpx_bench-d4bc3a65f9f0062e.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cpx_bench-eb972fbac30c42b6.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/cpx_bench-eb972fbac30c42b6: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

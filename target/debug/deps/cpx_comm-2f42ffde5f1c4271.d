@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cpx_comm-2f42ffde5f1c4271.d: crates/comm/src/lib.rs crates/comm/src/group.rs crates/comm/src/nonblocking.rs crates/comm/src/payload.rs crates/comm/src/runtime.rs crates/comm/src/window.rs
+
+/root/repo/target/debug/deps/libcpx_comm-2f42ffde5f1c4271.rlib: crates/comm/src/lib.rs crates/comm/src/group.rs crates/comm/src/nonblocking.rs crates/comm/src/payload.rs crates/comm/src/runtime.rs crates/comm/src/window.rs
+
+/root/repo/target/debug/deps/libcpx_comm-2f42ffde5f1c4271.rmeta: crates/comm/src/lib.rs crates/comm/src/group.rs crates/comm/src/nonblocking.rs crates/comm/src/payload.rs crates/comm/src/runtime.rs crates/comm/src/window.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/group.rs:
+crates/comm/src/nonblocking.rs:
+crates/comm/src/payload.rs:
+crates/comm/src/runtime.rs:
+crates/comm/src/window.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cpx_comm-4a460a8c5b0b45af.d: crates/comm/src/lib.rs crates/comm/src/group.rs crates/comm/src/nonblocking.rs crates/comm/src/payload.rs crates/comm/src/runtime.rs crates/comm/src/window.rs
+
+/root/repo/target/debug/deps/cpx_comm-4a460a8c5b0b45af: crates/comm/src/lib.rs crates/comm/src/group.rs crates/comm/src/nonblocking.rs crates/comm/src/payload.rs crates/comm/src/runtime.rs crates/comm/src/window.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/group.rs:
+crates/comm/src/nonblocking.rs:
+crates/comm/src/payload.rs:
+crates/comm/src/runtime.rs:
+crates/comm/src/window.rs:

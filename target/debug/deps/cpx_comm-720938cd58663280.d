@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cpx_comm-720938cd58663280.d: crates/comm/src/lib.rs crates/comm/src/fault.rs crates/comm/src/group.rs crates/comm/src/nonblocking.rs crates/comm/src/payload.rs crates/comm/src/runtime.rs crates/comm/src/window.rs
+
+/root/repo/target/debug/deps/libcpx_comm-720938cd58663280.rlib: crates/comm/src/lib.rs crates/comm/src/fault.rs crates/comm/src/group.rs crates/comm/src/nonblocking.rs crates/comm/src/payload.rs crates/comm/src/runtime.rs crates/comm/src/window.rs
+
+/root/repo/target/debug/deps/libcpx_comm-720938cd58663280.rmeta: crates/comm/src/lib.rs crates/comm/src/fault.rs crates/comm/src/group.rs crates/comm/src/nonblocking.rs crates/comm/src/payload.rs crates/comm/src/runtime.rs crates/comm/src/window.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/fault.rs:
+crates/comm/src/group.rs:
+crates/comm/src/nonblocking.rs:
+crates/comm/src/payload.rs:
+crates/comm/src/runtime.rs:
+crates/comm/src/window.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/cpx_comm-cd4d3bfa26a9c06b.d: crates/comm/src/lib.rs crates/comm/src/fault.rs crates/comm/src/group.rs crates/comm/src/nonblocking.rs crates/comm/src/payload.rs crates/comm/src/runtime.rs crates/comm/src/window.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcpx_comm-cd4d3bfa26a9c06b.rmeta: crates/comm/src/lib.rs crates/comm/src/fault.rs crates/comm/src/group.rs crates/comm/src/nonblocking.rs crates/comm/src/payload.rs crates/comm/src/runtime.rs crates/comm/src/window.rs Cargo.toml
+
+crates/comm/src/lib.rs:
+crates/comm/src/fault.rs:
+crates/comm/src/group.rs:
+crates/comm/src/nonblocking.rs:
+crates/comm/src/payload.rs:
+crates/comm/src/runtime.rs:
+crates/comm/src/window.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/cpx_core-1db4c7b0b2ac2daf.d: crates/core/src/lib.rs crates/core/src/functional.rs crates/core/src/instance.rs crates/core/src/model.rs crates/core/src/report.rs crates/core/src/sim.rs crates/core/src/testcases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcpx_core-1db4c7b0b2ac2daf.rmeta: crates/core/src/lib.rs crates/core/src/functional.rs crates/core/src/instance.rs crates/core/src/model.rs crates/core/src/report.rs crates/core/src/sim.rs crates/core/src/testcases.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/functional.rs:
+crates/core/src/instance.rs:
+crates/core/src/model.rs:
+crates/core/src/report.rs:
+crates/core/src/sim.rs:
+crates/core/src/testcases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

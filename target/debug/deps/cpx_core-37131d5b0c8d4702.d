@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cpx_core-37131d5b0c8d4702.d: crates/core/src/lib.rs crates/core/src/functional.rs crates/core/src/instance.rs crates/core/src/model.rs crates/core/src/report.rs crates/core/src/sim.rs crates/core/src/testcases.rs
+
+/root/repo/target/debug/deps/libcpx_core-37131d5b0c8d4702.rlib: crates/core/src/lib.rs crates/core/src/functional.rs crates/core/src/instance.rs crates/core/src/model.rs crates/core/src/report.rs crates/core/src/sim.rs crates/core/src/testcases.rs
+
+/root/repo/target/debug/deps/libcpx_core-37131d5b0c8d4702.rmeta: crates/core/src/lib.rs crates/core/src/functional.rs crates/core/src/instance.rs crates/core/src/model.rs crates/core/src/report.rs crates/core/src/sim.rs crates/core/src/testcases.rs
+
+crates/core/src/lib.rs:
+crates/core/src/functional.rs:
+crates/core/src/instance.rs:
+crates/core/src/model.rs:
+crates/core/src/report.rs:
+crates/core/src/sim.rs:
+crates/core/src/testcases.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cpx_core-ee841c3b0a9c772f.d: crates/core/src/lib.rs crates/core/src/functional.rs crates/core/src/instance.rs crates/core/src/model.rs crates/core/src/report.rs crates/core/src/sim.rs crates/core/src/testcases.rs
+
+/root/repo/target/debug/deps/libcpx_core-ee841c3b0a9c772f.rlib: crates/core/src/lib.rs crates/core/src/functional.rs crates/core/src/instance.rs crates/core/src/model.rs crates/core/src/report.rs crates/core/src/sim.rs crates/core/src/testcases.rs
+
+/root/repo/target/debug/deps/libcpx_core-ee841c3b0a9c772f.rmeta: crates/core/src/lib.rs crates/core/src/functional.rs crates/core/src/instance.rs crates/core/src/model.rs crates/core/src/report.rs crates/core/src/sim.rs crates/core/src/testcases.rs
+
+crates/core/src/lib.rs:
+crates/core/src/functional.rs:
+crates/core/src/instance.rs:
+crates/core/src/model.rs:
+crates/core/src/report.rs:
+crates/core/src/sim.rs:
+crates/core/src/testcases.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cpx_coupler-0874bb3a9eec2153.d: crates/coupler/src/lib.rs crates/coupler/src/conservative.rs crates/coupler/src/interp.rs crates/coupler/src/layout.rs crates/coupler/src/search.rs crates/coupler/src/trace.rs crates/coupler/src/unit.rs
+
+/root/repo/target/debug/deps/cpx_coupler-0874bb3a9eec2153: crates/coupler/src/lib.rs crates/coupler/src/conservative.rs crates/coupler/src/interp.rs crates/coupler/src/layout.rs crates/coupler/src/search.rs crates/coupler/src/trace.rs crates/coupler/src/unit.rs
+
+crates/coupler/src/lib.rs:
+crates/coupler/src/conservative.rs:
+crates/coupler/src/interp.rs:
+crates/coupler/src/layout.rs:
+crates/coupler/src/search.rs:
+crates/coupler/src/trace.rs:
+crates/coupler/src/unit.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cpx_coupler-35608a36dcccd535.d: crates/coupler/src/lib.rs crates/coupler/src/conservative.rs crates/coupler/src/interp.rs crates/coupler/src/layout.rs crates/coupler/src/search.rs crates/coupler/src/trace.rs crates/coupler/src/unit.rs
+
+/root/repo/target/debug/deps/libcpx_coupler-35608a36dcccd535.rlib: crates/coupler/src/lib.rs crates/coupler/src/conservative.rs crates/coupler/src/interp.rs crates/coupler/src/layout.rs crates/coupler/src/search.rs crates/coupler/src/trace.rs crates/coupler/src/unit.rs
+
+/root/repo/target/debug/deps/libcpx_coupler-35608a36dcccd535.rmeta: crates/coupler/src/lib.rs crates/coupler/src/conservative.rs crates/coupler/src/interp.rs crates/coupler/src/layout.rs crates/coupler/src/search.rs crates/coupler/src/trace.rs crates/coupler/src/unit.rs
+
+crates/coupler/src/lib.rs:
+crates/coupler/src/conservative.rs:
+crates/coupler/src/interp.rs:
+crates/coupler/src/layout.rs:
+crates/coupler/src/search.rs:
+crates/coupler/src/trace.rs:
+crates/coupler/src/unit.rs:

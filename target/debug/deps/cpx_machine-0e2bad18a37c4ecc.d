@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cpx_machine-0e2bad18a37c4ecc.d: crates/machine/src/lib.rs crates/machine/src/collectives.rs crates/machine/src/cost.rs crates/machine/src/des.rs crates/machine/src/model.rs crates/machine/src/stats.rs crates/machine/src/trace.rs
+
+/root/repo/target/debug/deps/libcpx_machine-0e2bad18a37c4ecc.rlib: crates/machine/src/lib.rs crates/machine/src/collectives.rs crates/machine/src/cost.rs crates/machine/src/des.rs crates/machine/src/model.rs crates/machine/src/stats.rs crates/machine/src/trace.rs
+
+/root/repo/target/debug/deps/libcpx_machine-0e2bad18a37c4ecc.rmeta: crates/machine/src/lib.rs crates/machine/src/collectives.rs crates/machine/src/cost.rs crates/machine/src/des.rs crates/machine/src/model.rs crates/machine/src/stats.rs crates/machine/src/trace.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/collectives.rs:
+crates/machine/src/cost.rs:
+crates/machine/src/des.rs:
+crates/machine/src/model.rs:
+crates/machine/src/stats.rs:
+crates/machine/src/trace.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/cpx_machine-323d91c28bd6febc.d: crates/machine/src/lib.rs crates/machine/src/collectives.rs crates/machine/src/cost.rs crates/machine/src/des.rs crates/machine/src/model.rs crates/machine/src/stats.rs crates/machine/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcpx_machine-323d91c28bd6febc.rmeta: crates/machine/src/lib.rs crates/machine/src/collectives.rs crates/machine/src/cost.rs crates/machine/src/des.rs crates/machine/src/model.rs crates/machine/src/stats.rs crates/machine/src/trace.rs Cargo.toml
+
+crates/machine/src/lib.rs:
+crates/machine/src/collectives.rs:
+crates/machine/src/cost.rs:
+crates/machine/src/des.rs:
+crates/machine/src/model.rs:
+crates/machine/src/stats.rs:
+crates/machine/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cpx_machine-d3730fc0b380bf6c.d: crates/machine/src/lib.rs crates/machine/src/collectives.rs crates/machine/src/cost.rs crates/machine/src/des.rs crates/machine/src/model.rs crates/machine/src/stats.rs crates/machine/src/trace.rs
+
+/root/repo/target/debug/deps/cpx_machine-d3730fc0b380bf6c: crates/machine/src/lib.rs crates/machine/src/collectives.rs crates/machine/src/cost.rs crates/machine/src/des.rs crates/machine/src/model.rs crates/machine/src/stats.rs crates/machine/src/trace.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/collectives.rs:
+crates/machine/src/cost.rs:
+crates/machine/src/des.rs:
+crates/machine/src/model.rs:
+crates/machine/src/stats.rs:
+crates/machine/src/trace.rs:

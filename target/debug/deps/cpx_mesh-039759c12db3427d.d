@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cpx_mesh-039759c12db3427d.d: crates/mesh/src/lib.rs crates/mesh/src/hierarchy.rs crates/mesh/src/interface.rs crates/mesh/src/mesh.rs crates/mesh/src/partition.rs
+
+/root/repo/target/debug/deps/libcpx_mesh-039759c12db3427d.rlib: crates/mesh/src/lib.rs crates/mesh/src/hierarchy.rs crates/mesh/src/interface.rs crates/mesh/src/mesh.rs crates/mesh/src/partition.rs
+
+/root/repo/target/debug/deps/libcpx_mesh-039759c12db3427d.rmeta: crates/mesh/src/lib.rs crates/mesh/src/hierarchy.rs crates/mesh/src/interface.rs crates/mesh/src/mesh.rs crates/mesh/src/partition.rs
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/hierarchy.rs:
+crates/mesh/src/interface.rs:
+crates/mesh/src/mesh.rs:
+crates/mesh/src/partition.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cpx_mesh-c7cb2a7b18f9386d.d: crates/mesh/src/lib.rs crates/mesh/src/hierarchy.rs crates/mesh/src/interface.rs crates/mesh/src/mesh.rs crates/mesh/src/partition.rs
+
+/root/repo/target/debug/deps/libcpx_mesh-c7cb2a7b18f9386d.rlib: crates/mesh/src/lib.rs crates/mesh/src/hierarchy.rs crates/mesh/src/interface.rs crates/mesh/src/mesh.rs crates/mesh/src/partition.rs
+
+/root/repo/target/debug/deps/libcpx_mesh-c7cb2a7b18f9386d.rmeta: crates/mesh/src/lib.rs crates/mesh/src/hierarchy.rs crates/mesh/src/interface.rs crates/mesh/src/mesh.rs crates/mesh/src/partition.rs
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/hierarchy.rs:
+crates/mesh/src/interface.rs:
+crates/mesh/src/mesh.rs:
+crates/mesh/src/partition.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cpx_mesh-c9b9f03f0b3a044a.d: crates/mesh/src/lib.rs crates/mesh/src/hierarchy.rs crates/mesh/src/interface.rs crates/mesh/src/mesh.rs crates/mesh/src/partition.rs
+
+/root/repo/target/debug/deps/libcpx_mesh-c9b9f03f0b3a044a.rlib: crates/mesh/src/lib.rs crates/mesh/src/hierarchy.rs crates/mesh/src/interface.rs crates/mesh/src/mesh.rs crates/mesh/src/partition.rs
+
+/root/repo/target/debug/deps/libcpx_mesh-c9b9f03f0b3a044a.rmeta: crates/mesh/src/lib.rs crates/mesh/src/hierarchy.rs crates/mesh/src/interface.rs crates/mesh/src/mesh.rs crates/mesh/src/partition.rs
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/hierarchy.rs:
+crates/mesh/src/interface.rs:
+crates/mesh/src/mesh.rs:
+crates/mesh/src/partition.rs:

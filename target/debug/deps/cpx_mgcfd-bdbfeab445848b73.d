@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cpx_mgcfd-bdbfeab445848b73.d: crates/mgcfd/src/lib.rs crates/mgcfd/src/config.rs crates/mgcfd/src/dist.rs crates/mgcfd/src/euler.rs crates/mgcfd/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcpx_mgcfd-bdbfeab445848b73.rmeta: crates/mgcfd/src/lib.rs crates/mgcfd/src/config.rs crates/mgcfd/src/dist.rs crates/mgcfd/src/euler.rs crates/mgcfd/src/trace.rs Cargo.toml
+
+crates/mgcfd/src/lib.rs:
+crates/mgcfd/src/config.rs:
+crates/mgcfd/src/dist.rs:
+crates/mgcfd/src/euler.rs:
+crates/mgcfd/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

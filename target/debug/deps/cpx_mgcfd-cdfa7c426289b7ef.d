@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cpx_mgcfd-cdfa7c426289b7ef.d: crates/mgcfd/src/lib.rs crates/mgcfd/src/config.rs crates/mgcfd/src/dist.rs crates/mgcfd/src/euler.rs crates/mgcfd/src/trace.rs
+
+/root/repo/target/debug/deps/libcpx_mgcfd-cdfa7c426289b7ef.rlib: crates/mgcfd/src/lib.rs crates/mgcfd/src/config.rs crates/mgcfd/src/dist.rs crates/mgcfd/src/euler.rs crates/mgcfd/src/trace.rs
+
+/root/repo/target/debug/deps/libcpx_mgcfd-cdfa7c426289b7ef.rmeta: crates/mgcfd/src/lib.rs crates/mgcfd/src/config.rs crates/mgcfd/src/dist.rs crates/mgcfd/src/euler.rs crates/mgcfd/src/trace.rs
+
+crates/mgcfd/src/lib.rs:
+crates/mgcfd/src/config.rs:
+crates/mgcfd/src/dist.rs:
+crates/mgcfd/src/euler.rs:
+crates/mgcfd/src/trace.rs:

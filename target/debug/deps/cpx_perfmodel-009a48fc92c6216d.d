@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cpx_perfmodel-009a48fc92c6216d.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/alloc.rs crates/perfmodel/src/curve.rs crates/perfmodel/src/scale.rs
+
+/root/repo/target/debug/deps/libcpx_perfmodel-009a48fc92c6216d.rlib: crates/perfmodel/src/lib.rs crates/perfmodel/src/alloc.rs crates/perfmodel/src/curve.rs crates/perfmodel/src/scale.rs
+
+/root/repo/target/debug/deps/libcpx_perfmodel-009a48fc92c6216d.rmeta: crates/perfmodel/src/lib.rs crates/perfmodel/src/alloc.rs crates/perfmodel/src/curve.rs crates/perfmodel/src/scale.rs
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/alloc.rs:
+crates/perfmodel/src/curve.rs:
+crates/perfmodel/src/scale.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cpx_perfmodel-6d812c2c303bbbd9.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/alloc.rs crates/perfmodel/src/curve.rs crates/perfmodel/src/scale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcpx_perfmodel-6d812c2c303bbbd9.rmeta: crates/perfmodel/src/lib.rs crates/perfmodel/src/alloc.rs crates/perfmodel/src/curve.rs crates/perfmodel/src/scale.rs Cargo.toml
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/alloc.rs:
+crates/perfmodel/src/curve.rs:
+crates/perfmodel/src/scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cpx_perfmodel-76a1c21207bc3513.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/alloc.rs crates/perfmodel/src/curve.rs crates/perfmodel/src/scale.rs
+
+/root/repo/target/debug/deps/cpx_perfmodel-76a1c21207bc3513: crates/perfmodel/src/lib.rs crates/perfmodel/src/alloc.rs crates/perfmodel/src/curve.rs crates/perfmodel/src/scale.rs
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/alloc.rs:
+crates/perfmodel/src/curve.rs:
+crates/perfmodel/src/scale.rs:

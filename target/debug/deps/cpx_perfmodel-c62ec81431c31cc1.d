@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cpx_perfmodel-c62ec81431c31cc1.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/alloc.rs crates/perfmodel/src/curve.rs crates/perfmodel/src/scale.rs
+
+/root/repo/target/debug/deps/libcpx_perfmodel-c62ec81431c31cc1.rlib: crates/perfmodel/src/lib.rs crates/perfmodel/src/alloc.rs crates/perfmodel/src/curve.rs crates/perfmodel/src/scale.rs
+
+/root/repo/target/debug/deps/libcpx_perfmodel-c62ec81431c31cc1.rmeta: crates/perfmodel/src/lib.rs crates/perfmodel/src/alloc.rs crates/perfmodel/src/curve.rs crates/perfmodel/src/scale.rs
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/alloc.rs:
+crates/perfmodel/src/curve.rs:
+crates/perfmodel/src/scale.rs:

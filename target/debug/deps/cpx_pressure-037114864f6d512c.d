@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cpx_pressure-037114864f6d512c.d: crates/pressure/src/lib.rs crates/pressure/src/async_spray.rs crates/pressure/src/config.rs crates/pressure/src/solver.rs crates/pressure/src/spray.rs crates/pressure/src/trace.rs
+
+/root/repo/target/debug/deps/cpx_pressure-037114864f6d512c: crates/pressure/src/lib.rs crates/pressure/src/async_spray.rs crates/pressure/src/config.rs crates/pressure/src/solver.rs crates/pressure/src/spray.rs crates/pressure/src/trace.rs
+
+crates/pressure/src/lib.rs:
+crates/pressure/src/async_spray.rs:
+crates/pressure/src/config.rs:
+crates/pressure/src/solver.rs:
+crates/pressure/src/spray.rs:
+crates/pressure/src/trace.rs:

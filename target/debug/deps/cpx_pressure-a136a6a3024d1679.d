@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cpx_pressure-a136a6a3024d1679.d: crates/pressure/src/lib.rs crates/pressure/src/async_spray.rs crates/pressure/src/config.rs crates/pressure/src/solver.rs crates/pressure/src/spray.rs crates/pressure/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcpx_pressure-a136a6a3024d1679.rmeta: crates/pressure/src/lib.rs crates/pressure/src/async_spray.rs crates/pressure/src/config.rs crates/pressure/src/solver.rs crates/pressure/src/spray.rs crates/pressure/src/trace.rs Cargo.toml
+
+crates/pressure/src/lib.rs:
+crates/pressure/src/async_spray.rs:
+crates/pressure/src/config.rs:
+crates/pressure/src/solver.rs:
+crates/pressure/src/spray.rs:
+crates/pressure/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cpx_repro-55a4c4ad19b1de4e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcpx_repro-55a4c4ad19b1de4e.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcpx_repro-55a4c4ad19b1de4e.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cpx_repro-5a66c9a9c94d22a3.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcpx_repro-5a66c9a9c94d22a3.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcpx_repro-5a66c9a9c94d22a3.rmeta: src/lib.rs
+
+src/lib.rs:

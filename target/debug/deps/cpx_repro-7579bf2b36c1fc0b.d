@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cpx_repro-7579bf2b36c1fc0b.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcpx_repro-7579bf2b36c1fc0b.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

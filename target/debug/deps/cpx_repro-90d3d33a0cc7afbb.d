@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cpx_repro-90d3d33a0cc7afbb.d: src/lib.rs
+
+/root/repo/target/debug/deps/cpx_repro-90d3d33a0cc7afbb: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cpx_repro-a89641de63873fc1.d: src/lib.rs
+
+/root/repo/target/debug/deps/cpx_repro-a89641de63873fc1: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cpx_repro-b1a0c3be57be508c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcpx_repro-b1a0c3be57be508c.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcpx_repro-b1a0c3be57be508c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cpx_simpic-27b3405285f3479e.d: crates/simpic/src/lib.rs crates/simpic/src/config.rs crates/simpic/src/diagnostics.rs crates/simpic/src/dist.rs crates/simpic/src/pic.rs crates/simpic/src/trace.rs
+
+/root/repo/target/debug/deps/cpx_simpic-27b3405285f3479e: crates/simpic/src/lib.rs crates/simpic/src/config.rs crates/simpic/src/diagnostics.rs crates/simpic/src/dist.rs crates/simpic/src/pic.rs crates/simpic/src/trace.rs
+
+crates/simpic/src/lib.rs:
+crates/simpic/src/config.rs:
+crates/simpic/src/diagnostics.rs:
+crates/simpic/src/dist.rs:
+crates/simpic/src/pic.rs:
+crates/simpic/src/trace.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cpx_simpic-a92dd979faa11a35.d: crates/simpic/src/lib.rs crates/simpic/src/config.rs crates/simpic/src/diagnostics.rs crates/simpic/src/dist.rs crates/simpic/src/pic.rs crates/simpic/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcpx_simpic-a92dd979faa11a35.rmeta: crates/simpic/src/lib.rs crates/simpic/src/config.rs crates/simpic/src/diagnostics.rs crates/simpic/src/dist.rs crates/simpic/src/pic.rs crates/simpic/src/trace.rs Cargo.toml
+
+crates/simpic/src/lib.rs:
+crates/simpic/src/config.rs:
+crates/simpic/src/diagnostics.rs:
+crates/simpic/src/dist.rs:
+crates/simpic/src/pic.rs:
+crates/simpic/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

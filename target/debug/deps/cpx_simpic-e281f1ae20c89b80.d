@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cpx_simpic-e281f1ae20c89b80.d: crates/simpic/src/lib.rs crates/simpic/src/config.rs crates/simpic/src/diagnostics.rs crates/simpic/src/dist.rs crates/simpic/src/pic.rs crates/simpic/src/trace.rs
+
+/root/repo/target/debug/deps/libcpx_simpic-e281f1ae20c89b80.rlib: crates/simpic/src/lib.rs crates/simpic/src/config.rs crates/simpic/src/diagnostics.rs crates/simpic/src/dist.rs crates/simpic/src/pic.rs crates/simpic/src/trace.rs
+
+/root/repo/target/debug/deps/libcpx_simpic-e281f1ae20c89b80.rmeta: crates/simpic/src/lib.rs crates/simpic/src/config.rs crates/simpic/src/diagnostics.rs crates/simpic/src/dist.rs crates/simpic/src/pic.rs crates/simpic/src/trace.rs
+
+crates/simpic/src/lib.rs:
+crates/simpic/src/config.rs:
+crates/simpic/src/diagnostics.rs:
+crates/simpic/src/dist.rs:
+crates/simpic/src/pic.rs:
+crates/simpic/src/trace.rs:

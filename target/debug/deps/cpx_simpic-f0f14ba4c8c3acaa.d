@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cpx_simpic-f0f14ba4c8c3acaa.d: crates/simpic/src/lib.rs crates/simpic/src/config.rs crates/simpic/src/diagnostics.rs crates/simpic/src/dist.rs crates/simpic/src/pic.rs crates/simpic/src/trace.rs
+
+/root/repo/target/debug/deps/libcpx_simpic-f0f14ba4c8c3acaa.rlib: crates/simpic/src/lib.rs crates/simpic/src/config.rs crates/simpic/src/diagnostics.rs crates/simpic/src/dist.rs crates/simpic/src/pic.rs crates/simpic/src/trace.rs
+
+/root/repo/target/debug/deps/libcpx_simpic-f0f14ba4c8c3acaa.rmeta: crates/simpic/src/lib.rs crates/simpic/src/config.rs crates/simpic/src/diagnostics.rs crates/simpic/src/dist.rs crates/simpic/src/pic.rs crates/simpic/src/trace.rs
+
+crates/simpic/src/lib.rs:
+crates/simpic/src/config.rs:
+crates/simpic/src/diagnostics.rs:
+crates/simpic/src/dist.rs:
+crates/simpic/src/pic.rs:
+crates/simpic/src/trace.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/cpx_sparse-08fc1e01aef76c70.d: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dist.rs crates/sparse/src/multilevel.rs crates/sparse/src/partition.rs crates/sparse/src/renumber.rs crates/sparse/src/spgemm.rs crates/sparse/src/tridiag.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcpx_sparse-08fc1e01aef76c70.rmeta: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dist.rs crates/sparse/src/multilevel.rs crates/sparse/src/partition.rs crates/sparse/src/renumber.rs crates/sparse/src/spgemm.rs crates/sparse/src/tridiag.rs Cargo.toml
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/coo.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/dist.rs:
+crates/sparse/src/multilevel.rs:
+crates/sparse/src/partition.rs:
+crates/sparse/src/renumber.rs:
+crates/sparse/src/spgemm.rs:
+crates/sparse/src/tridiag.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cpx_sparse-4645d25f426b277e.d: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dist.rs crates/sparse/src/multilevel.rs crates/sparse/src/partition.rs crates/sparse/src/renumber.rs crates/sparse/src/spgemm.rs crates/sparse/src/tridiag.rs
+
+/root/repo/target/debug/deps/cpx_sparse-4645d25f426b277e: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dist.rs crates/sparse/src/multilevel.rs crates/sparse/src/partition.rs crates/sparse/src/renumber.rs crates/sparse/src/spgemm.rs crates/sparse/src/tridiag.rs
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/coo.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/dist.rs:
+crates/sparse/src/multilevel.rs:
+crates/sparse/src/partition.rs:
+crates/sparse/src/renumber.rs:
+crates/sparse/src/spgemm.rs:
+crates/sparse/src/tridiag.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/des_vs_threaded-5ae7a4c14ade1d1c.d: tests/des_vs_threaded.rs
+
+/root/repo/target/debug/deps/des_vs_threaded-5ae7a4c14ade1d1c: tests/des_vs_threaded.rs
+
+tests/des_vs_threaded.rs:

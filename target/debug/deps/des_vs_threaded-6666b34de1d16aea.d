@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/des_vs_threaded-6666b34de1d16aea.d: tests/des_vs_threaded.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdes_vs_threaded-6666b34de1d16aea.rmeta: tests/des_vs_threaded.rs Cargo.toml
+
+tests/des_vs_threaded.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/des_vs_threaded-f4224d2cc175eab7.d: tests/des_vs_threaded.rs
+
+/root/repo/target/debug/deps/des_vs_threaded-f4224d2cc175eab7: tests/des_vs_threaded.rs
+
+tests/des_vs_threaded.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_proptests-795c49eb35294b24.d: crates/comm/tests/fault_proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_proptests-795c49eb35294b24.rmeta: crates/comm/tests/fault_proptests.rs Cargo.toml
+
+crates/comm/tests/fault_proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_proptests-fa13baba147b2f7f.d: crates/comm/tests/fault_proptests.rs
+
+/root/repo/target/debug/deps/fault_proptests-fa13baba147b2f7f: crates/comm/tests/fault_proptests.rs
+
+crates/comm/tests/fault_proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-0aed62e3619b3ce9.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-0aed62e3619b3ce9: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-3744e4914ac9909d.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-3744e4914ac9909d: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

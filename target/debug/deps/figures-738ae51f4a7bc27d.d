@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-738ae51f4a7bc27d.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-738ae51f4a7bc27d: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/functional_pipeline-a107100aacff6ac4.d: tests/functional_pipeline.rs
+
+/root/repo/target/debug/deps/functional_pipeline-a107100aacff6ac4: tests/functional_pipeline.rs
+
+tests/functional_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/functional_pipeline-c69198e75d98297b.d: tests/functional_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfunctional_pipeline-c69198e75d98297b.rmeta: tests/functional_pipeline.rs Cargo.toml
+
+tests/functional_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/functional_pipeline-c785b5c5a617dcb0.d: tests/functional_pipeline.rs
+
+/root/repo/target/debug/deps/functional_pipeline-c785b5c5a617dcb0: tests/functional_pipeline.rs
+
+tests/functional_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/miniapps-32da0bbb78e00b15.d: crates/bench/benches/miniapps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libminiapps-32da0bbb78e00b15.rmeta: crates/bench/benches/miniapps.rs Cargo.toml
+
+crates/bench/benches/miniapps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-1b08320a9df6e58c.d: crates/mesh/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-1b08320a9df6e58c: crates/mesh/tests/proptests.rs
+
+crates/mesh/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-2a17e4136233c219.d: crates/sparse/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-2a17e4136233c219.rmeta: crates/sparse/tests/proptests.rs Cargo.toml
+
+crates/sparse/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-3a7ea5832eb71d17.d: crates/sparse/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-3a7ea5832eb71d17: crates/sparse/tests/proptests.rs
+
+crates/sparse/tests/proptests.rs:

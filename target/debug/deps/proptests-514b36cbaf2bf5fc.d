@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-514b36cbaf2bf5fc.d: crates/mesh/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-514b36cbaf2bf5fc.rmeta: crates/mesh/tests/proptests.rs Cargo.toml
+
+crates/mesh/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-6b0b707d037ffd22.d: crates/machine/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-6b0b707d037ffd22.rmeta: crates/machine/tests/proptests.rs Cargo.toml
+
+crates/machine/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

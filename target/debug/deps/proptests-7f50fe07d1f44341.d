@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-7f50fe07d1f44341.d: crates/sparse/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-7f50fe07d1f44341: crates/sparse/tests/proptests.rs
+
+crates/sparse/tests/proptests.rs:

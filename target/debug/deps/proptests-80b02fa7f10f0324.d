@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-80b02fa7f10f0324.d: crates/perfmodel/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-80b02fa7f10f0324.rmeta: crates/perfmodel/tests/proptests.rs Cargo.toml
+
+crates/perfmodel/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

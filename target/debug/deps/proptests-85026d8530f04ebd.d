@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-85026d8530f04ebd.d: crates/mesh/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-85026d8530f04ebd: crates/mesh/tests/proptests.rs
+
+crates/mesh/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-b68869fcd053fb19.d: crates/machine/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-b68869fcd053fb19: crates/machine/tests/proptests.rs
+
+crates/machine/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-e33277cbf6c7a096.d: crates/perfmodel/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-e33277cbf6c7a096: crates/perfmodel/tests/proptests.rs
+
+crates/perfmodel/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reproduction_claims-311859decd14c0d0.d: tests/reproduction_claims.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreproduction_claims-311859decd14c0d0.rmeta: tests/reproduction_claims.rs Cargo.toml
+
+tests/reproduction_claims.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

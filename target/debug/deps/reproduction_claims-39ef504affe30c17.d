@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduction_claims-39ef504affe30c17.d: tests/reproduction_claims.rs
+
+/root/repo/target/debug/deps/reproduction_claims-39ef504affe30c17: tests/reproduction_claims.rs
+
+tests/reproduction_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduction_claims-63314d7b189783eb.d: tests/reproduction_claims.rs
+
+/root/repo/target/debug/deps/reproduction_claims-63314d7b189783eb: tests/reproduction_claims.rs
+
+tests/reproduction_claims.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-253dcebd707d997f.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-253dcebd707d997f.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-253dcebd707d997f.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-0a677e97a157f2b1.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-0a677e97a157f2b1.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

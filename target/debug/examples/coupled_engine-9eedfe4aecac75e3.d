@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/coupled_engine-9eedfe4aecac75e3.d: examples/coupled_engine.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcoupled_engine-9eedfe4aecac75e3.rmeta: examples/coupled_engine.rs Cargo.toml
+
+examples/coupled_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

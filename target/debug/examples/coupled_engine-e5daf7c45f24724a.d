@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/coupled_engine-e5daf7c45f24724a.d: examples/coupled_engine.rs
+
+/root/repo/target/debug/examples/coupled_engine-e5daf7c45f24724a: examples/coupled_engine.rs
+
+examples/coupled_engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/coupled_engine-ec45e5a0d69468fe.d: examples/coupled_engine.rs
+
+/root/repo/target/debug/examples/coupled_engine-ec45e5a0d69468fe: examples/coupled_engine.rs
+
+examples/coupled_engine.rs:

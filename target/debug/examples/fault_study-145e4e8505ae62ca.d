@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_study-145e4e8505ae62ca.d: examples/fault_study.rs
+
+/root/repo/target/debug/examples/fault_study-145e4e8505ae62ca: examples/fault_study.rs
+
+examples/fault_study.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fault_study-1eb273b3c19efc03.d: examples/fault_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfault_study-1eb273b3c19efc03.rmeta: examples/fault_study.rs Cargo.toml
+
+examples/fault_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/optimization_study-5701825fba0774b7.d: examples/optimization_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/liboptimization_study-5701825fba0774b7.rmeta: examples/optimization_study.rs Cargo.toml
+
+examples/optimization_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

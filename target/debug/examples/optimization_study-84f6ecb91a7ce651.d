@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/optimization_study-84f6ecb91a7ce651.d: examples/optimization_study.rs
+
+/root/repo/target/debug/examples/optimization_study-84f6ecb91a7ce651: examples/optimization_study.rs
+
+examples/optimization_study.rs:

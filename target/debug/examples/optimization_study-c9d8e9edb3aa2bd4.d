@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/optimization_study-c9d8e9edb3aa2bd4.d: examples/optimization_study.rs
+
+/root/repo/target/debug/examples/optimization_study-c9d8e9edb3aa2bd4: examples/optimization_study.rs
+
+examples/optimization_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-425cfb022be40cea.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-425cfb022be40cea: examples/quickstart.rs
+
+examples/quickstart.rs:

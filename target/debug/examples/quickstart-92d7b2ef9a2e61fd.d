@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-92d7b2ef9a2e61fd.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-92d7b2ef9a2e61fd: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/rank_allocation-66274e2bddc9562f.d: examples/rank_allocation.rs Cargo.toml
+
+/root/repo/target/debug/examples/librank_allocation-66274e2bddc9562f.rmeta: examples/rank_allocation.rs Cargo.toml
+
+examples/rank_allocation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

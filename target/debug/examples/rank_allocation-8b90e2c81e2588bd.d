@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rank_allocation-8b90e2c81e2588bd.d: examples/rank_allocation.rs
+
+/root/repo/target/debug/examples/rank_allocation-8b90e2c81e2588bd: examples/rank_allocation.rs
+
+examples/rank_allocation.rs:

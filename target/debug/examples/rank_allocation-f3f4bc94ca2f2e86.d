@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rank_allocation-f3f4bc94ca2f2e86.d: examples/rank_allocation.rs
+
+/root/repo/target/debug/examples/rank_allocation-f3f4bc94ca2f2e86: examples/rank_allocation.rs
+
+examples/rank_allocation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/report_study-29cdc187ae3fe2c9.d: examples/report_study.rs
+
+/root/repo/target/debug/examples/report_study-29cdc187ae3fe2c9: examples/report_study.rs
+
+examples/report_study.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/report_study-7075745c7ffe1819.d: examples/report_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libreport_study-7075745c7ffe1819.rmeta: examples/report_study.rs Cargo.toml
+
+examples/report_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

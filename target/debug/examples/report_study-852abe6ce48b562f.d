@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/report_study-852abe6ce48b562f.d: examples/report_study.rs
+
+/root/repo/target/debug/examples/report_study-852abe6ce48b562f: examples/report_study.rs
+
+examples/report_study.rs:

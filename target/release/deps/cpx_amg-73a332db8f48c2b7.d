@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/cpx_amg-73a332db8f48c2b7.d: crates/amg/src/lib.rs crates/amg/src/aggregate.rs crates/amg/src/chebyshev.rs crates/amg/src/cycle.rs crates/amg/src/hierarchy.rs crates/amg/src/interp.rs crates/amg/src/pcg.rs crates/amg/src/smoother.rs crates/amg/src/strength.rs
+
+/root/repo/target/release/deps/libcpx_amg-73a332db8f48c2b7.rlib: crates/amg/src/lib.rs crates/amg/src/aggregate.rs crates/amg/src/chebyshev.rs crates/amg/src/cycle.rs crates/amg/src/hierarchy.rs crates/amg/src/interp.rs crates/amg/src/pcg.rs crates/amg/src/smoother.rs crates/amg/src/strength.rs
+
+/root/repo/target/release/deps/libcpx_amg-73a332db8f48c2b7.rmeta: crates/amg/src/lib.rs crates/amg/src/aggregate.rs crates/amg/src/chebyshev.rs crates/amg/src/cycle.rs crates/amg/src/hierarchy.rs crates/amg/src/interp.rs crates/amg/src/pcg.rs crates/amg/src/smoother.rs crates/amg/src/strength.rs
+
+crates/amg/src/lib.rs:
+crates/amg/src/aggregate.rs:
+crates/amg/src/chebyshev.rs:
+crates/amg/src/cycle.rs:
+crates/amg/src/hierarchy.rs:
+crates/amg/src/interp.rs:
+crates/amg/src/pcg.rs:
+crates/amg/src/smoother.rs:
+crates/amg/src/strength.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/cpx_comm-a1ca7440f633969b.d: crates/comm/src/lib.rs crates/comm/src/group.rs crates/comm/src/nonblocking.rs crates/comm/src/payload.rs crates/comm/src/runtime.rs crates/comm/src/window.rs
+
+/root/repo/target/release/deps/libcpx_comm-a1ca7440f633969b.rlib: crates/comm/src/lib.rs crates/comm/src/group.rs crates/comm/src/nonblocking.rs crates/comm/src/payload.rs crates/comm/src/runtime.rs crates/comm/src/window.rs
+
+/root/repo/target/release/deps/libcpx_comm-a1ca7440f633969b.rmeta: crates/comm/src/lib.rs crates/comm/src/group.rs crates/comm/src/nonblocking.rs crates/comm/src/payload.rs crates/comm/src/runtime.rs crates/comm/src/window.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/group.rs:
+crates/comm/src/nonblocking.rs:
+crates/comm/src/payload.rs:
+crates/comm/src/runtime.rs:
+crates/comm/src/window.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/cpx_comm-bb65841fef632757.d: crates/comm/src/lib.rs crates/comm/src/fault.rs crates/comm/src/group.rs crates/comm/src/nonblocking.rs crates/comm/src/payload.rs crates/comm/src/runtime.rs crates/comm/src/window.rs
+
+/root/repo/target/release/deps/libcpx_comm-bb65841fef632757.rlib: crates/comm/src/lib.rs crates/comm/src/fault.rs crates/comm/src/group.rs crates/comm/src/nonblocking.rs crates/comm/src/payload.rs crates/comm/src/runtime.rs crates/comm/src/window.rs
+
+/root/repo/target/release/deps/libcpx_comm-bb65841fef632757.rmeta: crates/comm/src/lib.rs crates/comm/src/fault.rs crates/comm/src/group.rs crates/comm/src/nonblocking.rs crates/comm/src/payload.rs crates/comm/src/runtime.rs crates/comm/src/window.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/fault.rs:
+crates/comm/src/group.rs:
+crates/comm/src/nonblocking.rs:
+crates/comm/src/payload.rs:
+crates/comm/src/runtime.rs:
+crates/comm/src/window.rs:

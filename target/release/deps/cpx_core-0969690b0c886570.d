@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/cpx_core-0969690b0c886570.d: crates/core/src/lib.rs crates/core/src/functional.rs crates/core/src/instance.rs crates/core/src/model.rs crates/core/src/report.rs crates/core/src/sim.rs crates/core/src/testcases.rs
+
+/root/repo/target/release/deps/libcpx_core-0969690b0c886570.rlib: crates/core/src/lib.rs crates/core/src/functional.rs crates/core/src/instance.rs crates/core/src/model.rs crates/core/src/report.rs crates/core/src/sim.rs crates/core/src/testcases.rs
+
+/root/repo/target/release/deps/libcpx_core-0969690b0c886570.rmeta: crates/core/src/lib.rs crates/core/src/functional.rs crates/core/src/instance.rs crates/core/src/model.rs crates/core/src/report.rs crates/core/src/sim.rs crates/core/src/testcases.rs
+
+crates/core/src/lib.rs:
+crates/core/src/functional.rs:
+crates/core/src/instance.rs:
+crates/core/src/model.rs:
+crates/core/src/report.rs:
+crates/core/src/sim.rs:
+crates/core/src/testcases.rs:

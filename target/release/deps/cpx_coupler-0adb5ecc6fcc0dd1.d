@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/cpx_coupler-0adb5ecc6fcc0dd1.d: crates/coupler/src/lib.rs crates/coupler/src/conservative.rs crates/coupler/src/interp.rs crates/coupler/src/layout.rs crates/coupler/src/search.rs crates/coupler/src/trace.rs crates/coupler/src/unit.rs
+
+/root/repo/target/release/deps/libcpx_coupler-0adb5ecc6fcc0dd1.rlib: crates/coupler/src/lib.rs crates/coupler/src/conservative.rs crates/coupler/src/interp.rs crates/coupler/src/layout.rs crates/coupler/src/search.rs crates/coupler/src/trace.rs crates/coupler/src/unit.rs
+
+/root/repo/target/release/deps/libcpx_coupler-0adb5ecc6fcc0dd1.rmeta: crates/coupler/src/lib.rs crates/coupler/src/conservative.rs crates/coupler/src/interp.rs crates/coupler/src/layout.rs crates/coupler/src/search.rs crates/coupler/src/trace.rs crates/coupler/src/unit.rs
+
+crates/coupler/src/lib.rs:
+crates/coupler/src/conservative.rs:
+crates/coupler/src/interp.rs:
+crates/coupler/src/layout.rs:
+crates/coupler/src/search.rs:
+crates/coupler/src/trace.rs:
+crates/coupler/src/unit.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/cpx_coupler-ca5c6d11ced54c1c.d: crates/coupler/src/lib.rs crates/coupler/src/conservative.rs crates/coupler/src/interp.rs crates/coupler/src/layout.rs crates/coupler/src/search.rs crates/coupler/src/trace.rs crates/coupler/src/unit.rs
+
+/root/repo/target/release/deps/libcpx_coupler-ca5c6d11ced54c1c.rlib: crates/coupler/src/lib.rs crates/coupler/src/conservative.rs crates/coupler/src/interp.rs crates/coupler/src/layout.rs crates/coupler/src/search.rs crates/coupler/src/trace.rs crates/coupler/src/unit.rs
+
+/root/repo/target/release/deps/libcpx_coupler-ca5c6d11ced54c1c.rmeta: crates/coupler/src/lib.rs crates/coupler/src/conservative.rs crates/coupler/src/interp.rs crates/coupler/src/layout.rs crates/coupler/src/search.rs crates/coupler/src/trace.rs crates/coupler/src/unit.rs
+
+crates/coupler/src/lib.rs:
+crates/coupler/src/conservative.rs:
+crates/coupler/src/interp.rs:
+crates/coupler/src/layout.rs:
+crates/coupler/src/search.rs:
+crates/coupler/src/trace.rs:
+crates/coupler/src/unit.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/cpx_machine-ce6980215e3968f6.d: crates/machine/src/lib.rs crates/machine/src/collectives.rs crates/machine/src/cost.rs crates/machine/src/des.rs crates/machine/src/model.rs crates/machine/src/stats.rs crates/machine/src/trace.rs
+
+/root/repo/target/release/deps/libcpx_machine-ce6980215e3968f6.rlib: crates/machine/src/lib.rs crates/machine/src/collectives.rs crates/machine/src/cost.rs crates/machine/src/des.rs crates/machine/src/model.rs crates/machine/src/stats.rs crates/machine/src/trace.rs
+
+/root/repo/target/release/deps/libcpx_machine-ce6980215e3968f6.rmeta: crates/machine/src/lib.rs crates/machine/src/collectives.rs crates/machine/src/cost.rs crates/machine/src/des.rs crates/machine/src/model.rs crates/machine/src/stats.rs crates/machine/src/trace.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/collectives.rs:
+crates/machine/src/cost.rs:
+crates/machine/src/des.rs:
+crates/machine/src/model.rs:
+crates/machine/src/stats.rs:
+crates/machine/src/trace.rs:

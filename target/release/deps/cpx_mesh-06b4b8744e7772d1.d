@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/cpx_mesh-06b4b8744e7772d1.d: crates/mesh/src/lib.rs crates/mesh/src/hierarchy.rs crates/mesh/src/interface.rs crates/mesh/src/mesh.rs crates/mesh/src/partition.rs
+
+/root/repo/target/release/deps/libcpx_mesh-06b4b8744e7772d1.rlib: crates/mesh/src/lib.rs crates/mesh/src/hierarchy.rs crates/mesh/src/interface.rs crates/mesh/src/mesh.rs crates/mesh/src/partition.rs
+
+/root/repo/target/release/deps/libcpx_mesh-06b4b8744e7772d1.rmeta: crates/mesh/src/lib.rs crates/mesh/src/hierarchy.rs crates/mesh/src/interface.rs crates/mesh/src/mesh.rs crates/mesh/src/partition.rs
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/hierarchy.rs:
+crates/mesh/src/interface.rs:
+crates/mesh/src/mesh.rs:
+crates/mesh/src/partition.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/cpx_mgcfd-331ea46483570e0d.d: crates/mgcfd/src/lib.rs crates/mgcfd/src/config.rs crates/mgcfd/src/dist.rs crates/mgcfd/src/euler.rs crates/mgcfd/src/trace.rs
+
+/root/repo/target/release/deps/libcpx_mgcfd-331ea46483570e0d.rlib: crates/mgcfd/src/lib.rs crates/mgcfd/src/config.rs crates/mgcfd/src/dist.rs crates/mgcfd/src/euler.rs crates/mgcfd/src/trace.rs
+
+/root/repo/target/release/deps/libcpx_mgcfd-331ea46483570e0d.rmeta: crates/mgcfd/src/lib.rs crates/mgcfd/src/config.rs crates/mgcfd/src/dist.rs crates/mgcfd/src/euler.rs crates/mgcfd/src/trace.rs
+
+crates/mgcfd/src/lib.rs:
+crates/mgcfd/src/config.rs:
+crates/mgcfd/src/dist.rs:
+crates/mgcfd/src/euler.rs:
+crates/mgcfd/src/trace.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/cpx_mgcfd-bbb77905e9a5b7dc.d: crates/mgcfd/src/lib.rs crates/mgcfd/src/config.rs crates/mgcfd/src/dist.rs crates/mgcfd/src/euler.rs crates/mgcfd/src/trace.rs
+
+/root/repo/target/release/deps/libcpx_mgcfd-bbb77905e9a5b7dc.rlib: crates/mgcfd/src/lib.rs crates/mgcfd/src/config.rs crates/mgcfd/src/dist.rs crates/mgcfd/src/euler.rs crates/mgcfd/src/trace.rs
+
+/root/repo/target/release/deps/libcpx_mgcfd-bbb77905e9a5b7dc.rmeta: crates/mgcfd/src/lib.rs crates/mgcfd/src/config.rs crates/mgcfd/src/dist.rs crates/mgcfd/src/euler.rs crates/mgcfd/src/trace.rs
+
+crates/mgcfd/src/lib.rs:
+crates/mgcfd/src/config.rs:
+crates/mgcfd/src/dist.rs:
+crates/mgcfd/src/euler.rs:
+crates/mgcfd/src/trace.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cpx_perfmodel-7fbe2988c6a33cda.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/alloc.rs crates/perfmodel/src/curve.rs crates/perfmodel/src/scale.rs
+
+/root/repo/target/release/deps/libcpx_perfmodel-7fbe2988c6a33cda.rlib: crates/perfmodel/src/lib.rs crates/perfmodel/src/alloc.rs crates/perfmodel/src/curve.rs crates/perfmodel/src/scale.rs
+
+/root/repo/target/release/deps/libcpx_perfmodel-7fbe2988c6a33cda.rmeta: crates/perfmodel/src/lib.rs crates/perfmodel/src/alloc.rs crates/perfmodel/src/curve.rs crates/perfmodel/src/scale.rs
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/alloc.rs:
+crates/perfmodel/src/curve.rs:
+crates/perfmodel/src/scale.rs:

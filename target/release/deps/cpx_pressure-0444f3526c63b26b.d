@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/cpx_pressure-0444f3526c63b26b.d: crates/pressure/src/lib.rs crates/pressure/src/async_spray.rs crates/pressure/src/config.rs crates/pressure/src/solver.rs crates/pressure/src/spray.rs crates/pressure/src/trace.rs
+
+/root/repo/target/release/deps/libcpx_pressure-0444f3526c63b26b.rlib: crates/pressure/src/lib.rs crates/pressure/src/async_spray.rs crates/pressure/src/config.rs crates/pressure/src/solver.rs crates/pressure/src/spray.rs crates/pressure/src/trace.rs
+
+/root/repo/target/release/deps/libcpx_pressure-0444f3526c63b26b.rmeta: crates/pressure/src/lib.rs crates/pressure/src/async_spray.rs crates/pressure/src/config.rs crates/pressure/src/solver.rs crates/pressure/src/spray.rs crates/pressure/src/trace.rs
+
+crates/pressure/src/lib.rs:
+crates/pressure/src/async_spray.rs:
+crates/pressure/src/config.rs:
+crates/pressure/src/solver.rs:
+crates/pressure/src/spray.rs:
+crates/pressure/src/trace.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/cpx_pressure-75abecb7fcd0b3cb.d: crates/pressure/src/lib.rs crates/pressure/src/async_spray.rs crates/pressure/src/config.rs crates/pressure/src/solver.rs crates/pressure/src/spray.rs crates/pressure/src/trace.rs
+
+/root/repo/target/release/deps/libcpx_pressure-75abecb7fcd0b3cb.rlib: crates/pressure/src/lib.rs crates/pressure/src/async_spray.rs crates/pressure/src/config.rs crates/pressure/src/solver.rs crates/pressure/src/spray.rs crates/pressure/src/trace.rs
+
+/root/repo/target/release/deps/libcpx_pressure-75abecb7fcd0b3cb.rmeta: crates/pressure/src/lib.rs crates/pressure/src/async_spray.rs crates/pressure/src/config.rs crates/pressure/src/solver.rs crates/pressure/src/spray.rs crates/pressure/src/trace.rs
+
+crates/pressure/src/lib.rs:
+crates/pressure/src/async_spray.rs:
+crates/pressure/src/config.rs:
+crates/pressure/src/solver.rs:
+crates/pressure/src/spray.rs:
+crates/pressure/src/trace.rs:

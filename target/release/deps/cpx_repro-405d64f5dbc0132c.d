@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cpx_repro-405d64f5dbc0132c.d: src/lib.rs
+
+/root/repo/target/release/deps/libcpx_repro-405d64f5dbc0132c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcpx_repro-405d64f5dbc0132c.rmeta: src/lib.rs
+
+src/lib.rs:

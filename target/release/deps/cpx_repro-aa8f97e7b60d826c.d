@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cpx_repro-aa8f97e7b60d826c.d: src/lib.rs
+
+/root/repo/target/release/deps/libcpx_repro-aa8f97e7b60d826c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcpx_repro-aa8f97e7b60d826c.rmeta: src/lib.rs
+
+src/lib.rs:

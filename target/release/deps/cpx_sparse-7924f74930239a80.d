@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/cpx_sparse-7924f74930239a80.d: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dist.rs crates/sparse/src/multilevel.rs crates/sparse/src/partition.rs crates/sparse/src/renumber.rs crates/sparse/src/spgemm.rs crates/sparse/src/tridiag.rs
+
+/root/repo/target/release/deps/libcpx_sparse-7924f74930239a80.rlib: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dist.rs crates/sparse/src/multilevel.rs crates/sparse/src/partition.rs crates/sparse/src/renumber.rs crates/sparse/src/spgemm.rs crates/sparse/src/tridiag.rs
+
+/root/repo/target/release/deps/libcpx_sparse-7924f74930239a80.rmeta: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dist.rs crates/sparse/src/multilevel.rs crates/sparse/src/partition.rs crates/sparse/src/renumber.rs crates/sparse/src/spgemm.rs crates/sparse/src/tridiag.rs
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/coo.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/dist.rs:
+crates/sparse/src/multilevel.rs:
+crates/sparse/src/partition.rs:
+crates/sparse/src/renumber.rs:
+crates/sparse/src/spgemm.rs:
+crates/sparse/src/tridiag.rs:

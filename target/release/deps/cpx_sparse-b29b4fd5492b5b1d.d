@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/cpx_sparse-b29b4fd5492b5b1d.d: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dist.rs crates/sparse/src/multilevel.rs crates/sparse/src/partition.rs crates/sparse/src/renumber.rs crates/sparse/src/spgemm.rs crates/sparse/src/tridiag.rs
+
+/root/repo/target/release/deps/libcpx_sparse-b29b4fd5492b5b1d.rlib: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dist.rs crates/sparse/src/multilevel.rs crates/sparse/src/partition.rs crates/sparse/src/renumber.rs crates/sparse/src/spgemm.rs crates/sparse/src/tridiag.rs
+
+/root/repo/target/release/deps/libcpx_sparse-b29b4fd5492b5b1d.rmeta: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dist.rs crates/sparse/src/multilevel.rs crates/sparse/src/partition.rs crates/sparse/src/renumber.rs crates/sparse/src/spgemm.rs crates/sparse/src/tridiag.rs
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/coo.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/dist.rs:
+crates/sparse/src/multilevel.rs:
+crates/sparse/src/partition.rs:
+crates/sparse/src/renumber.rs:
+crates/sparse/src/spgemm.rs:
+crates/sparse/src/tridiag.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-49c5476d9c48c24c.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-49c5476d9c48c24c.rlib: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-49c5476d9c48c24c.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

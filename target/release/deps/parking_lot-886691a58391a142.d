@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-886691a58391a142.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-886691a58391a142.rlib: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-886691a58391a142.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

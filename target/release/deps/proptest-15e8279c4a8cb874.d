@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-15e8279c4a8cb874.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-15e8279c4a8cb874.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-15e8279c4a8cb874.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-ca7f22dff2e7fc41.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-ca7f22dff2e7fc41.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-ca7f22dff2e7fc41.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

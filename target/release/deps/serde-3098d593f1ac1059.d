@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-3098d593f1ac1059.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-3098d593f1ac1059.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-3098d593f1ac1059.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_probe-9304209f48acd7e2.d: examples/_probe.rs
+
+/root/repo/target/release/examples/_probe-9304209f48acd7e2: examples/_probe.rs
+
+examples/_probe.rs:

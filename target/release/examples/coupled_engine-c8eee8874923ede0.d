@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/coupled_engine-c8eee8874923ede0.d: examples/coupled_engine.rs
+
+/root/repo/target/release/examples/coupled_engine-c8eee8874923ede0: examples/coupled_engine.rs
+
+examples/coupled_engine.rs:

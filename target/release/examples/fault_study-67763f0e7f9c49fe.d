@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fault_study-67763f0e7f9c49fe.d: examples/fault_study.rs
+
+/root/repo/target/release/examples/fault_study-67763f0e7f9c49fe: examples/fault_study.rs
+
+examples/fault_study.rs:

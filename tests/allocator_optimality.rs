@@ -17,11 +17,19 @@ fn instance(name: &str, a: f64, c: f64, d: f64) -> InstanceModel {
 }
 
 /// Exhaustive best runtime for two apps (+ optional CU) and a budget.
-fn brute_force_two_apps(apps: &[InstanceModel; 2], cu: Option<&InstanceModel>, budget: usize) -> f64 {
+fn brute_force_two_apps(
+    apps: &[InstanceModel; 2],
+    cu: Option<&InstanceModel>,
+    budget: usize,
+) -> f64 {
     let mut best = f64::INFINITY;
     let cu_range = if cu.is_some() { 1..budget - 1 } else { 1..2 };
     for cu_ranks in cu_range {
-        let app_budget = if cu.is_some() { budget - cu_ranks } else { budget };
+        let app_budget = if cu.is_some() {
+            budget - cu_ranks
+        } else {
+            budget
+        };
         for p0 in 1..app_budget {
             let p1 = app_budget - p0;
             if p1 < 1 {
@@ -51,11 +59,14 @@ fn greedy_matches_exhaustive_without_cus() {
 
 #[test]
 fn greedy_matches_exhaustive_with_cu() {
-    let apps = [instance("a", 150.0, 0.0, 0.0), instance("b", 90.0, 0.0, 0.0)];
+    let apps = [
+        instance("a", 150.0, 0.0, 0.0),
+        instance("b", 90.0, 0.0, 0.0),
+    ];
     let cu = instance("cu", 40.0, 0.0, 0.0);
     let budget = 50;
-    let greedy = allocate(&apps, std::slice::from_ref(&cu), AllocConfig { budget })
-        .predicted_runtime();
+    let greedy =
+        allocate(&apps, std::slice::from_ref(&cu), AllocConfig { budget }).predicted_runtime();
     let optimal = brute_force_two_apps(&apps, Some(&cu), budget);
     assert!(
         greedy <= optimal * 1.08,

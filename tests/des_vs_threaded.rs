@@ -38,7 +38,10 @@ fn des_ring(n: usize, steps: u32, flops: f64, bytes: usize) -> f64 {
                 tag: 7,
             },
         ];
-        program.rank(r).ops.push(cpx_machine::Op::Repeat { count: steps, body });
+        program
+            .rank(r)
+            .ops
+            .push(cpx_machine::Op::Repeat { count: steps, body });
     }
     Replayer::new(Machine::archer2())
         .run(&program)

@@ -96,7 +96,12 @@ fn fig6a_optimizations_lift_efficiency() {
     };
     let base = run(PressureConfig::swirl_28m());
     let opt = run(PressureConfig::swirl_28m().optimized());
-    assert!(pe(&opt, 1) > pe(&base, 1) + 0.2, "opt {} base {}", pe(&opt, 1), pe(&base, 1));
+    assert!(
+        pe(&opt, 1) > pe(&base, 1) + 0.2,
+        "opt {} base {}",
+        pe(&opt, 1),
+        pe(&base, 1)
+    );
     // And the optimized code is actually faster in absolute terms.
     assert!(opt[1].1 < base[1].1 / 2.0);
 }
@@ -152,7 +157,11 @@ fn fig9b_allocation_structure() {
         "Optimized-STC SIMPIC ranks {simpic} (paper: 32,201)"
     );
     // The turbine rows now receive serious allocations too.
-    assert!(alloc.app_ranks[15] > 500, "300M row got {}", alloc.app_ranks[15]);
+    assert!(
+        alloc.app_ranks[15] > 500,
+        "300M row got {}",
+        alloc.app_ranks[15]
+    );
 }
 
 /// Fig 9c: the optimized pipeline is predicted several times faster for

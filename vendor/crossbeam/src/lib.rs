@@ -1,0 +1,65 @@
+//! Offline vendored stand-in for the `crossbeam` crate.
+//!
+//! The workspace uses only `crossbeam::channel::{unbounded, Sender,
+//! Receiver}` (plus the error types), and since Rust 1.72
+//! `std::sync::mpsc` channels are `Sync` senders backed by the same
+//! crossbeam queue algorithm upstream — so this stub simply re-exports
+//! std's channels under the crossbeam paths.
+
+pub mod channel {
+    pub use std::sync::mpsc::{
+        Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError,
+    };
+
+    /// An unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (tx, rx) = unbounded();
+        tx.send(7u32).unwrap();
+        assert_eq!(rx.recv().unwrap(), 7);
+    }
+
+    #[test]
+    fn recv_timeout_on_empty() {
+        let (_tx, rx) = unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn disconnected_send_errors() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn senders_shared_across_threads() {
+        let (tx, rx) = unbounded::<usize>();
+        let tx = std::sync::Arc::new(tx);
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let tx = std::sync::Arc::clone(&tx);
+                std::thread::spawn(move || tx.send(i).unwrap())
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut got: Vec<usize> = (0..4).map(|_| rx.recv().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+}

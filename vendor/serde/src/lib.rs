@@ -1,0 +1,49 @@
+//! Offline vendored stand-in for the `serde` crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on a few model
+//! structs but never instantiates a serializer (no format crate is in
+//! the dependency tree), so this stub provides the trait names as
+//! blanket-implemented markers and re-exports no-op derive macros. If a
+//! real serialization format is ever needed, replace this stub with the
+//! upstream crate.
+
+/// Marker stand-in for `serde::Serialize` (blanket-implemented).
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize` (blanket-implemented).
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// `serde::de` module shape for `DeserializeOwned` imports.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}
+
+#[cfg(test)]
+mod tests {
+    #[allow(unused_imports)]
+    use super::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    struct Probe {
+        x: f64,
+        #[serde(default)]
+        y: u32,
+    }
+
+    fn takes_serialize<T: super::Serialize>(_t: &T) {}
+
+    #[test]
+    fn derive_compiles_and_traits_are_blanket() {
+        let p = Probe { x: 1.0, y: 2 };
+        takes_serialize(&p);
+        assert_eq!(p, Probe { x: 1.0, y: 2 });
+    }
+}

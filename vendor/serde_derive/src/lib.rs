@@ -1,0 +1,20 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! The vendored `serde` stub blanket-implements its marker traits for
+//! every type, so these derives have nothing to emit — they exist so
+//! `#[derive(Serialize, Deserialize)]` (and `#[serde(...)]` helper
+//! attributes) keep compiling without crates.io access.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive (the trait is blanket-implemented).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive (the trait is blanket-implemented).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
