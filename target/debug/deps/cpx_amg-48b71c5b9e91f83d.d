@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cpx_amg-48b71c5b9e91f83d.d: crates/amg/src/lib.rs crates/amg/src/aggregate.rs crates/amg/src/chebyshev.rs crates/amg/src/cycle.rs crates/amg/src/hierarchy.rs crates/amg/src/interp.rs crates/amg/src/pcg.rs crates/amg/src/smoother.rs crates/amg/src/strength.rs
+
+/root/repo/target/debug/deps/libcpx_amg-48b71c5b9e91f83d.rmeta: crates/amg/src/lib.rs crates/amg/src/aggregate.rs crates/amg/src/chebyshev.rs crates/amg/src/cycle.rs crates/amg/src/hierarchy.rs crates/amg/src/interp.rs crates/amg/src/pcg.rs crates/amg/src/smoother.rs crates/amg/src/strength.rs
+
+crates/amg/src/lib.rs:
+crates/amg/src/aggregate.rs:
+crates/amg/src/chebyshev.rs:
+crates/amg/src/cycle.rs:
+crates/amg/src/hierarchy.rs:
+crates/amg/src/interp.rs:
+crates/amg/src/pcg.rs:
+crates/amg/src/smoother.rs:
+crates/amg/src/strength.rs:

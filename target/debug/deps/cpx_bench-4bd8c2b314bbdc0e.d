@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cpx_bench-4bd8c2b314bbdc0e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcpx_bench-4bd8c2b314bbdc0e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

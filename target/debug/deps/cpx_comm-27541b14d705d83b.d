@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cpx_comm-27541b14d705d83b.d: crates/comm/src/lib.rs crates/comm/src/fault.rs crates/comm/src/group.rs crates/comm/src/nonblocking.rs crates/comm/src/payload.rs crates/comm/src/runtime.rs crates/comm/src/window.rs
+
+/root/repo/target/debug/deps/libcpx_comm-27541b14d705d83b.rmeta: crates/comm/src/lib.rs crates/comm/src/fault.rs crates/comm/src/group.rs crates/comm/src/nonblocking.rs crates/comm/src/payload.rs crates/comm/src/runtime.rs crates/comm/src/window.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/fault.rs:
+crates/comm/src/group.rs:
+crates/comm/src/nonblocking.rs:
+crates/comm/src/payload.rs:
+crates/comm/src/runtime.rs:
+crates/comm/src/window.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cpx_core-7e02b977837076f8.d: crates/core/src/lib.rs crates/core/src/functional.rs crates/core/src/instance.rs crates/core/src/model.rs crates/core/src/report.rs crates/core/src/sim.rs crates/core/src/testcases.rs
+
+/root/repo/target/debug/deps/libcpx_core-7e02b977837076f8.rmeta: crates/core/src/lib.rs crates/core/src/functional.rs crates/core/src/instance.rs crates/core/src/model.rs crates/core/src/report.rs crates/core/src/sim.rs crates/core/src/testcases.rs
+
+crates/core/src/lib.rs:
+crates/core/src/functional.rs:
+crates/core/src/instance.rs:
+crates/core/src/model.rs:
+crates/core/src/report.rs:
+crates/core/src/sim.rs:
+crates/core/src/testcases.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cpx_coupler-a6a251649c9e330c.d: crates/coupler/src/lib.rs crates/coupler/src/conservative.rs crates/coupler/src/interp.rs crates/coupler/src/layout.rs crates/coupler/src/search.rs crates/coupler/src/trace.rs crates/coupler/src/unit.rs
+
+/root/repo/target/debug/deps/libcpx_coupler-a6a251649c9e330c.rmeta: crates/coupler/src/lib.rs crates/coupler/src/conservative.rs crates/coupler/src/interp.rs crates/coupler/src/layout.rs crates/coupler/src/search.rs crates/coupler/src/trace.rs crates/coupler/src/unit.rs
+
+crates/coupler/src/lib.rs:
+crates/coupler/src/conservative.rs:
+crates/coupler/src/interp.rs:
+crates/coupler/src/layout.rs:
+crates/coupler/src/search.rs:
+crates/coupler/src/trace.rs:
+crates/coupler/src/unit.rs:

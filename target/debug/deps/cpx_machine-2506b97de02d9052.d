@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cpx_machine-2506b97de02d9052.d: crates/machine/src/lib.rs crates/machine/src/collectives.rs crates/machine/src/cost.rs crates/machine/src/des.rs crates/machine/src/model.rs crates/machine/src/stats.rs crates/machine/src/trace.rs
+
+/root/repo/target/debug/deps/libcpx_machine-2506b97de02d9052.rmeta: crates/machine/src/lib.rs crates/machine/src/collectives.rs crates/machine/src/cost.rs crates/machine/src/des.rs crates/machine/src/model.rs crates/machine/src/stats.rs crates/machine/src/trace.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/collectives.rs:
+crates/machine/src/cost.rs:
+crates/machine/src/des.rs:
+crates/machine/src/model.rs:
+crates/machine/src/stats.rs:
+crates/machine/src/trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cpx_mesh-97c945420ef05ccf.d: crates/mesh/src/lib.rs crates/mesh/src/hierarchy.rs crates/mesh/src/interface.rs crates/mesh/src/mesh.rs crates/mesh/src/partition.rs
+
+/root/repo/target/debug/deps/libcpx_mesh-97c945420ef05ccf.rmeta: crates/mesh/src/lib.rs crates/mesh/src/hierarchy.rs crates/mesh/src/interface.rs crates/mesh/src/mesh.rs crates/mesh/src/partition.rs
+
+crates/mesh/src/lib.rs:
+crates/mesh/src/hierarchy.rs:
+crates/mesh/src/interface.rs:
+crates/mesh/src/mesh.rs:
+crates/mesh/src/partition.rs:

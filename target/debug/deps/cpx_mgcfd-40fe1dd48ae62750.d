@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cpx_mgcfd-40fe1dd48ae62750.d: crates/mgcfd/src/lib.rs crates/mgcfd/src/config.rs crates/mgcfd/src/dist.rs crates/mgcfd/src/euler.rs crates/mgcfd/src/trace.rs
+
+/root/repo/target/debug/deps/libcpx_mgcfd-40fe1dd48ae62750.rmeta: crates/mgcfd/src/lib.rs crates/mgcfd/src/config.rs crates/mgcfd/src/dist.rs crates/mgcfd/src/euler.rs crates/mgcfd/src/trace.rs
+
+crates/mgcfd/src/lib.rs:
+crates/mgcfd/src/config.rs:
+crates/mgcfd/src/dist.rs:
+crates/mgcfd/src/euler.rs:
+crates/mgcfd/src/trace.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cpx_perfmodel-3549e8fa18aaa7ab.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/alloc.rs crates/perfmodel/src/curve.rs crates/perfmodel/src/scale.rs
+
+/root/repo/target/debug/deps/libcpx_perfmodel-3549e8fa18aaa7ab.rmeta: crates/perfmodel/src/lib.rs crates/perfmodel/src/alloc.rs crates/perfmodel/src/curve.rs crates/perfmodel/src/scale.rs
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/alloc.rs:
+crates/perfmodel/src/curve.rs:
+crates/perfmodel/src/scale.rs:

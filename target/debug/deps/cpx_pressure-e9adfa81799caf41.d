@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cpx_pressure-e9adfa81799caf41.d: crates/pressure/src/lib.rs crates/pressure/src/async_spray.rs crates/pressure/src/config.rs crates/pressure/src/solver.rs crates/pressure/src/spray.rs crates/pressure/src/trace.rs
+
+/root/repo/target/debug/deps/libcpx_pressure-e9adfa81799caf41.rmeta: crates/pressure/src/lib.rs crates/pressure/src/async_spray.rs crates/pressure/src/config.rs crates/pressure/src/solver.rs crates/pressure/src/spray.rs crates/pressure/src/trace.rs
+
+crates/pressure/src/lib.rs:
+crates/pressure/src/async_spray.rs:
+crates/pressure/src/config.rs:
+crates/pressure/src/solver.rs:
+crates/pressure/src/spray.rs:
+crates/pressure/src/trace.rs:

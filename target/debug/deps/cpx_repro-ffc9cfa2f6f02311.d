@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cpx_repro-ffc9cfa2f6f02311.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcpx_repro-ffc9cfa2f6f02311.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cpx_simpic-aaceafbf5d64deb2.d: crates/simpic/src/lib.rs crates/simpic/src/config.rs crates/simpic/src/diagnostics.rs crates/simpic/src/dist.rs crates/simpic/src/pic.rs crates/simpic/src/trace.rs
+
+/root/repo/target/debug/deps/libcpx_simpic-aaceafbf5d64deb2.rmeta: crates/simpic/src/lib.rs crates/simpic/src/config.rs crates/simpic/src/diagnostics.rs crates/simpic/src/dist.rs crates/simpic/src/pic.rs crates/simpic/src/trace.rs
+
+crates/simpic/src/lib.rs:
+crates/simpic/src/config.rs:
+crates/simpic/src/diagnostics.rs:
+crates/simpic/src/dist.rs:
+crates/simpic/src/pic.rs:
+crates/simpic/src/trace.rs:

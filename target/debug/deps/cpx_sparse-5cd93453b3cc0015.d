@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cpx_sparse-5cd93453b3cc0015.d: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dist.rs crates/sparse/src/multilevel.rs crates/sparse/src/partition.rs crates/sparse/src/renumber.rs crates/sparse/src/spgemm.rs crates/sparse/src/tridiag.rs
+
+/root/repo/target/debug/deps/libcpx_sparse-5cd93453b3cc0015.rmeta: crates/sparse/src/lib.rs crates/sparse/src/coo.rs crates/sparse/src/csr.rs crates/sparse/src/dist.rs crates/sparse/src/multilevel.rs crates/sparse/src/partition.rs crates/sparse/src/renumber.rs crates/sparse/src/spgemm.rs crates/sparse/src/tridiag.rs
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/coo.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/dist.rs:
+crates/sparse/src/multilevel.rs:
+crates/sparse/src/partition.rs:
+crates/sparse/src/renumber.rs:
+crates/sparse/src/spgemm.rs:
+crates/sparse/src/tridiag.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-36b09771dbcff577.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-36b09771dbcff577.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-9cd7d6e708da04ce.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-9cd7d6e708da04ce.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-b37ccc1b51e3343d.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/libfigures-b37ccc1b51e3343d.rmeta: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-0f1d31a1699ed483.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-0f1d31a1699ed483.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

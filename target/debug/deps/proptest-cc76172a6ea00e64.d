@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-cc76172a6ea00e64.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-cc76172a6ea00e64.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

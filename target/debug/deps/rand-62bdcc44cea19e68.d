@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-62bdcc44cea19e68.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-62bdcc44cea19e68.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

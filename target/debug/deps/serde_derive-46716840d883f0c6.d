@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-46716840d883f0c6.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-46716840d883f0c6.rmeta: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:
