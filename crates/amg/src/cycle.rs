@@ -202,6 +202,102 @@ fn kcycle_coarse_solve(h: &Hierarchy, level: usize, rc: &[f64]) -> Vec<f64> {
         .collect()
 }
 
+/// Residual-monotonicity violation detected by [`apply_cycle_guarded`].
+///
+/// A multigrid cycle on a convergent hierarchy *reduces* the residual;
+/// silent corruption of the operator entries, the transfer operators or
+/// the iterate almost surely breaks that — either the residual jumps or
+/// it stops being finite. (The finiteness scan is explicit because the
+/// inf-norm's `f64::max` fold silently *ignores* NaN.)
+#[derive(Debug, Clone, PartialEq)]
+pub enum CycleViolation {
+    /// The iterate contains a NaN or infinity after the cycle.
+    NonFinite {
+        /// Index of the first offending entry of `x`.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The residual grew beyond the allowed factor.
+    ResidualGrowth {
+        /// Inf-norm residual before the cycle.
+        before: f64,
+        /// Inf-norm residual after the cycle.
+        after: f64,
+        /// The growth factor that was allowed.
+        max_growth: f64,
+    },
+}
+
+impl std::fmt::Display for CycleViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CycleViolation::NonFinite { index, value } => {
+                write!(f, "non-finite iterate: x[{index}] = {value}")
+            }
+            CycleViolation::ResidualGrowth {
+                before,
+                after,
+                max_growth,
+            } => write!(
+                f,
+                "residual grew {before} -> {after} (allowed factor {max_growth})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CycleViolation {}
+
+/// Residuals bracketing a guarded cycle (returned on success so callers
+/// can log convergence without re-measuring).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuardedCycle {
+    /// Inf-norm residual before the cycle.
+    pub residual_before: f64,
+    /// Inf-norm residual after the cycle.
+    pub residual_after: f64,
+}
+
+/// Apply one cycle with a residual-monotonicity guard: measure the
+/// inf-norm residual before and after, and fail if the iterate went
+/// non-finite or the residual grew by more than `max_growth` (use `1.0`
+/// for strict monotonicity; the paper-grade hierarchies here contract by
+/// well under 0.5 per cycle, so `1.0` still has huge slack against
+/// rounding). The absolute floor `64·ε·‖b‖∞` keeps an exactly-converged
+/// start (`r_before = 0`) from tripping on smoother round-off.
+///
+/// On violation `x` is left as the cycle wrote it (callers recovering
+/// via recompute/rollback want the evidence, not a silent reset).
+pub fn apply_cycle_guarded(
+    h: &Hierarchy,
+    ty: CycleType,
+    b: &[f64],
+    x: &mut [f64],
+    max_growth: f64,
+) -> Result<GuardedCycle, CycleViolation> {
+    let a = &h.levels[0].a;
+    let residual_before = a.residual_inf(x, b);
+    apply_cycle(h, ty, b, x);
+    if let Some((index, &value)) = x.iter().enumerate().find(|(_, v)| !v.is_finite()) {
+        return Err(CycleViolation::NonFinite { index, value });
+    }
+    let residual_after = a.residual_inf(x, b);
+    let b_scale = b.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    let floor = 64.0 * f64::EPSILON * b_scale.max(f64::MIN_POSITIVE);
+    if !residual_after.is_finite() || residual_after > max_growth * residual_before + floor {
+        return Err(CycleViolation::ResidualGrowth {
+            before: residual_before,
+            after: residual_after,
+            max_growth,
+        });
+    }
+    Ok(GuardedCycle {
+        residual_before,
+        residual_after,
+    })
+}
+
 fn residual_of(a: &Csr, b: &[f64], x: &[f64]) -> Vec<f64> {
     let mut ax = vec![0.0; b.len()];
     a.spmv(x, &mut ax);
@@ -354,6 +450,72 @@ mod tests {
         let v = residual_ratio_after(5, CycleType::V, cfg);
         let w = residual_ratio_after(5, CycleType::W, cfg);
         assert!(w <= v * 1.01, "W {w} should beat V {v}");
+    }
+
+    #[test]
+    fn guarded_cycle_passes_clean_and_reports_contraction() {
+        let a = Csr::poisson2d(24, 24);
+        let n = a.nrows();
+        let x_exact: Vec<f64> = (0..n).map(|i| ((i * 7 % 13) as f64) / 13.0).collect();
+        let mut b = vec![0.0; n];
+        a.spmv(&x_exact, &mut b);
+        let h = Hierarchy::build(a, HierarchyConfig::default());
+        let mut x = vec![0.0; n];
+        for _ in 0..6 {
+            let g = apply_cycle_guarded(&h, CycleType::V, &b, &mut x, 1.0)
+                .expect("clean guarded cycle");
+            assert!(g.residual_after <= g.residual_before);
+        }
+    }
+
+    #[test]
+    fn guarded_cycle_from_exact_solution_does_not_false_positive() {
+        let a = Csr::poisson2d(12, 12);
+        let n = a.nrows();
+        let x_exact: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        let mut b = vec![0.0; n];
+        a.spmv(&x_exact, &mut b);
+        let h = Hierarchy::build(a, HierarchyConfig::default());
+        let mut x = x_exact;
+        // r_before ≈ 0: only the ε·‖b‖∞ floor keeps this from tripping.
+        apply_cycle_guarded(&h, CycleType::V, &b, &mut x, 1.0)
+            .expect("exactly-converged start must pass");
+    }
+
+    #[test]
+    fn corrupted_operator_trips_the_guard() {
+        let a = Csr::poisson2d(16, 16);
+        let n = a.nrows();
+        let b: Vec<f64> = (0..n).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let mut h = Hierarchy::build(a, HierarchyConfig::default());
+        // Exponent bit flip in one fine-level operator entry.
+        let v = h.levels[0].a.vals_mut();
+        let bits = v[37].to_bits() ^ (1u64 << 62);
+        v[37] = f64::from_bits(bits);
+        let mut x = vec![0.0; n];
+        let mut tripped = false;
+        for _ in 0..4 {
+            if apply_cycle_guarded(&h, CycleType::V, &b, &mut x, 1.0).is_err() {
+                tripped = true;
+                break;
+            }
+        }
+        assert!(tripped, "corrupted operator never tripped the guard");
+    }
+
+    #[test]
+    fn nan_in_prolongator_reported_as_nonfinite() {
+        let a = Csr::poisson2d(16, 16);
+        let n = a.nrows();
+        let b = vec![1.0; n];
+        let mut h = Hierarchy::build(a, HierarchyConfig::default());
+        let p = h.levels[0].p.as_mut().expect("multilevel hierarchy");
+        p.vals_mut()[3] = f64::NAN;
+        let mut x = vec![0.0; n];
+        assert!(matches!(
+            apply_cycle_guarded(&h, CycleType::V, &b, &mut x, 1.0),
+            Err(CycleViolation::NonFinite { .. })
+        ));
     }
 
     #[test]

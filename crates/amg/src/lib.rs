@@ -41,7 +41,10 @@ pub mod strength;
 
 pub use aggregate::{aggregate_greedy, Aggregation};
 pub use chebyshev::{chebyshev_smooth, estimate_eig_max};
-pub use cycle::{apply_cycle, convergence_factor, kcycle, vcycle, wcycle, CycleType};
+pub use cycle::{
+    apply_cycle, apply_cycle_guarded, convergence_factor, kcycle, vcycle, wcycle, CycleType,
+    CycleViolation, GuardedCycle,
+};
 pub use hierarchy::{Hierarchy, HierarchyConfig, InterpKind};
 pub use pcg::{pcg, CgConfig, CgOutcome, Preconditioner};
 pub use smoother::Smoother;

@@ -2,12 +2,13 @@
 //!
 //! A [`FaultPlan`] is a *seeded, declarative* description of the faults a
 //! run should experience: per-rank crashes at a given virtual time,
-//! per-message link faults (drop / duplicate / delay, each with a
-//! probability), and transient link-degradation windows during which the
-//! drop probability rises and latency is inflated. All fault decisions
-//! are **pure functions of the plan** — a message's fate is derived by
-//! hashing `(seed, src, dst, attempt-sequence)` — so two runs with the
-//! same plan inject byte-identical faults regardless of host scheduling.
+//! per-message link faults (drop / duplicate / delay / bit-flip
+//! corruption, each with a probability), and transient link-degradation
+//! windows during which the drop probability rises and latency is
+//! inflated. All fault decisions are **pure functions of the plan** — a
+//! message's fate is derived by hashing `(seed, src, dst,
+//! attempt-sequence)` — so two runs with the same plan inject
+//! byte-identical faults regardless of host scheduling.
 //! That is what makes resilience experiments on the virtual runtime
 //! reproducible: the same seed yields the same per-rank outcomes and the
 //! same [`crate::TimeReport`]s, bit for bit.
@@ -64,6 +65,19 @@ pub enum CommError {
         /// World size.
         size: usize,
     },
+    /// A delivered payload failed its CRC check: the link (fault plan)
+    /// flipped bits in flight and the transport refuses to hand mangled
+    /// data to the application.
+    Corrupted {
+        /// Source rank of the damaged message.
+        src: usize,
+        /// Message tag.
+        tag: u64,
+        /// CRC stamped by the sender over the intact payload.
+        crc_sent: u64,
+        /// CRC recomputed over the delivered payload.
+        crc_got: u64,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -83,6 +97,16 @@ impl fmt::Display for CommError {
             CommError::RankOutOfRange { rank, size } => {
                 write!(f, "rank {rank} out of range for world of size {size}")
             }
+            CommError::Corrupted {
+                src,
+                tag,
+                crc_sent,
+                crc_got,
+            } => write!(
+                f,
+                "payload from rank {src} tag {tag:#x} corrupted in flight \
+                 (crc {crc_got:#018x}, expected {crc_sent:#018x})"
+            ),
         }
     }
 }
@@ -123,6 +147,10 @@ pub struct LinkEvent {
     pub delay_factor: f64,
     /// Additive delivery jitter in virtual seconds.
     pub jitter: f64,
+    /// `Some(entropy)` when the link flips a payload bit in flight; the
+    /// 64 entropy bits select which element and which bit (see
+    /// [`crate::Payload::corrupt_in_place`]).
+    pub corrupt: Option<u64>,
 }
 
 impl LinkEvent {
@@ -133,6 +161,7 @@ impl LinkEvent {
             duplicated: false,
             delay_factor: 1.0,
             jitter: 0.0,
+            corrupt: None,
         }
     }
 }
@@ -156,6 +185,16 @@ pub struct FaultPlan {
     pub delay_prob: f64,
     /// Extra latency (virtual seconds) charged to delayed messages.
     pub delay_secs: f64,
+    /// Probability that a message has one payload bit flipped in flight
+    /// (silent data corruption on the link; caught by the payload CRC at
+    /// the receiver and surfaced as [`CommError::Corrupted`]).
+    pub corrupt_prob: f64,
+    /// Seeded in-memory bit-flip injector for SDC experiments, if the
+    /// plan models memory corruption as well as link corruption. The
+    /// runtime never touches application state; mini-apps and studies
+    /// consult this via [`crate::RankCtx::fault_plan`] and strike their
+    /// own arrays with it.
+    pub mem_corrupt: Option<BitFlipInjector>,
     /// Transient degradation windows (apply to all links).
     pub degradations: Vec<LinkDegradation>,
     /// Virtual seconds between a crash and surviving ranks being able to
@@ -191,6 +230,8 @@ impl FaultPlan {
             dup_prob: 0.0,
             delay_prob: 0.0,
             delay_secs: 0.0,
+            corrupt_prob: 0.0,
+            mem_corrupt: None,
             degradations: Vec::new(),
             detect_latency: 1e-4,
         }
@@ -225,6 +266,22 @@ impl FaultPlan {
         assert!(secs >= 0.0 && secs.is_finite());
         self.delay_prob = p;
         self.delay_secs = secs;
+        self
+    }
+
+    /// Set the per-message payload-corruption probability.
+    pub fn with_corrupt_prob(mut self, p: f64) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&p));
+        self.corrupt_prob = p;
+        self
+    }
+
+    /// Attach a seeded memory-corruption injector (see
+    /// [`BitFlipInjector`]): each application-level site strikes with
+    /// probability `prob`, flipping one bit of the value stored there.
+    pub fn with_memory_corruption(mut self, prob: f64) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&prob));
+        self.mem_corrupt = Some(BitFlipInjector::new(self.seed, prob));
         self
     }
 
@@ -264,6 +321,8 @@ impl FaultPlan {
             && self.drop_prob == 0.0
             && self.dup_prob == 0.0
             && self.delay_prob == 0.0
+            && self.corrupt_prob == 0.0
+            && self.mem_corrupt.is_none()
             && self.degradations.is_empty()
     }
 
@@ -294,7 +353,81 @@ impl FaultPlan {
             } else {
                 0.0
             },
+            corrupt: if unit(mix64(h ^ 0xc0de)) < self.corrupt_prob {
+                Some(mix64(h ^ 0xb17f))
+            } else {
+                None
+            },
         }
+    }
+}
+
+/// A seeded, deterministic in-memory bit-flip injector for
+/// silent-data-corruption experiments.
+///
+/// Whether (and where) a value is struck is a **pure function of
+/// `(seed, site)`** — the same purity contract as
+/// [`FaultPlan::link_event`] — so SDC sweeps are exactly reproducible:
+/// the same seed strikes the same array elements with the same bit
+/// flips on every run, regardless of host scheduling. A *site* is any
+/// stable application-chosen identifier (array index, `(iteration,
+/// index)` hash, …).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BitFlipInjector {
+    /// Seed for all strike decisions.
+    pub seed: u64,
+    /// Probability that any given site is struck.
+    pub prob: f64,
+}
+
+impl BitFlipInjector {
+    /// An injector striking each site with probability `prob`.
+    pub fn new(seed: u64, prob: f64) -> BitFlipInjector {
+        assert!((0.0..=1.0).contains(&prob));
+        BitFlipInjector { seed, prob }
+    }
+
+    fn site_hash(&self, site: u64) -> u64 {
+        mix64(self.seed ^ site.wrapping_mul(0x9e3779b97f4a7c15) ^ 0x5dc0)
+    }
+
+    /// Whether `site` is struck. Pure.
+    pub fn strikes(&self, site: u64) -> bool {
+        unit(self.site_hash(site)) < self.prob
+    }
+
+    /// Which of the 64 bits a strike at `site` flips. Pure.
+    pub fn bit(&self, site: u64) -> u32 {
+        (mix64(self.site_hash(site) ^ 0xb1f1) % 64) as u32
+    }
+
+    /// `v` with bit `bit` of its IEEE-754 representation flipped.
+    pub fn flip(v: f64, bit: u32) -> f64 {
+        f64::from_bits(v.to_bits() ^ (1u64 << (bit % 64)))
+    }
+
+    /// `v` after a possible strike at `site`: flipped if the site is
+    /// struck, unchanged otherwise.
+    pub fn apply(&self, site: u64, v: f64) -> f64 {
+        if self.strikes(site) {
+            BitFlipInjector::flip(v, self.bit(site))
+        } else {
+            v
+        }
+    }
+
+    /// Strike every element of `data` (element `i` is site `base + i`),
+    /// returning the indices that were flipped.
+    pub fn sweep(&self, base: u64, data: &mut [f64]) -> Vec<usize> {
+        let mut hit = Vec::new();
+        for (i, v) in data.iter_mut().enumerate() {
+            let site = base + i as u64;
+            if self.strikes(site) {
+                *v = BitFlipInjector::flip(*v, self.bit(site));
+                hit.push(i);
+            }
+        }
+        hit
     }
 }
 
@@ -403,6 +536,55 @@ mod tests {
         assert_eq!(plan.crashes(), &[(1, 0.5), (3, 0.25)]);
         assert!(!plan.is_trivial());
         assert!(FaultPlan::new(99).is_trivial());
+    }
+
+    #[test]
+    fn corruption_rate_tracks_probability_and_is_pure() {
+        let plan = FaultPlan::new(13).with_corrupt_prob(0.2);
+        assert!(!plan.is_trivial());
+        let corrupted = (0..10_000)
+            .filter(|&seq| plan.link_event(1, 3, seq, 0.0).corrupt.is_some())
+            .count();
+        let rate = corrupted as f64 / 10_000.0;
+        assert!((rate - 0.2).abs() < 0.03, "observed corruption rate {rate}");
+        for seq in 0..100 {
+            assert_eq!(
+                plan.link_event(1, 3, seq, 0.0).corrupt,
+                plan.link_event(1, 3, seq, 0.0).corrupt
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flip_injector_is_pure_and_tracks_probability() {
+        let inj = BitFlipInjector::new(21, 0.1);
+        let mut a = vec![1.0; 10_000];
+        let mut b = vec![1.0; 10_000];
+        let hits_a = inj.sweep(0, &mut a);
+        let hits_b = inj.sweep(0, &mut b);
+        assert_eq!(hits_a, hits_b);
+        assert_eq!(a, b);
+        let rate = hits_a.len() as f64 / 10_000.0;
+        assert!((rate - 0.1).abs() < 0.02, "observed strike rate {rate}");
+        for &i in &hits_a {
+            assert_ne!(a[i].to_bits(), 1.0f64.to_bits());
+        }
+        // flip is an involution: striking the same bit twice restores.
+        let v = 3.25f64;
+        assert_eq!(
+            BitFlipInjector::flip(BitFlipInjector::flip(v, 17), 17).to_bits(),
+            v.to_bits()
+        );
+    }
+
+    #[test]
+    fn memory_corruption_attaches_to_plan() {
+        let plan = FaultPlan::new(5).with_memory_corruption(0.01);
+        assert!(!plan.is_trivial());
+        let inj = plan.mem_corrupt.expect("injector attached");
+        assert_eq!(inj.seed, 5);
+        assert_eq!(inj.prob, 0.01);
+        assert!(FaultPlan::new(5).mem_corrupt.is_none());
     }
 
     #[test]

@@ -35,8 +35,8 @@
 //! component failure is the norm rather than the exception — so the
 //! runtime can execute any rank program under a seeded
 //! [`fault::FaultPlan`] describing rank crashes (at a virtual time),
-//! per-message link faults (drop / duplicate / delay) and transient
-//! link-degradation windows:
+//! per-message link faults (drop / duplicate / delay / bit-flip
+//! corruption) and transient link-degradation windows:
 //!
 //! * [`World::run_with_plan`] returns a [`runtime::RankOutcome`] per
 //!   rank (completed value, crash time, the [`CommError`] that aborted
@@ -51,13 +51,26 @@
 //!   backoff and detect dead peers within a bounded number of attempts,
 //!   rather than deadlocking; the infallible collectives wrap them.
 //! * [`TimeReport`] records the resilience cost: `retries`,
-//!   `dropped_msgs` and `recovery_time` (backoff + failure detection).
+//!   `dropped_msgs`, `corrupted_msgs` and `recovery_time` (backoff +
+//!   failure detection).
 //!
 //! Every fault decision is a pure function of `(plan seed, src, dst,
 //! attempt counter)` and crash detection is sequenced through a
 //! dead-rank registry ordered after the victim's last send, so fault
 //! runs keep the runtime's determinism guarantee: same plan, same seed →
 //! identical per-rank outcomes and bit-identical `TimeReport`s.
+//!
+//! # Silent data corruption
+//!
+//! Every payload carries a CRC-64 stamped at send time over the bytes
+//! the sender intended; the receiver's transport verifies it before
+//! handing data to the application, so a fault-injected bit flip on the
+//! link ([`FaultPlan::with_corrupt_prob`]) surfaces as
+//! [`CommError::Corrupted`] instead of silently propagating. For
+//! *in-memory* corruption, [`fault::BitFlipInjector`] offers the same
+//! seeded hash-of-`(seed, site)` purity contract as link faults:
+//! mini-apps and SDC studies strike their own arrays with it and let
+//! the ABFT/invariant detectors in the solver crates do the catching.
 
 pub mod fault;
 pub mod group;
@@ -66,7 +79,7 @@ pub mod payload;
 pub mod runtime;
 pub mod window;
 
-pub use fault::{CommError, FaultPlan, LinkDegradation};
+pub use fault::{BitFlipInjector, CommError, FaultPlan, LinkDegradation};
 pub use group::Group;
 pub use nonblocking::{irecv, isend, wait_all, RecvRequest};
 pub use payload::Payload;

@@ -3,6 +3,45 @@
 //! Messages carry one of a small set of payload types rather than raw
 //! bytes; this keeps the mini-apps free of serialization noise while
 //! still letting the runtime account for wire size exactly.
+//!
+//! Every payload can compute a CRC-64 over its logical bytes
+//! ([`Payload::crc64`]); the runtime stamps it at send time and
+//! verifies it on receive, so fault-injected bit flips on the link
+//! surface as [`crate::CommError::Corrupted`] instead of silently
+//! delivering mangled data.
+
+/// CRC-64/XZ (reflected ECMA-182 polynomial), table-driven.
+const CRC64_POLY_REFLECTED: u64 = 0xC96C_5795_D787_0F42;
+
+const fn crc64_table() -> [u64; 256] {
+    let mut table = [0u64; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u64;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ CRC64_POLY_REFLECTED
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC64_TABLE: [u64; 256] = crc64_table();
+
+fn crc64_update(crc: u64, bytes: &[u8]) -> u64 {
+    let mut crc = crc;
+    for &b in bytes {
+        crc = CRC64_TABLE[((crc ^ b as u64) & 0xff) as usize] ^ (crc >> 8);
+    }
+    crc
+}
 
 /// The payload of a point-to-point message.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +89,64 @@ impl Payload {
         match self {
             Payload::Bytes(v) => v,
             other => panic!("expected Bytes payload, got {}", other.kind()),
+        }
+    }
+
+    /// CRC-64/XZ over the payload's logical bytes (type discriminant
+    /// included, so an `F64` and a `U64` payload with the same bit
+    /// pattern do not collide). Any single bit flip — and any burst up
+    /// to 64 bits — changes the CRC.
+    pub fn crc64(&self) -> u64 {
+        let mut crc = crc64_update(!0u64, &[self.discriminant() as u8]);
+        match self {
+            Payload::F64(v) => {
+                for x in v {
+                    crc = crc64_update(crc, &x.to_bits().to_le_bytes());
+                }
+            }
+            Payload::U64(v) => {
+                for x in v {
+                    crc = crc64_update(crc, &x.to_le_bytes());
+                }
+            }
+            Payload::Bytes(v) => crc = crc64_update(crc, v),
+            Payload::Empty => {}
+        }
+        !crc
+    }
+
+    fn discriminant(&self) -> usize {
+        match self {
+            Payload::F64(_) => 0,
+            Payload::U64(_) => 1,
+            Payload::Bytes(_) => 2,
+            Payload::Empty => 3,
+        }
+    }
+
+    /// Flip one bit of the payload in place, the element and bit chosen
+    /// by `entropy` (a fault-injection hook — see
+    /// [`crate::FaultPlan::with_corrupt_prob`]). Returns `false` for
+    /// payloads with no bits to flip.
+    pub fn corrupt_in_place(&mut self, entropy: u64) -> bool {
+        match self {
+            Payload::F64(v) if !v.is_empty() => {
+                let i = (entropy % v.len() as u64) as usize;
+                let bit = (entropy >> 40) % 64;
+                v[i] = f64::from_bits(v[i].to_bits() ^ (1u64 << bit));
+                true
+            }
+            Payload::U64(v) if !v.is_empty() => {
+                let i = (entropy % v.len() as u64) as usize;
+                v[i] ^= 1u64 << ((entropy >> 40) % 64);
+                true
+            }
+            Payload::Bytes(v) if !v.is_empty() => {
+                let i = (entropy % v.len() as u64) as usize;
+                v[i] ^= 1u8 << ((entropy >> 40) % 8);
+                true
+            }
+            _ => false,
         }
     }
 
@@ -111,5 +208,34 @@ mod tests {
     #[should_panic(expected = "expected F64")]
     fn type_mismatch_panics() {
         Payload::Empty.into_f64();
+    }
+
+    #[test]
+    fn crc_is_stable_and_type_sensitive() {
+        let a = Payload::F64(vec![1.0, 2.0, 3.0]);
+        assert_eq!(a.crc64(), a.crc64());
+        let bits = Payload::U64(vec![1.0f64.to_bits(), 2.0f64.to_bits(), 3.0f64.to_bits()]);
+        assert_ne!(a.crc64(), bits.crc64(), "same bytes, different type");
+        assert_ne!(Payload::Empty.crc64(), Payload::F64(Vec::new()).crc64());
+    }
+
+    #[test]
+    fn every_single_bit_flip_changes_the_crc() {
+        let clean = Payload::F64(vec![0.5, -3.25, 1e300, 0.0]);
+        let crc = clean.crc64();
+        for entropy in 0..4096u64 {
+            let mut p = clean.clone();
+            assert!(p.corrupt_in_place(entropy));
+            assert_ne!(p.crc64(), crc, "flip with entropy {entropy} undetected");
+        }
+    }
+
+    #[test]
+    fn corruption_needs_bits() {
+        assert!(!Payload::Empty.corrupt_in_place(7));
+        assert!(!Payload::F64(Vec::new()).corrupt_in_place(7));
+        let mut b = Payload::Bytes(vec![0xff]);
+        assert!(b.corrupt_in_place(9));
+        assert_ne!(b, Payload::Bytes(vec![0xff]));
     }
 }

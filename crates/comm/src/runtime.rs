@@ -12,7 +12,8 @@
 //! # Fault injection
 //!
 //! [`World::run_with_plan`] runs the same program under a
-//! [`FaultPlan`]: messages can be dropped, duplicated or delayed, and
+//! [`FaultPlan`]: messages can be dropped, duplicated, delayed or
+//! bit-flip corrupted (caught by the payload CRC at the receiver), and
 //! ranks can be scheduled to crash at a virtual time. Fallible
 //! operations ([`RankCtx::try_send`], [`RankCtx::recv_timeout`]) report
 //! [`CommError`]s; the classic infallible APIs retry dropped messages
@@ -79,6 +80,9 @@ pub(crate) struct Packet {
     /// `[crashed peer, crash time]` and matching it yields a
     /// `CommError::PeerDead` instead of data.
     pub abort: bool,
+    /// CRC-64 stamped by the sender over the *intact* payload, before
+    /// any fault-injected corruption mangles it on the link.
+    pub crc: u64,
     pub payload: Payload,
 }
 
@@ -106,6 +110,9 @@ pub struct TimeReport {
     pub retries: u64,
     /// Messages the fault plan dropped on the link.
     pub dropped_msgs: u64,
+    /// Messages delivered to this rank whose payload CRC check failed
+    /// (link corruption caught by the transport).
+    pub corrupted_msgs: u64,
     /// Virtual seconds spent recovering from faults: retry backoff plus
     /// failure-detection waits. Also included in `comm`.
     pub recovery_time: f64,
@@ -192,6 +199,7 @@ pub struct RankCtx {
     bytes_sent: u64,
     retries: u64,
     dropped_msgs: u64,
+    corrupted_msgs: u64,
     recovery_time: f64,
     senders: Arc<Vec<Sender<Packet>>>,
     inbox: Receiver<Packet>,
@@ -450,6 +458,14 @@ impl RankCtx {
         }
         let base = self.machine.p2p_time(self.rank, dst, bytes);
         let extra_delay = base * (event.delay_factor - 1.0) + event.jitter;
+        // The CRC covers the payload as the sender intended it; a
+        // fault-injected flip below mangles the data *after* the stamp,
+        // exactly as corruption between NIC checksum domains would.
+        let crc = payload.crc64();
+        let mut payload = payload;
+        if let Some(entropy) = event.corrupt {
+            payload.corrupt_in_place(entropy);
+        }
         let pkt = Packet {
             src: self.rank,
             tag,
@@ -457,6 +473,7 @@ impl RankCtx {
             extra_delay,
             dup: false,
             abort: false,
+            crc,
             payload,
         };
         // A SendError means dst already crashed and dropped its inbox;
@@ -471,6 +488,7 @@ impl RankCtx {
                 extra_delay,
                 dup: true,
                 abort: false,
+                crc,
                 payload: pkt.payload.clone(),
             };
             let _ = self.senders[dst].send(dup);
@@ -489,6 +507,7 @@ impl RankCtx {
         if dst >= self.size || dst == self.rank {
             return;
         }
+        let payload = Payload::F64(vec![peer as f64, at]);
         let pkt = Packet {
             src: self.rank,
             tag,
@@ -496,7 +515,8 @@ impl RankCtx {
             extra_delay: 0.0,
             dup: false,
             abort: true,
-            payload: Payload::F64(vec![peer as f64, at]),
+            crc: payload.crc64(),
+            payload,
         };
         let _ = self.senders[dst].send(pkt);
     }
@@ -625,19 +645,31 @@ impl RankCtx {
     }
 
     /// Admit a matched packet, converting abort markers into the
-    /// `PeerDead` they announce.
+    /// `PeerDead` they announce and verifying the payload CRC — a
+    /// mismatch means the link corrupted the data in flight and yields
+    /// `CommError::Corrupted` instead of the mangled payload.
     fn admit_checked(&mut self, pkt: Packet) -> Result<Payload, CommError> {
         let abort = pkt.abort;
+        let (src, tag, crc_sent) = (pkt.src, pkt.tag, pkt.crc);
         let payload = self.admit(pkt);
         if abort {
             let info = payload.into_f64();
-            Err(CommError::PeerDead {
+            return Err(CommError::PeerDead {
                 peer: info[0] as usize,
                 at: info[1],
-            })
-        } else {
-            Ok(payload)
+            });
         }
+        let crc_got = payload.crc64();
+        if crc_got != crc_sent {
+            self.corrupted_msgs += 1;
+            return Err(CommError::Corrupted {
+                src,
+                tag,
+                crc_sent,
+                crc_got,
+            });
+        }
+        Ok(payload)
     }
 
     /// Advance the clock for a matched packet and unwrap its payload.
@@ -659,6 +691,7 @@ impl RankCtx {
             bytes_sent: self.bytes_sent,
             retries: self.retries,
             dropped_msgs: self.dropped_msgs,
+            corrupted_msgs: self.corrupted_msgs,
             recovery_time: self.recovery_time,
         }
     }
@@ -775,6 +808,7 @@ impl World {
                         bytes_sent: 0,
                         retries: 0,
                         dropped_msgs: 0,
+                        corrupted_msgs: 0,
                         recovery_time: 0.0,
                         senders,
                         inbox,
@@ -1149,6 +1183,56 @@ mod tests {
         match &runs[0].outcome {
             RankOutcome::Completed(Err(CommError::RankOutOfRange { rank: 5, size: 1 })) => {}
             o => panic!("expected RankOutOfRange, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_payloads_are_caught_by_crc() {
+        let plan = FaultPlan::new(31).with_corrupt_prob(1.0);
+        let runs = world().run_with_plan(2, plan, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.try_send(1, 0, vec![1.0f64, 2.0, 3.0]).map(|_| 0)
+            } else {
+                ctx.try_recv_from(0, 0).map(|_| 1)
+            }
+        });
+        match &runs[1].outcome {
+            RankOutcome::Completed(Err(CommError::Corrupted { src: 0, tag: 0, .. })) => {}
+            o => panic!("expected Corrupted, got {o:?}"),
+        }
+        assert_eq!(runs[1].report.corrupted_msgs, 1);
+    }
+
+    #[test]
+    fn clean_runs_never_flag_corruption() {
+        let runs = world().run_with_plan(4, FaultPlan::new(32), |ctx| {
+            let me = ctx.rank();
+            for round in 0..8u32 {
+                ctx.send((me + 1) % 4, round, vec![me as f64; 257]);
+                let _ = ctx.recv((me + 3) % 4, round);
+            }
+            ctx.now()
+        });
+        for run in &runs {
+            assert!(run.outcome.is_completed());
+            assert_eq!(run.report.corrupted_msgs, 0);
+        }
+    }
+
+    #[test]
+    fn corruption_panics_infallible_recv_into_failed() {
+        let plan = FaultPlan::new(33).with_corrupt_prob(1.0);
+        let runs = world().run_with_plan(2, plan, |ctx| {
+            if ctx.rank() == 0 {
+                let _ = ctx.try_send(1, 0, vec![9.0f64; 16]);
+                0.0
+            } else {
+                ctx.recv(0, 0).into_f64()[0]
+            }
+        });
+        match &runs[1].outcome {
+            RankOutcome::Failed(CommError::Corrupted { .. }) => {}
+            o => panic!("expected Failed(Corrupted), got {o:?}"),
         }
     }
 

@@ -128,7 +128,10 @@ impl CuSpec {
 /// window at the degraded rank count. Independently,
 /// `dropped_cu_exchanges` lists density iterations whose coupler-unit
 /// payloads are lost in flight — the target side falls back to its
-/// last-good mapping (stale data) rather than stalling.
+/// last-good mapping (stale data) rather than stalling. Orthogonally,
+/// `sdc_events` lists silent corruptions: with `abft` enabled the run
+/// pays the per-iteration detector cost, catches each event and
+/// recovers per `sdc_policy`; with it disabled they propagate silently.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultScenario {
     /// Index into [`Scenario::apps`] of the instance losing a rank.
@@ -140,6 +143,13 @@ pub struct FaultScenario {
     pub checkpoint_interval: u64,
     /// Density iterations whose CU exchanges are dropped in flight.
     pub dropped_cu_exchanges: Vec<u64>,
+    /// Injected silent corruptions.
+    pub sdc_events: Vec<crate::sdc::SdcInjection>,
+    /// Recovery applied to each detected corruption.
+    pub sdc_policy: crate::sdc::SdcPolicy,
+    /// Whether the ABFT/invariant detector layer is armed (off by
+    /// default so crash-only studies price exactly as before).
+    pub abft: bool,
 }
 
 impl FaultScenario {
@@ -151,6 +161,20 @@ impl FaultScenario {
             crash_time,
             checkpoint_interval: 20,
             dropped_cu_exchanges: Vec::new(),
+            sdc_events: Vec::new(),
+            sdc_policy: crate::sdc::SdcPolicy::default(),
+            abft: false,
+        }
+    }
+
+    /// A corruption-only scenario: no rank ever crashes (`crash_time`
+    /// is infinite), the detectors are armed, and the given events
+    /// strike during the run.
+    pub fn sdc_only(events: Vec<crate::sdc::SdcInjection>) -> FaultScenario {
+        FaultScenario {
+            sdc_events: events,
+            abft: true,
+            ..FaultScenario::crash(0, f64::INFINITY)
         }
     }
 
@@ -163,6 +187,24 @@ impl FaultScenario {
     /// Drop the CU exchange payloads of the given density iterations.
     pub fn with_dropped_exchanges(mut self, iters: Vec<u64>) -> FaultScenario {
         self.dropped_cu_exchanges = iters;
+        self
+    }
+
+    /// Inject the given silent corruptions.
+    pub fn with_sdc_events(mut self, events: Vec<crate::sdc::SdcInjection>) -> FaultScenario {
+        self.sdc_events = events;
+        self
+    }
+
+    /// Set the recovery policy for detected corruptions.
+    pub fn with_sdc_policy(mut self, policy: crate::sdc::SdcPolicy) -> FaultScenario {
+        self.sdc_policy = policy;
+        self
+    }
+
+    /// Arm or disarm the detector layer.
+    pub fn with_abft(mut self, enabled: bool) -> FaultScenario {
+        self.abft = enabled;
         self
     }
 }

@@ -35,6 +35,7 @@ pub mod functional;
 pub mod instance;
 pub mod model;
 pub mod report;
+pub mod sdc;
 pub mod sim;
 pub mod testcases;
 
@@ -43,6 +44,7 @@ pub mod prelude {
     pub use crate::instance::{AppInstance, AppKind, CuSpec, FaultScenario, Scenario, StcVariant};
     pub use crate::model::{self, ScenarioModels};
     pub use crate::report::markdown_report;
+    pub use crate::sdc::{SdcInjection, SdcPolicy, SdcSite};
     pub use crate::sim::{self, CoupledRun};
     pub use crate::testcases;
     pub use cpx_machine::Machine;
@@ -51,4 +53,5 @@ pub mod prelude {
 
 pub use instance::{AppInstance, AppKind, CuSpec, FaultScenario, Scenario, StcVariant};
 pub use model::ScenarioModels;
+pub use sdc::{SdcInjection, SdcPolicy, SdcSite};
 pub use sim::CoupledRun;

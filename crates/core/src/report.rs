@@ -85,10 +85,36 @@ pub fn markdown_report(scenario: &Scenario, alloc: &Allocation, run: &CoupledRun
             run.stale_exchanges
         ));
         if let Some(fault) = &scenario.fault {
-            out.push_str(&format!(
-                "- injected: rank crash in **{}** at t={:.1} s, checkpoints every {} iterations\n",
-                scenario.apps[fault.crash_app].name, fault.crash_time, fault.checkpoint_interval
-            ));
+            if fault.crash_time.is_finite() {
+                out.push_str(&format!(
+                    "- injected: rank crash in **{}** at t={:.1} s, checkpoints every {} iterations\n",
+                    scenario.apps[fault.crash_app].name, fault.crash_time, fault.checkpoint_interval
+                ));
+            }
+        }
+    }
+
+    if run.sdc_detected > 0 || run.abft_overhead > 0.0 {
+        out.push_str(&format!(
+            "\n## Silent data corruption\n\n- corruptions detected: **{}** (recovered: {})\n\
+             - ABFT/invariant detector overhead: **{:.1} s** ({:.2}% of runtime)\n",
+            run.sdc_detected,
+            run.sdc_recovered,
+            run.abft_overhead,
+            run.abft_overhead / run.total_runtime.max(f64::MIN_POSITIVE) * 100.0,
+        ));
+        if let Some(fault) = &scenario.fault {
+            out.push_str(&format!("- recovery policy: **{}**\n", fault.sdc_policy));
+            for ev in &fault.sdc_events {
+                if ev.iter < scenario.density_iters {
+                    out.push_str(&format!(
+                        "- injected: {} corruption at iteration {} (caught by {})\n",
+                        ev.site,
+                        ev.iter,
+                        ev.site.detector()
+                    ));
+                }
+            }
         }
     }
     out
@@ -144,5 +170,35 @@ mod tests {
         assert!(md.contains("faults survived: **1**"));
         assert!(md.contains("recovery overhead"));
         assert!(md.contains("checkpoints every 10 iterations"));
+        assert!(
+            !md.contains("Silent data corruption"),
+            "crash-only run has no SDC section"
+        );
+    }
+
+    #[test]
+    fn report_includes_sdc_section_for_corruption_study() {
+        use crate::sdc::{SdcInjection, SdcPolicy, SdcSite};
+        use crate::sim::run_coupled_resilient;
+
+        let scenario = testcases::small_150m_28m(StcVariant::Base);
+        let machine = Machine::archer2();
+        let models = build_models_with_grid(&scenario, &machine, 20.0, &[100, 400, 1600]);
+        let alloc = allocate_scenario(&models, 1200);
+        let scenario = scenario.with_fault(
+            crate::instance::FaultScenario::sdc_only(vec![
+                SdcInjection::at(12, SdcSite::SparseKernel),
+                SdcInjection::at(40, SdcSite::PhysicsInvariant),
+            ])
+            .with_sdc_policy(SdcPolicy::Recompute),
+        );
+        let run = run_coupled_resilient(&scenario, &alloc, &machine, 20);
+        let md = markdown_report(&scenario, &alloc, &run);
+        assert!(md.contains("## Silent data corruption"));
+        assert!(md.contains("corruptions detected: **2**"));
+        assert!(md.contains("recovery policy: **recompute**"));
+        assert!(md.contains("ABFT checksum"));
+        assert!(md.contains("physics invariant guard"));
+        assert!(md.contains("detector overhead"));
     }
 }

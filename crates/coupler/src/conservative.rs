@@ -63,7 +63,117 @@ impl ConservativeMap {
     pub fn integral(weights: &[f64], field: &[f64]) -> f64 {
         weights.iter().zip(field).map(|(w, f)| w * f).sum()
     }
+
+    /// [`ConservativeMap::transfer`] with the conservation contract
+    /// *verified*: recompute both weighted integrals and fail if the
+    /// output is non-finite or the integrals disagree beyond rounding.
+    ///
+    /// The tolerance is cancellation-safe: it scales with the magnitude
+    /// sums `Σ|w·f|` of both sides (a field whose integral is ~0 by
+    /// cancellation still has a large magnitude scale), times
+    /// `32·ε·(n_donors + n_targets)` for the two accumulation chains.
+    /// Legitimate transfers land orders of magnitude below that; a bit
+    /// flip in the field, the accumulator or the output above the noise
+    /// floor lands above it. Zero-weight targets silently *drop* their
+    /// donors' contribution in the unverified transfer — here that
+    /// surfaces as a conservation error, which is the point.
+    ///
+    /// Note what this contract *cannot* see: a corrupted target weight
+    /// used consistently on both sides cancels exactly
+    /// (`w·(accum/w) = accum` for any finite `w > 0`), so weight
+    /// corruption is only caught when it drops flux (zeroed weight),
+    /// goes non-finite, or drives the quotient out of range. Corruption
+    /// of the *output* between compute and use is the detectable
+    /// surface — audit it with [`ConservativeMap::verify_transfer`].
+    pub fn transfer_verified(
+        &self,
+        donor_weights: &[f64],
+        target_weights: &[f64],
+        field: &[f64],
+    ) -> Result<Vec<f64>, ConservationError> {
+        let out = self.transfer(donor_weights, target_weights, field);
+        self.verify_transfer(donor_weights, target_weights, field, &out)?;
+        Ok(out)
+    }
+
+    /// Check a previously transferred output against the conservation
+    /// contract: fail if `out` is non-finite or its target integral has
+    /// drifted from the donor integral beyond rounding. Separating the
+    /// audit from the transfer lets a caller re-verify a field that has
+    /// sat in memory (e.g. across an exchange window) and catch silent
+    /// corruption that struck *after* the transfer computed it.
+    pub fn verify_transfer(
+        &self,
+        donor_weights: &[f64],
+        target_weights: &[f64],
+        field: &[f64],
+        out: &[f64],
+    ) -> Result<(), ConservationError> {
+        if let Some((index, &value)) = out.iter().enumerate().find(|(_, v)| !v.is_finite()) {
+            return Err(ConservationError::NonFinite { index, value });
+        }
+        let before = ConservativeMap::integral(donor_weights, field);
+        let after = ConservativeMap::integral(target_weights, out);
+        let mag = |w: &[f64], f: &[f64]| -> f64 {
+            w.iter().zip(f).map(|(w, f)| (w * f).abs()).sum::<f64>()
+        };
+        let scale = mag(donor_weights, field).max(mag(target_weights, out));
+        let n = (donor_weights.len() + target_weights.len()) as f64;
+        let tol = 32.0 * f64::EPSILON * n * scale + 1e-290;
+        let discrepancy = (before - after).abs();
+        if !discrepancy.is_finite() || discrepancy > tol {
+            return Err(ConservationError::IntegralDrift {
+                donor_integral: before,
+                target_integral: after,
+                tolerance: tol,
+            });
+        }
+        Ok(())
+    }
 }
+
+/// Conservation-contract violation detected by
+/// [`ConservativeMap::transfer_verified`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConservationError {
+    /// The transferred field contains a NaN or infinity.
+    NonFinite {
+        /// Index of the first offending target value.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The donor and target weighted integrals disagree beyond rounding.
+    IntegralDrift {
+        /// `Σ w_d·f_d` on the donor side.
+        donor_integral: f64,
+        /// `Σ w_t·f_t` on the target side.
+        target_integral: f64,
+        /// The tolerance that was exceeded.
+        tolerance: f64,
+    },
+}
+
+impl std::fmt::Display for ConservationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConservationError::NonFinite { index, value } => {
+                write!(f, "non-finite transfer output: [{index}] = {value}")
+            }
+            ConservationError::IntegralDrift {
+                donor_integral,
+                target_integral,
+                tolerance,
+            } => write!(
+                f,
+                "interface integral not conserved: donor {donor_integral} vs target \
+                 {target_integral} (tol {tolerance:e})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConservationError {}
 
 #[cfg(test)]
 mod tests {
@@ -111,6 +221,76 @@ mod tests {
         let map = ConservativeMap::build(&a, &b);
         assert_eq!(map.donor_target.len(), a.len());
         assert!(map.donor_target.iter().all(|&t| t < b.len()));
+    }
+
+    #[test]
+    fn verified_transfer_passes_clean() {
+        let (a, b) = pair();
+        let map = ConservativeMap::build(&a, &b);
+        let field: Vec<f64> = (0..a.len()).map(|i| ((i * 37) % 11) as f64 - 3.0).collect();
+        let out = map
+            .transfer_verified(&a.weights, &b.weights, &field)
+            .expect("clean transfer must verify");
+        assert_eq!(out, map.transfer(&a.weights, &b.weights, &field));
+    }
+
+    #[test]
+    fn verify_transfer_catches_output_corruption() {
+        let (a, b) = pair();
+        let map = ConservativeMap::build(&a, &b);
+        let field = vec![1.0; a.len()];
+        let mut out = map.transfer(&a.weights, &b.weights, &field);
+        // An exponent bit flip in the stored output between compute and
+        // use shifts the target integral by w_t·Δout — far above the
+        // rounding tolerance. Bit 54 keeps the value finite (a 16×
+        // scaling) so the drift path is exercised, not the NaN scan.
+        let victim = map.donor_target[0];
+        out[victim] = f64::from_bits(out[victim].to_bits() ^ (1u64 << 54));
+        assert!(matches!(
+            map.verify_transfer(&a.weights, &b.weights, &field, &out),
+            Err(ConservationError::IntegralDrift { .. })
+        ));
+    }
+
+    #[test]
+    fn consistent_weight_corruption_cancels_and_passes() {
+        // Documents the blind spot: a corrupted target weight used on
+        // both sides of the identity cancels (`w·(accum/w) = accum`), so
+        // the audit passes. Detection of weight corruption relies on the
+        // zero-weight drop path or non-finite propagation instead.
+        let (a, b) = pair();
+        let map = ConservativeMap::build(&a, &b);
+        let field = vec![1.0; a.len()];
+        let mut weights = b.weights.clone();
+        weights[5] = f64::from_bits(weights[5].to_bits() ^ (1u64 << 62));
+        assert!(map.transfer_verified(&a.weights, &weights, &field).is_ok());
+    }
+
+    #[test]
+    fn verified_transfer_catches_nan_field() {
+        let (a, b) = pair();
+        let map = ConservativeMap::build(&a, &b);
+        let mut field = vec![1.0; a.len()];
+        field[3] = f64::NAN;
+        assert!(map
+            .transfer_verified(&a.weights, &b.weights, &field)
+            .is_err());
+    }
+
+    #[test]
+    fn zero_weight_target_loss_is_detected() {
+        let (a, b) = pair();
+        let map = ConservativeMap::build(&a, &b);
+        let field = vec![2.0; a.len()];
+        // Zero out a target weight that receives donors: the unverified
+        // transfer silently drops that flux; the verified one must not.
+        let victim = map.donor_target[0];
+        let mut weights = b.weights.clone();
+        weights[victim] = 0.0;
+        assert!(matches!(
+            map.transfer_verified(&a.weights, &weights, &field),
+            Err(ConservationError::IntegralDrift { .. })
+        ));
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod search;
 pub mod trace;
 pub mod unit;
 
-pub use conservative::ConservativeMap;
+pub use conservative::{ConservationError, ConservativeMap};
 pub use layout::{MpmdLayout, RankRange};
 pub use search::{BruteSearch, KdTree2, PrefetchSearch};
 pub use trace::{CouplerKind, CouplerTraceModel};

@@ -12,6 +12,9 @@
 //!   [`cpx_mesh::MeshHierarchy`]. Conservation and positivity are tested.
 //! * [`dist`] — a rank-distributed runner over `cpx-comm` with ghost-cell
 //!   halo exchange, verified to reproduce the serial solver bit-for-bit.
+//! * [`guard`] — physics invariant watchdogs for silent-data-corruption
+//!   detection: [`InvariantGuard`] pins mass/energy conservation,
+//!   positivity and finiteness of the state.
 //! * [`trace`] — trace generation for the virtual testbed: given a target
 //!   mesh size (8M–300M cells) and rank count, emits the per-rank phase
 //!   trace of one solver iteration (flux compute over the rank's cells,
@@ -27,8 +30,10 @@
 pub mod config;
 pub mod dist;
 pub mod euler;
+pub mod guard;
 pub mod trace;
 
 pub use config::MgCfdConfig;
 pub use euler::EulerSolver;
+pub use guard::{InvariantGuard, InvariantViolation};
 pub use trace::MgCfdTraceModel;

@@ -25,15 +25,19 @@
 //! weighting, Thomas-solver field solve, leapfrog push) with physics
 //! tests (charge conservation, plasma-frequency oscillation);
 //! [`dist`] — the rank-distributed runner with particle migration;
+//! [`guard`] — silent-data-corruption watchdogs over the conserved
+//! quantities (charge, particle count, finiteness, domain bounds);
 //! [`trace`] — the scale model whose limiter is the pipelined
 //! field-solve sweep across ranks, calibrated to the paper's curves.
 
 pub mod config;
 pub mod diagnostics;
 pub mod dist;
+pub mod guard;
 pub mod pic;
 pub mod trace;
 
 pub use config::SimpicConfig;
+pub use guard::{PicGuard, PicViolation};
 pub use pic::Pic1D;
 pub use trace::SimpicTraceModel;

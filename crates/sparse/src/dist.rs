@@ -10,8 +10,12 @@
 use cpx_comm::{Group, RankCtx, ReduceOp};
 use cpx_machine::KernelCost;
 
+use crate::abft::{AbftError, ABFT_TOL_FACTOR};
 use crate::csr::Csr;
 use crate::renumber::renumber_hash_merge;
+
+/// Absolute tolerance floor for the halo checksum comparison.
+const HALO_TOL_FLOOR: f64 = 1e-290;
 
 /// This rank's block of a row-distributed sparse matrix.
 #[derive(Debug, Clone)]
@@ -31,6 +35,11 @@ pub struct DistCsr {
     send_lists: Vec<Vec<usize>>,
     /// For each peer part: the halo slots filled by that peer's values.
     recv_slots: Vec<Vec<usize>>,
+    /// Trusted ABFT baseline captured at construction: column sums
+    /// `eᵀ·A_local` over the extended (owned + halo) column space.
+    local_col_sums: Vec<f64>,
+    /// Magnitude counterpart `eᵀ·|A_local|` (tolerance scaling).
+    local_col_mags: Vec<f64>,
 }
 
 impl DistCsr {
@@ -123,6 +132,16 @@ impl DistCsr {
             })
             .collect();
 
+        let mut local_col_sums = vec![0.0; local.ncols()];
+        let mut local_col_mags = vec![0.0; local.ncols()];
+        for r in 0..local.nrows() {
+            let (cols, vals) = local.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                local_col_sums[c] += v;
+                local_col_mags[c] += v.abs();
+            }
+        }
+
         DistCsr {
             offsets: offsets.to_vec(),
             my_part: me,
@@ -130,6 +149,8 @@ impl DistCsr {
             halo_globals,
             send_lists,
             recv_slots,
+            local_col_sums,
+            local_col_mags,
         }
     }
 
@@ -146,6 +167,14 @@ impl DistCsr {
     /// The local matrix (owned + halo column space).
     pub fn local_matrix(&self) -> &Csr {
         &self.local
+    }
+
+    /// Mutable access to the local matrix. The ABFT baseline captured
+    /// at construction is deliberately *not* refreshed — mutations made
+    /// here are what [`DistCsr::spmv_checked`] detects (this is the
+    /// fault-injection surface for distributed SDC experiments).
+    pub fn local_matrix_mut(&mut self) -> &mut Csr {
+        &mut self.local
     }
 
     /// Global row offsets.
@@ -184,6 +213,59 @@ impl DistCsr {
         ext
     }
 
+    /// Checksummed halo exchange: each per-peer packet carries its own
+    /// sum and magnitude-sum as two trailing elements, and the receiver
+    /// verifies every packet after halo assembly — a bit flip anywhere
+    /// in flight (data or checksum) surfaces as an [`AbftError`]
+    /// instead of silently seeding the halo. Collective.
+    pub fn exchange_halo_checked(
+        &self,
+        ctx: &mut RankCtx,
+        group: &Group,
+        x: &[f64],
+    ) -> Result<Vec<f64>, AbftError> {
+        assert_eq!(x.len(), self.owned(), "x must be the owned block");
+        let p = group.size();
+        let mut sends: Vec<Vec<f64>> = Vec::with_capacity(p);
+        let mut pack_bytes = 0usize;
+        for peer in 0..p {
+            let list = &self.send_lists[peer];
+            pack_bytes += (list.len() + 2) * 16;
+            let mut pack: Vec<f64> = list.iter().map(|&i| x[i]).collect();
+            let sum: f64 = pack.iter().sum();
+            let mag: f64 = pack.iter().map(|v| v.abs()).sum();
+            pack.push(sum);
+            pack.push(mag);
+            sends.push(pack);
+        }
+        ctx.compute(KernelCost::bytes(pack_bytes as f64));
+        let received = group.alltoallv(ctx, sends);
+        let mut ext = Vec::with_capacity(self.owned() + self.halo_len());
+        ext.extend_from_slice(x);
+        ext.resize(self.owned() + self.halo_len(), 0.0);
+        for peer in 0..p {
+            let pack = &received[peer];
+            let slots = &self.recv_slots[peer];
+            debug_assert_eq!(pack.len(), slots.len() + 2);
+            let (vals, trailer) = pack.split_at(slots.len());
+            let got: f64 = vals.iter().sum();
+            let tol = ABFT_TOL_FACTOR * f64::EPSILON * (slots.len() + 1) as f64 * trailer[1]
+                + HALO_TOL_FLOOR;
+            let discrepancy = (got - trailer[0]).abs();
+            if !discrepancy.is_finite() || discrepancy > tol {
+                return Err(AbftError {
+                    kernel: "exchange_halo",
+                    discrepancy,
+                    tolerance: tol,
+                });
+            }
+            for (v, &slot) in vals.iter().zip(slots) {
+                ext[self.owned() + slot] = *v;
+            }
+        }
+        Ok(ext)
+    }
+
     /// Distributed `y = A x` over the group. `x` and the returned `y`
     /// are the owned blocks. Collective.
     pub fn spmv(&self, ctx: &mut RankCtx, group: &Group, x: &[f64]) -> Vec<f64> {
@@ -192,6 +274,51 @@ impl DistCsr {
         let stats = self.local.spmv(&ext, &mut y);
         ctx.compute(KernelCost::new(stats.flops, stats.bytes()));
         y
+    }
+
+    /// Distributed SpMV over the checksummed halo exchange, with the
+    /// local product ABFT-verified against the local column sums of the
+    /// extended operator. Collective.
+    pub fn spmv_checked(
+        &self,
+        ctx: &mut RankCtx,
+        group: &Group,
+        x: &[f64],
+    ) -> Result<Vec<f64>, AbftError> {
+        let ext = self.exchange_halo_checked(ctx, group, x)?;
+        let mut y = vec![0.0; self.owned()];
+        let stats = self.local.spmv(&ext, &mut y);
+        ctx.compute(KernelCost::new(stats.flops, stats.bytes()));
+
+        // Local ABFT against the trusted baseline captured at
+        // construction: Σ y =?= (eᵀ A_local)_trusted · ext. A value
+        // flipped after construction perturbs y but not the baseline.
+        let got: f64 = y.iter().sum();
+        let want: f64 = self
+            .local_col_sums
+            .iter()
+            .zip(&ext)
+            .map(|(s, xi)| s * xi)
+            .sum();
+        let mag: f64 = self
+            .local_col_mags
+            .iter()
+            .zip(&ext)
+            .map(|(m, xi)| m * xi.abs())
+            .sum();
+        let n = (self.local.nrows() + self.local.ncols()) as f64;
+        let tol = ABFT_TOL_FACTOR * f64::EPSILON * n * mag + HALO_TOL_FLOOR;
+        // Charge the O(ncols) verification (three vector passes).
+        ctx.compute(KernelCost::bytes(self.local.ncols() as f64 * 48.0));
+        let discrepancy = (got - want).abs();
+        if !discrepancy.is_finite() || discrepancy > tol {
+            return Err(AbftError {
+                kernel: "dist_spmv",
+                discrepancy,
+                tolerance: tol,
+            });
+        }
+        Ok(y)
     }
 
     /// Distributed dot product of two owned blocks. Collective.
@@ -300,6 +427,72 @@ mod tests {
         for (got, _) in res {
             assert!((got - want).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn checked_spmv_matches_serial_when_clean() {
+        let global = Csr::poisson2d(6, 6);
+        let n = global.nrows();
+        let x_full: Vec<f64> = (0..n).map(|i| (i as f64 * 0.21).cos()).collect();
+        let mut y_want = vec![0.0; n];
+        global.spmv(&x_full, &mut y_want);
+        let res = world().run(3, move |ctx| {
+            let group = ctx.world();
+            let offsets = even_offsets(global.nrows(), group.size());
+            let dist = DistCsr::from_global(ctx, &group, &global, &offsets);
+            let me = group.index();
+            let x = x_full[offsets[me]..offsets[me + 1]].to_vec();
+            dist.spmv_checked(ctx, &group, &x).expect("clean run")
+        });
+        let mut got = Vec::new();
+        for (block, _) in res {
+            got.extend(block);
+        }
+        for i in 0..n {
+            assert!((got[i] - y_want[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn checked_spmv_detects_corrupted_local_values() {
+        let global = Csr::poisson2d(6, 6);
+        let res = world().run(2, move |ctx| {
+            let group = ctx.world();
+            let offsets = even_offsets(global.nrows(), group.size());
+            let mut dist = DistCsr::from_global(ctx, &group, &global, &offsets);
+            if group.index() == 1 {
+                // Flip an exponent bit in one stored value after the
+                // baseline was captured.
+                let v = dist.local_matrix().vals()[3];
+                dist.local_matrix_mut().vals_mut()[3] = v * 2f64.powi(40);
+            }
+            let me = group.index();
+            let x = vec![1.0; offsets[me + 1] - offsets[me]];
+            dist.spmv_checked(ctx, &group, &x).map(|_| ())
+        });
+        assert!(res[0].0.is_ok(), "unaffected rank stays clean");
+        let err = res[1].0.as_ref().expect_err("corruption must be caught");
+        assert_eq!(err.kernel, "dist_spmv");
+    }
+
+    #[test]
+    fn checked_halo_detects_non_finite_in_flight() {
+        let global = Csr::poisson1d(10);
+        let res = world().run(2, move |ctx| {
+            let group = ctx.world();
+            let offsets = even_offsets(10, 2);
+            let dist = DistCsr::from_global(ctx, &group, &global, &offsets);
+            let me = group.index();
+            let mut x = vec![1.0; offsets[me + 1] - offsets[me]];
+            if me == 0 {
+                // Poison the boundary element that crosses the halo.
+                let last = x.len() - 1;
+                x[last] = f64::NAN;
+            }
+            dist.exchange_halo_checked(ctx, &group, &x).map(|_| ())
+        });
+        let err = res[1].0.as_ref().expect_err("NaN through the halo");
+        assert_eq!(err.kernel, "exchange_halo");
     }
 
     #[test]

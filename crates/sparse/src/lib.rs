@@ -26,9 +26,16 @@
 //! `cpx-comm`) and [`partition`] (recursive coordinate bisection and
 //! greedy graph growing).
 //!
+//! For silent-data-corruption resilience, [`abft`] wraps the kernels
+//! with Huang–Abraham checksum verification ([`abft::AbftCsr`], the
+//! `*_checked` SpGEMM variants), and [`dist::DistCsr`] offers a
+//! checksummed halo exchange whose per-peer packets are verified after
+//! assembly.
+//!
 //! Every kernel reports its operation counts ([`SpOpStats`]) so that
 //! trace generation is grounded in what the code actually does.
 
+pub mod abft;
 pub mod coo;
 pub mod csr;
 pub mod dist;
@@ -38,6 +45,7 @@ pub mod renumber;
 pub mod spgemm;
 pub mod tridiag;
 
+pub use abft::{AbftCsr, AbftError};
 pub use coo::Coo;
 pub use csr::Csr;
 pub use dist::DistCsr;

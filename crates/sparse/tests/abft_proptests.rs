@@ -1,0 +1,171 @@
+//! Property tests for the ABFT checksum layer.
+//!
+//! Two promises the silent-data-corruption design makes:
+//!
+//! 1. **No false positives**: on uncorrupted matrices, every checked
+//!    kernel verifies clean for arbitrary shapes, sparsity patterns and
+//!    input vectors — the tolerance absorbs legitimate rounding.
+//! 2. **Above-threshold detection**: a seeded bit flip in the stored
+//!    values whose induced output perturbation exceeds the published
+//!    detection threshold is always caught by the next checked kernel.
+
+use proptest::prelude::*;
+
+use cpx_comm::BitFlipInjector;
+use cpx_sparse::abft::{spgemm_hash_checked, spgemm_spa_checked, spgemm_twopass_checked};
+use cpx_sparse::coo::Coo;
+use cpx_sparse::csr::Csr;
+use cpx_sparse::AbftCsr;
+
+/// Strategy: a random sparse matrix as (nrows, ncols, triplets).
+fn arb_csr(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = Csr> {
+    (2..max_dim, 2..max_dim).prop_flat_map(move |(nr, nc)| {
+        proptest::collection::vec((0..nr, 0..nc, -100i32..100), 1..max_nnz).prop_map(move |trips| {
+            let mut coo = Coo::new(nr, nc);
+            for (r, c, v) in trips {
+                coo.push(r, c, v as f64 * 0.25);
+            }
+            coo.to_csr()
+        })
+    })
+}
+
+/// A square variant for SpGEMM pairs.
+fn arb_square(dim: usize, max_nnz: usize) -> impl Strategy<Value = Csr> {
+    proptest::collection::vec((0..dim, 0..dim, -50i32..50), 1..max_nnz).prop_map(move |trips| {
+        let mut coo = Coo::new(dim, dim);
+        for (r, c, v) in trips {
+            coo.push(r, c, v as f64 * 0.5);
+        }
+        coo.to_csr()
+    })
+}
+
+fn input_vec(n: usize, phase: f64) -> Vec<f64> {
+    (0..n)
+        .map(|i| 1.0 + (i as f64 * 0.37 + phase).sin())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn clean_spmv_never_false_positives(a in arb_csr(24, 120), phase in 0.0f64..6.0) {
+        let work = AbftCsr::new(a);
+        let x = input_vec(work.matrix().ncols(), phase);
+        let mut y = vec![0.0; work.matrix().nrows()];
+        prop_assert!(work.verify_values().is_ok());
+        prop_assert!(work.spmv_checked(&x, &mut y).is_ok());
+        // Repeated application stays clean: the check is stateless.
+        prop_assert!(work.spmv_checked(&x, &mut y).is_ok());
+    }
+
+    #[test]
+    fn clean_spgemm_never_false_positives(
+        a in arb_square(14, 70),
+        b in arb_square(14, 70),
+    ) {
+        let a = AbftCsr::new(a);
+        let b = AbftCsr::new(b);
+        prop_assert!(spgemm_twopass_checked(&a, &b).is_ok());
+        prop_assert!(spgemm_spa_checked(&a, &b, 4).is_ok());
+        prop_assert!(spgemm_hash_checked(&a, &b).is_ok());
+    }
+
+    #[test]
+    fn above_threshold_value_flips_always_caught(
+        a in arb_csr(20, 100),
+        idx in 0usize..1_000_000,
+        bit in 48usize..62,
+        phase in 0.0f64..6.0,
+    ) {
+        let mut work = AbftCsr::new(a);
+        let nnz = work.matrix().nnz();
+        if nnz == 0 {
+            continue;
+        }
+        let x = input_vec(work.matrix().ncols(), phase);
+        let threshold = work.spmv_tolerance(&x);
+        let gidx = idx % nnz;
+
+        // Column of the struck entry: walk the rows.
+        let mut col = 0;
+        let mut seen = 0;
+        'rows: for r in 0..work.matrix().nrows() {
+            let (cols, _) = work.matrix().row(r);
+            if seen + cols.len() > gidx {
+                col = cols[gidx - seen];
+                break 'rows;
+            }
+            seen += cols.len();
+        }
+
+        let orig = work.matrix().vals()[gidx];
+        let flipped = BitFlipInjector::flip(orig, bit as u32);
+        if !flipped.is_finite() {
+            // Non-finite corruption trivially detected; covered elsewhere.
+            continue;
+        }
+        // Output perturbation the flip induces in Σy.
+        let delta = (flipped - orig).abs() * x[col].abs();
+        if delta <= 2.0 * threshold {
+            continue; // below the published detection threshold: maskable
+        }
+        work.matrix_mut().vals_mut()[gidx] = flipped;
+        let mut y = vec![0.0; work.matrix().nrows()];
+        prop_assert!(
+            work.spmv_checked(&x, &mut y).is_err(),
+            "flip of {delta:e} above threshold {threshold:e} went undetected"
+        );
+        prop_assert!(work.verify_values().is_err());
+    }
+
+    #[test]
+    fn struck_spgemm_operand_is_caught(
+        a in arb_square(12, 60),
+        b in arb_square(12, 60),
+        idx in 0usize..1_000_000,
+    ) {
+        let a = AbftCsr::new(a);
+        let mut b = AbftCsr::new(b);
+        let nnz = b.matrix().nnz();
+        if nnz == 0 {
+            continue;
+        }
+        let gidx = idx % nnz;
+        let orig = b.matrix().vals()[gidx];
+        if orig == 0.0 {
+            continue; // flipping a stored zero's low bits can be maskable
+        }
+        // Row of the struck entry: the product only sees row k of B
+        // through column k of A, so detection via the product requires a
+        // nonzero somewhere in that column.
+        let mut k_row = 0;
+        let mut seen = 0;
+        for r in 0..b.matrix().nrows() {
+            let (cols, _) = b.matrix().row(r);
+            if seen + cols.len() > gidx {
+                k_row = r;
+                break;
+            }
+            seen += cols.len();
+        }
+        let reaches_product = (0..a.matrix().nrows()).any(|r| {
+            let (cols, vals) = a.matrix().row(r);
+            cols.iter().zip(vals).any(|(&c, &v)| c == k_row && v != 0.0)
+        });
+        // A high exponent-bit flip scales the entry by ≥2^16: far above
+        // any element-wise tolerance once it reaches a product entry.
+        let flipped = BitFlipInjector::flip(orig, 56);
+        if !flipped.is_finite() {
+            continue;
+        }
+        b.matrix_mut().vals_mut()[gidx] = flipped;
+        // The corrupted operand itself is always caught.
+        prop_assert!(b.verify_values().is_err());
+        if reaches_product {
+            prop_assert!(spgemm_twopass_checked(&a, &b).is_err());
+        }
+    }
+}
