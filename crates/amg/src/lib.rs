@@ -36,6 +36,7 @@ pub mod cycle;
 pub mod hierarchy;
 pub mod interp;
 pub mod pcg;
+pub mod profile;
 pub mod smoother;
 pub mod strength;
 
@@ -47,4 +48,5 @@ pub use cycle::{
 };
 pub use hierarchy::{Hierarchy, HierarchyConfig, InterpKind};
 pub use pcg::{pcg, CgConfig, CgOutcome, Preconditioner};
+pub use profile::{profile_vcycles, CycleProfiler};
 pub use smoother::Smoother;

@@ -224,7 +224,9 @@ impl Group {
         data: &mut Payload,
     ) -> Result<(), CommError> {
         let tag = self.next_tag();
+        ctx.obs_begin("bcast");
         let r = self.bcast_stage(ctx, root, data, tag);
+        ctx.obs_end();
         if let Err(ref e) = r {
             self.abort_collective(ctx, &[tag], e);
         }
@@ -281,7 +283,9 @@ impl Group {
         data: &mut [f64],
     ) -> Result<(), CommError> {
         let tag = self.next_tag();
+        ctx.obs_begin("reduce");
         let r = self.reduce_stage(ctx, root, op, data, tag);
+        ctx.obs_end();
         if let Err(ref e) = r {
             self.abort_collective(ctx, &[tag], e);
         }
@@ -338,6 +342,7 @@ impl Group {
     ) -> Result<(), CommError> {
         let t_reduce = self.next_tag();
         let t_bcast = self.next_tag();
+        ctx.obs_begin("allreduce");
         let r = (|| {
             self.reduce_stage(ctx, 0, op, data, t_reduce)?;
             let mut payload = Payload::F64(data.to_vec());
@@ -345,6 +350,7 @@ impl Group {
             data.copy_from_slice(&payload.into_f64());
             Ok(())
         })();
+        ctx.obs_end();
         if let Err(ref e) = r {
             self.abort_collective(ctx, &[t_reduce, t_bcast], e);
         }
@@ -378,7 +384,10 @@ impl Group {
     /// within bounded retries instead of hanging.
     pub fn try_barrier(&self, ctx: &mut RankCtx) -> Result<(), CommError> {
         let mut buf = [0.0];
-        self.try_allreduce(ctx, ReduceOp::Sum, &mut buf)
+        ctx.obs_begin("barrier");
+        let r = self.try_allreduce(ctx, ReduceOp::Sum, &mut buf);
+        ctx.obs_end();
+        r
     }
 
     /// Gather variable-length `f64` contributions to member `root`;
@@ -396,7 +405,9 @@ impl Group {
         data: Vec<f64>,
     ) -> Result<Option<Vec<Vec<f64>>>, CommError> {
         let tag = self.next_tag();
+        ctx.obs_begin("gather");
         let r = self.gather_stage(ctx, root, data, tag);
+        ctx.obs_end();
         if let Err(ref e) = r {
             self.abort_collective(ctx, &[tag], e);
         }
@@ -445,6 +456,7 @@ impl Group {
         }
         let t_gather = self.next_tag();
         let t_bcast = self.next_tag();
+        ctx.obs_begin("allgather");
         let r = (|| {
             let gathered = self.gather_stage(ctx, 0, data, t_gather)?;
             // Flatten with a length header for the broadcast.
@@ -471,6 +483,7 @@ impl Group {
             }
             Ok(out)
         })();
+        ctx.obs_end();
         if let Err(ref e) = r {
             self.abort_collective(ctx, &[t_gather, t_bcast], e);
         }
@@ -503,6 +516,7 @@ impl Group {
         assert_eq!(sends.len(), p, "alltoallv needs one buffer per member");
         let tag = self.next_tag();
         let me = self.my_index;
+        ctx.obs_begin("alltoallv");
         let r = (|| {
             let mut out: Vec<Vec<f64>> = vec![Vec::new(); p];
             // Send everything (eager), keeping own contribution local.
@@ -520,6 +534,7 @@ impl Group {
             }
             Ok(out)
         })();
+        ctx.obs_end();
         if let Err(ref e) = r {
             self.abort_collective(ctx, &[tag], e);
         }

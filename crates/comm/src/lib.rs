@@ -77,6 +77,7 @@ pub mod group;
 pub mod nonblocking;
 pub mod payload;
 pub mod runtime;
+pub mod serialize;
 pub mod window;
 
 pub use fault::{BitFlipInjector, CommError, FaultPlan, LinkDegradation};

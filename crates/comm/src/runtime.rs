@@ -38,8 +38,10 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 
 use cpx_machine::{KernelCost, Machine};
+use cpx_obs::{RankRecorder, SpanName, TraceSession};
 
 use crate::fault::{CommError, CrashSignal, DeadRegistry, FaultPlan};
 use crate::group::Group;
@@ -94,7 +96,10 @@ pub(crate) struct Registry {
 }
 
 /// Virtual-time accounting for one rank, returned by [`World::run`].
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+/// Serializable: derives the serde markers and implements the
+/// workspace's real JSON path ([`cpx_obs::ToJson`] in
+/// [`crate::serialize`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct TimeReport {
     /// Final virtual clock (the rank's elapsed virtual time).
     pub elapsed: f64,
@@ -119,6 +124,7 @@ pub struct TimeReport {
 }
 
 /// How one rank's execution ended under [`World::run_with_plan`].
+#[derive(Serialize)]
 pub enum RankOutcome<T> {
     /// The rank program ran to completion.
     Completed(T),
@@ -212,6 +218,9 @@ pub struct RankCtx {
     /// Per-destination send-attempt counters feeding the fault plan's
     /// decision function (sender-local, hence scheduling-independent).
     send_seq: HashMap<usize, u64>,
+    /// Virtual-time span/counter recorder (no-op unless the world was
+    /// started through a `*_traced` entry point).
+    obs: RankRecorder,
     pub(crate) registry: Arc<Registry>,
 }
 
@@ -256,6 +265,33 @@ impl RankCtx {
     #[inline]
     pub fn fault_plan(&self) -> &FaultPlan {
         &self.plan
+    }
+
+    /// Open an observability span at the current virtual time. No-op
+    /// unless the world was started through a `*_traced` entry point.
+    #[inline]
+    pub fn obs_begin(&mut self, name: impl Into<SpanName>) {
+        let t = self.clock;
+        self.obs.begin(name, t);
+    }
+
+    /// Close the innermost observability span at the current virtual time.
+    #[inline]
+    pub fn obs_end(&mut self) {
+        let t = self.clock;
+        self.obs.end(t);
+    }
+
+    /// Bump an observability counter.
+    #[inline]
+    pub fn obs_count(&mut self, name: &str, n: u64) {
+        self.obs.count(name, n);
+    }
+
+    /// Is span recording live on this rank?
+    #[inline]
+    pub fn obs_on(&self) -> bool {
+        self.obs.is_on()
     }
 
     /// If this rank's scheduled crash time has been reached, clamp the
@@ -349,6 +385,18 @@ impl RankCtx {
             });
         }
         self.check_crash();
+        self.obs_begin("recv");
+        let r = self.recv_timeout_inner(src, tag, timeout);
+        self.obs_end();
+        r
+    }
+
+    fn recv_timeout_inner(
+        &mut self,
+        src: usize,
+        tag: u64,
+        timeout: f64,
+    ) -> Result<Payload, CommError> {
         let deadline = self.clock + timeout;
         let wall_start = Instant::now();
         loop {
@@ -434,6 +482,7 @@ impl RankCtx {
             });
         }
         self.check_crash();
+        self.obs_begin("send");
         let seq = {
             let c = self.send_seq.entry(dst).or_insert(0);
             let s = *c;
@@ -449,6 +498,8 @@ impl RankCtx {
         self.comm_time += self.machine.send_overhead;
         if event.dropped {
             self.dropped_msgs += 1;
+            self.obs_count("dropped_msgs", 1);
+            self.obs_end();
             self.check_crash();
             return Err(CommError::Dropped {
                 dst,
@@ -496,6 +547,7 @@ impl RankCtx {
         let _ = self.senders[dst].send(pkt);
         self.messages_sent += 1;
         self.bytes_sent += bytes as u64;
+        self.obs_end();
         self.check_crash();
         Ok(())
     }
@@ -525,10 +577,13 @@ impl RankCtx {
     pub(crate) fn charge_backoff(&mut self, attempt: u64) {
         let base = self.machine.send_overhead.max(self.machine.intra_latency);
         let dt = base * (1u64 << attempt.min(10)) as f64;
+        self.obs_begin("retry backoff");
         self.clock += dt;
         self.comm_time += dt;
         self.recovery_time += dt;
         self.retries += 1;
+        self.obs_count("retries", 1);
+        self.obs_end();
         self.check_crash();
     }
 
@@ -572,6 +627,13 @@ impl RankCtx {
             });
         }
         self.check_crash();
+        self.obs_begin("recv");
+        let r = self.recv_checked_inner(src, tag);
+        self.obs_end();
+        r
+    }
+
+    fn recv_checked_inner(&mut self, src: usize, tag: u64) -> Result<Payload, CommError> {
         if let Some(pos) = self.match_pending(src, tag) {
             let pkt = self.pending.remove(pos).expect("position valid");
             return self.admit_checked(pkt);
@@ -659,9 +721,11 @@ impl RankCtx {
                 at: info[1],
             });
         }
+        self.obs_count("crc_checks", 1);
         let crc_got = payload.crc64();
         if crc_got != crc_sent {
             self.corrupted_msgs += 1;
+            self.obs_count("crc_failures", 1);
             return Err(CommError::Corrupted {
                 src,
                 tag,
@@ -773,6 +837,60 @@ impl World {
         T: Send + 'static,
         F: Fn(&mut RankCtx) -> T + Send + Sync + 'static,
     {
+        self.run_with_plan_inner(n, plan, false, f).0
+    }
+
+    /// [`World::run`] with span recording on: also returns the
+    /// [`TraceSession`] of virtual-time spans and counters (one lane per
+    /// rank). Deterministic: same program + seed ⇒ identical session.
+    pub fn run_traced<T, F>(&self, n: usize, f: F) -> (Vec<(T, TimeReport)>, TraceSession)
+    where
+        T: Send + 'static,
+        F: Fn(&mut RankCtx) -> T + Send + Sync + 'static,
+    {
+        let (runs, session) = self.run_with_plan_inner(n, FaultPlan::default(), true, f);
+        let results = runs
+            .into_iter()
+            .enumerate()
+            .map(|(rank, run)| match run.outcome {
+                RankOutcome::Completed(t) => (t, run.report),
+                RankOutcome::Panicked(payload) => panic::resume_unwind(payload),
+                RankOutcome::Failed(e) => panic!("rank {rank} failed: {e}"),
+                RankOutcome::Crashed { at } => {
+                    panic!("rank {rank} crashed at t={at:.6}s (fault plan)")
+                }
+            })
+            .collect();
+        (results, session)
+    }
+
+    /// [`World::run_with_plan`] with span recording on. Crashed and
+    /// aborted ranks keep their partial timeline (spans open at death
+    /// are closed at the death clock).
+    pub fn run_with_plan_traced<T, F>(
+        &self,
+        n: usize,
+        plan: FaultPlan,
+        f: F,
+    ) -> (Vec<RankRun<T>>, TraceSession)
+    where
+        T: Send + 'static,
+        F: Fn(&mut RankCtx) -> T + Send + Sync + 'static,
+    {
+        self.run_with_plan_inner(n, plan, true, f)
+    }
+
+    fn run_with_plan_inner<T, F>(
+        &self,
+        n: usize,
+        plan: FaultPlan,
+        traced: bool,
+        f: F,
+    ) -> (Vec<RankRun<T>>, TraceSession)
+    where
+        T: Send + 'static,
+        F: Fn(&mut RankCtx) -> T + Send + Sync + 'static,
+    {
         assert!(n >= 1, "world needs at least one rank");
         if !plan.is_trivial() {
             install_quiet_fault_hook();
@@ -797,6 +915,11 @@ impl World {
                 .stack_size(8 << 20)
                 .spawn(move || {
                     let crash_at = plan.crash_time(rank);
+                    let obs = if traced {
+                        RankRecorder::on()
+                    } else {
+                        RankRecorder::off()
+                    };
                     let mut ctx = RankCtx {
                         rank,
                         size: n,
@@ -817,6 +940,7 @@ impl World {
                         dead: Arc::clone(&dead),
                         crash_at,
                         send_seq: HashMap::new(),
+                        obs,
                         registry,
                     };
                     let result = panic::catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
@@ -839,16 +963,20 @@ impl World {
                             },
                         },
                     };
-                    RankRun {
-                        outcome,
-                        report: ctx.report(),
-                    }
+                    let timeline = std::mem::take(&mut ctx.obs).into_timeline(rank, ctx.clock);
+                    (
+                        RankRun {
+                            outcome,
+                            report: ctx.report(),
+                        },
+                        timeline,
+                    )
                 })
                 .expect("spawn rank thread");
             handles.push(handle);
         }
 
-        handles
+        let (runs, lanes): (Vec<_>, Vec<_>) = handles
             .into_iter()
             .map(|h| match h.join() {
                 Ok(res) => res,
@@ -856,7 +984,8 @@ impl World {
                 // mean the harness itself is broken.
                 Err(e) => panic::resume_unwind(e),
             })
-            .collect()
+            .unzip();
+        (runs, TraceSession::new(lanes))
     }
 }
 

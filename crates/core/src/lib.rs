@@ -34,6 +34,7 @@
 pub mod functional;
 pub mod instance;
 pub mod model;
+pub mod profile;
 pub mod report;
 pub mod sdc;
 pub mod sim;
@@ -43,6 +44,7 @@ pub mod testcases;
 pub mod prelude {
     pub use crate::instance::{AppInstance, AppKind, CuSpec, FaultScenario, Scenario, StcVariant};
     pub use crate::model::{self, ScenarioModels};
+    pub use crate::profile::{PhaseProfile, PhaseRow};
     pub use crate::report::markdown_report;
     pub use crate::sdc::{SdcInjection, SdcPolicy, SdcSite};
     pub use crate::sim::{self, CoupledRun};
@@ -53,5 +55,6 @@ pub mod prelude {
 
 pub use instance::{AppInstance, AppKind, CuSpec, FaultScenario, Scenario, StcVariant};
 pub use model::ScenarioModels;
+pub use profile::{PhaseProfile, PhaseRow};
 pub use sdc::{SdcInjection, SdcPolicy, SdcSite};
-pub use sim::CoupledRun;
+pub use sim::{coupled_phase_names, trace_coupled, CoupledRun};

@@ -8,107 +8,210 @@
 use cpx_perfmodel::Allocation;
 
 use crate::instance::Scenario;
+use crate::profile::PhaseProfile;
 use crate::sim::CoupledRun;
+
+/// Incremental markdown report builder.
+///
+/// A report is a `#` title followed by blocks — preamble bullets, `##`
+/// sections, tables — separated by single blank lines. Lines appended
+/// with [`Report::line`] (and the bullet/table helpers built on it) are
+/// `\n`-terminated; [`Report::finish`] joins the blocks, so inter-section
+/// spacing is uniform no matter which optional sections a given study
+/// includes.
+#[derive(Debug, Default)]
+pub struct Report {
+    blocks: Vec<String>,
+}
+
+impl Report {
+    /// New report titled `# {title}`, with an open untitled block ready
+    /// for preamble lines.
+    pub fn titled(title: impl std::fmt::Display) -> Report {
+        Report {
+            blocks: vec![format!("# {title}\n"), String::new()],
+        }
+    }
+
+    fn current(&mut self) -> &mut String {
+        if self.blocks.is_empty() {
+            self.blocks.push(String::new());
+        }
+        self.blocks.last_mut().expect("just ensured non-empty")
+    }
+
+    /// Start a `## {title}` section; subsequent lines land inside it.
+    pub fn section(&mut self, title: &str) -> &mut Report {
+        self.blocks.push(format!("## {title}\n\n"));
+        self
+    }
+
+    /// Append one `\n`-terminated line to the current block.
+    pub fn line(&mut self, text: impl AsRef<str>) -> &mut Report {
+        let block = self.current();
+        block.push_str(text.as_ref());
+        block.push('\n');
+        self
+    }
+
+    /// Append a `- ` bullet line.
+    pub fn bullet(&mut self, text: impl AsRef<str>) -> &mut Report {
+        self.line(format!("- {}", text.as_ref()))
+    }
+
+    /// Append a table header: the column row plus its `|---|` rule.
+    pub fn table_header(&mut self, cols: &[&str]) -> &mut Report {
+        self.line(format!("| {} |", cols.join(" | ")));
+        self.line(format!("|{}|", vec!["---"; cols.len()].join("|")))
+    }
+
+    /// Append one table row.
+    pub fn table_row(&mut self, cells: &[String]) -> &mut Report {
+        self.line(format!("| {} |", cells.join(" | ")))
+    }
+
+    /// Append a pre-rendered block (its own heading included); must end
+    /// with a newline.
+    pub fn block(&mut self, text: impl Into<String>) -> &mut Report {
+        self.blocks.push(text.into());
+        self
+    }
+
+    /// Render the report, separating blocks with blank lines.
+    pub fn finish(self) -> String {
+        let blocks: Vec<&str> = self
+            .blocks
+            .iter()
+            .map(String::as_str)
+            .filter(|b| !b.is_empty())
+            .collect();
+        blocks.join("\n")
+    }
+}
 
 /// Render a full study report.
 pub fn markdown_report(scenario: &Scenario, alloc: &Allocation, run: &CoupledRun) -> String {
-    let mut out = String::new();
-    out.push_str(&format!("# Coupled study: {}\n\n", scenario.name));
-    out.push_str(&format!(
-        "- effective size: **{:.2} Bn cells** across {} instances, {} coupler units\n",
+    markdown_report_with(scenario, alloc, run, None)
+}
+
+/// Render a full study report, optionally with a Fig-5-style phase
+/// profile section appended.
+pub fn markdown_report_with(
+    scenario: &Scenario,
+    alloc: &Allocation,
+    run: &CoupledRun,
+    profile: Option<&PhaseProfile>,
+) -> String {
+    let mut r = Report::titled(format!("Coupled study: {}", scenario.name));
+    r.bullet(format!(
+        "effective size: **{:.2} Bn cells** across {} instances, {} coupler units",
         scenario.total_cells() / 1e9,
         scenario.apps.len(),
         scenario.cus.len()
     ));
-    out.push_str(&format!(
-        "- window: **{} density iterations** ({} sampled on the testbed)\n",
+    r.bullet(format!(
+        "window: **{} density iterations** ({} sampled on the testbed)",
         scenario.density_iters, run.sample_iters
     ));
-    out.push_str(&format!(
-        "- world: **{} ranks** allocated ({} to coupler units)\n\n",
+    r.bullet(format!(
+        "world: **{} ranks** allocated ({} to coupler units)",
         alloc.total_ranks(),
         alloc.cu_ranks.iter().sum::<usize>()
     ));
 
-    out.push_str("## Instances\n\n");
-    out.push_str("| # | instance | cells | ranks | predicted (s) | measured (s) | error |\n");
-    out.push_str("|---|---|---|---|---|---|---|\n");
+    r.section("Instances");
+    r.table_header(&[
+        "#",
+        "instance",
+        "cells",
+        "ranks",
+        "predicted (s)",
+        "measured (s)",
+        "error",
+    ]);
     for (i, app) in scenario.apps.iter().enumerate() {
         let predicted = alloc.app_times[i];
         let measured = run.app_runtimes[i];
         let err = (predicted - measured).abs() / measured.max(f64::MIN_POSITIVE);
-        out.push_str(&format!(
-            "| {} | {} | {:.0}M | {} | {:.1} | {:.1} | {:.1}% |\n",
-            i + 1,
-            app.name,
-            app.cells / 1e6,
-            alloc.app_ranks[i],
-            predicted,
-            measured,
-            err * 100.0
-        ));
+        r.table_row(&[
+            format!("{}", i + 1),
+            app.name.clone(),
+            format!("{:.0}M", app.cells / 1e6),
+            format!("{}", alloc.app_ranks[i]),
+            format!("{predicted:.1}"),
+            format!("{measured:.1}"),
+            format!("{:.1}%", err * 100.0),
+        ]);
     }
 
-    out.push_str("\n## Coupler units\n\n");
-    out.push_str("| unit | ranks | predicted (s) |\n|---|---|---|\n");
+    r.section("Coupler units");
+    r.table_header(&["unit", "ranks", "predicted (s)"]);
     for (i, cu) in scenario.cus.iter().enumerate() {
-        out.push_str(&format!(
-            "| {} | {} | {:.2} |\n",
-            cu.name, alloc.cu_ranks[i], alloc.cu_times[i]
-        ));
+        r.table_row(&[
+            cu.name.clone(),
+            format!("{}", alloc.cu_ranks[i]),
+            format!("{:.2}", alloc.cu_times[i]),
+        ]);
     }
 
     let predicted_total = alloc.predicted_runtime();
     let err =
         (predicted_total - run.total_runtime).abs() / run.total_runtime.max(f64::MIN_POSITIVE);
-    out.push_str(&format!(
-        "\n## Totals\n\n- predicted runtime: **{predicted_total:.1} s**\n\
-         - measured runtime: **{:.1} s** (error {:.1}%)\n\
-         - coupling overhead: **{:.2}%**\n\
-         - bottleneck: **{}**\n",
+    r.section("Totals");
+    r.bullet(format!("predicted runtime: **{predicted_total:.1} s**"));
+    r.bullet(format!(
+        "measured runtime: **{:.1} s** (error {:.1}%)",
         run.total_runtime,
-        err * 100.0,
-        run.coupling_overhead * 100.0,
+        err * 100.0
+    ));
+    r.bullet(format!(
+        "coupling overhead: **{:.2}%**",
+        run.coupling_overhead * 100.0
+    ));
+    r.bullet(format!(
+        "bottleneck: **{}**",
         scenario.apps[alloc.bottleneck_app()].name
     ));
 
     if run.faults_survived > 0 {
-        out.push_str(&format!(
-            "\n## Resilience\n\n- faults survived: **{}**\n\
-             - recovery overhead: **{:.1} s** ({:.1}% of runtime)\n\
-             - checkpoint cost: **{:.1} s**\n\
-             - stale CU exchanges: **{}**\n",
-            run.faults_survived,
+        r.section("Resilience");
+        r.bullet(format!("faults survived: **{}**", run.faults_survived));
+        r.bullet(format!(
+            "recovery overhead: **{:.1} s** ({:.1}% of runtime)",
             run.recovery_overhead,
-            run.recovery_overhead / run.total_runtime.max(f64::MIN_POSITIVE) * 100.0,
-            run.checkpoint_cost,
-            run.stale_exchanges
+            run.recovery_overhead / run.total_runtime.max(f64::MIN_POSITIVE) * 100.0
         ));
+        r.bullet(format!("checkpoint cost: **{:.1} s**", run.checkpoint_cost));
+        r.bullet(format!("stale CU exchanges: **{}**", run.stale_exchanges));
         if let Some(fault) = &scenario.fault {
             if fault.crash_time.is_finite() {
-                out.push_str(&format!(
-                    "- injected: rank crash in **{}** at t={:.1} s, checkpoints every {} iterations\n",
-                    scenario.apps[fault.crash_app].name, fault.crash_time, fault.checkpoint_interval
+                r.bullet(format!(
+                    "injected: rank crash in **{}** at t={:.1} s, checkpoints every {} iterations",
+                    scenario.apps[fault.crash_app].name,
+                    fault.crash_time,
+                    fault.checkpoint_interval
                 ));
             }
         }
     }
 
     if run.sdc_detected > 0 || run.abft_overhead > 0.0 {
-        out.push_str(&format!(
-            "\n## Silent data corruption\n\n- corruptions detected: **{}** (recovered: {})\n\
-             - ABFT/invariant detector overhead: **{:.1} s** ({:.2}% of runtime)\n",
-            run.sdc_detected,
-            run.sdc_recovered,
+        r.section("Silent data corruption");
+        r.bullet(format!(
+            "corruptions detected: **{}** (recovered: {})",
+            run.sdc_detected, run.sdc_recovered
+        ));
+        r.bullet(format!(
+            "ABFT/invariant detector overhead: **{:.1} s** ({:.2}% of runtime)",
             run.abft_overhead,
-            run.abft_overhead / run.total_runtime.max(f64::MIN_POSITIVE) * 100.0,
+            run.abft_overhead / run.total_runtime.max(f64::MIN_POSITIVE) * 100.0
         ));
         if let Some(fault) = &scenario.fault {
-            out.push_str(&format!("- recovery policy: **{}**\n", fault.sdc_policy));
+            r.bullet(format!("recovery policy: **{}**", fault.sdc_policy));
             for ev in &fault.sdc_events {
                 if ev.iter < scenario.density_iters {
-                    out.push_str(&format!(
-                        "- injected: {} corruption at iteration {} (caught by {})\n",
+                    r.bullet(format!(
+                        "injected: {} corruption at iteration {} (caught by {})",
                         ev.site,
                         ev.iter,
                         ev.site.detector()
@@ -117,7 +220,11 @@ pub fn markdown_report(scenario: &Scenario, alloc: &Allocation, run: &CoupledRun
             }
         }
     }
-    out
+
+    if let Some(profile) = profile {
+        r.block(profile.to_markdown());
+    }
+    r.finish()
 }
 
 #[cfg(test)]
@@ -200,5 +307,42 @@ mod tests {
         assert!(md.contains("ABFT checksum"));
         assert!(md.contains("physics invariant guard"));
         assert!(md.contains("detector overhead"));
+    }
+
+    #[test]
+    fn builder_renders_sections_with_uniform_spacing() {
+        let mut r = Report::titled("Study");
+        r.bullet("one");
+        r.section("Table");
+        r.table_header(&["a", "b"]);
+        r.table_row(&["1".into(), "2".into()]);
+        r.section("Notes");
+        r.bullet("fine");
+        let md = r.finish();
+        assert_eq!(
+            md,
+            "# Study\n\n- one\n\n## Table\n\n| a | b |\n|---|---|\n| 1 | 2 |\n\n## Notes\n\n- fine\n"
+        );
+    }
+
+    #[test]
+    fn report_with_profile_appends_phase_table() {
+        use cpx_machine::des::PhaseBreakdown;
+
+        let scenario = testcases::small_150m_28m(StcVariant::Base);
+        let machine = Machine::archer2();
+        let models = build_models_with_grid(&scenario, &machine, 20.0, &[100, 400, 1600]);
+        let alloc = allocate_scenario(&models, 1200);
+        let run = run_coupled(&scenario, &alloc, &machine, 20);
+        let breakdown = PhaseBreakdown {
+            compute: vec![vec![3.0], vec![1.0]],
+            comm: vec![vec![0.0], vec![1.0]],
+        };
+        let profile = PhaseProfile::from_breakdown("Demo profile", &["a", "b"], &breakdown);
+        let plain = markdown_report(&scenario, &alloc, &run);
+        let with = markdown_report_with(&scenario, &alloc, &run, Some(&profile));
+        assert!(with.starts_with(&plain));
+        assert!(with.contains("## Demo profile"));
+        assert!(with.contains("| **total** |"));
     }
 }

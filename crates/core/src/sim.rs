@@ -20,16 +20,19 @@
 //!   pattern against sampled surface ranks of both solver sides.
 
 use cpx_coupler::layout::MpmdLayout;
-use cpx_coupler::trace::{CouplerKind, CouplerTraceModel};
-use cpx_machine::{CollectiveKind, Machine, Op, Replayer, TraceProgram};
+use cpx_coupler::trace::{CouplerKind, CouplerTraceModel, ExchangePhases};
+use cpx_machine::{CollectiveKind, Machine, Op, PhaseId, ReplayOutcome, Replayer, TraceProgram};
 use cpx_mgcfd::MgCfdTraceModel;
+use cpx_obs::json::{field, FromJson, Json, JsonError, ToJson};
+use cpx_obs::TraceSession;
 use cpx_perfmodel::Allocation;
 use cpx_simpic::SimpicTraceModel;
+use serde::{Deserialize, Serialize};
 
 use crate::instance::{AppKind, Scenario};
 
 /// Result of a coupled virtual run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CoupledRun {
     /// Per-instance runtime over the *full* scenario window (scaled
     /// from the sampled iterations), in scenario app order.
@@ -67,6 +70,47 @@ pub struct CoupledRun {
     pub abft_overhead: f64,
 }
 
+impl ToJson for CoupledRun {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("app_runtimes", self.app_runtimes.to_json()),
+            ("total_runtime", Json::Num(self.total_runtime)),
+            ("coupling_overhead", Json::Num(self.coupling_overhead)),
+            ("sample_iters", Json::Num(self.sample_iters as f64)),
+            ("world_size", Json::Num(self.world_size as f64)),
+            (
+                "faults_survived",
+                Json::Num(f64::from(self.faults_survived)),
+            ),
+            ("recovery_overhead", Json::Num(self.recovery_overhead)),
+            ("checkpoint_cost", Json::Num(self.checkpoint_cost)),
+            ("stale_exchanges", Json::Num(self.stale_exchanges as f64)),
+            ("sdc_detected", Json::Num(f64::from(self.sdc_detected))),
+            ("sdc_recovered", Json::Num(f64::from(self.sdc_recovered))),
+            ("abft_overhead", Json::Num(self.abft_overhead)),
+        ])
+    }
+}
+
+impl FromJson for CoupledRun {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(CoupledRun {
+            app_runtimes: field(v, "app_runtimes")?,
+            total_runtime: field(v, "total_runtime")?,
+            coupling_overhead: field(v, "coupling_overhead")?,
+            sample_iters: field(v, "sample_iters")?,
+            world_size: field(v, "world_size")?,
+            faults_survived: field::<u64>(v, "faults_survived")? as u32,
+            recovery_overhead: field(v, "recovery_overhead")?,
+            checkpoint_cost: field(v, "checkpoint_cost")?,
+            stale_exchanges: field(v, "stale_exchanges")?,
+            sdc_detected: field::<u64>(v, "sdc_detected")? as u32,
+            sdc_recovered: field::<u64>(v, "sdc_recovered")? as u32,
+            abft_overhead: field(v, "abft_overhead")?,
+        })
+    }
+}
+
 /// Evenly-spaced sample of an instance's ranks acting as its interface
 /// surface ranks for a CU of `cu_p` ranks. Deduplicated (preserving
 /// order): a rank that would be sampled twice — possible when the
@@ -82,14 +126,35 @@ fn surface_sample(ranks: &[usize], cu_p: usize) -> Vec<usize> {
         .collect()
 }
 
+/// Phase-name table of the phased coupled program: index 0 is the
+/// untracked default, then one phase per app instance, then four per
+/// coupler unit (gather / search / interpolate / scatter), matching the
+/// ids [`build_program`] assigns when `phased` is set.
+pub fn coupled_phase_names(scenario: &Scenario) -> Vec<String> {
+    let mut names = vec!["(untracked)".to_string()];
+    for app in &scenario.apps {
+        names.push(app.name.clone());
+    }
+    for cu in &scenario.cus {
+        for stage in ["gather", "search", "interpolate", "scatter"] {
+            names.push(format!("{}: {stage}", cu.name));
+        }
+    }
+    names
+}
+
 /// Build the coupled program for `sample_iters` density iterations.
-/// Returns the program, the layout, and the per-app group ids.
+/// Returns the program, the layout, and the per-app group ids. With
+/// `phased`, every op is labelled with the phase ids of
+/// [`coupled_phase_names`] (free markers; the op stream is otherwise
+/// identical).
 fn build_program(
     scenario: &Scenario,
     alloc: &Allocation,
     machine: &Machine,
     sample_iters: u64,
     include_cus: bool,
+    phased: bool,
 ) -> (TraceProgram, MpmdLayout) {
     assert_eq!(alloc.app_ranks.len(), scenario.apps.len());
     assert_eq!(alloc.cu_ranks.len(), scenario.cus.len());
@@ -128,7 +193,19 @@ fn build_program(
                 AppKind::MgCfd(cfg) => {
                     let model = MgCfdTraceModel::new(cfg.clone());
                     let bodies = (0..p)
-                        .map(|i| model.step_body(i, p, &ranks, app_groups[ai]))
+                        .map(|i| {
+                            if phased {
+                                model.step_body_phased(
+                                    i,
+                                    p,
+                                    &ranks,
+                                    app_groups[ai],
+                                    (1 + ai) as PhaseId,
+                                )
+                            } else {
+                                model.step_body(i, p, &ranks, app_groups[ai])
+                            }
+                        })
                         .collect();
                     Block::Structural(bodies)
                 }
@@ -163,6 +240,9 @@ fn build_program(
                 }
                 Block::Aggregate(secs) => {
                     for &r in &ranks {
+                        if phased {
+                            program.rank(r).phase((1 + ai) as PhaseId);
+                        }
                         program.rank(r).compute_secs(*secs);
                         program
                             .rank(r)
@@ -187,16 +267,37 @@ fn build_program(
                 // the previous exchange's data, so its receives are
                 // deferred rather than synchronously awaited.
                 let defer = matches!(cu.kind, CouplerKind::Steady { .. });
-                model.emit_exchange_deferred(
-                    &mut program,
-                    &cu_ranks,
-                    &a_surface,
-                    &b_surface,
-                    machine,
-                    first,
-                    (1000 + ci * 4) as u32,
-                    if defer { Some(&mut deferred) } else { None },
-                );
+                let defer_buf = if defer { Some(&mut deferred) } else { None };
+                if phased {
+                    let base = (1 + scenario.apps.len() + 4 * ci) as PhaseId;
+                    model.emit_exchange_phased(
+                        &mut program,
+                        &cu_ranks,
+                        &a_surface,
+                        &b_surface,
+                        machine,
+                        first,
+                        (1000 + ci * 4) as u32,
+                        defer_buf,
+                        ExchangePhases {
+                            gather: base,
+                            search: base + 1,
+                            interpolate: base + 2,
+                            scatter: base + 3,
+                        },
+                    );
+                } else {
+                    model.emit_exchange_deferred(
+                        &mut program,
+                        &cu_ranks,
+                        &a_surface,
+                        &b_surface,
+                        machine,
+                        first,
+                        (1000 + ci * 4) as u32,
+                        defer_buf,
+                    );
+                }
             }
         }
     }
@@ -234,7 +335,7 @@ pub fn run_coupled_with(
     noise: Option<(f64, u64)>,
 ) -> CoupledRun {
     assert!(sample_iters >= 1);
-    let (program, layout) = build_program(scenario, alloc, machine, sample_iters, true);
+    let (program, layout) = build_program(scenario, alloc, machine, sample_iters, true, false);
     let mut replayer = Replayer::new(machine.clone());
     if let Some((amp, seed)) = noise {
         replayer = replayer.with_noise(amp, seed);
@@ -250,7 +351,7 @@ pub fn run_coupled_with(
     let total_runtime = out.makespan() * scale;
 
     // Coupling overhead: rerun without CU exchanges.
-    let (bare, _) = build_program(scenario, alloc, machine, sample_iters, false);
+    let (bare, _) = build_program(scenario, alloc, machine, sample_iters, false, false);
     let bare_out = replayer.run(&bare).expect("bare program replays");
     let bare_total = bare_out.makespan() * scale;
     let coupling_overhead = ((total_runtime - bare_total) / total_runtime).max(0.0);
@@ -269,6 +370,32 @@ pub fn run_coupled_with(
         sdc_recovered: 0,
         abft_overhead: 0.0,
     }
+}
+
+/// Replay the coupled program with full observability: every op is
+/// labelled with the phase ids of [`coupled_phase_names`], the replay
+/// tracks the per-phase compute/comm breakdown, and each rank's
+/// phase-segment timeline is recorded as a [`TraceSession`] for the
+/// Chrome-trace / flamegraph exporters. Phase markers are free in the
+/// replayer, so timings are identical to [`run_coupled`]'s program.
+///
+/// Returns `(phase_names, outcome, session)`; `outcome.phases` is
+/// always populated.
+pub fn trace_coupled(
+    scenario: &Scenario,
+    alloc: &Allocation,
+    machine: &Machine,
+    sample_iters: u64,
+) -> (Vec<String>, ReplayOutcome, TraceSession) {
+    assert!(sample_iters >= 1);
+    let names = coupled_phase_names(scenario);
+    let (program, _) = build_program(scenario, alloc, machine, sample_iters, true, true);
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let (out, session) = Replayer::new(machine.clone())
+        .track_phases(names.len())
+        .run_traced(&program, &name_refs)
+        .expect("phased coupled program replays");
+    (names, out, session)
 }
 
 /// Coordinated-checkpoint cost: every solver rank drains its state (the
@@ -414,7 +541,7 @@ pub fn run_coupled_resilient(
         // dead rank's share over one fewer rank.
         let mut shrunk = alloc.clone();
         shrunk.app_ranks[fault.crash_app] -= 1;
-        let (program, _) = build_program(scenario, &shrunk, machine, sample_iters, true);
+        let (program, _) = build_program(scenario, &shrunk, machine, sample_iters, true, false);
         let degraded = Replayer::new(machine.clone())
             .run(&program)
             .expect("shrunk program replays");
@@ -598,6 +725,52 @@ mod tests {
             run.app_runtimes[bottleneck],
             standalone[bottleneck]
         );
+    }
+
+    #[test]
+    fn traced_coupled_run_matches_plain_and_attributes_phases() {
+        let (scenario, alloc) = small_alloc(2000);
+        let m = machine();
+        let plain = run_coupled(&scenario, &alloc, &m, 20);
+        let (names, out, session) = trace_coupled(&scenario, &alloc, &m, 20);
+        // Phase markers are free: identical coupled timing.
+        let scale = scenario.density_iters as f64 / 20.0;
+        assert_eq!(out.makespan() * scale, plain.total_runtime);
+        assert_eq!(
+            names.len(),
+            1 + scenario.apps.len() + 4 * scenario.cus.len()
+        );
+        let phases = out.phases.as_ref().expect("tracked");
+        // Every app and every CU stage carries time (steady CUs search
+        // only on the first exchange, but sample 20 covers it).
+        for (id, name) in names.iter().enumerate().skip(1) {
+            let t = phases.total_compute(id) + phases.total_comm(id);
+            assert!(t > 0.0, "phase '{name}' (id {id}) carries no time");
+        }
+        // The traced timeline covers the whole world.
+        assert_eq!(session.lanes.len(), plain.world_size);
+        assert!(session.total_spans() > 0);
+    }
+
+    #[test]
+    fn coupled_run_round_trips_through_json() {
+        let run = CoupledRun {
+            app_runtimes: vec![10.5, 22.0, 7.25],
+            total_runtime: 25.0,
+            coupling_overhead: 0.004,
+            sample_iters: 20,
+            world_size: 2000,
+            faults_survived: 3,
+            recovery_overhead: 1.5,
+            checkpoint_cost: 0.5,
+            stale_exchanges: 2,
+            sdc_detected: 2,
+            sdc_recovered: 1,
+            abft_overhead: 0.75,
+        };
+        let text = run.to_json().write();
+        let back = CoupledRun::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, run);
     }
 
     #[test]

@@ -8,7 +8,24 @@
 //! the earlier work; the tree-based search with next-iteration
 //! prefetching brought coupling below 0.5% of runtime (§V-B).
 
-use cpx_machine::{KernelCost, Machine, Op, Replayer, TraceProgram};
+use cpx_machine::{KernelCost, Machine, Op, PhaseId, Replayer, TraceProgram};
+
+/// Phase ids labelling the four stages of a CU exchange when the
+/// replay is traced ([`cpx_machine::Replayer::run_traced`] /
+/// `track_phases`). The caller picks the ids; ranks left in one of
+/// these phases should be switched back to their own phase id after
+/// the exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExchangePhases {
+    /// Donor-side pack/send and CU-side receive.
+    pub gather: PhaseId,
+    /// Donor search / remap on the CU ranks.
+    pub search: PhaseId,
+    /// Interpolation on the CU ranks.
+    pub interpolate: PhaseId,
+    /// CU-side send and target-side receive/unpack.
+    pub scatter: PhaseId,
+}
 
 /// Donor-search algorithm (cost class).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -161,6 +178,64 @@ impl CouplerTraceModel {
         tag_base: u32,
         deferred_b: Option<&mut Vec<(usize, Vec<Op>)>>,
     ) {
+        self.emit_exchange_inner(
+            program,
+            cu_ranks,
+            a_surface,
+            b_surface,
+            machine,
+            first_exchange,
+            tag_base,
+            deferred_b,
+            None,
+        );
+    }
+
+    /// As [`CouplerTraceModel::emit_exchange_deferred`], labelling the
+    /// gather / search / interpolate / scatter stages with the supplied
+    /// [`ExchangePhases`] ids so a traced replay can attribute time to
+    /// each stage. The remap and interpolation computes are emitted as
+    /// two ops (instead of one combined op) so they land in separate
+    /// phases; the total charged work is unchanged.
+    #[allow(clippy::too_many_arguments)]
+    pub fn emit_exchange_phased(
+        &self,
+        program: &mut TraceProgram,
+        cu_ranks: &[usize],
+        a_surface: &[usize],
+        b_surface: &[usize],
+        machine: &Machine,
+        first_exchange: bool,
+        tag_base: u32,
+        deferred_b: Option<&mut Vec<(usize, Vec<Op>)>>,
+        phases: ExchangePhases,
+    ) {
+        self.emit_exchange_inner(
+            program,
+            cu_ranks,
+            a_surface,
+            b_surface,
+            machine,
+            first_exchange,
+            tag_base,
+            deferred_b,
+            Some(phases),
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit_exchange_inner(
+        &self,
+        program: &mut TraceProgram,
+        cu_ranks: &[usize],
+        a_surface: &[usize],
+        b_surface: &[usize],
+        machine: &Machine,
+        first_exchange: bool,
+        tag_base: u32,
+        deferred_b: Option<&mut Vec<(usize, Vec<Op>)>>,
+        phases: Option<ExchangePhases>,
+    ) {
         let cu_p = cu_ranks.len();
         assert!(cu_p >= 1 && !a_surface.is_empty() && !b_surface.is_empty());
         let bw = machine.mem_bw_per_core;
@@ -173,6 +248,9 @@ impl CouplerTraceModel {
         for (k, &ar) in a_surface.iter().enumerate() {
             let cu = cu_ranks[k % cu_p];
             let t = program.rank(ar);
+            if let Some(ph) = phases {
+                t.phase(ph.gather);
+            }
             t.compute(KernelCost::bytes(gather_share as f64 * 2.0));
             t.send(cu, gather_share, t_gather);
         }
@@ -191,12 +269,28 @@ impl CouplerTraceModel {
                 .map(|(_, &r)| r)
                 .collect();
             let t = program.rank(cu);
+            if let Some(ph) = phases {
+                t.phase(ph.gather);
+            }
             for &src in &my_senders {
                 t.recv(src, t_gather);
             }
-            let work =
-                self.remap_secs_per_rank(cu_p, first_exchange) + self.interp_secs_per_rank(cu_p);
-            t.compute(KernelCost::bytes(work * bw));
+            match phases {
+                Some(ph) => {
+                    t.phase(ph.search);
+                    t.compute(KernelCost::bytes(
+                        self.remap_secs_per_rank(cu_p, first_exchange) * bw,
+                    ));
+                    t.phase(ph.interpolate);
+                    t.compute(KernelCost::bytes(self.interp_secs_per_rank(cu_p) * bw));
+                    t.phase(ph.scatter);
+                }
+                None => {
+                    let work = self.remap_secs_per_rank(cu_p, first_exchange)
+                        + self.interp_secs_per_rank(cu_p);
+                    t.compute(KernelCost::bytes(work * bw));
+                }
+            }
             for &dst in &my_receivers {
                 t.send(dst, scatter_share, t_scatter);
             }
@@ -205,13 +299,15 @@ impl CouplerTraceModel {
         let mut deferred_b = deferred_b;
         for (k, &br) in b_surface.iter().enumerate() {
             let cu = cu_ranks[k % cu_p];
-            let ops = vec![
-                Op::Recv {
-                    src: cu,
-                    tag: t_scatter,
-                },
-                Op::Compute(KernelCost::bytes(scatter_share as f64 * 2.0)),
-            ];
+            let mut ops = Vec::with_capacity(3);
+            if let Some(ph) = phases {
+                ops.push(Op::Phase(ph.scatter));
+            }
+            ops.push(Op::Recv {
+                src: cu,
+                tag: t_scatter,
+            });
+            ops.push(Op::Compute(KernelCost::bytes(scatter_share as f64 * 2.0)));
             match deferred_b.as_deref_mut() {
                 Some(buf) => buf.push((br, ops)),
                 None => program.rank(br).ops.extend(ops),
@@ -329,6 +425,41 @@ mod tests {
         let out = Replayer::new(m).run(&program).unwrap();
         // 8 gathers + 8 scatters.
         assert_eq!(out.messages, 16);
+    }
+
+    #[test]
+    fn phased_exchange_attributes_all_four_stages() {
+        let m = Machine::archer2();
+        let model = sliding(SearchAlgo::Tree);
+        let mut plain = TraceProgram::new(20);
+        let mut phased = TraceProgram::new(20);
+        let cu: Vec<usize> = (0..4).collect();
+        let a: Vec<usize> = (4..12).collect();
+        let b: Vec<usize> = (12..20).collect();
+        model.emit_exchange(&mut plain, &cu, &a, &b, &m, true, 700);
+        let ph = ExchangePhases {
+            gather: 1,
+            search: 2,
+            interpolate: 3,
+            scatter: 4,
+        };
+        model.emit_exchange_phased(&mut phased, &cu, &a, &b, &m, true, 700, None, ph);
+        assert!(phased.validate().is_ok());
+        let t0 = Replayer::new(m.clone()).run(&plain).unwrap().makespan();
+        let out = Replayer::new(m).track_phases(5).run(&phased).unwrap();
+        // Phase markers are free; splitting the remap+interp compute
+        // can only move the makespan by float rounding.
+        let t1 = out.makespan();
+        assert!((t0 - t1).abs() <= 1e-12 * t0, "plain {t0} vs phased {t1}");
+        let breakdown = out.phases.unwrap();
+        for (id, name) in [
+            (1, "gather"),
+            (2, "search"),
+            (3, "interpolate"),
+            (4, "scatter"),
+        ] {
+            assert!(breakdown.elapsed(id) > 0.0, "{name} carries no time");
+        }
     }
 
     #[test]

@@ -20,6 +20,8 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use cpx_obs::{RankRecorder, TraceSession};
+
 use crate::collectives::collective_time;
 use crate::model::Machine;
 use crate::trace::{CollectiveKind, Op, PhaseId, TraceProgram};
@@ -156,6 +158,50 @@ enum Blocked {
     Collective { group: usize },
 }
 
+/// Per-rank phase-segment recorder for traced replays: every maximal
+/// run of virtual time a rank spends in one phase becomes a span on
+/// that rank's timeline.
+struct DesTracer {
+    names: Vec<String>,
+    recorders: Vec<RankRecorder>,
+    seg_start: Vec<f64>,
+}
+
+impl DesTracer {
+    fn new(n_ranks: usize, phase_names: &[&str]) -> Self {
+        DesTracer {
+            names: phase_names.iter().map(|s| s.to_string()).collect(),
+            recorders: (0..n_ranks).map(|_| RankRecorder::on()).collect(),
+            seg_start: vec![0.0; n_ranks],
+        }
+    }
+
+    /// Close the segment `rank` has occupied since the last phase
+    /// switch (no-op for zero-length segments).
+    fn close_segment(&mut self, rank: usize, phase: PhaseId, now: f64) {
+        let start = self.seg_start[rank];
+        if now > start {
+            let name = self
+                .names
+                .get(phase as usize)
+                .cloned()
+                .unwrap_or_else(|| format!("phase {phase}"));
+            self.recorders[rank].push_span(name, start, now);
+        }
+        self.seg_start[rank] = now;
+    }
+
+    fn into_session(self, finish: &[f64]) -> TraceSession {
+        TraceSession::new(
+            self.recorders
+                .into_iter()
+                .enumerate()
+                .map(|(rank, rec)| rec.into_timeline(rank, finish[rank]))
+                .collect(),
+        )
+    }
+}
+
 #[derive(Debug)]
 struct PendingColl {
     kind: CollectiveKind,
@@ -235,6 +281,30 @@ impl Replayer {
 
     /// Replay `program`, returning per-rank timings.
     pub fn run(&self, program: &TraceProgram) -> Result<ReplayOutcome, ReplayError> {
+        self.run_inner(program, None)
+    }
+
+    /// Replay `program` with span recording: alongside the outcome,
+    /// returns a [`TraceSession`] with one lane per rank where every
+    /// maximal single-phase stretch of virtual time is a span named
+    /// after its phase (`phase_names[id]`, falling back to `"phase
+    /// {id}"`). Deterministic: same program ⇒ byte-identical session.
+    pub fn run_traced(
+        &self,
+        program: &TraceProgram,
+        phase_names: &[&str],
+    ) -> Result<(ReplayOutcome, TraceSession), ReplayError> {
+        let mut tracer = DesTracer::new(program.n_ranks(), phase_names);
+        let out = self.run_inner(program, Some(&mut tracer))?;
+        let session = tracer.into_session(&out.finish);
+        Ok((out, session))
+    }
+
+    fn run_inner(
+        &self,
+        program: &TraceProgram,
+        mut tracer: Option<&mut DesTracer>,
+    ) -> Result<ReplayOutcome, ReplayError> {
         program.validate().map_err(ReplayError::Invalid)?;
         let n = program.n_ranks();
 
@@ -313,6 +383,9 @@ impl Replayer {
                 let op: &Op = loop {
                     if cur.pc >= ops.len() {
                         done[rank] = true;
+                        if let Some(t) = tracer.as_deref_mut() {
+                            t.close_segment(rank, phase[rank], clock[rank]);
+                        }
                         break 'run;
                     }
                     match &ops[cur.pc] {
@@ -376,7 +449,12 @@ impl Replayer {
                         advance!();
                     }
                     Op::Phase(p) => {
-                        phase[rank] = p;
+                        if p != phase[rank] {
+                            if let Some(t) = tracer.as_deref_mut() {
+                                t.close_segment(rank, phase[rank], clock[rank]);
+                            }
+                            phase[rank] = p;
+                        }
                         advance!();
                     }
                     Op::Send { dst, bytes, tag } => {
@@ -721,6 +799,41 @@ mod tests {
         assert!((ph.total_compute(0) - 2.0).abs() < 1e-12);
         assert!((ph.total_compute(1) - 4.0).abs() < 1e-12);
         assert!((ph.elapsed(1) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traced_replay_segments_phases() {
+        let mut p = TraceProgram::new(2);
+        for r in 0..2 {
+            p.rank(r).phase(0);
+            p.rank(r).compute(KernelCost::flops(1.0));
+            p.rank(r).phase(1);
+            p.rank(r).compute(KernelCost::flops(2.0));
+        }
+        let rep = Replayer::new(simple_machine());
+        let (out, session) = rep.run_traced(&p, &["alpha", "beta"]).unwrap();
+        assert_eq!(session.lanes.len(), 2);
+        for lane in &session.lanes {
+            assert_eq!(lane.spans.len(), 2);
+            assert_eq!(lane.spans[0].name, "alpha");
+            assert_eq!(lane.spans[1].name, "beta");
+            assert!(lane.spans.iter().all(|s| s.end >= s.start));
+        }
+        // Traced and untraced replays agree exactly.
+        let plain = rep.run(&p).unwrap();
+        assert_eq!(out.finish, plain.finish);
+        // And the session itself is deterministic.
+        let (_, again) = rep.run_traced(&p, &["alpha", "beta"]).unwrap();
+        assert_eq!(session, again);
+    }
+
+    #[test]
+    fn traced_replay_names_unknown_phases() {
+        let mut p = TraceProgram::new(1);
+        p.rank(0).phase(3);
+        p.rank(0).compute(KernelCost::flops(1.0));
+        let (_, session) = Replayer::new(simple_machine()).run_traced(&p, &[]).unwrap();
+        assert_eq!(session.lanes[0].spans[0].name, "phase 3");
     }
 
     #[test]

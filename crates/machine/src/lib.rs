@@ -41,4 +41,4 @@ pub use cost::KernelCost;
 pub use des::{ReplayError, ReplayOutcome, Replayer};
 pub use model::{Machine, MachineBuilder};
 pub use stats::TraceStats;
-pub use trace::{CollectiveKind, Op, RankTrace, TraceProgram};
+pub use trace::{CollectiveKind, Op, PhaseId, RankTrace, TraceProgram};

@@ -14,7 +14,7 @@
 //! paper's behaviour: high parallel efficiency (≈90%) out to ~10,000
 //! cores on production-size meshes.
 
-use cpx_machine::{CollectiveKind, KernelCost, Machine, Op, Replayer, TraceProgram};
+use cpx_machine::{CollectiveKind, KernelCost, Machine, Op, PhaseId, Replayer, TraceProgram};
 use cpx_mesh::SurfaceModel;
 
 use crate::config::MgCfdConfig;
@@ -119,6 +119,26 @@ impl MgCfdTraceModel {
             group,
             bytes: 8,
         });
+        body
+    }
+
+    /// As [`MgCfdTraceModel::step_body`], prefixed with an
+    /// `Op::Phase(phase)` marker so a traced replay attributes the
+    /// whole iteration to this instance — used by the coupled profiler,
+    /// where CU-exchange phases interleave into the same rank timeline
+    /// and each must hand the rank back to its owning app's phase.
+    /// Phase markers are free in the replayer, so timings are identical
+    /// to the unphased body.
+    pub fn step_body_phased(
+        &self,
+        i: usize,
+        p: usize,
+        ranks: &[usize],
+        group: usize,
+        phase: PhaseId,
+    ) -> Vec<Op> {
+        let mut body = vec![Op::Phase(phase)];
+        body.extend(self.step_body(i, p, ranks, group));
         body
     }
 
@@ -239,6 +259,34 @@ mod tests {
         assert!(program.validate().is_ok());
         let out = Replayer::new(Machine::archer2()).run(&program).unwrap();
         assert!(out.makespan() > 0.0);
+    }
+
+    #[test]
+    fn phased_body_costs_the_same_as_plain() {
+        let m = model(1.0e6);
+        let machine = Machine::archer2();
+        let ranks: Vec<usize> = (0..8).collect();
+        let build = |phased: bool| {
+            let mut program = TraceProgram::new(8);
+            let g = program.add_world_group();
+            for i in 0..8 {
+                let body = if phased {
+                    m.step_body_phased(i, 8, &ranks, g, 3)
+                } else {
+                    m.step_body(i, 8, &ranks, g)
+                };
+                program.rank(i).ops.push(Op::Repeat { count: 4, body });
+            }
+            Replayer::new(machine.clone())
+                .track_phases(4)
+                .run(&program)
+                .unwrap()
+        };
+        let plain = build(false);
+        let phased = build(true);
+        assert_eq!(plain.makespan(), phased.makespan());
+        let breakdown = phased.phases.unwrap();
+        assert!(breakdown.elapsed(3) > 0.0);
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Chrome trace-event JSON exporter.
+//!
+//! Emits the [trace-event format] consumed by Perfetto and
+//! `chrome://tracing`: one process, one thread (lane) per rank, a
+//! `thread_name` metadata record per lane, then a complete-duration
+//! (`"ph":"X"`) event per span. Timestamps are virtual microseconds
+//! formatted with fixed precision, so identical virtual times produce
+//! identical bytes — the export is a deterministic function of the
+//! trace session.
+//!
+//! [trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use std::fmt::Write as _;
+
+use crate::TraceSession;
+
+/// Render a session as Chrome trace-event JSON (`{"traceEvents":[...]}`).
+pub fn chrome_trace_json(session: &TraceSession) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    for lane in &session.lanes {
+        push_event(
+            &mut out,
+            &mut first,
+            &format!(
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"rank {}\"}}}}",
+                lane.rank, lane.rank
+            ),
+        );
+    }
+    for lane in &session.lanes {
+        let mut spans: Vec<_> = lane.spans.iter().collect();
+        // Sort for a stable, readable lane: by start, outermost first.
+        // Ties beyond the full key are byte-identical spans anyway.
+        spans.sort_by(|a, b| {
+            a.start
+                .total_cmp(&b.start)
+                .then(a.depth.cmp(&b.depth))
+                .then(b.end.total_cmp(&a.end))
+                .then(a.name.cmp(&b.name))
+        });
+        for span in spans {
+            let ev = format!(
+                "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"name\":{}}}",
+                lane.rank,
+                micros(span.start),
+                micros(span.duration()),
+                escape(&span.name)
+            );
+            push_event(&mut out, &mut first, &ev);
+        }
+        for (name, value) in &lane.counters {
+            let ev = format!(
+                "{{\"ph\":\"C\",\"pid\":1,\"tid\":{},\"ts\":{},\"name\":{},\
+                 \"args\":{{\"value\":{}}}}}",
+                lane.rank,
+                micros(lane.finish),
+                escape(name),
+                value
+            );
+            push_event(&mut out, &mut first, &ev);
+        }
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+fn push_event(out: &mut String, first: &mut bool, ev: &str) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+    out.push_str(ev);
+}
+
+/// Virtual seconds → microsecond timestamp text with fixed precision.
+fn micros(secs: f64) -> String {
+    let mut s = format!("{:.3}", secs * 1e6);
+    if s.ends_with(".000") {
+        s.truncate(s.len() - 4);
+    }
+    s
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{s:?}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RankRecorder, TraceSession};
+
+    fn sample() -> TraceSession {
+        let mut r0 = RankRecorder::on();
+        r0.begin("step", 0.0);
+        r0.begin("halo", 1e-6);
+        r0.end(3e-6);
+        r0.end(1e-5);
+        r0.count("messages", 2);
+        let mut r1 = RankRecorder::on();
+        r1.begin("step", 0.0);
+        r1.end(1.25e-5);
+        TraceSession::new(vec![
+            r0.into_timeline(0, 1e-5),
+            r1.into_timeline(1, 1.25e-5),
+        ])
+    }
+
+    #[test]
+    fn export_is_valid_json_with_lanes() {
+        let text = chrome_trace_json(&sample());
+        let v = crate::Json::parse(&text).expect("valid JSON");
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        // 2 metadata + 3 spans + 1 counter.
+        assert_eq!(events.len(), 6);
+        let meta = &events[0];
+        assert_eq!(meta.get("ph").unwrap().as_str().unwrap(), "M");
+        let span = events
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .unwrap();
+        assert!(span.get("ts").is_some() && span.get("dur").is_some());
+    }
+
+    #[test]
+    fn export_is_byte_deterministic() {
+        assert_eq!(chrome_trace_json(&sample()), chrome_trace_json(&sample()));
+    }
+
+    #[test]
+    fn micros_formatting() {
+        assert_eq!(micros(0.0), "0");
+        assert_eq!(micros(1.0), "1000000");
+        assert_eq!(micros(2.5e-6), "2.500");
+    }
+}

@@ -1,0 +1,351 @@
+//! # cpx-obs
+//!
+//! Observability for the virtual testbed: a zero-cost-when-disabled
+//! recorder of **spans and counters keyed to virtual time**, plus three
+//! deterministic exporters.
+//!
+//! Every subsystem in the workspace advances a per-rank *logical* clock
+//! (the `RankCtx` clock in `cpx-comm`, the replay clock in
+//! `cpx-machine`, an explicit work-model clock in `cpx-amg`). The
+//! recorder attaches named, nested spans to those clocks — never to
+//! wall time — so a trace is a pure function of the inputs: same seed +
+//! same fault plan ⇒ byte-identical export. Traces double as regression
+//! artifacts.
+//!
+//! The three exporters are
+//!
+//! * [`chrome::chrome_trace_json`] — Chrome trace-event JSON, one lane
+//!   per rank, loadable in Perfetto or `chrome://tracing`;
+//! * [`flame::collapsed_stacks`] — collapsed-stack text compatible with
+//!   `inferno-flamegraph` / Brendan Gregg's `flamegraph.pl`;
+//! * [`metrics::metrics_json`] — a JSON snapshot with counters and
+//!   p50/p95/p99 histograms over per-rank phase times.
+//!
+//! ## Recording
+//!
+//! ```
+//! use cpx_obs::RankRecorder;
+//!
+//! let mut rec = RankRecorder::on();
+//! rec.begin("step", 0.0);
+//! rec.begin("halo", 0.2);
+//! rec.end(0.5); // halo: 0.2..0.5
+//! rec.end(1.0); // step: 0.0..1.0, self time 0.7
+//! rec.count("messages", 3);
+//! let lane = rec.into_timeline(0, 1.0);
+//! assert_eq!(lane.spans.len(), 2);
+//! assert!(lane.spans.iter().all(|s| s.end >= s.start));
+//! ```
+//!
+//! When constructed with [`RankRecorder::off`] every method is a
+//! branch-on-a-bool no-op: no allocation, no formatting, no clock math.
+
+use std::borrow::Cow;
+use std::collections::BTreeMap;
+
+pub mod chrome;
+pub mod flame;
+pub mod json;
+pub mod metrics;
+
+pub use chrome::chrome_trace_json;
+pub use flame::collapsed_stacks;
+pub use json::{FromJson, Json, JsonError, ToJson};
+pub use metrics::{metrics_json, phase_stats, PhaseStats};
+
+/// Span names are either static strings (the common, allocation-free
+/// case) or owned strings for dynamic labels like `"level 3"`.
+pub type SpanName = Cow<'static, str>;
+
+/// A closed span on one rank's virtual timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Leaf name (e.g. `"allreduce"`).
+    pub name: SpanName,
+    /// Full `;`-separated ancestry including the leaf, flamegraph-style
+    /// (e.g. `"step;pressure field;allreduce"`). Empty for flat spans
+    /// pushed whole via [`RankRecorder::push_span`], whose ancestry is
+    /// just [`Span::name`] (saves an allocation per span on the
+    /// replayer's hot path).
+    pub path: String,
+    /// Virtual start time (seconds).
+    pub start: f64,
+    /// Virtual end time (seconds); `end >= start` always.
+    pub end: f64,
+    /// Nesting depth (0 = top level).
+    pub depth: u16,
+    /// Time inside this span not covered by child spans.
+    pub self_time: f64,
+}
+
+impl Span {
+    /// Span duration in virtual seconds.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// An open frame on the recorder stack.
+#[derive(Debug)]
+struct Frame {
+    name: SpanName,
+    start: f64,
+    child_time: f64,
+}
+
+/// Per-rank span/counter recorder.
+///
+/// Spans must nest: `begin`/`end` pairs form a stack. Times passed in
+/// must come from the rank's virtual clock, which is monotone per rank,
+/// so durations are never negative (the recorder clamps defensively
+/// anyway). Disabled recorders do nothing.
+#[derive(Debug, Default)]
+pub struct RankRecorder {
+    enabled: bool,
+    stack: Vec<Frame>,
+    spans: Vec<Span>,
+    counters: BTreeMap<String, u64>,
+}
+
+impl RankRecorder {
+    /// A recorder that records.
+    pub fn on() -> Self {
+        RankRecorder {
+            enabled: true,
+            ..Default::default()
+        }
+    }
+
+    /// A recorder where every call is a no-op.
+    pub fn off() -> Self {
+        RankRecorder::default()
+    }
+
+    /// Is this recorder live?
+    #[inline]
+    pub fn is_on(&self) -> bool {
+        self.enabled
+    }
+
+    /// Open a span at virtual time `t`.
+    #[inline]
+    pub fn begin(&mut self, name: impl Into<SpanName>, t: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.stack.push(Frame {
+            name: name.into(),
+            start: t,
+            child_time: 0.0,
+        });
+    }
+
+    /// Close the innermost open span at virtual time `t`.
+    ///
+    /// Unbalanced `end` calls (empty stack) are ignored rather than
+    /// panicking: a crashed rank may unwind through scope guards.
+    #[inline]
+    pub fn end(&mut self, t: f64) {
+        if !self.enabled {
+            return;
+        }
+        let Some(frame) = self.stack.pop() else {
+            return;
+        };
+        self.close_frame(frame, t);
+    }
+
+    fn close_frame(&mut self, frame: Frame, t: f64) {
+        let end = t.max(frame.start);
+        let dur = end - frame.start;
+        let self_time = (dur - frame.child_time).max(0.0);
+        if let Some(parent) = self.stack.last_mut() {
+            parent.child_time += dur;
+        }
+        let mut path = String::new();
+        for f in &self.stack {
+            path.push_str(&f.name);
+            path.push(';');
+        }
+        path.push_str(&frame.name);
+        self.spans.push(Span {
+            name: frame.name,
+            path,
+            start: frame.start,
+            end,
+            depth: self.stack.len() as u16,
+            self_time,
+        });
+    }
+
+    /// Push a pre-formed span (used by replayers that segment phases
+    /// themselves rather than via `begin`/`end`). The stored `path` is
+    /// left empty, meaning "same as the name".
+    pub fn push_span(&mut self, name: impl Into<SpanName>, start: f64, end: f64) {
+        if !self.enabled {
+            return;
+        }
+        let name = name.into();
+        let end = end.max(start);
+        self.spans.push(Span {
+            path: String::new(),
+            self_time: end - start,
+            name,
+            start,
+            end,
+            depth: 0,
+        });
+    }
+
+    /// Bump a named counter. Allocates the key only on a counter's
+    /// first hit, so per-message counters stay cheap.
+    #[inline]
+    pub fn count(&mut self, name: &str, n: u64) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(v) = self.counters.get_mut(name) {
+            *v += n;
+        } else {
+            self.counters.insert(name.to_string(), n);
+        }
+    }
+
+    /// Current nesting depth (0 when no span is open).
+    pub fn open_depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Close any still-open spans at `t` (a crashed rank dies mid-span)
+    /// and seal the recorder into a rank timeline.
+    pub fn into_timeline(mut self, rank: usize, t: f64) -> RankTimeline {
+        while let Some(frame) = self.stack.pop() {
+            self.close_frame(frame, t);
+        }
+        RankTimeline {
+            rank,
+            spans: self.spans,
+            counters: self.counters,
+            finish: t,
+        }
+    }
+}
+
+/// All spans and counters recorded on one rank.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RankTimeline {
+    /// World rank (trace lane id).
+    pub rank: usize,
+    /// Closed spans, in close order (children before parents).
+    pub spans: Vec<Span>,
+    /// Named event counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Final virtual clock value of the rank.
+    pub finish: f64,
+}
+
+/// A whole run's trace: one timeline per rank.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceSession {
+    /// One lane per rank, ordered by rank.
+    pub lanes: Vec<RankTimeline>,
+}
+
+impl TraceSession {
+    /// Assemble a session from per-rank timelines, sorting lanes by
+    /// rank so exports are independent of completion order.
+    pub fn new(mut lanes: Vec<RankTimeline>) -> Self {
+        lanes.sort_by_key(|l| l.rank);
+        TraceSession { lanes }
+    }
+
+    /// Total number of spans across all lanes.
+    pub fn total_spans(&self) -> usize {
+        self.lanes.iter().map(|l| l.spans.len()).sum()
+    }
+
+    /// Sum of a counter across all lanes.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.lanes.iter().filter_map(|l| l.counters.get(name)).sum()
+    }
+
+    /// Virtual makespan (max finish over lanes).
+    pub fn makespan(&self) -> f64 {
+        self.lanes.iter().fold(0.0_f64, |m, l| m.max(l.finish))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let mut rec = RankRecorder::off();
+        rec.begin("a", 0.0);
+        rec.count("x", 5);
+        rec.end(1.0);
+        let lane = rec.into_timeline(0, 1.0);
+        assert!(lane.spans.is_empty());
+        assert!(lane.counters.is_empty());
+    }
+
+    #[test]
+    fn nesting_and_self_time() {
+        let mut rec = RankRecorder::on();
+        rec.begin("outer", 0.0);
+        rec.begin("inner", 1.0);
+        rec.end(3.0);
+        rec.begin("inner2", 3.0);
+        rec.end(4.0);
+        rec.end(10.0);
+        let lane = rec.into_timeline(2, 10.0);
+        assert_eq!(lane.spans.len(), 3);
+        let outer = lane.spans.iter().find(|s| s.name == "outer").unwrap();
+        assert_eq!(outer.depth, 0);
+        assert!((outer.self_time - 7.0).abs() < 1e-12);
+        let inner = lane.spans.iter().find(|s| s.name == "inner").unwrap();
+        assert_eq!(inner.depth, 1);
+        assert_eq!(inner.path, "outer;inner");
+        assert!((inner.self_time - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn into_timeline_closes_open_spans() {
+        let mut rec = RankRecorder::on();
+        rec.begin("a", 0.0);
+        rec.begin("b", 1.0);
+        let lane = rec.into_timeline(0, 5.0);
+        assert_eq!(lane.spans.len(), 2);
+        assert!(lane.spans.iter().all(|s| s.end == 5.0));
+    }
+
+    #[test]
+    fn unbalanced_end_is_ignored() {
+        let mut rec = RankRecorder::on();
+        rec.end(1.0);
+        let lane = rec.into_timeline(0, 1.0);
+        assert!(lane.spans.is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut rec = RankRecorder::on();
+        rec.count("retries", 2);
+        rec.count("retries", 3);
+        let lane = rec.into_timeline(1, 0.0);
+        assert_eq!(lane.counters["retries"], 5);
+    }
+
+    #[test]
+    fn session_sorts_lanes_and_sums() {
+        let mut a = RankRecorder::on();
+        a.count("msgs", 1);
+        let mut b = RankRecorder::on();
+        b.count("msgs", 2);
+        let s = TraceSession::new(vec![b.into_timeline(1, 2.0), a.into_timeline(0, 3.0)]);
+        assert_eq!(s.lanes[0].rank, 0);
+        assert_eq!(s.counter("msgs"), 3);
+        assert!((s.makespan() - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,180 @@
+//! JSON metrics snapshot exporter.
+//!
+//! Aggregates a [`TraceSession`] into a machine-readable summary: run
+//! geometry, summed event counters (plus any caller-supplied extras,
+//! e.g. fault/SDC/ABFT figures from a `TimeReport` or `CoupledRun`),
+//! and a per-span-name histogram of **per-rank total times** with
+//! p50/p95/p99 quantiles. All maps are ordered, so the snapshot is a
+//! deterministic function of the session.
+
+use std::collections::BTreeMap;
+
+use crate::{Json, TraceSession};
+
+/// Summary statistics for one span name across ranks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStats {
+    /// Number of spans with this name across all ranks.
+    pub count: u64,
+    /// Number of ranks on which the name appears.
+    pub ranks: u64,
+    /// Sum of durations across all ranks.
+    pub total: f64,
+    /// Statistics over the per-rank summed durations:
+    pub min: f64,
+    /// mean of per-rank totals.
+    pub mean: f64,
+    /// median of per-rank totals.
+    pub p50: f64,
+    /// 95th percentile of per-rank totals.
+    pub p95: f64,
+    /// 99th percentile of per-rank totals.
+    pub p99: f64,
+    /// max of per-rank totals.
+    pub max: f64,
+}
+
+/// Compute per-span-name statistics over per-rank phase times.
+pub fn phase_stats(session: &TraceSession) -> BTreeMap<String, PhaseStats> {
+    // name -> (per-rank summed duration, span count).
+    let mut per_rank: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+    for lane in &session.lanes {
+        let mut here: BTreeMap<&str, f64> = BTreeMap::new();
+        for span in &lane.spans {
+            *here.entry(span.name.as_ref()).or_insert(0.0) += span.duration();
+            *counts.entry(span.name.to_string()).or_insert(0) += 1;
+        }
+        for (name, total) in here {
+            per_rank.entry(name.to_string()).or_default().push(total);
+        }
+    }
+    per_rank
+        .into_iter()
+        .map(|(name, mut samples)| {
+            samples.sort_by(f64::total_cmp);
+            let n = samples.len();
+            let total: f64 = samples.iter().sum();
+            let stats = PhaseStats {
+                count: counts[&name],
+                ranks: n as u64,
+                total,
+                min: samples[0],
+                mean: total / n as f64,
+                p50: percentile(&samples, 50.0),
+                p95: percentile(&samples, 95.0),
+                p99: percentile(&samples, 99.0),
+                max: samples[n - 1],
+            };
+            (name, stats)
+        })
+        .collect()
+}
+
+/// Nearest-rank percentile of an ascending-sorted, non-empty slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let idx = (q / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Render the metrics snapshot as a JSON value.
+///
+/// `extra` lets callers fold in counters the trace itself does not
+/// carry (fault/SDC/ABFT figures from resilience layers); they appear
+/// under `"counters"` next to the trace-derived ones.
+pub fn metrics_json(session: &TraceSession, extra: &[(&str, f64)]) -> Json {
+    let mut counters: BTreeMap<String, f64> = BTreeMap::new();
+    for lane in &session.lanes {
+        for (name, value) in &lane.counters {
+            *counters.entry(name.clone()).or_insert(0.0) += *value as f64;
+        }
+    }
+    for (name, value) in extra {
+        *counters.entry(name.to_string()).or_insert(0.0) += value;
+    }
+    let phases = phase_stats(session);
+
+    Json::obj(vec![
+        ("ranks", Json::Num(session.lanes.len() as f64)),
+        ("makespan", Json::Num(session.makespan())),
+        ("spans", Json::Num(session.total_spans() as f64)),
+        (
+            "counters",
+            Json::Obj(
+                counters
+                    .into_iter()
+                    .map(|(k, v)| (k, Json::Num(v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "phases",
+            Json::Obj(
+                phases
+                    .into_iter()
+                    .map(|(name, s)| {
+                        (
+                            name,
+                            Json::obj(vec![
+                                ("count", Json::Num(s.count as f64)),
+                                ("ranks", Json::Num(s.ranks as f64)),
+                                ("total", Json::Num(s.total)),
+                                ("min", Json::Num(s.min)),
+                                ("mean", Json::Num(s.mean)),
+                                ("p50", Json::Num(s.p50)),
+                                ("p95", Json::Num(s.p95)),
+                                ("p99", Json::Num(s.p99)),
+                                ("max", Json::Num(s.max)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RankRecorder, TraceSession};
+
+    fn session(per_rank_step: &[f64]) -> TraceSession {
+        let lanes = per_rank_step
+            .iter()
+            .enumerate()
+            .map(|(rank, &dur)| {
+                let mut rec = RankRecorder::on();
+                rec.begin("step", 0.0);
+                rec.end(dur);
+                rec.count("messages", rank as u64 + 1);
+                rec.into_timeline(rank, dur)
+            })
+            .collect();
+        TraceSession::new(lanes)
+    }
+
+    #[test]
+    fn percentiles_over_per_rank_totals() {
+        let s = session(&[1.0, 2.0, 3.0, 4.0]);
+        let stats = &phase_stats(&s)["step"];
+        assert_eq!(stats.ranks, 4);
+        assert_eq!(stats.count, 4);
+        assert!((stats.mean - 2.5).abs() < 1e-12);
+        assert_eq!(stats.min, 1.0);
+        assert_eq!(stats.max, 4.0);
+        assert_eq!(stats.p50, 3.0); // nearest rank of 50% over 4 samples
+        assert_eq!(stats.p95, 4.0);
+    }
+
+    #[test]
+    fn snapshot_includes_extra_counters() {
+        let s = session(&[1.0, 2.0]);
+        let v = metrics_json(&s, &[("retries", 7.0)]);
+        let counters = v.get("counters").unwrap();
+        assert_eq!(counters.get("retries").unwrap().as_f64(), Some(7.0));
+        assert_eq!(counters.get("messages").unwrap().as_f64(), Some(3.0));
+        // Deterministic output.
+        assert_eq!(v.write(), metrics_json(&s, &[("retries", 7.0)]).write());
+    }
+}

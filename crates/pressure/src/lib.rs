@@ -35,4 +35,4 @@ pub mod spray;
 pub mod trace;
 
 pub use config::{PressureConfig, PressureVariant};
-pub use trace::{PressurePhase, PressureTraceModel};
+pub use trace::{PfSubPhase, PressurePhase, PressureTraceModel};

@@ -78,6 +78,57 @@ impl PressurePhase {
     }
 }
 
+/// Opt-in sub-phases of the pressure-field solve, used by detailed
+/// profiling (Fig 5's AMG-level hotspots). Ids continue after
+/// [`PressurePhase`] so both labellings can share one breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PfSubPhase {
+    /// AMG smoothing sweeps + fine-level halo (SpMV-bound).
+    Smoothing,
+    /// Latency-bound coarse-level exchanges.
+    CoarseLevels,
+    /// CG dot-product reductions.
+    Reductions,
+}
+
+impl PfSubPhase {
+    /// All sub-phases in id order.
+    pub const ALL: [PfSubPhase; 3] = [
+        PfSubPhase::Smoothing,
+        PfSubPhase::CoarseLevels,
+        PfSubPhase::Reductions,
+    ];
+
+    /// Trace phase id (continues after the last [`PressurePhase`] id).
+    pub fn id(self) -> PhaseId {
+        match self {
+            PfSubPhase::Smoothing => 6,
+            PfSubPhase::CoarseLevels => 7,
+            PfSubPhase::Reductions => 8,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PfSubPhase::Smoothing => "amg smoothing (spmv)",
+            PfSubPhase::CoarseLevels => "amg coarse levels",
+            PfSubPhase::Reductions => "cg reductions",
+        }
+    }
+}
+
+/// Number of phase ids a detailed profile uses (`PressurePhase` +
+/// `PfSubPhase`).
+pub const N_DETAILED_PHASES: usize = 9;
+
+/// Phase names in id order, for detailed traces and reports.
+pub fn detailed_phase_names() -> Vec<&'static str> {
+    let mut names: Vec<&'static str> = PressurePhase::ALL.iter().map(|p| p.name()).collect();
+    names.extend(PfSubPhase::ALL.iter().map(|p| p.name()));
+    names
+}
+
 /// Seconds of (memory-bound) work per cell per step, pressure field.
 pub const PF_PER_CELL: f64 = 250.0e-6;
 /// Seconds per cell per step, momentum.
@@ -174,8 +225,20 @@ impl PressureTraceModel {
         ops
     }
 
-    /// The ops of one timestep for group-index `i` of `p`.
-    fn step_ops(&self, bw: f64, i: usize, p: usize, ranks: &[usize], group: usize) -> Vec<Op> {
+    /// The ops of one timestep for group-index `i` of `p`. With
+    /// `detailed`, the pressure-field solve is labelled with
+    /// [`PfSubPhase`] ids instead of the single `PressureField` phase;
+    /// the op stream is otherwise identical (Phase markers are free),
+    /// so timings match the coarse labelling exactly.
+    fn step_ops(
+        &self,
+        bw: f64,
+        i: usize,
+        p: usize,
+        ranks: &[usize],
+        group: usize,
+        detailed: bool,
+    ) -> Vec<Op> {
         let spray_balanced = self.config.variant != PressureVariant::Base;
         let cells_per_rank = self.config.cells / p as f64;
         let halo = self.halo_bytes(p);
@@ -226,6 +289,9 @@ impl PressureTraceModel {
         };
         let my_pf = pf_per_cell * self.pf_cells(i, p) / CG_GROUPS as f64;
         for _ in 0..CG_GROUPS {
+            if detailed {
+                ops.push(Op::Phase(PfSubPhase::Smoothing.id()));
+            }
             ops.push(Op::Compute(secs(bw, my_pf)));
             if p > 1 {
                 let tag = 410;
@@ -239,6 +305,9 @@ impl PressureTraceModel {
                     tag,
                 });
                 // Latency-bound coarse-level exchanges.
+                if detailed {
+                    ops.push(Op::Phase(PfSubPhase::CoarseLevels.id()));
+                }
                 for lvl in 0..3u32 {
                     let tag = 420 + lvl;
                     ops.push(Op::Send {
@@ -253,6 +322,9 @@ impl PressureTraceModel {
                 }
             }
             // Two dot products per CG group.
+            if detailed {
+                ops.push(Op::Phase(PfSubPhase::Reductions.id()));
+            }
             ops.push(Op::Collective {
                 kind: CollectiveKind::Allreduce,
                 group,
@@ -294,16 +366,46 @@ impl PressureTraceModel {
         steps: u32,
         machine: &Machine,
     ) {
+        self.emit_with(program, ranks, group, steps, machine, false);
+    }
+
+    /// [`PressureTraceModel::emit`] with optional [`PfSubPhase`]
+    /// labelling of the pressure-field solve.
+    pub fn emit_with(
+        &self,
+        program: &mut TraceProgram,
+        ranks: &[usize],
+        group: usize,
+        steps: u32,
+        machine: &Machine,
+        detailed: bool,
+    ) {
         let p = ranks.len();
         let bw = machine.mem_bw_per_core;
         for (i, &world_rank) in ranks.iter().enumerate() {
             let mut ops = self.setup_ops(bw, p, group);
             ops.push(Op::Repeat {
                 count: steps,
-                body: self.step_ops(bw, i, p, ranks, group),
+                body: self.step_ops(bw, i, p, ranks, group, detailed),
             });
             program.rank(world_rank).ops.extend(ops);
         }
+    }
+
+    /// Build a standalone trace program (setup + `steps` timesteps on
+    /// ranks `0..p`), optionally with detailed PF sub-phase labels.
+    pub fn build_program(
+        &self,
+        p: usize,
+        machine: &Machine,
+        steps: u32,
+        detailed: bool,
+    ) -> TraceProgram {
+        let mut prog = TraceProgram::new(p);
+        let ranks: Vec<usize> = (0..p).collect();
+        let group = prog.add_world_group();
+        self.emit_with(&mut prog, &ranks, group, steps, machine, detailed);
+        prog
     }
 
     /// Replay a short standalone run; returns `(per_step_seconds,
@@ -331,6 +433,39 @@ impl PressureTraceModel {
         self.emit(&mut prog, &ranks, group, steps, machine);
         let out = Replayer::new(machine.clone())
             .track_phases(6)
+            .run(&prog)
+            .expect("pressure trace must replay");
+        let per_step = (out.makespan() - setup_time) / steps as f64;
+        (per_step, setup_time, out.phases.expect("tracked"))
+    }
+
+    /// [`PressureTraceModel::profile`] with the pressure-field solve
+    /// split into [`PfSubPhase`] buckets (ids 6..9). The op stream is
+    /// identical apart from the free phase markers, so the returned
+    /// timings match the coarse profile exactly.
+    pub fn profile_detailed(
+        &self,
+        p: usize,
+        machine: &Machine,
+        steps: u32,
+    ) -> (f64, f64, PhaseBreakdown) {
+        assert!(steps >= 1);
+        let setup_time = {
+            let mut prog = TraceProgram::new(p);
+            let group = prog.add_world_group();
+            let bw = machine.mem_bw_per_core;
+            for i in 0..p {
+                let ops = self.setup_ops(bw, p, group);
+                prog.rank(i).ops.extend(ops);
+            }
+            Replayer::new(machine.clone())
+                .run(&prog)
+                .expect("setup")
+                .makespan()
+        };
+        let prog = self.build_program(p, machine, steps, true);
+        let out = Replayer::new(machine.clone())
+            .track_phases(N_DETAILED_PHASES)
             .run(&prog)
             .expect("pressure trace must replay");
         let per_step = (out.makespan() - setup_time) / steps as f64;
@@ -402,6 +537,23 @@ mod tests {
         // Transport phases are minor individually.
         let (v_comp, v_comm) = share(PressurePhase::Velocity);
         assert!(v_comp + v_comm < 0.2);
+    }
+
+    #[test]
+    fn detailed_profile_matches_coarse_timings() {
+        // Phase markers are free in the replayer, so the detailed
+        // program must cost exactly the same as the coarse one.
+        let m = Machine::archer2();
+        let model = base_28m();
+        let (step_c, setup_c, _) = model.profile(256, &m, 2);
+        let (step_d, setup_d, ph) = model.profile_detailed(256, &m, 2);
+        assert_eq!(step_c, step_d);
+        assert_eq!(setup_c, setup_d);
+        // Each PF sub-phase is individually visible at multi-rank scale.
+        for sub in PfSubPhase::ALL {
+            let id = sub.id() as usize;
+            assert!(ph.elapsed(id) > 0.0, "{} carries no time", sub.name());
+        }
     }
 
     #[test]
