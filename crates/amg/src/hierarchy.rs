@@ -122,7 +122,7 @@ impl Hierarchy {
                 }
             };
             let r = p.transpose();
-            let rap = triple_product(&r, &current, &p, 1);
+            let rap = triple_product(&r, &current, &p, cpx_sparse::spgemm::spgemm_chunks());
             accumulate(&mut setup, &rap.stats);
             levels.push(Level {
                 a: current,

@@ -12,7 +12,7 @@
 //!   expensive to build (an extra SpGEMM against `A`), faster to
 //!   converge — exactly the trade §IV-B describes.
 
-use cpx_sparse::spgemm::{spgemm_spa, SpGemmResult};
+use cpx_sparse::spgemm::{spgemm_chunks, spgemm_spa, SpGemmResult};
 use cpx_sparse::{Coo, Csr};
 
 /// `S = I − ω D⁻¹ A` (the prolongator smoother matrix).
@@ -39,15 +39,15 @@ fn jacobi_smoother_matrix(a: &Csr, omega: f64) -> Csr {
 /// Returns the operator and the SpGEMM cost of building it.
 pub fn smooth_prolongator(a: &Csr, tentative: &Csr, omega: f64) -> SpGemmResult {
     let s = jacobi_smoother_matrix(a, omega);
-    spgemm_spa(&s, tentative, 1)
+    spgemm_spa(&s, tentative, spgemm_chunks())
 }
 
 /// Distance-two prolongator `P = (I − ω D⁻¹ A)² T` ("extended+i"-style:
 /// the stencil reaches neighbours-of-neighbours).
 pub fn extended_prolongator(a: &Csr, tentative: &Csr, omega: f64) -> SpGemmResult {
     let s = jacobi_smoother_matrix(a, omega);
-    let st = spgemm_spa(&s, tentative, 1);
-    let sst = spgemm_spa(&s, &st.product, 1);
+    let st = spgemm_spa(&s, tentative, spgemm_chunks());
+    let sst = spgemm_spa(&s, &st.product, spgemm_chunks());
     SpGemmResult {
         product: sst.product,
         stats: cpx_sparse::SpOpStats {

@@ -8,6 +8,7 @@
 //! `blocks == 1` degenerating to exact Gauss–Seidel and `blocks == n`
 //! degenerating to pure Jacobi (both verified in tests).
 
+use cpx_par::ParPool;
 use cpx_sparse::{Csr, SpOpStats};
 
 /// A smoother selection.
@@ -29,6 +30,14 @@ impl Smoother {
     /// Apply one smoothing sweep to `x` in place for `A x = b`.
     /// Returns the op statistics of the sweep.
     pub fn sweep(&self, a: &Csr, b: &[f64], x: &mut [f64]) -> SpOpStats {
+        let pool = ParPool::current().limited(a.nnz());
+        self.sweep_with(&pool, a, b, x)
+    }
+
+    /// [`Smoother::sweep`] on an explicit pool. Only the hybrid
+    /// Gauss–Seidel sweep fans out (its blocks are independent given the
+    /// frozen iterate); the result is bit-identical for any pool.
+    pub fn sweep_with(&self, pool: &ParPool, a: &Csr, b: &[f64], x: &mut [f64]) -> SpOpStats {
         let n = a.nrows();
         assert_eq!(b.len(), n);
         assert_eq!(x.len(), n);
@@ -63,14 +72,19 @@ impl Smoother {
             }
             Smoother::HybridGaussSeidel { blocks } => {
                 assert!(blocks >= 1);
-                // Freeze the incoming iterate for cross-block (Jacobi)
-                // coupling.
-                let x_old = x.to_vec();
-                let per = n.div_ceil(blocks);
-                for blk in 0..blocks {
-                    let lo = (blk * per).min(n);
-                    let hi = ((blk + 1) * per).min(n);
-                    hybrid_gs_block(a, b, x, &x_old, lo, hi);
+                if blocks == 1 {
+                    // A single block has no cross-block couplings: the
+                    // sweep is exact Gauss–Seidel and needs no frozen
+                    // copy of the iterate (allocation-free).
+                    gs_block(a, b, x, 0, n, x as *const [f64]);
+                } else {
+                    // Freeze the incoming iterate for cross-block
+                    // (Jacobi) coupling; blocks then update disjoint row
+                    // ranges and may run on the pool's workers.
+                    let x_old = x.to_vec();
+                    pool.chunks_mut(x, blocks, |_, rows, x_blk| {
+                        hybrid_gs_block(a, b, x_blk, &x_old, rows.start, rows.end);
+                    });
                 }
                 sweep_stats(a, 1.0)
             }
@@ -139,8 +153,11 @@ fn gs_block_backward(a: &Csr, b: &[f64], x: &mut [f64], lo: usize, hi: usize) {
 }
 
 /// GS inside `[lo, hi)` but couplings to rows *outside* the block read
-/// the frozen `x_old` (Jacobi across blocks).
-fn hybrid_gs_block(a: &Csr, b: &[f64], x: &mut [f64], x_old: &[f64], lo: usize, hi: usize) {
+/// the frozen `x_old` (Jacobi across blocks). `x_blk` is the block's
+/// slice of the iterate, i.e. `x[lo..hi]`, so disjoint blocks can be
+/// swept concurrently.
+fn hybrid_gs_block(a: &Csr, b: &[f64], x_blk: &mut [f64], x_old: &[f64], lo: usize, hi: usize) {
+    debug_assert_eq!(x_blk.len(), hi - lo);
     for i in lo..hi {
         let (cols, vals) = a.row(i);
         let mut sigma = 0.0;
@@ -149,13 +166,13 @@ fn hybrid_gs_block(a: &Csr, b: &[f64], x: &mut [f64], x_old: &[f64], lo: usize, 
             if c == i {
                 diag = v;
             } else if c >= lo && c < hi {
-                sigma += v * x[c];
+                sigma += v * x_blk[c - lo];
             } else {
                 sigma += v * x_old[c];
             }
         }
         debug_assert!(diag != 0.0);
-        x[i] = (b[i] - sigma) / diag;
+        x_blk[i - lo] = (b[i] - sigma) / diag;
     }
 }
 

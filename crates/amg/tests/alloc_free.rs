@@ -1,0 +1,65 @@
+//! Regression test for the single-block hybrid Gauss–Seidel fast path:
+//! `HybridGaussSeidel { blocks: 1 }` has no cross-block couplings, so a
+//! sweep must not clone the iterate (or allocate at all).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocs_on_this_thread() -> u64 {
+    ALLOCS.with(Cell::get)
+}
+
+#[test]
+fn single_block_hybrid_gs_sweep_is_allocation_free() {
+    use cpx_amg::Smoother;
+    use cpx_sparse::Csr;
+
+    let a = Csr::poisson2d(32, 32);
+    let n = a.nrows();
+    let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+    let mut x = vec![0.0; n];
+    let smoother = Smoother::HybridGaussSeidel { blocks: 1 };
+
+    // Warm up: first sweep may lazily read CPX_THREADS (env access
+    // allocates) and fault in whatever else is one-time.
+    smoother.sweep(&a, &b, &mut x);
+
+    let before = allocs_on_this_thread();
+    smoother.sweep(&a, &b, &mut x);
+    let after = allocs_on_this_thread();
+    assert_eq!(
+        after - before,
+        0,
+        "blocks == 1 sweep must not allocate (no x_old clone)"
+    );
+
+    // Sanity: the multi-block path still allocates (the frozen iterate),
+    // so the counter itself is live.
+    let before = allocs_on_this_thread();
+    Smoother::HybridGaussSeidel { blocks: 4 }.sweep(&a, &b, &mut x);
+    let after = allocs_on_this_thread();
+    assert!(
+        after > before,
+        "counting allocator should observe the clone"
+    );
+}

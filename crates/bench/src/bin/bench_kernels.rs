@@ -1,0 +1,343 @@
+//! Wall-clock thread-scaling benchmark of the hot kernels.
+//!
+//! ```text
+//! cargo run -p cpx-bench --release --bin bench_kernels -- [--smoke] [out.json]
+//! ```
+//!
+//! Runs each `cpx-par`-threaded kernel across thread counts {1, 2, 4, 8}
+//! with a *fixed* chunk count, verifies the outputs are bit-identical to
+//! the serial run (the determinism contract), and writes
+//! `BENCH_kernels.json` (default): per-kernel median wall times,
+//! speedups and parallel efficiencies per thread count, plus a fitted
+//! strong-scaling curve ready for `cpx_perfmodel::MeasuredScaling`.
+//!
+//! Unlike the virtual-time traces, these numbers are real wall clock and
+//! therefore hardware-dependent; the binary reports — it never fails —
+//! so it is safe on single-core CI runners (`--smoke` shrinks the
+//! problem sizes for that).
+
+use std::time::Instant;
+
+use cpx_obs::Json;
+use cpx_par::ParPool;
+use cpx_perfmodel::MeasuredScaling;
+use cpx_pressure::spray::SprayCloud;
+use cpx_simpic::config::SimpicConfig;
+use cpx_simpic::pic::Pic1D;
+use cpx_sparse::renumber::renumber_hash_merge_with;
+use cpx_sparse::spgemm::{spgemm_hash_with, spgemm_spa_with};
+use cpx_sparse::Csr;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Thread counts swept (clamped by each pool; extra threads on small
+/// hardware just oversubscribe, which the report shows honestly).
+const THREADS: &[usize] = &[1, 2, 4, 8];
+
+/// Fixed chunk count for every kernel: the determinism contract keys
+/// results to chunks, so sweeping only the thread count demonstrates
+/// bit-identity directly.
+const CHUNKS: usize = 8;
+
+struct KernelReport {
+    name: &'static str,
+    samples: Vec<(usize, f64)>,
+    bit_identical: bool,
+}
+
+fn median(mut times: Vec<f64>) -> f64 {
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2].max(1e-9)
+}
+
+/// Time `run(pool)` at every thread count and check `check(pool)`
+/// equals `check(serial)` bitwise.
+fn bench<R: PartialEq>(
+    name: &'static str,
+    reps: usize,
+    mut run: impl FnMut(&ParPool),
+    mut check: impl FnMut(&ParPool) -> R,
+) -> KernelReport {
+    let serial = check(&ParPool::serial());
+    let widest = check(&ParPool::with_threads(*THREADS.last().unwrap()));
+    let bit_identical = serial == widest;
+
+    let mut samples = Vec::new();
+    for &t in THREADS {
+        let pool = ParPool::with_threads(t);
+        run(&pool); // warm-up
+        let times: Vec<f64> = (0..reps)
+            .map(|_| {
+                let start = Instant::now();
+                run(&pool);
+                start.elapsed().as_secs_f64()
+            })
+            .collect();
+        samples.push((t, median(times)));
+    }
+    KernelReport {
+        name,
+        samples,
+        bit_identical,
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = "BENCH_kernels.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let reps = if smoke { 1 } else { 5 };
+
+    let mut reports: Vec<KernelReport> = Vec::new();
+
+    // --- SpMV -----------------------------------------------------------
+    {
+        let a = if smoke {
+            Csr::poisson3d(24, 24, 24)
+        } else {
+            Csr::poisson3d(48, 48, 48)
+        };
+        let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64).sin()).collect();
+        let mut y = vec![0.0; a.nrows()];
+        reports.push(bench(
+            "spmv",
+            reps,
+            |pool| {
+                a.spmv_with(pool, CHUNKS, &x, &mut y);
+            },
+            |pool| {
+                let mut y = vec![0.0; a.nrows()];
+                a.spmv_with(pool, CHUNKS, &x, &mut y);
+                y
+            },
+        ));
+    }
+
+    // --- SpMV with identity top block -----------------------------------
+    {
+        let a = if smoke {
+            Csr::poisson2d(96, 96)
+        } else {
+            Csr::poisson2d(256, 256)
+        };
+        let k = a.nrows() / 2;
+        let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64).cos()).collect();
+        let mut y = vec![0.0; a.nrows()];
+        reports.push(bench(
+            "spmv_identity_top",
+            reps,
+            |pool| {
+                a.spmv_identity_top_with(pool, CHUNKS, k, &x, &mut y);
+            },
+            |pool| {
+                let mut y = vec![0.0; a.nrows()];
+                a.spmv_identity_top_with(pool, CHUNKS, k, &x, &mut y);
+                y
+            },
+        ));
+    }
+
+    // --- SpGEMM (SPA and hash) ------------------------------------------
+    {
+        let a = if smoke {
+            Csr::poisson2d(96, 96)
+        } else {
+            Csr::poisson2d(192, 192)
+        };
+        reports.push(bench(
+            "spgemm_spa",
+            reps,
+            |pool| {
+                spgemm_spa_with(pool, &a, &a, CHUNKS);
+            },
+            |pool| spgemm_spa_with(pool, &a, &a, CHUNKS).product,
+        ));
+        reports.push(bench(
+            "spgemm_hash",
+            reps,
+            |pool| {
+                spgemm_hash_with(pool, &a, &a, CHUNKS);
+            },
+            |pool| spgemm_hash_with(pool, &a, &a, CHUNKS).product,
+        ));
+    }
+
+    // --- Distributed column renumbering ---------------------------------
+    {
+        let n = if smoke { 1_000_000 } else { 4_000_000 };
+        let mut rng = StdRng::seed_from_u64(17);
+        let refs: Vec<u64> = (0..n).map(|_| rng.gen_range(0..60_000)).collect();
+        // Logical merge width fixed at 16: the table (and stats) are
+        // keyed to it, the pool only maps it onto threads.
+        reports.push(bench(
+            "renumber_hash_merge",
+            reps,
+            |pool| {
+                renumber_hash_merge_with(pool, &refs, 16);
+            },
+            |pool| renumber_hash_merge_with(pool, &refs, 16).table,
+        ));
+    }
+
+    // --- Hybrid Gauss–Seidel sweep --------------------------------------
+    {
+        let a = if smoke {
+            Csr::poisson2d(128, 128)
+        } else {
+            Csr::poisson2d(384, 384)
+        };
+        let n = a.nrows();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let smoother = cpx_amg::Smoother::HybridGaussSeidel { blocks: 16 };
+        let mut x = vec![0.0; n];
+        reports.push(bench(
+            "hybrid_gs_sweep",
+            reps,
+            |pool| {
+                smoother.sweep_with(pool, &a, &b, &mut x);
+            },
+            |pool| {
+                let mut x = vec![0.0; n];
+                smoother.sweep_with(pool, &a, &b, &mut x);
+                x
+            },
+        ));
+    }
+
+    // --- SIMPIC particle push -------------------------------------------
+    {
+        // particles = cells × ppc (100 for the 28M base case).
+        let cfg = if smoke {
+            SimpicConfig::base_28m().functional(512, 10)
+        } else {
+            SimpicConfig::base_28m().functional(2048, 10)
+        };
+        let mut pic = Pic1D::quiet_start(&cfg, 0.02, 7);
+        pic.solve_field();
+        let frozen = pic.clone();
+        reports.push(bench(
+            "particle_push",
+            reps,
+            |pool| {
+                pic.push_with(pool, CHUNKS);
+            },
+            |pool| {
+                let mut p = frozen.clone();
+                p.push_with(pool, CHUNKS);
+                p.particles
+            },
+        ));
+    }
+
+    // --- Pressure spray update ------------------------------------------
+    {
+        let n = if smoke { 50_000 } else { 400_000 };
+        let mut cloud = SprayCloud::inject(n, 11);
+        let frozen = cloud.clone();
+        let fluid = |x: [f64; 3]| [1.0 - x[1], 0.1 * x[0], 0.0];
+        reports.push(bench(
+            "spray_update",
+            reps,
+            |pool| {
+                cloud.update_with(pool, CHUNKS, 0.01, fluid);
+            },
+            |pool| {
+                let mut c = frozen.clone();
+                c.update_with(pool, CHUNKS, 0.01, fluid);
+                (c.pos, c.vel)
+            },
+        ));
+    }
+
+    // --- Report ----------------------------------------------------------
+    let kernels: Vec<Json> = reports
+        .iter()
+        .map(|r| {
+            let base = r.samples[0].1;
+            let scaling = MeasuredScaling::new(r.name, r.samples.clone());
+            let curve = scaling.fit_curve();
+            let samples: Vec<Json> = r
+                .samples
+                .iter()
+                .map(|&(t, s)| {
+                    Json::obj(vec![
+                        ("threads", Json::Num(t as f64)),
+                        ("median_s", Json::Num(s)),
+                        ("speedup", Json::Num(base / s)),
+                        ("efficiency", Json::Num(base / s / t as f64)),
+                    ])
+                })
+                .collect();
+            let speedup_4t = r
+                .samples
+                .iter()
+                .find(|&&(t, _)| t == 4)
+                .map_or(0.0, |&(_, s)| base / s);
+            Json::obj(vec![
+                ("name", Json::Str(r.name.to_string())),
+                ("bit_identical", Json::Bool(r.bit_identical)),
+                ("speedup_4t", Json::Num(speedup_4t)),
+                ("samples", Json::Arr(samples)),
+                (
+                    "fitted_curve",
+                    Json::obj(vec![
+                        ("a", Json::Num(curve.a)),
+                        ("b", Json::Num(curve.b)),
+                        ("c", Json::Num(curve.c)),
+                        ("d", Json::Num(curve.d)),
+                    ]),
+                ),
+            ])
+        })
+        .collect();
+
+    let doc = Json::obj(vec![
+        ("smoke", Json::Bool(smoke)),
+        ("reps", Json::Num(reps as f64)),
+        ("chunks", Json::Num(CHUNKS as f64)),
+        (
+            "threads",
+            Json::Arr(THREADS.iter().map(|&t| Json::Num(t as f64)).collect()),
+        ),
+        ("kernels", Json::Arr(kernels)),
+    ]);
+    let text = doc.write_pretty();
+    std::fs::write(&out_path, &text).expect("write benchmark json");
+
+    let mut all_identical = true;
+    println!("kernel                thr  median_s    speedup  eff");
+    for r in &reports {
+        let base = r.samples[0].1;
+        for &(t, s) in &r.samples {
+            println!(
+                "{:<21} {:>3}  {:>9.6}  {:>7.2}  {:>4.2}",
+                r.name,
+                t,
+                s,
+                base / s,
+                base / s / t as f64
+            );
+        }
+        if !r.bit_identical {
+            all_identical = false;
+            println!(
+                "{:<21} *** NOT bit-identical across thread counts ***",
+                r.name
+            );
+        }
+    }
+    println!(
+        "bit-identical across thread counts: {}",
+        if all_identical { "yes" } else { "NO" }
+    );
+    println!("(written to {out_path})");
+    // Speedups are hardware truth — on a single-core runner they will be
+    // ~1.0 and that is a valid measurement, not a failure. Determinism,
+    // however, is a contract.
+    assert!(all_identical, "parallel kernels diverged from serial");
+}

@@ -1,0 +1,401 @@
+//! # cpx-par
+//!
+//! Deterministic shared-memory parallel execution for the workspace's
+//! hot kernels (SpMV, SpGEMM, hybrid Gauss–Seidel, the SIMPIC particle
+//! push, the pressure spray update), built on vendored `crossbeam`
+//! scoped threads.
+//!
+//! ## Determinism contract
+//!
+//! Work is partitioned into a fixed number of contiguous **chunks**
+//! ([`chunk_ranges`]). All numerics are keyed to the chunk count and to
+//! which chunk a datum falls in — never to the runtime thread count.
+//! Threads only decide *which worker executes which chunk* (a static
+//! stride assignment: worker `w` owns chunks `w, w + W, w + 2W, …`),
+//! and every chunk's output lands in storage addressed by its chunk
+//! index, so results are bit-identical from 1 to N threads. A
+//! [`ParPool`] with `threads == 1` degrades every combinator to the
+//! plain serial loop — no scope, no spawn, no synchronisation.
+//!
+//! ## Configuration
+//!
+//! The global pool ([`ParPool::current`]) is sized from the
+//! `CPX_THREADS` environment variable (default 1, clamped to
+//! `1..=`[`MAX_THREADS`]) or programmatically via
+//! [`ParPool::set_global_threads`]. Kernels that consult the global
+//! pool first apply [`ParPool::limited`] so tiny problems never pay
+//! thread-spawn latency. Explicit pools ([`ParPool::with_threads`]) are
+//! for benchmarks and tests that sweep thread counts without touching
+//! process-global state.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Upper bound on the configured thread count (sanity clamp for the
+/// `CPX_THREADS` parse; far above any plausible core count here).
+pub const MAX_THREADS: usize = 256;
+
+/// Minimum work units (rows, nonzeros, particles, …) per worker before
+/// the global-pool entry points fan out: below this, scoped-thread
+/// setup costs more than the kernel body.
+pub const MIN_WORK_PER_WORKER: usize = 16_384;
+
+/// Global thread count; 0 means "not yet initialised from the
+/// environment".
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+fn env_threads() -> usize {
+    std::env::var("CPX_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map_or(1, |n| n.clamp(1, MAX_THREADS))
+}
+
+/// One chunk's worth of work handed to a worker: chunk index, the index
+/// range it covers, and the disjoint sub-slice it owns.
+type ChunkTask<'a, T> = (usize, Range<usize>, &'a mut [T]);
+
+/// [`ChunkTask`] over two slices partitioned by the same ranges.
+type ZipChunkTask<'a, A, B> = (usize, Range<usize>, &'a mut [A], &'a mut [B]);
+
+/// A worker-count handle. Copyable and cheap; the actual threads are
+/// scoped per call, so a pool carries no OS resources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParPool {
+    threads: usize,
+}
+
+impl ParPool {
+    /// A pool with exactly `threads` workers (clamped to
+    /// `1..=`[`MAX_THREADS`]).
+    pub fn with_threads(threads: usize) -> ParPool {
+        ParPool {
+            threads: threads.clamp(1, MAX_THREADS),
+        }
+    }
+
+    /// The always-serial pool (the `threads == 1` fast path).
+    pub fn serial() -> ParPool {
+        ParPool::with_threads(1)
+    }
+
+    /// The global pool: sized from `CPX_THREADS` on first use (default
+    /// 1), or whatever [`ParPool::set_global_threads`] last stored.
+    pub fn current() -> ParPool {
+        let mut t = GLOBAL_THREADS.load(Ordering::Relaxed);
+        if t == 0 {
+            t = env_threads();
+            // Racing initialisers all compute the same value.
+            GLOBAL_THREADS.store(t, Ordering::Relaxed);
+        }
+        ParPool { threads: t }
+    }
+
+    /// Override the global pool size (e.g. from a benchmark driver).
+    pub fn set_global_threads(threads: usize) {
+        GLOBAL_THREADS.store(threads.clamp(1, MAX_THREADS), Ordering::Relaxed);
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Default chunk count for kernels whose results are
+    /// partition-invariant: one chunk per worker.
+    pub fn chunks(&self) -> usize {
+        self.threads
+    }
+
+    /// This pool with its worker count capped so each worker gets at
+    /// least [`MIN_WORK_PER_WORKER`] of the given work units.
+    pub fn limited(&self, work_units: usize) -> ParPool {
+        let cap = (work_units / MIN_WORK_PER_WORKER).max(1);
+        ParPool {
+            threads: self.threads.min(cap),
+        }
+    }
+
+    /// Evaluate `f(chunk_index)` for `chunks` chunks, returning the
+    /// results in chunk order regardless of the thread count.
+    pub fn map<T, F>(&self, chunks: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let chunks = chunks.max(1);
+        let workers = self.threads.min(chunks);
+        if workers <= 1 {
+            return (0..chunks).map(f).collect();
+        }
+        let mut out: Vec<Option<T>> = (0..chunks).map(|_| None).collect();
+        crossbeam::thread::scope(|s| {
+            let f = &f;
+            let handles: Vec<_> = (1..workers)
+                .map(|w| {
+                    s.spawn(move || {
+                        let mut mine = Vec::new();
+                        let mut c = w;
+                        while c < chunks {
+                            mine.push((c, f(c)));
+                            c += workers;
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            // Worker 0 runs on the calling thread.
+            let mut c = 0;
+            while c < chunks {
+                out[c] = Some(f(c));
+                c += workers;
+            }
+            for h in handles {
+                for (c, v) in h.join().expect("cpx-par worker panicked") {
+                    out[c] = Some(v);
+                }
+            }
+        });
+        out.into_iter()
+            .map(|v| v.expect("chunk computed"))
+            .collect()
+    }
+
+    /// Partition `data` into `chunks` contiguous ranges and call
+    /// `f(chunk_index, range, sub_slice)` for each — sub-slices are
+    /// disjoint, so chunks may run concurrently; with one worker they
+    /// run in chunk order on the calling thread.
+    pub fn chunks_mut<T, F>(&self, data: &mut [T], chunks: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, Range<usize>, &mut [T]) + Sync,
+    {
+        let ranges = chunk_ranges(data.len(), chunks);
+        let workers = self.threads.min(ranges.len()).max(1);
+        if workers <= 1 {
+            let mut rest = data;
+            for (i, r) in ranges.iter().enumerate() {
+                let (head, tail) = rest.split_at_mut(r.len());
+                f(i, r.clone(), head);
+                rest = tail;
+            }
+            return;
+        }
+        // Static stride assignment: worker w owns chunks w, w+W, …
+        let mut per_worker: Vec<Vec<ChunkTask<T>>> = (0..workers).map(|_| Vec::new()).collect();
+        let mut rest = data;
+        for (i, r) in ranges.iter().enumerate() {
+            let (head, tail) = rest.split_at_mut(r.len());
+            per_worker[i % workers].push((i, r.clone(), head));
+            rest = tail;
+        }
+        crossbeam::thread::scope(|s| {
+            let f = &f;
+            let mut lists = per_worker.into_iter();
+            let mine = lists.next().expect("worker 0 exists");
+            let handles: Vec<_> = lists
+                .map(|list| {
+                    s.spawn(move || {
+                        for (i, r, slice) in list {
+                            f(i, r, slice);
+                        }
+                    })
+                })
+                .collect();
+            for (i, r, slice) in mine {
+                f(i, r, slice);
+            }
+            for h in handles {
+                h.join().expect("cpx-par worker panicked");
+            }
+        });
+    }
+
+    /// [`ParPool::chunks_mut`] over two equal-length slices partitioned
+    /// by the same ranges (for structure-of-arrays data like the spray's
+    /// position/velocity pair).
+    pub fn zip_chunks_mut<A, B, F>(&self, a: &mut [A], b: &mut [B], chunks: usize, f: F)
+    where
+        A: Send,
+        B: Send,
+        F: Fn(usize, Range<usize>, &mut [A], &mut [B]) + Sync,
+    {
+        assert_eq!(a.len(), b.len(), "zip_chunks_mut: length mismatch");
+        let ranges = chunk_ranges(a.len(), chunks);
+        let workers = self.threads.min(ranges.len()).max(1);
+        if workers <= 1 {
+            let (mut rest_a, mut rest_b) = (a, b);
+            for (i, r) in ranges.iter().enumerate() {
+                let (ha, ta) = rest_a.split_at_mut(r.len());
+                let (hb, tb) = rest_b.split_at_mut(r.len());
+                f(i, r.clone(), ha, hb);
+                rest_a = ta;
+                rest_b = tb;
+            }
+            return;
+        }
+        let mut per_worker: Vec<Vec<ZipChunkTask<A, B>>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        let (mut rest_a, mut rest_b) = (a, b);
+        for (i, r) in ranges.iter().enumerate() {
+            let (ha, ta) = rest_a.split_at_mut(r.len());
+            let (hb, tb) = rest_b.split_at_mut(r.len());
+            per_worker[i % workers].push((i, r.clone(), ha, hb));
+            rest_a = ta;
+            rest_b = tb;
+        }
+        crossbeam::thread::scope(|s| {
+            let f = &f;
+            let mut lists = per_worker.into_iter();
+            let mine = lists.next().expect("worker 0 exists");
+            let handles: Vec<_> = lists
+                .map(|list| {
+                    s.spawn(move || {
+                        for (i, r, sa, sb) in list {
+                            f(i, r, sa, sb);
+                        }
+                    })
+                })
+                .collect();
+            for (i, r, sa, sb) in mine {
+                f(i, r, sa, sb);
+            }
+            for h in handles {
+                h.join().expect("cpx-par worker panicked");
+            }
+        });
+    }
+}
+
+/// Partition `n` items into `chunks` contiguous ranges — the same
+/// ceil-division block layout every kernel in the workspace already
+/// used serially (`per = ceil(n / chunks)`; trailing chunks may be
+/// empty). A chunk count of 0 is clamped to 1.
+pub fn chunk_ranges(n: usize, chunks: usize) -> Vec<Range<usize>> {
+    let chunks = chunks.max(1);
+    let per = n.div_ceil(chunks);
+    (0..chunks)
+        .map(|c| (c * per).min(n)..((c + 1) * per).min(n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_cover_contiguously() {
+        for (n, chunks) in [(10, 3), (0, 4), (7, 1), (5, 9), (100, 0)] {
+            let ranges = chunk_ranges(n, chunks);
+            assert_eq!(ranges.len(), chunks.max(1));
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next.min(n));
+                assert!(r.end >= r.start);
+                next = r.end;
+            }
+            assert_eq!(ranges.last().unwrap().end, n);
+            let total: usize = ranges.iter().map(|r| r.len()).sum();
+            assert_eq!(total, n, "n={n} chunks={chunks}");
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_match_legacy_layout() {
+        // The serial kernels used per = ceil(n/chunks), lo = i*per.
+        let n = 53usize;
+        let chunks = 7;
+        let per = n.div_ceil(chunks);
+        for (i, r) in chunk_ranges(n, chunks).iter().enumerate() {
+            assert_eq!(r.start, (i * per).min(n));
+            assert_eq!(r.end, ((i + 1) * per).min(n));
+        }
+    }
+
+    #[test]
+    fn map_returns_chunk_order_at_any_thread_count() {
+        let baseline: Vec<usize> = (0..23).map(|c| c * c).collect();
+        for threads in [1, 2, 4, 8, 23, 64] {
+            let pool = ParPool::with_threads(threads);
+            assert_eq!(pool.map(23, |c| c * c), baseline, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn chunks_mut_bit_identical_across_thread_counts() {
+        let n = 1000;
+        let reference: Vec<f64> = (0..n).map(|i| (i as f64).sin() * 3.0).collect();
+        for threads in [1, 2, 4, 8] {
+            for chunks in [1, 3, 8, n + 5] {
+                let mut data: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+                ParPool::with_threads(threads).chunks_mut(&mut data, chunks, |_, _, s| {
+                    for v in s {
+                        *v *= 3.0;
+                    }
+                });
+                assert_eq!(data, reference, "threads={threads} chunks={chunks}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunks_mut_passes_matching_range_and_slice() {
+        let mut data: Vec<usize> = vec![0; 37];
+        ParPool::with_threads(4).chunks_mut(&mut data, 5, |i, r, s| {
+            assert_eq!(r.len(), s.len());
+            for (v, idx) in s.iter_mut().zip(r) {
+                *v = idx * 10 + i;
+            }
+        });
+        let per = 37usize.div_ceil(5);
+        for (idx, &v) in data.iter().enumerate() {
+            assert_eq!(v, idx * 10 + idx / per);
+        }
+    }
+
+    #[test]
+    fn zip_chunks_mut_updates_both_slices() {
+        let n = 500;
+        for threads in [1, 4] {
+            let mut a: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let mut b: Vec<f64> = vec![1.0; n];
+            ParPool::with_threads(threads).zip_chunks_mut(&mut a, &mut b, 6, |_, _, sa, sb| {
+                for (x, y) in sa.iter_mut().zip(sb.iter_mut()) {
+                    *y += *x;
+                    *x *= 2.0;
+                }
+            });
+            for i in 0..n {
+                assert_eq!(a[i], 2.0 * i as f64);
+                assert_eq!(b[i], 1.0 + i as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn limited_caps_workers_by_granularity() {
+        let pool = ParPool::with_threads(8);
+        assert_eq!(pool.limited(100).threads(), 1);
+        assert_eq!(pool.limited(MIN_WORK_PER_WORKER * 3).threads(), 3);
+        assert_eq!(pool.limited(MIN_WORK_PER_WORKER * 100).threads(), 8);
+    }
+
+    #[test]
+    fn empty_data_is_fine() {
+        let mut data: Vec<f64> = Vec::new();
+        ParPool::with_threads(4).chunks_mut(&mut data, 4, |_, _, _| {});
+        let out = ParPool::with_threads(4).map(3, |c| c);
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn global_pool_has_at_least_one_thread() {
+        assert!(ParPool::current().threads() >= 1);
+    }
+
+    #[test]
+    fn with_threads_clamps() {
+        assert_eq!(ParPool::with_threads(0).threads(), 1);
+        assert_eq!(ParPool::with_threads(100_000).threads(), MAX_THREADS);
+    }
+}

@@ -23,11 +23,18 @@
 //! (§V): per-instance mesh and interface sizes (not one size for all),
 //! and support for both density- and pressure-solver instances in one
 //! allocation.
+//!
+//! [`measured::MeasuredScaling`] additionally accepts *measured*
+//! thread-scaling medians (from the `bench_kernels` binary running the
+//! kernels on the `cpx-par` pool) and fits them into the same curve /
+//! instance machinery — an empirical alternative to synthetic curves.
 
 pub mod alloc;
 pub mod curve;
+pub mod measured;
 pub mod scale;
 
 pub use alloc::{allocate, AllocConfig, Allocation};
 pub use curve::RuntimeCurve;
+pub use measured::MeasuredScaling;
 pub use scale::InstanceModel;

@@ -9,6 +9,7 @@
 //! rank no matter how finely the domain is cut, plus a dispersed
 //! remainder that balances.
 
+use cpx_par::ParPool;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 /// Fraction of droplets concentrated in the nozzle core (calibrated so
@@ -87,24 +88,41 @@ impl SprayCloud {
 
     /// Advance droplets by `dt` under Stokes drag toward the carrier
     /// velocity field `fluid(x)`, reflecting at the unit-box walls.
-    pub fn update(&mut self, dt: f64, fluid: impl Fn([f64; 3]) -> [f64; 3]) {
+    pub fn update(&mut self, dt: f64, fluid: impl Fn([f64; 3]) -> [f64; 3] + Sync) {
+        let pool = ParPool::current().limited(self.pos.len());
+        let chunks = pool.chunks();
+        self.update_with(&pool, chunks, dt, fluid);
+    }
+
+    /// [`SprayCloud::update`] on an explicit pool: droplets are
+    /// independent (the carrier field is read-only), so any chunking is
+    /// bit-identical to the serial update.
+    pub fn update_with(
+        &mut self,
+        pool: &ParPool,
+        chunks: usize,
+        dt: f64,
+        fluid: impl Fn([f64; 3]) -> [f64; 3] + Sync,
+    ) {
         let k = dt / self.tau;
-        for (x, v) in self.pos.iter_mut().zip(self.vel.iter_mut()) {
-            let u = fluid(*x);
-            for d in 0..3 {
-                v[d] += (u[d] - v[d]) * k;
-                x[d] += v[d] * dt;
-                if x[d] < 0.0 {
-                    x[d] = -x[d];
-                    v[d] = -v[d];
+        pool.zip_chunks_mut(&mut self.pos, &mut self.vel, chunks, |_, _, xs, vs| {
+            for (x, v) in xs.iter_mut().zip(vs.iter_mut()) {
+                let u = fluid(*x);
+                for d in 0..3 {
+                    v[d] += (u[d] - v[d]) * k;
+                    x[d] += v[d] * dt;
+                    if x[d] < 0.0 {
+                        x[d] = -x[d];
+                        v[d] = -v[d];
+                    }
+                    if x[d] > 1.0 {
+                        x[d] = 2.0 - x[d];
+                        v[d] = -v[d];
+                    }
+                    x[d] = x[d].clamp(0.0, 1.0);
                 }
-                if x[d] > 1.0 {
-                    x[d] = 2.0 - x[d];
-                    v[d] = -v[d];
-                }
-                x[d] = x[d].clamp(0.0, 1.0);
             }
-        }
+        });
     }
 
     /// Count droplets in each of `p` axial slabs — the measured

@@ -8,6 +8,7 @@
 //! solve the field (tridiagonal Poisson), gather forces, push particles
 //! (leapfrog), handle wall reflections.
 
+use cpx_par::ParPool;
 use cpx_sparse::tridiag::Tridiag;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -117,37 +118,44 @@ impl Pic1D {
 
     /// Gather the field at a position (CIC interpolation).
     pub fn field_at(&self, x: f64) -> f64 {
-        let dx = self.dx();
-        let s = (x / dx).clamp(0.0, self.cells as f64 - 1e-12);
-        let i = s as usize;
-        let f = s - i as f64;
-        self.e_field[i] * (1.0 - f) + self.e_field[i + 1] * f
+        gather_field(&self.e_field, self.dx(), self.cells, x)
     }
 
     /// One leapfrog step: kick, drift, reflect at the walls.
     pub fn push(&mut self) {
+        let pool = ParPool::current().limited(self.particles.len());
+        self.push_with(&pool, pool.chunks());
+    }
+
+    /// [`Pic1D::push`] on an explicit pool. The field is frozen for the
+    /// whole step (all particles see the same field epoch) and each
+    /// particle's kick–drift–reflect is independent, so any chunking is
+    /// bit-identical to the serial push.
+    pub fn push_with(&mut self, pool: &ParPool, chunks: usize) {
         let dt = self.dt;
         let length = self.length;
-        // Gather fields first (all particles see the same field epoch).
-        let accel: Vec<f64> = self
-            .particles
-            .iter()
-            .map(|p| -self.field_at(p.x)) // electron: a = qE/m = −E
-            .collect();
-        for (p, &a) in self.particles.iter_mut().zip(&accel) {
-            p.v += a * dt;
-            p.x += p.v * dt;
-            // Specular wall reflection.
-            if p.x < 0.0 {
-                p.x = -p.x;
-                p.v = -p.v;
+        let cells = self.cells;
+        let dx = self.dx();
+        let Pic1D {
+            particles, e_field, ..
+        } = self;
+        pool.chunks_mut(particles, chunks, |_, _, part| {
+            for p in part {
+                let a = -gather_field(e_field, dx, cells, p.x); // electron: a = qE/m = −E
+                p.v += a * dt;
+                p.x += p.v * dt;
+                // Specular wall reflection.
+                if p.x < 0.0 {
+                    p.x = -p.x;
+                    p.v = -p.v;
+                }
+                if p.x > length {
+                    p.x = 2.0 * length - p.x;
+                    p.v = -p.v;
+                }
+                p.x = p.x.clamp(0.0, length);
             }
-            if p.x > length {
-                p.x = 2.0 * length - p.x;
-                p.v = -p.v;
-            }
-            p.x = p.x.clamp(0.0, length);
-        }
+        });
     }
 
     /// One full timestep (field solve then particle push).
@@ -184,6 +192,16 @@ impl Pic1D {
     pub fn mean_position(&self) -> f64 {
         self.particles.iter().map(|p| p.x).sum::<f64>() / self.particles.len() as f64
     }
+}
+
+/// CIC field gather at position `x` from the node-centred `e_field`
+/// (free function so the parallel push can borrow the field while the
+/// particle slice is mutably chunked).
+fn gather_field(e_field: &[f64], dx: f64, cells: usize, x: f64) -> f64 {
+    let s = (x / dx).clamp(0.0, cells as f64 - 1e-12);
+    let i = s as usize;
+    let f = s - i as f64;
+    e_field[i] * (1.0 - f) + e_field[i + 1] * f
 }
 
 /// CIC deposit shared by the serial and distributed paths: electron

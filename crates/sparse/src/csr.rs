@@ -1,5 +1,7 @@
 //! Compressed sparse row matrices.
 
+use cpx_par::ParPool;
+
 use crate::coo::Coo;
 use crate::SpOpStats;
 
@@ -159,17 +161,32 @@ impl Csr {
     }
 
     /// `y = A x`. Returns the op statistics of the kernel.
+    ///
+    /// Runs on the global [`ParPool`] (`CPX_THREADS`), partitioned by
+    /// row ranges. Each row is an independent dot product written to
+    /// its own output slot, so the result is bit-identical at any
+    /// thread count.
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) -> SpOpStats {
+        let pool = ParPool::current().limited(self.nnz());
+        self.spmv_with(&pool, pool.chunks(), x, y)
+    }
+
+    /// [`Csr::spmv`] on an explicit pool with an explicit row-range
+    /// chunk count (0 clamps to 1; counts beyond `nrows` leave trailing
+    /// chunks empty).
+    pub fn spmv_with(&self, pool: &ParPool, chunks: usize, x: &[f64], y: &mut [f64]) -> SpOpStats {
         assert_eq!(x.len(), self.ncols, "spmv: x length");
         assert_eq!(y.len(), self.nrows, "spmv: y length");
-        for r in 0..self.nrows {
-            let (cols, vals) = self.row(r);
-            let mut acc = 0.0;
-            for (&c, &v) in cols.iter().zip(vals) {
-                acc += v * x[c];
+        pool.chunks_mut(y, chunks, |_, rows, y_chunk| {
+            for (yi, r) in y_chunk.iter_mut().zip(rows) {
+                let (cols, vals) = self.row(r);
+                let mut acc = 0.0;
+                for (&c, &v) in cols.iter().zip(vals) {
+                    acc += v * x[c];
+                }
+                *yi = acc;
             }
-            y[r] = acc;
-        }
+        });
         self.spmv_stats()
     }
 
@@ -190,20 +207,36 @@ impl Csr {
     /// (reordered interpolation/restriction, §IV-B): the identity rows
     /// are a copy, saving their flops and matrix reads.
     pub fn spmv_identity_top(&self, k: usize, x: &[f64], y: &mut [f64]) -> SpOpStats {
+        let pool = ParPool::current().limited(self.nnz());
+        self.spmv_identity_top_with(&pool, pool.chunks(), k, x, y)
+    }
+
+    /// [`Csr::spmv_identity_top`] on an explicit pool: the identity top
+    /// is a serial `memcpy`, the tail rows are chunk-partitioned.
+    pub fn spmv_identity_top_with(
+        &self,
+        pool: &ParPool,
+        chunks: usize,
+        k: usize,
+        x: &[f64],
+        y: &mut [f64],
+    ) -> SpOpStats {
         assert!(k <= self.nrows);
         assert_eq!(x.len(), self.ncols);
         assert_eq!(y.len(), self.nrows);
         y[..k].copy_from_slice(&x[..k]);
-        let mut tail_nnz = 0usize;
-        for r in k..self.nrows {
-            let (cols, vals) = self.row(r);
-            tail_nnz += cols.len();
-            let mut acc = 0.0;
-            for (&c, &v) in cols.iter().zip(vals) {
-                acc += v * x[c];
+        let (_, y_tail) = y.split_at_mut(k);
+        pool.chunks_mut(y_tail, chunks, |_, rows, y_chunk| {
+            for (yi, rr) in y_chunk.iter_mut().zip(rows) {
+                let (cols, vals) = self.row(k + rr);
+                let mut acc = 0.0;
+                for (&c, &v) in cols.iter().zip(vals) {
+                    acc += v * x[c];
+                }
+                *yi = acc;
             }
-            y[r] = acc;
-        }
+        });
+        let tail_nnz = self.rowptr[self.nrows] - self.rowptr[k];
         SpOpStats {
             flops: 2.0 * tail_nnz as f64,
             bytes_read: tail_nnz as f64 * 24.0 + (self.nrows - k) as f64 * 8.0 + k as f64 * 8.0,

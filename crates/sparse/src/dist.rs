@@ -77,7 +77,12 @@ impl DistCsr {
                 }
             }
         }
-        let renum = renumber_hash_merge(&halo_refs, 1);
+        // Fixed logical merge width: the renumbering table is canonical
+        // (sorted unique) for any width, but the modelled stats are keyed
+        // to it — a constant keeps traces independent of the runtime
+        // thread count.
+        const HALO_RENUMBER_WORKERS: usize = 8;
+        let renum = renumber_hash_merge(&halo_refs, HALO_RENUMBER_WORKERS);
         let halo_globals = renum.table.clone();
 
         // Build the local matrix with owned columns first, halo after.

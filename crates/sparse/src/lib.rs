@@ -32,6 +32,13 @@
 //! checksummed halo exchange whose per-peer packets are verified after
 //! assembly.
 //!
+//! The hot kernels (SpMV, SpGEMM, renumbering) execute on the
+//! `cpx-par` deterministic thread pool: chunk layout — and therefore
+//! every result bit and every modelled [`SpOpStats`] — is keyed to the
+//! chunk count, never the runtime thread count, so `CPX_THREADS=N`
+//! changes wall time only. `*_with` variants take an explicit
+//! [`cpx_par::ParPool`] for benchmarks and tests.
+//!
 //! Every kernel reports its operation counts ([`SpOpStats`]) so that
 //! trace generation is grounded in what the code actually does.
 

@@ -19,6 +19,8 @@
 
 use std::collections::HashSet;
 
+use cpx_par::ParPool;
+
 use crate::SpOpStats;
 
 /// The result of a renumbering: the ascending table of global column ids
@@ -59,28 +61,38 @@ pub fn renumber_sort(refs: &[u64]) -> Renumbering {
 /// Optimized: per-worker hash sets merged by a (simulated) parallel merge
 /// sort of the much smaller unique-id lists.
 pub fn renumber_hash_merge(refs: &[u64], workers: usize) -> Renumbering {
+    let pool = ParPool::current().limited(refs.len());
+    renumber_hash_merge_with(&pool, refs, workers)
+}
+
+/// [`renumber_hash_merge`] on an explicit pool. `workers` is the
+/// *logical* merge width (it keys both the slicing and the modelled
+/// stats); the pool only decides how many OS threads execute those
+/// logical workers, so the table and stats are identical for any pool.
+pub fn renumber_hash_merge_with(pool: &ParPool, refs: &[u64], workers: usize) -> Renumbering {
     assert!(workers >= 1);
     let chunk = refs.len().div_ceil(workers).max(1);
-    // Each worker hashes its slice of the reference stream.
-    let mut per_worker: Vec<Vec<u64>> = Vec::with_capacity(workers);
-    for w in 0..workers {
+    // Each logical worker hashes its slice of the reference stream.
+    let mut per_worker: Vec<Vec<u64>> = pool.map(workers, |w| {
         let lo = (w * chunk).min(refs.len());
         let hi = ((w + 1) * chunk).min(refs.len());
         let set: HashSet<u64> = refs[lo..hi].iter().copied().collect();
         let mut v: Vec<u64> = set.into_iter().collect();
         v.sort_unstable();
-        per_worker.push(v);
-    }
+        v
+    });
     // Merge the sorted unique lists pairwise (parallel merge sort shape).
     while per_worker.len() > 1 {
-        let mut next = Vec::with_capacity(per_worker.len().div_ceil(2));
-        let mut it = per_worker.into_iter();
-        while let Some(a) = it.next() {
-            match it.next() {
-                Some(b) => next.push(merge_dedup(&a, &b)),
-                None => next.push(a),
-            }
-        }
+        let leftover = if per_worker.len() % 2 == 1 {
+            per_worker.pop()
+        } else {
+            None
+        };
+        let pairs = per_worker.len() / 2;
+        let mut next = pool.map(pairs, |i| {
+            merge_dedup(&per_worker[2 * i], &per_worker[2 * i + 1])
+        });
+        next.extend(leftover);
         per_worker = next;
     }
     let table = per_worker.pop().unwrap_or_default();

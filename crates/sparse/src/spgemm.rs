@@ -23,8 +23,18 @@
 
 use std::collections::HashMap;
 
+use cpx_par::{chunk_ranges, ParPool};
+
 use crate::csr::Csr;
 use crate::SpOpStats;
+
+/// Default chunk count for SpGEMM call sites: one chunk per worker of
+/// the global pool. The SPA result (and its modelled stats) are
+/// independent of the chunk count, so call sites may use this freely
+/// without perturbing virtual-time traces.
+pub fn spgemm_chunks() -> usize {
+    ParPool::current().chunks()
+}
 
 /// Result of an SpGEMM: the product and the kernel's op statistics.
 #[derive(Debug, Clone)]
@@ -139,69 +149,103 @@ pub fn spgemm_twopass(a: &Csr, b: &Csr) -> SpGemmResult {
 /// storage at the end (that copy is charged in the stats). Functionally
 /// the result is independent of `chunks`.
 pub fn spgemm_spa(a: &Csr, b: &Csr, chunks: usize) -> SpGemmResult {
-    check_dims(a, b);
     assert!(chunks >= 1, "need at least one chunk");
+    let pool = ParPool::current().limited(a.nnz() + b.nnz());
+    spgemm_spa_with(&pool, a, b, chunks)
+}
+
+/// SPA scratch: dense accumulator + row-stamped marker + touched list.
+struct Spa {
+    acc: Vec<f64>,
+    marker: Vec<usize>,
+    touched: Vec<usize>,
+}
+
+impl Spa {
+    fn new(m: usize) -> Spa {
+        Spa {
+            acc: vec![0.0f64; m],
+            marker: vec![usize::MAX; m],
+            touched: Vec::new(),
+        }
+    }
+}
+
+/// One chunk of SPA rows: returns the private per-chunk CSR pieces
+/// (`rp` relative to the chunk, `ci`/`va` concatenated in row order).
+fn spa_rows(
+    a: &Csr,
+    b: &Csr,
+    rows: std::ops::Range<usize>,
+    spa: &mut Spa,
+) -> (Vec<usize>, Vec<usize>, Vec<f64>) {
+    let mut rp = Vec::with_capacity(rows.len() + 1);
+    rp.push(0usize);
+    let mut ci: Vec<usize> = Vec::new();
+    let mut va: Vec<f64> = Vec::new();
+    for r in rows {
+        spa.touched.clear();
+        let (acols, avals) = a.row(r);
+        for (&k, &av) in acols.iter().zip(avals) {
+            let (bcols, bvals) = b.row(k);
+            for (&c, &bv) in bcols.iter().zip(bvals) {
+                if spa.marker[c] != r {
+                    spa.marker[c] = r;
+                    spa.acc[c] = av * bv;
+                    spa.touched.push(c);
+                } else {
+                    spa.acc[c] += av * bv;
+                }
+            }
+        }
+        spa.touched.sort_unstable();
+        for &c in &spa.touched {
+            ci.push(c);
+            va.push(spa.acc[c]);
+        }
+        rp.push(ci.len());
+    }
+    (rp, ci, va)
+}
+
+/// [`spgemm_spa`] on an explicit pool: chunks run on the pool's workers
+/// (per-worker SPA scratch), or serially reusing one scratch when the
+/// pool is serial. Bit-identical for any pool and chunk count.
+pub fn spgemm_spa_with(pool: &ParPool, a: &Csr, b: &Csr, chunks: usize) -> SpGemmResult {
+    check_dims(a, b);
+    let chunks = chunks.max(1);
     let n = a.nrows();
     let m = b.ncols();
 
     // Per-chunk private outputs (rows are block-distributed to chunks).
-    let rows_per_chunk = n.div_ceil(chunks);
-    let mut chunk_rowptr: Vec<Vec<usize>> = Vec::with_capacity(chunks);
-    let mut chunk_colidx: Vec<Vec<usize>> = Vec::with_capacity(chunks);
-    let mut chunk_vals: Vec<Vec<f64>> = Vec::with_capacity(chunks);
-
-    // SPA: dense accumulator + row-stamped marker + touched list.
-    let mut acc = vec![0.0f64; m];
-    let mut marker = vec![usize::MAX; m];
-    let mut touched: Vec<usize> = Vec::new();
-
-    for chunk in 0..chunks {
-        let lo = chunk * rows_per_chunk;
-        let hi = ((chunk + 1) * rows_per_chunk).min(n);
-        let mut rp = Vec::with_capacity(hi.saturating_sub(lo) + 1);
-        rp.push(0usize);
-        let mut ci: Vec<usize> = Vec::new();
-        let mut va: Vec<f64> = Vec::new();
-        for r in lo..hi {
-            touched.clear();
-            let (acols, avals) = a.row(r);
-            for (&k, &av) in acols.iter().zip(avals) {
-                let (bcols, bvals) = b.row(k);
-                for (&c, &bv) in bcols.iter().zip(bvals) {
-                    if marker[c] != r {
-                        marker[c] = r;
-                        acc[c] = av * bv;
-                        touched.push(c);
-                    } else {
-                        acc[c] += av * bv;
-                    }
-                }
-            }
-            touched.sort_unstable();
-            for &c in &touched {
-                ci.push(c);
-                va.push(acc[c]);
-            }
-            rp.push(ci.len());
-        }
-        chunk_rowptr.push(rp);
-        chunk_colidx.push(ci);
-        chunk_vals.push(va);
-    }
+    let ranges = chunk_ranges(n, chunks);
+    let chunk_parts: Vec<(Vec<usize>, Vec<usize>, Vec<f64>)> = if pool.threads() <= 1 {
+        // Serial fast path: one SPA scratch reused across all chunks.
+        let mut spa = Spa::new(m);
+        ranges
+            .iter()
+            .map(|r| spa_rows(a, b, r.clone(), &mut spa))
+            .collect()
+    } else {
+        pool.map(chunks, |c| {
+            let mut spa = Spa::new(m);
+            spa_rows(a, b, ranges[c].clone(), &mut spa)
+        })
+    };
 
     // Concatenate the disjoint chunk results into contiguous CSR.
-    let nnz: usize = chunk_colidx.iter().map(Vec::len).sum();
+    let nnz: usize = chunk_parts.iter().map(|(_, ci, _)| ci.len()).sum();
     let mut rowptr = Vec::with_capacity(n + 1);
     rowptr.push(0usize);
     let mut colidx = Vec::with_capacity(nnz);
     let mut vals = Vec::with_capacity(nnz);
-    for chunk in 0..chunks {
+    for (rp, ci, va) in &chunk_parts {
         let base = colidx.len();
-        for w in chunk_rowptr[chunk].windows(2) {
+        for w in rp.windows(2) {
             rowptr.push(base + w[1]);
         }
-        colidx.extend_from_slice(&chunk_colidx[chunk]);
-        vals.extend_from_slice(&chunk_vals[chunk]);
+        colidx.extend_from_slice(ci);
+        vals.extend_from_slice(va);
     }
     // Rows beyond the last chunk boundary (when n == 0 edge case).
     while rowptr.len() < n + 1 {
@@ -225,15 +269,20 @@ pub fn spgemm_spa(a: &Csr, b: &Csr, chunks: usize) -> SpGemmResult {
 
 /// Hash-map accumulation SpGEMM (one pass; per-row `HashMap`).
 pub fn spgemm_hash(a: &Csr, b: &Csr) -> SpGemmResult {
-    check_dims(a, b);
-    let n = a.nrows();
-    let m = b.ncols();
-    let mut rowptr = Vec::with_capacity(n + 1);
-    rowptr.push(0usize);
-    let mut colidx: Vec<usize> = Vec::new();
-    let mut vals: Vec<f64> = Vec::new();
+    let pool = ParPool::current().limited(a.nnz() + b.nnz());
+    spgemm_hash_with(&pool, a, b, pool.chunks())
+}
+
+/// One chunk of hash-accumulated rows (per-chunk `HashMap`, cleared
+/// between rows). Each row's entries are sorted by column, so the
+/// concatenated output is identical for any chunking.
+fn hash_rows(a: &Csr, b: &Csr, rows: std::ops::Range<usize>) -> (Vec<usize>, Vec<usize>, Vec<f64>) {
+    let mut rp = Vec::with_capacity(rows.len() + 1);
+    rp.push(0usize);
+    let mut ci: Vec<usize> = Vec::new();
+    let mut va: Vec<f64> = Vec::new();
     let mut map: HashMap<usize, f64> = HashMap::new();
-    for r in 0..n {
+    for r in rows {
         map.clear();
         let (acols, avals) = a.row(r);
         for (&k, &av) in acols.iter().zip(avals) {
@@ -245,12 +294,42 @@ pub fn spgemm_hash(a: &Csr, b: &Csr) -> SpGemmResult {
         let mut row: Vec<(usize, f64)> = map.iter().map(|(&c, &v)| (c, v)).collect();
         row.sort_unstable_by_key(|&(c, _)| c);
         for (c, v) in row {
-            colidx.push(c);
-            vals.push(v);
+            ci.push(c);
+            va.push(v);
         }
+        rp.push(ci.len());
+    }
+    (rp, ci, va)
+}
+
+/// [`spgemm_hash`] on an explicit pool, row-chunked like the SPA
+/// variant.
+pub fn spgemm_hash_with(pool: &ParPool, a: &Csr, b: &Csr, chunks: usize) -> SpGemmResult {
+    check_dims(a, b);
+    let n = a.nrows();
+    let m = b.ncols();
+    let ranges = chunk_ranges(n, chunks);
+    let chunk_parts: Vec<(Vec<usize>, Vec<usize>, Vec<f64>)> = if pool.threads() <= 1 {
+        ranges.iter().map(|r| hash_rows(a, b, r.clone())).collect()
+    } else {
+        pool.map(ranges.len(), |c| hash_rows(a, b, ranges[c].clone()))
+    };
+    let nnz: usize = chunk_parts.iter().map(|(_, ci, _)| ci.len()).sum();
+    let mut rowptr = Vec::with_capacity(n + 1);
+    rowptr.push(0usize);
+    let mut colidx = Vec::with_capacity(nnz);
+    let mut vals = Vec::with_capacity(nnz);
+    for (rp, ci, va) in &chunk_parts {
+        let base = colidx.len();
+        for w in rp.windows(2) {
+            rowptr.push(base + w[1]);
+        }
+        colidx.extend_from_slice(ci);
+        vals.extend_from_slice(va);
+    }
+    while rowptr.len() < n + 1 {
         rowptr.push(colidx.len());
     }
-    let nnz = colidx.len();
     let work = multiply_work(a, b);
     let read_once = (a.nnz() + b.nnz()) as f64 * 16.0 + (a.nrows() + b.nrows()) as f64 * 8.0;
     let stats = SpOpStats {

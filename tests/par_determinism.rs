@@ -1,0 +1,164 @@
+//! Cross-cutting determinism properties of the `cpx-par` kernel layer.
+//!
+//! The contract: for a fixed chunk count, every threaded kernel is
+//! **bit-identical** to its serial execution for *any* thread count —
+//! including adversarial chunk counts (0, 1, more chunks than rows).
+//! These tests drive the explicit-pool `*_with` variants so they can
+//! sweep thread counts without mutating process-global pool state.
+
+use proptest::prelude::*;
+
+use cpx_par::ParPool;
+use cpx_pressure::spray::SprayCloud;
+use cpx_simpic::config::SimpicConfig;
+use cpx_simpic::pic::Pic1D;
+use cpx_sparse::coo::Coo;
+use cpx_sparse::csr::Csr;
+use cpx_sparse::renumber::renumber_hash_merge_with;
+use cpx_sparse::spgemm::{spgemm_hash_with, spgemm_spa_with};
+
+const THREADS: &[usize] = &[1, 2, 4, 8];
+
+/// Strategy: a random sparse matrix as (nrows, ncols, triplets).
+fn arb_csr(max_dim: usize, max_nnz: usize) -> impl Strategy<Value = Csr> {
+    (1..max_dim, 1..max_dim).prop_flat_map(move |(nr, nc)| {
+        proptest::collection::vec((0..nr, 0..nc, -100i32..100), 0..max_nnz).prop_map(move |trips| {
+            let mut coo = Coo::new(nr, nc);
+            for (r, c, v) in trips {
+                coo.push(r, c, v as f64 * 0.25);
+            }
+            coo.to_csr()
+        })
+    })
+}
+
+/// Adversarial chunk counts for a problem with `n` rows/items: zero
+/// (clamped to one), one, a few, and more chunks than items.
+fn chunk_counts(n: usize) -> [usize; 4] {
+    [0, 1, 3, n + 7]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn spmv_bit_identical(a in arb_csr(24, 100)) {
+        let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64).sin()).collect();
+        let mut y_ref = vec![0.0; a.nrows()];
+        a.spmv_with(&ParPool::serial(), 1, &x, &mut y_ref);
+        for &t in THREADS {
+            for chunks in chunk_counts(a.nrows()) {
+                let mut y = vec![0.0; a.nrows()];
+                a.spmv_with(&ParPool::with_threads(t), chunks, &x, &mut y);
+                prop_assert_eq!(&y, &y_ref, "threads={} chunks={}", t, chunks);
+            }
+        }
+    }
+
+    #[test]
+    fn spmv_identity_top_bit_identical(a in arb_csr(24, 100), kf in 0.0f64..1.0) {
+        // Square it so the identity-top contract (x and y same length)
+        // holds.
+        let a = spgemm_spa_with(&ParPool::serial(), &a.transpose(), &a, 1).product;
+        let k = (kf * a.nrows() as f64) as usize;
+        let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64).cos()).collect();
+        let mut y_ref = vec![0.0; a.nrows()];
+        a.spmv_identity_top_with(&ParPool::serial(), 1, k, &x, &mut y_ref);
+        for &t in THREADS {
+            for chunks in chunk_counts(a.nrows()) {
+                let mut y = vec![0.0; a.nrows()];
+                a.spmv_identity_top_with(&ParPool::with_threads(t), chunks, k, &x, &mut y);
+                prop_assert_eq!(&y, &y_ref, "threads={} chunks={}", t, chunks);
+            }
+        }
+    }
+
+    #[test]
+    fn spgemm_spa_bit_identical(seed in 0u64..500) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (n, k, m) = (
+            rng.gen_range(1..20usize),
+            rng.gen_range(1..20usize),
+            rng.gen_range(1..20usize),
+        );
+        let mut ca = Coo::new(n, k);
+        let mut cb = Coo::new(k, m);
+        for _ in 0..rng.gen_range(0..60) {
+            ca.push(rng.gen_range(0..n), rng.gen_range(0..k), rng.gen_range(-2.0..2.0));
+        }
+        for _ in 0..rng.gen_range(0..60) {
+            cb.push(rng.gen_range(0..k), rng.gen_range(0..m), rng.gen_range(-2.0..2.0));
+        }
+        let (a, b) = (ca.to_csr(), cb.to_csr());
+        let reference = spgemm_spa_with(&ParPool::serial(), &a, &b, 1).product;
+        for &t in THREADS {
+            for chunks in chunk_counts(n) {
+                let spa = spgemm_spa_with(&ParPool::with_threads(t), &a, &b, chunks).product;
+                prop_assert_eq!(&spa, &reference, "spa threads={} chunks={}", t, chunks);
+                let hash = spgemm_hash_with(&ParPool::with_threads(t), &a, &b, chunks).product;
+                prop_assert_eq!(&hash, &reference, "hash threads={} chunks={}", t, chunks);
+            }
+        }
+    }
+
+    #[test]
+    fn renumber_bit_identical(refs in proptest::collection::vec(0u64..600, 0..500), workers in 1usize..17) {
+        let reference = renumber_hash_merge_with(&ParPool::serial(), &refs, workers);
+        for &t in THREADS {
+            let r = renumber_hash_merge_with(&ParPool::with_threads(t), &refs, workers);
+            prop_assert_eq!(&r.table, &reference.table, "threads={}", t);
+            // The modelled stats are keyed to `workers`, not the pool.
+            prop_assert_eq!(r.stats, reference.stats, "threads={}", t);
+        }
+    }
+
+    #[test]
+    fn hybrid_gs_sweep_bit_identical(n in 2usize..40, blocks in 0usize..50) {
+        use cpx_amg::Smoother;
+        let a = Csr::poisson1d(n);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let smoother = Smoother::HybridGaussSeidel { blocks: blocks.max(1) };
+        let mut x_ref: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        smoother.sweep_with(&ParPool::serial(), &a, &b, &mut x_ref);
+        for &t in THREADS {
+            let mut x: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+            smoother.sweep_with(&ParPool::with_threads(t), &a, &b, &mut x);
+            prop_assert_eq!(&x, &x_ref, "threads={}", t);
+        }
+    }
+
+    #[test]
+    fn particle_push_bit_identical(cells in 8usize..64, seed in 0u64..100) {
+        let cfg = SimpicConfig::base_28m().functional(cells, 5);
+        let mut pic = Pic1D::quiet_start(&cfg, 0.02, seed);
+        pic.solve_field();
+        let frozen = pic.clone();
+        let mut reference = frozen.clone();
+        reference.push_with(&ParPool::serial(), 1);
+        for &t in THREADS {
+            for chunks in chunk_counts(frozen.particles.len()) {
+                let mut p = frozen.clone();
+                p.push_with(&ParPool::with_threads(t), chunks);
+                prop_assert_eq!(&p.particles, &reference.particles,
+                    "threads={} chunks={}", t, chunks);
+            }
+        }
+    }
+
+    #[test]
+    fn spray_update_bit_identical(n in 1usize..3000, seed in 0u64..100) {
+        let frozen = SprayCloud::inject(n, seed);
+        let fluid = |x: [f64; 3]| [1.0 - x[1], 0.1 * x[0], -0.2 * x[2]];
+        let mut reference = frozen.clone();
+        reference.update_with(&ParPool::serial(), 1, 0.01, fluid);
+        for &t in THREADS {
+            for chunks in chunk_counts(n) {
+                let mut c = frozen.clone();
+                c.update_with(&ParPool::with_threads(t), chunks, 0.01, fluid);
+                prop_assert_eq!(&c.pos, &reference.pos, "threads={} chunks={}", t, chunks);
+                prop_assert_eq!(&c.vel, &reference.vel, "threads={} chunks={}", t, chunks);
+            }
+        }
+    }
+}

@@ -1,10 +1,14 @@
 //! Offline vendored stand-in for the `crossbeam` crate.
 //!
-//! The workspace uses only `crossbeam::channel::{unbounded, Sender,
-//! Receiver}` (plus the error types), and since Rust 1.72
-//! `std::sync::mpsc` channels are `Sync` senders backed by the same
-//! crossbeam queue algorithm upstream — so this stub simply re-exports
-//! std's channels under the crossbeam paths.
+//! The workspace uses `crossbeam::channel::{unbounded, Sender,
+//! Receiver}` (plus the error types) and `crossbeam::thread::scope`.
+//! Since Rust 1.72 `std::sync::mpsc` channels are `Sync` senders backed
+//! by the same crossbeam queue algorithm upstream, and since Rust 1.63
+//! `std::thread::scope` provides the same structured-concurrency
+//! guarantee crossbeam's scoped threads pioneered (every spawned thread
+//! is joined before `scope` returns, so non-`'static` borrows may cross
+//! into workers) — so this stub simply re-exports std under the
+//! crossbeam paths.
 
 pub mod channel {
     pub use std::sync::mpsc::{
@@ -15,6 +19,13 @@ pub mod channel {
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         std::sync::mpsc::channel()
     }
+}
+
+/// Scoped threads (the subset `cpx-par` uses), std-shaped: `scope(|s| {
+/// s.spawn(|| ...); })` joins every spawned thread before returning,
+/// which is what lets workers borrow stack data from the caller.
+pub mod thread {
+    pub use std::thread::{scope, Scope, ScopedJoinHandle};
 }
 
 #[cfg(test)]
@@ -43,6 +54,18 @@ mod tests {
         let (tx, rx) = unbounded::<u32>();
         drop(rx);
         assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn scope_joins_and_allows_borrows() {
+        let data = [1u32, 2, 3, 4];
+        let mut partials = [0u32; 2];
+        let (lo, hi) = partials.split_at_mut(1);
+        super::thread::scope(|s| {
+            s.spawn(|| lo[0] = data[..2].iter().sum());
+            s.spawn(|| hi[0] = data[2..].iter().sum());
+        });
+        assert_eq!(partials, [3, 7]);
     }
 
     #[test]
