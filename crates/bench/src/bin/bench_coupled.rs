@@ -49,6 +49,7 @@ fn main() {
         .collect();
 
     let doc = Json::obj(vec![
+        ("schema_version", Json::Num(1.0)),
         ("case", Json::Str(scenario.name.clone())),
         ("world_size", Json::Num(alloc.total_ranks() as f64)),
         ("sample_iters", Json::Num(sample_iters as f64)),

@@ -18,8 +18,8 @@
 
 use std::time::Instant;
 
-use cpx_obs::Json;
-use cpx_par::ParPool;
+use cpx_obs::{Json, KernelIntensity, OpCounts};
+use cpx_par::{with_telemetry, ParPool, PoolTelemetry};
 use cpx_perfmodel::MeasuredScaling;
 use cpx_pressure::spray::SprayCloud;
 use cpx_simpic::config::SimpicConfig;
@@ -38,10 +38,18 @@ const THREADS: &[usize] = &[1, 2, 4, 8];
 /// bit-identity directly.
 const CHUNKS: usize = 8;
 
+/// Version of the `BENCH_kernels.json` schema (see EXPERIMENTS.md).
+const SCHEMA_VERSION: u32 = 1;
+
 struct KernelReport {
     name: &'static str,
     samples: Vec<(usize, f64)>,
     bit_identical: bool,
+    /// What one timed invocation does, as reported by the kernel.
+    ops: OpCounts,
+    /// Per-worker chunk telemetry from one instrumented run at the
+    /// widest thread count.
+    telemetry: PoolTelemetry,
 }
 
 fn median(mut times: Vec<f64>) -> f64 {
@@ -49,11 +57,23 @@ fn median(mut times: Vec<f64>) -> f64 {
     times[times.len() / 2].max(1e-9)
 }
 
+/// Join a sparse kernel's own [`cpx_sparse::SpOpStats`] with the stored
+/// entry count it touched.
+fn sp_ops(stats: cpx_sparse::SpOpStats, nnz: usize) -> OpCounts {
+    OpCounts {
+        flops: stats.flops,
+        bytes_read: stats.bytes_read,
+        bytes_written: stats.bytes_written,
+        nnz: nnz as f64,
+    }
+}
+
 /// Time `run(pool)` at every thread count and check `check(pool)`
 /// equals `check(serial)` bitwise.
 fn bench<R: PartialEq>(
     name: &'static str,
     reps: usize,
+    ops: OpCounts,
     mut run: impl FnMut(&ParPool),
     mut check: impl FnMut(&ParPool) -> R,
 ) -> KernelReport {
@@ -74,10 +94,17 @@ fn bench<R: PartialEq>(
             .collect();
         samples.push((t, median(times)));
     }
+    // One instrumented run at the widest thread count for the
+    // per-worker utilization stats (observational only: the chunk →
+    // worker assignment is unchanged).
+    let widest_pool = ParPool::with_threads(*THREADS.last().unwrap());
+    let ((), telemetry) = with_telemetry(|| run(&widest_pool));
     KernelReport {
         name,
         samples,
         bit_identical,
+        ops,
+        telemetry,
     }
 }
 
@@ -104,9 +131,12 @@ fn main() {
         };
         let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64).sin()).collect();
         let mut y = vec![0.0; a.nrows()];
+        let stats = a.spmv_with(&ParPool::serial(), CHUNKS, &x, &mut y);
+        let ops = sp_ops(stats, a.nnz());
         reports.push(bench(
             "spmv",
             reps,
+            ops,
             |pool| {
                 a.spmv_with(pool, CHUNKS, &x, &mut y);
             },
@@ -128,9 +158,12 @@ fn main() {
         let k = a.nrows() / 2;
         let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64).cos()).collect();
         let mut y = vec![0.0; a.nrows()];
+        let stats = a.spmv_identity_top_with(&ParPool::serial(), CHUNKS, k, &x, &mut y);
+        let ops = sp_ops(stats, a.nnz());
         reports.push(bench(
             "spmv_identity_top",
             reps,
+            ops,
             |pool| {
                 a.spmv_identity_top_with(pool, CHUNKS, k, &x, &mut y);
             },
@@ -149,9 +182,14 @@ fn main() {
         } else {
             Csr::poisson2d(192, 192)
         };
+        let spa = spgemm_spa_with(&ParPool::serial(), &a, &a, CHUNKS);
+        let spa_ops = sp_ops(spa.stats, spa.product.nnz());
+        let hash = spgemm_hash_with(&ParPool::serial(), &a, &a, CHUNKS);
+        let hash_ops = sp_ops(hash.stats, hash.product.nnz());
         reports.push(bench(
             "spgemm_spa",
             reps,
+            spa_ops,
             |pool| {
                 spgemm_spa_with(pool, &a, &a, CHUNKS);
             },
@@ -160,6 +198,7 @@ fn main() {
         reports.push(bench(
             "spgemm_hash",
             reps,
+            hash_ops,
             |pool| {
                 spgemm_hash_with(pool, &a, &a, CHUNKS);
             },
@@ -174,9 +213,21 @@ fn main() {
         let refs: Vec<u64> = (0..n).map(|_| rng.gen_range(0..60_000)).collect();
         // Logical merge width fixed at 16: the table (and stats) are
         // keyed to it, the pool only maps it onto threads.
+        // Integer hash/merge kernel: no flops; traffic is the reference
+        // stream in and the merged table out, `nnz` the refs touched.
+        let table_len = renumber_hash_merge_with(&ParPool::serial(), &refs, 16)
+            .table
+            .len();
+        let ops = OpCounts {
+            flops: 0.0,
+            bytes_read: 8.0 * refs.len() as f64,
+            bytes_written: 8.0 * table_len as f64,
+            nnz: refs.len() as f64,
+        };
         reports.push(bench(
             "renumber_hash_merge",
             reps,
+            ops,
             |pool| {
                 renumber_hash_merge_with(pool, &refs, 16);
             },
@@ -195,9 +246,12 @@ fn main() {
         let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
         let smoother = cpx_amg::Smoother::HybridGaussSeidel { blocks: 16 };
         let mut x = vec![0.0; n];
+        let stats = smoother.sweep_with(&ParPool::serial(), &a, &b, &mut x);
+        let ops = sp_ops(stats, a.nnz());
         reports.push(bench(
             "hybrid_gs_sweep",
             reps,
+            ops,
             |pool| {
                 smoother.sweep_with(pool, &a, &b, &mut x);
             },
@@ -220,9 +274,11 @@ fn main() {
         let mut pic = Pic1D::quiet_start(&cfg, 0.02, 7);
         pic.solve_field();
         let frozen = pic.clone();
+        let ops = pic.push_counts();
         reports.push(bench(
             "particle_push",
             reps,
+            ops,
             |pool| {
                 pic.push_with(pool, CHUNKS);
             },
@@ -240,9 +296,11 @@ fn main() {
         let mut cloud = SprayCloud::inject(n, 11);
         let frozen = cloud.clone();
         let fluid = |x: [f64; 3]| [1.0 - x[1], 0.1 * x[0], 0.0];
+        let ops = cloud.update_counts();
         reports.push(bench(
             "spray_update",
             reps,
+            ops,
             |pool| {
                 cloud.update_with(pool, CHUNKS, 0.01, fluid);
             },
@@ -278,6 +336,28 @@ fn main() {
                 .iter()
                 .find(|&&(t, _)| t == 4)
                 .map_or(0.0, |&(_, s)| base / s);
+            // Roofline summary: the kernel's self-reported op counts
+            // joined with the 1-thread median.
+            let roofline = KernelIntensity::new(r.name, r.ops, base).to_json();
+            let tel = &r.telemetry;
+            let utilization = Json::obj(vec![
+                ("workers", Json::Num(tel.workers as f64)),
+                ("chunks", Json::Num(tel.chunks.len() as f64)),
+                ("utilization", Json::Num(tel.utilization())),
+                ("imbalance", Json::Num(tel.imbalance())),
+                (
+                    "worker_busy_p50_s",
+                    Json::Num(tel.worker_busy_percentile(50.0)),
+                ),
+                (
+                    "worker_busy_p95_s",
+                    Json::Num(tel.worker_busy_percentile(95.0)),
+                ),
+                (
+                    "worker_busy_p99_s",
+                    Json::Num(tel.worker_busy_percentile(99.0)),
+                ),
+            ]);
             Json::obj(vec![
                 ("name", Json::Str(r.name.to_string())),
                 ("bit_identical", Json::Bool(r.bit_identical)),
@@ -292,11 +372,14 @@ fn main() {
                         ("d", Json::Num(curve.d)),
                     ]),
                 ),
+                ("roofline", roofline),
+                ("utilization", utilization),
             ])
         })
         .collect();
 
     let doc = Json::obj(vec![
+        ("schema_version", Json::Num(SCHEMA_VERSION as f64)),
         ("smoke", Json::Bool(smoke)),
         ("reps", Json::Num(reps as f64)),
         ("chunks", Json::Num(CHUNKS as f64)),
@@ -323,6 +406,19 @@ fn main() {
                 base / s / t as f64
             );
         }
+        let tel = &r.telemetry;
+        println!(
+            "{:<21} util {:>5.1}%  imbalance {:>4.2}  worker busy p50/p95/p99 \
+             {:.6}/{:.6}/{:.6} s  ({} workers, {} chunks)",
+            "",
+            tel.utilization() * 100.0,
+            tel.imbalance(),
+            tel.worker_busy_percentile(50.0),
+            tel.worker_busy_percentile(95.0),
+            tel.worker_busy_percentile(99.0),
+            tel.workers,
+            tel.chunks.len()
+        );
         if !r.bit_identical {
             all_identical = false;
             println!(

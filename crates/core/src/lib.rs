@@ -45,7 +45,7 @@ pub mod prelude {
     pub use crate::instance::{AppInstance, AppKind, CuSpec, FaultScenario, Scenario, StcVariant};
     pub use crate::model::{self, ScenarioModels};
     pub use crate::profile::{PhaseProfile, PhaseRow};
-    pub use crate::report::markdown_report;
+    pub use crate::report::{markdown_report, validation_markdown};
     pub use crate::sdc::{SdcInjection, SdcPolicy, SdcSite};
     pub use crate::sim::{self, CoupledRun};
     pub use crate::testcases;

@@ -5,7 +5,7 @@
 //! machine would archive next to its job logs. Used by the examples and
 //! handy for diffing studies across calibrations.
 
-use cpx_perfmodel::Allocation;
+use cpx_perfmodel::{Allocation, ValidationReport};
 
 use crate::instance::Scenario;
 use crate::profile::PhaseProfile;
@@ -227,6 +227,58 @@ pub fn markdown_report_with(
     r.finish()
 }
 
+/// Render a predicted-vs-measured validation report (the Fig-9a check)
+/// as a standalone markdown document: one row per kernel with in-sample
+/// MAPE, signed bias and the holdout-extrapolation error, then the
+/// coupled lane.
+pub fn validation_markdown(v: &ValidationReport) -> String {
+    let mut r = Report::titled("Model validation: predicted vs measured");
+    r.bullet(format!(
+        "kernels validated: **{}** (mean MAPE {:.2}%)",
+        v.kernels.len(),
+        v.overall_kernel_mape()
+    ));
+    if let Some(worst) = v.worst_kernel() {
+        r.bullet(format!(
+            "hardest to predict: **{}** (MAPE {:.2}%)",
+            worst.name,
+            worst.mape()
+        ));
+    }
+
+    if !v.kernels.is_empty() {
+        r.section("Kernel thread-scaling predictions");
+        r.table_header(&["kernel", "points", "MAPE", "signed bias", "holdout error"]);
+        for k in &v.kernels {
+            r.table_row(&[
+                k.name.clone(),
+                format!("{}", k.pairs.len()),
+                format!("{:.2}%", k.mape()),
+                format!("{:+.2}%", k.signed_bias()),
+                match &k.holdout {
+                    Some(h) => format!("{:+.2}% at {} threads", h.signed_pe(), h.threads),
+                    None => "n/a".to_string(),
+                },
+            ]);
+        }
+    }
+
+    if !v.coupled.is_empty() {
+        r.section("Coupled-run predictions (Alg 1)");
+        r.table_header(&["case", "predicted (s)", "measured (s)", "error"]);
+        for p in &v.coupled {
+            r.table_row(&[
+                p.label.clone(),
+                format!("{:.3}", p.predicted),
+                format!("{:.3}", p.measured),
+                format!("{:+.2}%", p.signed_pe()),
+            ]);
+        }
+        r.bullet(format!("coupled MAPE: **{:.2}%**", v.coupled_mape()));
+    }
+    r.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,6 +375,27 @@ mod tests {
             md,
             "# Study\n\n- one\n\n## Table\n\n| a | b |\n|---|---|\n| 1 | 2 |\n\n## Notes\n\n- fine\n"
         );
+    }
+
+    #[test]
+    fn validation_markdown_lists_kernels_and_coupled_lane() {
+        use cpx_perfmodel::{KernelValidation, MeasuredScaling, PredictionPair};
+
+        let v = ValidationReport {
+            kernels: vec![KernelValidation::from_scaling(&MeasuredScaling::new(
+                "spmv",
+                vec![(1, 1.0), (2, 0.52), (4, 0.28), (8, 0.16)],
+            ))],
+            coupled: vec![PredictionPair::new("base_28m", 64, 2.0, 2.1)],
+        };
+        let md = validation_markdown(&v);
+        assert!(md.starts_with("# Model validation"));
+        assert!(md.contains("## Kernel thread-scaling predictions"));
+        assert!(md.contains("| spmv | 4 |"));
+        assert!(md.contains("holdout"));
+        assert!(md.contains("## Coupled-run predictions"));
+        assert!(md.contains("base_28m"));
+        assert!(md.contains("coupled MAPE"));
     }
 
     #[test]

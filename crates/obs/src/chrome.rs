@@ -10,20 +10,63 @@
 //!
 //! [trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
 
-use std::fmt::Write as _;
-
+use crate::json::escape_str;
 use crate::TraceSession;
 
 /// Render a session as Chrome trace-event JSON (`{"traceEvents":[...]}`).
 pub fn chrome_trace_json(session: &TraceSession) -> String {
     let mut out = String::from("{\"traceEvents\":[\n");
     let mut first = true;
+    push_session_events(&mut out, &mut first, session, 1, None);
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Render a *dual-lane* Chrome trace: the virtual-time session as
+/// process 1 and the wall-clock session for the same run as process 2,
+/// so the two clocks can be inspected side by side in Perfetto. Each
+/// process carries a `process_name` metadata record (`virtual time` /
+/// `wall clock`); lanes within a process are ranks as usual.
+pub fn dual_chrome_trace_json(virtual_session: &TraceSession, wall: &TraceSession) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    push_session_events(
+        &mut out,
+        &mut first,
+        virtual_session,
+        1,
+        Some("virtual time"),
+    );
+    push_session_events(&mut out, &mut first, wall, 2, Some("wall clock"));
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Emit one session's metadata, span and counter events under `pid`.
+fn push_session_events(
+    out: &mut String,
+    first: &mut bool,
+    session: &TraceSession,
+    pid: u32,
+    process_name: Option<&str>,
+) {
+    if let Some(pname) = process_name {
+        push_event(
+            out,
+            first,
+            &format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"name\":\"process_name\",\
+                 \"args\":{{\"name\":{}}}}}",
+                escape_str(pname)
+            ),
+        );
+    }
     for lane in &session.lanes {
         push_event(
-            &mut out,
-            &mut first,
+            out,
+            first,
             &format!(
-                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{},\"name\":\"thread_name\",\
                  \"args\":{{\"name\":\"rank {}\"}}}}",
                 lane.rank, lane.rank
             ),
@@ -42,28 +85,26 @@ pub fn chrome_trace_json(session: &TraceSession) -> String {
         });
         for span in spans {
             let ev = format!(
-                "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"name\":{}}}",
+                "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{},\"ts\":{},\"dur\":{},\"name\":{}}}",
                 lane.rank,
                 micros(span.start),
                 micros(span.duration()),
-                escape(&span.name)
+                escape_str(&span.name)
             );
-            push_event(&mut out, &mut first, &ev);
+            push_event(out, first, &ev);
         }
         for (name, value) in &lane.counters {
             let ev = format!(
-                "{{\"ph\":\"C\",\"pid\":1,\"tid\":{},\"ts\":{},\"name\":{},\
+                "{{\"ph\":\"C\",\"pid\":{pid},\"tid\":{},\"ts\":{},\"name\":{},\
                  \"args\":{{\"value\":{}}}}}",
                 lane.rank,
                 micros(lane.finish),
-                escape(name),
+                escape_str(name),
                 value
             );
-            push_event(&mut out, &mut first, &ev);
+            push_event(out, first, &ev);
         }
     }
-    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
-    out
 }
 
 fn push_event(out: &mut String, first: &mut bool, ev: &str) {
@@ -81,12 +122,6 @@ fn micros(secs: f64) -> String {
         s.truncate(s.len() - 4);
     }
     s
-}
-
-fn escape(s: &str) -> String {
-    let mut out = String::new();
-    let _ = write!(out, "{s:?}");
-    out
 }
 
 #[cfg(test)]
@@ -136,5 +171,30 @@ mod tests {
         assert_eq!(micros(0.0), "0");
         assert_eq!(micros(1.0), "1000000");
         assert_eq!(micros(2.5e-6), "2.500");
+    }
+
+    #[test]
+    fn dual_trace_separates_processes_and_names_them() {
+        let virt = sample();
+        let mut w = RankRecorder::on();
+        w.begin("step", 0.0);
+        w.end(2e-5);
+        let wall = TraceSession::new(vec![w.into_timeline(0, 2e-5)]);
+        let text = dual_chrome_trace_json(&virt, &wall);
+        let v = crate::Json::parse(&text).expect("valid JSON");
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        let pids: Vec<f64> = events
+            .iter()
+            .filter_map(|e| e.get("pid").and_then(crate::Json::as_f64))
+            .collect();
+        assert!(pids.contains(&1.0) && pids.contains(&2.0));
+        let names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(crate::Json::as_str) == Some("process_name"))
+            .filter_map(|e| e.get("args").unwrap().get("name").unwrap().as_str())
+            .collect();
+        assert_eq!(names, vec!["virtual time", "wall clock"]);
+        // Byte-deterministic like the single-lane export.
+        assert_eq!(text, dual_chrome_trace_json(&sample(), &wall));
     }
 }

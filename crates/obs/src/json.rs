@@ -98,7 +98,7 @@ impl Json {
             Json::Null => out.push_str("null"),
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Json::Num(x) => write_num(*x, out),
-            Json::Str(s) => write_str(s, out),
+            Json::Str(s) => write_escaped_str(s, out),
             Json::Arr(items) => {
                 out.push('[');
                 for (i, item) in items.iter().enumerate() {
@@ -115,7 +115,7 @@ impl Json {
                     if i > 0 {
                         out.push(',');
                     }
-                    write_str(k, out);
+                    write_escaped_str(k, out);
                     out.push(':');
                     v.write_into(out);
                 }
@@ -146,7 +146,7 @@ impl Json {
                         out.push_str(",\n");
                     }
                     push_indent(out, indent + 1);
-                    write_str(k, out);
+                    write_escaped_str(k, out);
                     out.push_str(": ");
                     v.write_pretty_into(out, indent + 1);
                 }
@@ -193,7 +193,15 @@ fn write_num(x: f64, out: &mut String) {
     }
 }
 
-fn write_str(s: &str, out: &mut String) {
+/// Append `s` to `out` as a quoted JSON string literal.
+///
+/// This is the single escaping routine every exporter in the crate goes
+/// through (the [`Json`] writer and the Chrome trace exporter), so a
+/// given name renders identically no matter which artifact it lands in.
+/// Non-ASCII characters pass through verbatim (JSON is UTF-8); only the
+/// characters JSON *requires* escaped — the quote, the backslash and
+/// control characters — are rewritten.
+pub fn write_escaped_str(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -209,6 +217,13 @@ fn write_str(s: &str, out: &mut String) {
         }
     }
     out.push('"');
+}
+
+/// [`write_escaped_str`] into a fresh `String`.
+pub fn escape_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    write_escaped_str(s, &mut out);
+    out
 }
 
 /// Parse/convert error with byte offset (offset 0 for conversion errors).
@@ -584,6 +599,34 @@ mod tests {
         assert!(Json::parse("[1,]").is_err());
         assert!(Json::parse("12 34").is_err());
         assert!(Json::parse("\"open").is_err());
+    }
+
+    #[test]
+    fn escape_handles_control_characters() {
+        assert_eq!(escape_str("a\"b"), r#""a\"b""#);
+        assert_eq!(escape_str("back\\slash"), r#""back\\slash""#);
+        assert_eq!(escape_str("nl\ncr\rtab\t"), r#""nl\ncr\rtab\t""#);
+        // Other control characters become \u escapes.
+        assert_eq!(escape_str("\u{1}\u{1f}"), r#""\u0001\u001f""#);
+        // NUL included.
+        assert_eq!(escape_str("\0"), r#""\u0000""#);
+    }
+
+    #[test]
+    fn escape_passes_non_ascii_through() {
+        assert_eq!(escape_str("café"), "\"café\"");
+        assert_eq!(escape_str("Δt µs"), "\"Δt µs\"");
+        assert_eq!(escape_str("😀"), "\"😀\"");
+        // DEL (0x7f) is not a JSON control character; pass through.
+        assert_eq!(escape_str("\u{7f}"), "\"\u{7f}\"");
+    }
+
+    #[test]
+    fn escaped_strings_round_trip_through_parser() {
+        for s in ["a\"b\\c", "\u{1}\t\n", "café 😀", "rank 3;level 0"] {
+            let v = Json::Str(s.to_string());
+            assert_eq!(Json::parse(&v.write()).unwrap(), v, "round trip of {s:?}");
+        }
     }
 
     #[test]

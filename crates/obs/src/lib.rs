@@ -39,6 +39,17 @@
 //!
 //! When constructed with [`RankRecorder::off`] every method is a
 //! branch-on-a-bool no-op: no allocation, no formatting, no clock math.
+//!
+//! ## Wall clock
+//!
+//! [`wall::WallRecorder`] is the monotonic-clock sibling of
+//! [`RankRecorder`] — same API and on/off contract, timestamps sampled
+//! from [`std::time::Instant`] instead of a virtual clock. It seals
+//! into the same timeline/session types so every exporter works on wall
+//! traces, and [`chrome::dual_chrome_trace_json`] renders the virtual
+//! and wall views of one run side by side. [`roofline::KernelIntensity`]
+//! joins kernel-reported operation counts ([`roofline::OpCounts`]) with
+//! measured wall times into roofline-style achieved-rate summaries.
 
 use std::borrow::Cow;
 use std::collections::BTreeMap;
@@ -47,11 +58,15 @@ pub mod chrome;
 pub mod flame;
 pub mod json;
 pub mod metrics;
+pub mod roofline;
+pub mod wall;
 
-pub use chrome::chrome_trace_json;
+pub use chrome::{chrome_trace_json, dual_chrome_trace_json};
 pub use flame::collapsed_stacks;
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use metrics::{metrics_json, phase_stats, PhaseStats};
+pub use roofline::{KernelIntensity, OpCounts};
+pub use wall::WallRecorder;
 
 /// Span names are either static strings (the common, allocation-free
 /// case) or owned strings for dynamic labels like `"level 3"`.

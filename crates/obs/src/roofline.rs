@@ -1,0 +1,197 @@
+//! Roofline-style kernel summaries.
+//!
+//! The hot kernels report what they *did* — flops, bytes moved, stored
+//! entries (or particles/droplets) touched — and the wall-clock layer
+//! reports how long it *took*. [`KernelIntensity`] joins the two into
+//! the numbers a roofline plot wants: arithmetic intensity (flops per
+//! byte), achieved flop rate and achieved memory bandwidth. cfdSCOPE
+//! popularised exactly this kind of inspectability for proxy apps; here
+//! it feeds the `BENCH_kernels.json` / `BENCH_validation.json`
+//! artifacts so prediction error can be traced back to whether a kernel
+//! is compute- or bandwidth-bound.
+
+use crate::Json;
+
+/// Operation counts for one kernel invocation, as reported by the
+/// kernel itself (not sampled): the ground truth the roofline summary
+/// and the virtual work-model clocks share.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OpCounts {
+    /// Floating-point operations performed.
+    pub flops: f64,
+    /// Bytes read from memory.
+    pub bytes_read: f64,
+    /// Bytes written to memory.
+    pub bytes_written: f64,
+    /// Stored entries touched: matrix nonzeros for sparse kernels,
+    /// particles for the PIC push, droplets for the spray update.
+    pub nnz: f64,
+}
+
+impl OpCounts {
+    /// Total memory traffic.
+    pub fn bytes(&self) -> f64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Arithmetic intensity in flops per byte of traffic (0 when the
+    /// kernel moved no bytes).
+    pub fn intensity(&self) -> f64 {
+        let bytes = self.bytes();
+        if bytes > 0.0 {
+            self.flops / bytes
+        } else {
+            0.0
+        }
+    }
+
+    /// Counts scaled by `k` (e.g. per-iteration counts × iterations).
+    pub fn scaled(&self, k: f64) -> OpCounts {
+        OpCounts {
+            flops: self.flops * k,
+            bytes_read: self.bytes_read * k,
+            bytes_written: self.bytes_written * k,
+            nnz: self.nnz * k,
+        }
+    }
+}
+
+/// A kernel's operation counts joined with a measured wall time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelIntensity {
+    /// Kernel name (e.g. `"spmv"`).
+    pub name: String,
+    /// What one timed invocation did.
+    pub ops: OpCounts,
+    /// Measured wall seconds of that invocation.
+    pub seconds: f64,
+}
+
+impl KernelIntensity {
+    /// Join counts and a measured time. `seconds` must be positive.
+    pub fn new(name: &str, ops: OpCounts, seconds: f64) -> KernelIntensity {
+        assert!(seconds > 0.0, "measured time must be positive");
+        KernelIntensity {
+            name: name.to_string(),
+            ops,
+            seconds,
+        }
+    }
+
+    /// Arithmetic intensity (flops/byte).
+    pub fn intensity(&self) -> f64 {
+        self.ops.intensity()
+    }
+
+    /// Achieved flop rate in GFLOP/s.
+    pub fn gflops(&self) -> f64 {
+        self.ops.flops / self.seconds / 1e9
+    }
+
+    /// Achieved memory bandwidth in GB/s.
+    pub fn gbps(&self) -> f64 {
+        self.ops.bytes() / self.seconds / 1e9
+    }
+
+    /// Stored entries processed per second (nnz/s, particles/s, ...).
+    pub fn nnz_rate(&self) -> f64 {
+        self.ops.nnz / self.seconds
+    }
+
+    /// Is the kernel bandwidth-bound on a machine with the given peak
+    /// flop rate and bandwidth (i.e. left of the roofline ridge)?
+    pub fn bandwidth_bound(&self, peak_flops: f64, peak_bytes_per_sec: f64) -> bool {
+        self.intensity() < peak_flops / peak_bytes_per_sec
+    }
+
+    /// Render as a JSON object for the benchmark artifacts.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("flops", Json::Num(self.ops.flops)),
+            ("bytes_read", Json::Num(self.ops.bytes_read)),
+            ("bytes_written", Json::Num(self.ops.bytes_written)),
+            ("nnz", Json::Num(self.ops.nnz)),
+            ("seconds", Json::Num(self.seconds)),
+            ("intensity_flops_per_byte", Json::Num(self.intensity())),
+            ("achieved_gflops", Json::Num(self.gflops())),
+            ("achieved_gbps", Json::Num(self.gbps())),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spmv_like() -> KernelIntensity {
+        // 2 flops and 24 bytes read per nonzero: intensity ≈ 1/13.
+        KernelIntensity::new(
+            "spmv",
+            OpCounts {
+                flops: 2e6,
+                bytes_read: 24e6,
+                bytes_written: 2e6,
+                nnz: 1e6,
+            },
+            1e-3,
+        )
+    }
+
+    #[test]
+    fn rates_and_intensity() {
+        let k = spmv_like();
+        assert!((k.intensity() - 2.0 / 26.0).abs() < 1e-12);
+        assert!((k.gflops() - 2.0).abs() < 1e-12);
+        assert!((k.gbps() - 26.0).abs() < 1e-12);
+        assert!((k.nnz_rate() - 1e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn spmv_is_bandwidth_bound_on_a_balanced_machine() {
+        let k = spmv_like();
+        // Ridge at 2.2e9 / 1.56e9 ≈ 1.4 flops/byte; spmv sits far left.
+        assert!(k.bandwidth_bound(2.2e9, 1.56e9));
+        // A dense-like kernel with high intensity is not.
+        let dense = KernelIntensity::new(
+            "gemm",
+            OpCounts {
+                flops: 1e9,
+                bytes_read: 1e7,
+                bytes_written: 1e6,
+                nnz: 0.0,
+            },
+            1.0,
+        );
+        assert!(!dense.bandwidth_bound(2.2e9, 1.56e9));
+    }
+
+    #[test]
+    fn scaled_counts_scale_linearly() {
+        let c = OpCounts {
+            flops: 3.0,
+            bytes_read: 5.0,
+            bytes_written: 7.0,
+            nnz: 2.0,
+        };
+        let s = c.scaled(10.0);
+        assert_eq!(s.flops, 30.0);
+        assert_eq!(s.bytes(), 120.0);
+        assert_eq!(s.nnz, 20.0);
+        assert!((s.intensity() - c.intensity()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let v = spmv_like().to_json();
+        assert_eq!(v.get("name").unwrap().as_str(), Some("spmv"));
+        assert!(v.get("achieved_gflops").is_some());
+        assert_eq!(v.write(), spmv_like().to_json().write());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_time() {
+        KernelIntensity::new("x", OpCounts::default(), 0.0);
+    }
+}

@@ -27,9 +27,23 @@
 //! thread-spawn latency. Explicit pools ([`ParPool::with_threads`]) are
 //! for benchmarks and tests that sweep thread counts without touching
 //! process-global state.
+//!
+//! ## Telemetry
+//!
+//! [`with_telemetry`] opens an observational window in which every
+//! combinator records one [`ChunkTiming`] per executed chunk (worker,
+//! items, wall start/end). The resulting [`PoolTelemetry`] derives
+//! per-worker busy/idle time, utilization and a load-imbalance ratio.
+//! Collection never affects the chunk→worker assignment, so the
+//! determinism contract is unchanged; when no window is open the cost
+//! is one relaxed atomic load per chunk.
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod telemetry;
+
+pub use telemetry::{with_telemetry, ChunkTiming, PoolTelemetry};
 
 /// Upper bound on the configured thread count (sanity clamp for the
 /// `CPX_THREADS` parse; far above any plausible core count here).
@@ -126,7 +140,9 @@ impl ParPool {
         let chunks = chunks.max(1);
         let workers = self.threads.min(chunks);
         if workers <= 1 {
-            return (0..chunks).map(f).collect();
+            return (0..chunks)
+                .map(|c| telemetry::timed_chunk(c, 0, 1, || f(c)))
+                .collect();
         }
         let mut out: Vec<Option<T>> = (0..chunks).map(|_| None).collect();
         crossbeam::thread::scope(|s| {
@@ -137,7 +153,7 @@ impl ParPool {
                         let mut mine = Vec::new();
                         let mut c = w;
                         while c < chunks {
-                            mine.push((c, f(c)));
+                            mine.push((c, telemetry::timed_chunk(c, w, 1, || f(c))));
                             c += workers;
                         }
                         mine
@@ -147,7 +163,7 @@ impl ParPool {
             // Worker 0 runs on the calling thread.
             let mut c = 0;
             while c < chunks {
-                out[c] = Some(f(c));
+                out[c] = Some(telemetry::timed_chunk(c, 0, 1, || f(c)));
                 c += workers;
             }
             for h in handles {
@@ -176,7 +192,7 @@ impl ParPool {
             let mut rest = data;
             for (i, r) in ranges.iter().enumerate() {
                 let (head, tail) = rest.split_at_mut(r.len());
-                f(i, r.clone(), head);
+                telemetry::timed_chunk(i, 0, r.len(), || f(i, r.clone(), head));
                 rest = tail;
             }
             return;
@@ -194,16 +210,19 @@ impl ParPool {
             let mut lists = per_worker.into_iter();
             let mine = lists.next().expect("worker 0 exists");
             let handles: Vec<_> = lists
-                .map(|list| {
+                .enumerate()
+                .map(|(k, list)| {
                     s.spawn(move || {
                         for (i, r, slice) in list {
-                            f(i, r, slice);
+                            let items = r.len();
+                            telemetry::timed_chunk(i, k + 1, items, || f(i, r, slice));
                         }
                     })
                 })
                 .collect();
             for (i, r, slice) in mine {
-                f(i, r, slice);
+                let items = r.len();
+                telemetry::timed_chunk(i, 0, items, || f(i, r, slice));
             }
             for h in handles {
                 h.join().expect("cpx-par worker panicked");
@@ -228,7 +247,7 @@ impl ParPool {
             for (i, r) in ranges.iter().enumerate() {
                 let (ha, ta) = rest_a.split_at_mut(r.len());
                 let (hb, tb) = rest_b.split_at_mut(r.len());
-                f(i, r.clone(), ha, hb);
+                telemetry::timed_chunk(i, 0, r.len(), || f(i, r.clone(), ha, hb));
                 rest_a = ta;
                 rest_b = tb;
             }
@@ -249,16 +268,19 @@ impl ParPool {
             let mut lists = per_worker.into_iter();
             let mine = lists.next().expect("worker 0 exists");
             let handles: Vec<_> = lists
-                .map(|list| {
+                .enumerate()
+                .map(|(k, list)| {
                     s.spawn(move || {
                         for (i, r, sa, sb) in list {
-                            f(i, r, sa, sb);
+                            let items = r.len();
+                            telemetry::timed_chunk(i, k + 1, items, || f(i, r, sa, sb));
                         }
                     })
                 })
                 .collect();
             for (i, r, sa, sb) in mine {
-                f(i, r, sa, sb);
+                let items = r.len();
+                telemetry::timed_chunk(i, 0, items, || f(i, r, sa, sb));
             }
             for h in handles {
                 h.join().expect("cpx-par worker panicked");
@@ -397,5 +419,51 @@ mod tests {
     fn with_threads_clamps() {
         assert_eq!(ParPool::with_threads(0).threads(), 1);
         assert_eq!(ParPool::with_threads(100_000).threads(), MAX_THREADS);
+    }
+
+    #[test]
+    fn telemetry_observes_chunks_without_changing_results() {
+        // 7 chunks of exactly 1111 items: a length no other test in this
+        // binary uses, so concurrently running tests (whose chunks also
+        // land in the open window) can be filtered out.
+        let n = 7777;
+        let chunks = 7;
+        let reference: Vec<f64> = (0..n).map(|i| (i as f64).cos() * 2.0).collect();
+        let mut data: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let (_, t) = with_telemetry(|| {
+            ParPool::with_threads(4).chunks_mut(&mut data, chunks, |_, _, s| {
+                for v in s {
+                    *v *= 2.0;
+                }
+            });
+        });
+        assert_eq!(data, reference, "telemetry must not perturb results");
+        let mine: Vec<_> = t.chunks.iter().filter(|c| c.items == 1111).collect();
+        assert_eq!(mine.len(), chunks);
+        let mut seen: Vec<usize> = mine.iter().map(|c| c.chunk).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..chunks).collect::<Vec<_>>());
+        for c in &mine {
+            assert!(c.worker < 4);
+            assert!(c.end >= c.start && c.start >= 0.0);
+        }
+        assert!(t.wall > 0.0);
+        assert!(t.workers >= 1);
+        assert!(t.utilization() > 0.0 && t.utilization() <= 1.0);
+        assert!(t.imbalance() >= 1.0 - 1e-12);
+
+        // A pool call outside any window is not recorded: run one with a
+        // distinctive chunk size (613), then check the next window never
+        // saw it. Same test function as above so the process-global
+        // collector is never contended by two test threads at once.
+        let mut outside = vec![0.0f64; 613];
+        ParPool::with_threads(2).chunks_mut(&mut outside, 1, |_, _, s| {
+            for v in s {
+                *v += 1.0;
+            }
+        });
+        let ((), empty) = with_telemetry(|| {});
+        assert!(empty.chunks.iter().all(|c| c.items != 613));
+        assert_eq!(empty.workers, 0);
     }
 }

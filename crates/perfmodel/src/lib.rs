@@ -28,13 +28,20 @@
 //! thread-scaling medians (from the `bench_kernels` binary running the
 //! kernels on the `cpx-par` pool) and fits them into the same curve /
 //! instance machinery — an empirical alternative to synthetic curves.
+//! [`validation`] closes the loop the other way: it pairs those
+//! predictions with measured kernel and coupled timings and reports
+//! per-kernel MAPE and signed bias (the Fig 9a predicted-vs-measured
+//! check), which `validation_study` serialises into
+//! `BENCH_validation.json`.
 
 pub mod alloc;
 pub mod curve;
 pub mod measured;
 pub mod scale;
+pub mod validation;
 
 pub use alloc::{allocate, AllocConfig, Allocation};
 pub use curve::RuntimeCurve;
 pub use measured::MeasuredScaling;
 pub use scale::InstanceModel;
+pub use validation::{KernelValidation, PredictionPair, ValidationReport};

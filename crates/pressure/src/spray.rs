@@ -125,6 +125,24 @@ impl SprayCloud {
         });
     }
 
+    /// Operation counts for one [`SprayCloud::update`] invocation, for
+    /// the roofline summary. Per droplet and per axis: Stokes-drag
+    /// relaxation (3 flops), drift (2 flops) and wall handling (~2
+    /// flops on average) — ~21 flops over three axes, plus the carrier
+    /// velocity evaluation charged at 3 flops. Traffic is the
+    /// position/velocity read-modify-write plus the evaluated carrier
+    /// velocity. `nnz` counts droplets touched.
+    pub fn update_counts(&self) -> cpx_obs::OpCounts {
+        let n = self.pos.len() as f64;
+        let xv_bytes = 2.0 * 24.0; // [f64; 3] position + velocity
+        cpx_obs::OpCounts {
+            flops: 24.0 * n,
+            bytes_read: (xv_bytes + 24.0) * n,
+            bytes_written: xv_bytes * n,
+            nnz: n,
+        }
+    }
+
     /// Count droplets in each of `p` axial slabs — the measured
     /// imbalance a spatial partitioning would see.
     pub fn slab_counts(&self, p: usize) -> Vec<usize> {
@@ -140,6 +158,18 @@ impl SprayCloud {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn update_counts_scale_with_droplets() {
+        let cloud = SprayCloud::inject(1000, 7);
+        let c = cloud.update_counts();
+        assert_eq!(c.nnz, 1000.0);
+        assert_eq!(c.flops, 24.0 * 1000.0);
+        assert_eq!(c.bytes_written, 48.0 * 1000.0);
+        assert!(c.intensity() > 0.0);
+        let double = SprayCloud::inject(2000, 7).update_counts();
+        assert_eq!(double.flops, 2.0 * c.flops);
+    }
 
     #[test]
     fn fractions_sum_to_one() {

@@ -164,6 +164,23 @@ impl Pic1D {
         self.push();
     }
 
+    /// Operation counts for one [`Pic1D::push`] invocation, for the
+    /// roofline summary. Per particle: a CIC field gather (index math +
+    /// linear interpolation, ~8 flops), leapfrog kick + drift (4 flops)
+    /// and wall handling (~2 flops on average); traffic is the particle
+    /// read-modify-write (x, v) plus two gathered field nodes. `nnz`
+    /// counts particles touched.
+    pub fn push_counts(&self) -> cpx_obs::OpCounts {
+        let n = self.particles.len() as f64;
+        let particle_bytes = std::mem::size_of::<Particle>() as f64;
+        cpx_obs::OpCounts {
+            flops: 14.0 * n,
+            bytes_read: (particle_bytes + 16.0) * n,
+            bytes_written: particle_bytes * n,
+            nnz: n,
+        }
+    }
+
     /// Total electron charge currently deposited (must equal
     /// `weight · N_particles` — CIC partitions unity).
     pub fn deposited_charge(&self) -> f64 {
@@ -225,6 +242,17 @@ mod tests {
 
     fn small_config() -> SimpicConfig {
         SimpicConfig::base_28m().functional(64, 200)
+    }
+
+    #[test]
+    fn push_counts_scale_with_particles() {
+        let pic = Pic1D::quiet_start(&small_config(), 0.0, 1);
+        let n = pic.particles.len() as f64;
+        let c = pic.push_counts();
+        assert_eq!(c.nnz, n);
+        assert_eq!(c.flops, 14.0 * n);
+        assert!(c.bytes_read > c.bytes_written);
+        assert!(c.intensity() > 0.0 && c.intensity() < 1.0);
     }
 
     #[test]

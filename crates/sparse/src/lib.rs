@@ -85,4 +85,15 @@ impl SpOpStats {
     pub fn as_cost(&self) -> (f64, f64) {
         (self.flops, self.bytes())
     }
+
+    /// Arithmetic intensity in flops per byte of traffic (0 when the
+    /// kernel moved no bytes) — the roofline x-coordinate.
+    pub fn intensity(&self) -> f64 {
+        let bytes = self.bytes();
+        if bytes > 0.0 {
+            self.flops / bytes
+        } else {
+            0.0
+        }
+    }
 }

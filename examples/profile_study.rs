@@ -222,6 +222,32 @@ fn main() {
         (on / off - 1.0) * 100.0
     );
 
+    // Per-worker utilization of a threaded kernel (stdout only: wall
+    // telemetry is hardware truth and must never enter the
+    // byte-compared artifacts above).
+    {
+        let a = cpx_sparse::Csr::poisson3d(24, 24, 24);
+        let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64).sin()).collect();
+        let mut y = vec![0.0; a.nrows()];
+        let pool = cpx_par::ParPool::with_threads(4);
+        let ((), tel) = cpx_par::with_telemetry(|| {
+            for _ in 0..5 {
+                a.spmv_with(&pool, 8, &x, &mut y);
+            }
+        });
+        println!(
+            "spmv worker utilization ({} workers, {} chunks): {:.1}% busy, \
+             imbalance {:.2}, worker busy p50/p95/p99 {:.3}/{:.3}/{:.3} ms",
+            tel.workers,
+            tel.chunks.len(),
+            tel.utilization() * 100.0,
+            tel.imbalance(),
+            tel.worker_busy_percentile(50.0) * 1e3,
+            tel.worker_busy_percentile(95.0) * 1e3,
+            tel.worker_busy_percentile(99.0) * 1e3,
+        );
+    }
+
     // Per-span cost of the traced DES replayer (an opt-in exporter with
     // far finer span granularity than any real phase).
     let model = PressureTraceModel::new(PressureConfig::swirl_28m());

@@ -1,0 +1,106 @@
+//! The `WallRecorder` disabled-path contract: a recorder built with
+//! [`cpx_obs::WallRecorder::off`] must be free — zero allocations and
+//! no measurable cost on a hot kernel. Uses the same counting global
+//! allocator as `crates/amg/tests/alloc_free.rs` (its own test binary,
+//! since a `#[global_allocator]` is process-wide).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::time::Instant;
+
+use cpx_obs::WallRecorder;
+use cpx_sparse::Csr;
+
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocs_on_this_thread() -> u64 {
+    ALLOCS.with(Cell::get)
+}
+
+#[test]
+fn disabled_wall_recorder_adds_zero_allocations() {
+    let mut rec = WallRecorder::off();
+    // Warm up any lazy one-time state.
+    rec.begin("warmup");
+    rec.end();
+
+    let before = allocs_on_this_thread();
+    for _ in 0..1000 {
+        rec.begin("span");
+        rec.count("events", 1);
+        rec.end();
+    }
+    let after = allocs_on_this_thread();
+    assert_eq!(after - before, 0, "disabled WallRecorder must not allocate");
+
+    // Sanity: an enabled recorder does allocate (span storage), so the
+    // counter itself is live.
+    let mut on = WallRecorder::on();
+    let before = allocs_on_this_thread();
+    for _ in 0..16 {
+        on.begin("span");
+        on.end();
+    }
+    let after = allocs_on_this_thread();
+    assert!(after > before, "enabled recorder should allocate spans");
+}
+
+fn wall_min(reps: usize, mut f: impl FnMut()) -> f64 {
+    (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[test]
+fn enabled_wall_recorder_overhead_on_spmv_is_bounded() {
+    let a = Csr::poisson2d(96, 96);
+    let x: Vec<f64> = (0..a.ncols()).map(|i| (i as f64).sin()).collect();
+    let mut y = vec![0.0; a.nrows()];
+    let reps = 20;
+    let sweeps = 10;
+
+    let plain = wall_min(reps, || {
+        for _ in 0..sweeps {
+            a.spmv(&x, &mut y);
+        }
+    });
+    let wrapped = wall_min(reps, || {
+        let mut rec = WallRecorder::on();
+        for s in 0..sweeps {
+            rec.span("spmv", || a.spmv(&x, &mut y));
+            rec.count("sweeps", s as u64);
+        }
+        let _ = rec.into_timeline(0);
+    });
+
+    // Two clock reads and one span push per ~90k-nonzero SpMV: the
+    // bound is deliberately generous so shared CI runners never flake,
+    // while still catching an accidentally quadratic or allocating hot
+    // path.
+    assert!(
+        wrapped < plain * 2.0 + 1e-3,
+        "enabled WallRecorder overhead too high: {wrapped:.6}s wrapped vs {plain:.6}s plain"
+    );
+}
