@@ -57,6 +57,12 @@ fn main() {
         ("phases", Json::Arr(phases)),
     ]);
     let text = doc.write_pretty();
+    if let Some(dir) = std::path::Path::new(&out_path)
+        .parent()
+        .filter(|d| !d.as_os_str().is_empty())
+    {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
     std::fs::write(&out_path, &text).expect("write benchmark json");
     println!("{text}");
     println!("(written to {out_path})");

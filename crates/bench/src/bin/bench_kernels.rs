@@ -390,6 +390,12 @@ fn main() {
         ("kernels", Json::Arr(kernels)),
     ]);
     let text = doc.write_pretty();
+    if let Some(dir) = std::path::Path::new(&out_path)
+        .parent()
+        .filter(|d| !d.as_os_str().is_empty())
+    {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
     std::fs::write(&out_path, &text).expect("write benchmark json");
 
     let mut all_identical = true;

@@ -200,6 +200,12 @@ fn main() {
         }
         let wall_session = TraceSession::new(vec![wall.into_timeline(0)]);
         let dual = dual_chrome_trace_json(&virt, &wall_session);
+        if let Some(dir) = std::path::Path::new(&path)
+            .parent()
+            .filter(|d| !d.as_os_str().is_empty())
+        {
+            std::fs::create_dir_all(dir).expect("create output dir");
+        }
         std::fs::write(path, dual).expect("write dual trace");
         println!("(dual-lane trace written to {path})");
     }
@@ -243,6 +249,12 @@ fn main() {
             Json::Arr(report.coupled.iter().map(pair_json).collect()),
         ),
     ]);
+    if let Some(dir) = std::path::Path::new(&out_path)
+        .parent()
+        .filter(|d| !d.as_os_str().is_empty())
+    {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
     std::fs::write(&out_path, doc.write_pretty()).expect("write validation json");
 
     println!("{}", cpx_core::report::validation_markdown(&report));

@@ -24,7 +24,7 @@ use std::cell::Cell;
 
 use crate::fault::CommError;
 use crate::payload::Payload;
-use crate::runtime::RankCtx;
+use crate::runtime::{CollectiveOp, RankCtx};
 use crate::ReduceOp;
 
 /// Bit marking internal (collective) tags.
@@ -225,6 +225,7 @@ impl Group {
     ) -> Result<(), CommError> {
         let tag = self.next_tag();
         ctx.obs_begin("bcast");
+        ctx.log_collective(CollectiveOp::Bcast);
         let r = self.bcast_stage(ctx, root, data, tag);
         ctx.obs_end();
         if let Err(ref e) = r {
@@ -284,6 +285,7 @@ impl Group {
     ) -> Result<(), CommError> {
         let tag = self.next_tag();
         ctx.obs_begin("reduce");
+        ctx.log_collective(CollectiveOp::Reduce);
         let r = self.reduce_stage(ctx, root, op, data, tag);
         ctx.obs_end();
         if let Err(ref e) = r {
@@ -343,6 +345,7 @@ impl Group {
         let t_reduce = self.next_tag();
         let t_bcast = self.next_tag();
         ctx.obs_begin("allreduce");
+        ctx.log_collective(CollectiveOp::Allreduce);
         let r = (|| {
             self.reduce_stage(ctx, 0, op, data, t_reduce)?;
             let mut payload = Payload::F64(data.to_vec());
@@ -385,6 +388,7 @@ impl Group {
     pub fn try_barrier(&self, ctx: &mut RankCtx) -> Result<(), CommError> {
         let mut buf = [0.0];
         ctx.obs_begin("barrier");
+        ctx.log_collective(CollectiveOp::Barrier);
         let r = self.try_allreduce(ctx, ReduceOp::Sum, &mut buf);
         ctx.obs_end();
         r
@@ -406,6 +410,7 @@ impl Group {
     ) -> Result<Option<Vec<Vec<f64>>>, CommError> {
         let tag = self.next_tag();
         ctx.obs_begin("gather");
+        ctx.log_collective(CollectiveOp::Gather);
         let r = self.gather_stage(ctx, root, data, tag);
         ctx.obs_end();
         if let Err(ref e) = r {
@@ -457,6 +462,7 @@ impl Group {
         let t_gather = self.next_tag();
         let t_bcast = self.next_tag();
         ctx.obs_begin("allgather");
+        ctx.log_collective(CollectiveOp::Allgather);
         let r = (|| {
             let gathered = self.gather_stage(ctx, 0, data, t_gather)?;
             // Flatten with a length header for the broadcast.
@@ -517,6 +523,7 @@ impl Group {
         let tag = self.next_tag();
         let me = self.my_index;
         ctx.obs_begin("alltoallv");
+        ctx.log_collective(CollectiveOp::Alltoallv);
         let r = (|| {
             let mut out: Vec<Vec<f64>> = vec![Vec::new(); p];
             // Send everything (eager), keeping own contribution local.

@@ -84,7 +84,9 @@ pub use fault::{BitFlipInjector, CommError, FaultPlan, LinkDegradation};
 pub use group::Group;
 pub use nonblocking::{irecv, isend, wait_all, RecvRequest};
 pub use payload::Payload;
-pub use runtime::{RankCtx, RankOutcome, RankRun, TimeReport, World};
+pub use runtime::{
+    CollectiveOp, CommEvent, CommEventKind, RankCtx, RankOutcome, RankRun, TimeReport, World,
+};
 pub use window::Window;
 
 /// Reduction operators for collectives.

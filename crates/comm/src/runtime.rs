@@ -192,6 +192,80 @@ pub struct RankRun<T> {
     pub report: TimeReport,
 }
 
+/// Which collective a rank entered (see [`CommEventKind::Collective`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectiveOp {
+    /// Binomial-tree broadcast.
+    Bcast,
+    /// Binomial-tree reduce.
+    Reduce,
+    /// Reduce + broadcast allreduce.
+    Allreduce,
+    /// Barrier.
+    Barrier,
+    /// Gather to root.
+    Gather,
+    /// Ring allgather.
+    Allgather,
+    /// Personalized all-to-all.
+    Alltoallv,
+}
+
+/// What one logged communication event was (see [`CommEvent`]).
+///
+/// `Send` captures the fault plan's per-message draw — whether the link
+/// dropped, duplicated or corrupted the message and how much extra
+/// delay it injected — so a recorded stream pins down every fault
+/// decision a run took, not just its deliveries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CommEventKind {
+    /// A send was issued (and the link either carried or ate it).
+    Send {
+        dst: usize,
+        tag: u64,
+        /// Sender-local attempt counter feeding the fault draw.
+        seq: u64,
+        /// The plan dropped the message on the link.
+        dropped: bool,
+        /// The plan injected a duplicate.
+        duplicated: bool,
+        /// The plan flipped bits in the payload.
+        corrupted: bool,
+    },
+    /// A matching message was admitted (CRC verified).
+    Recv { src: usize, tag: u64 },
+    /// A matching message failed its payload CRC check.
+    RecvCorrupt { src: usize, tag: u64 },
+    /// Exponential backoff was charged before a send retry.
+    Backoff { attempt: u64 },
+    /// A dead peer was detected (failure-detection wait charged).
+    PeerDead { peer: usize },
+    /// A virtual-time receive deadline expired.
+    Timeout { src: usize },
+    /// The rank entered a collective.
+    Collective { op: CollectiveOp },
+    /// The fault plan crashed this rank.
+    Crash,
+    /// The rank aborted on an unrecoverable communication error.
+    Abort,
+}
+
+/// One entry of a rank's communication event log (recorded by
+/// [`World::run_with_plan_logged`]): what happened, at which virtual
+/// time. Per-rank sequences are deterministic — every fault decision is
+/// a pure function of the plan and the clock is virtual — so the
+/// concatenation of the per-rank lanes in rank order is reproducible
+/// bit-for-bit across hosts and thread schedules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommEvent {
+    /// The rank the event happened on.
+    pub rank: usize,
+    /// The rank's virtual clock just after the event.
+    pub vtime: f64,
+    /// What happened.
+    pub kind: CommEventKind,
+}
+
 /// Per-rank execution context. Mini-app rank programs receive `&mut
 /// RankCtx` and use it for compute charging, messaging and collectives.
 pub struct RankCtx {
@@ -221,6 +295,9 @@ pub struct RankCtx {
     /// Virtual-time span/counter recorder (no-op unless the world was
     /// started through a `*_traced` entry point).
     obs: RankRecorder,
+    /// Communication event log (`Some` only under a `*_logged` entry
+    /// point, so unlogged runs pay nothing).
+    log: Option<Vec<CommEvent>>,
     pub(crate) registry: Arc<Registry>,
 }
 
@@ -292,6 +369,25 @@ impl RankCtx {
     #[inline]
     pub fn obs_on(&self) -> bool {
         self.obs.is_on()
+    }
+
+    /// Append to the comm event log at the current virtual time. No-op
+    /// unless the world was started through a `*_logged` entry point.
+    #[inline]
+    pub(crate) fn log_event(&mut self, kind: CommEventKind) {
+        if let Some(log) = self.log.as_mut() {
+            log.push(CommEvent {
+                rank: self.rank,
+                vtime: self.clock,
+                kind,
+            });
+        }
+    }
+
+    /// Log entry into a collective (called by the `Group` algorithms).
+    #[inline]
+    pub(crate) fn log_collective(&mut self, op: CollectiveOp) {
+        self.log_event(CommEventKind::Collective { op });
     }
 
     /// If this rank's scheduled crash time has been reached, clamp the
@@ -496,6 +592,14 @@ impl RankCtx {
         let send_time = self.clock;
         self.clock += self.machine.send_overhead;
         self.comm_time += self.machine.send_overhead;
+        self.log_event(CommEventKind::Send {
+            dst,
+            tag,
+            seq,
+            dropped: event.dropped,
+            duplicated: event.duplicated,
+            corrupted: event.corrupt.is_some(),
+        });
         if event.dropped {
             self.dropped_msgs += 1;
             self.obs_count("dropped_msgs", 1);
@@ -582,6 +686,7 @@ impl RankCtx {
         self.comm_time += dt;
         self.recovery_time += dt;
         self.retries += 1;
+        self.log_event(CommEventKind::Backoff { attempt });
         self.obs_count("retries", 1);
         self.obs_end();
         self.check_crash();
@@ -595,12 +700,14 @@ impl RankCtx {
         self.clock += detect;
         self.comm_time += detect;
         self.recovery_time += detect;
+        self.log_event(CommEventKind::PeerDead { peer });
         CommError::PeerDead { peer, at }
     }
 
     fn charge_timeout(&mut self, src: usize, tag: u64, timeout: f64) -> CommError {
         self.clock += timeout;
         self.comm_time += timeout;
+        self.log_event(CommEventKind::Timeout { src });
         CommError::Timeout {
             src,
             tag,
@@ -726,6 +833,7 @@ impl RankCtx {
         if crc_got != crc_sent {
             self.corrupted_msgs += 1;
             self.obs_count("crc_failures", 1);
+            self.log_event(CommEventKind::RecvCorrupt { src, tag });
             return Err(CommError::Corrupted {
                 src,
                 tag,
@@ -733,6 +841,7 @@ impl RankCtx {
                 crc_got,
             });
         }
+        self.log_event(CommEventKind::Recv { src, tag });
         Ok(payload)
     }
 
@@ -837,7 +946,28 @@ impl World {
         T: Send + 'static,
         F: Fn(&mut RankCtx) -> T + Send + Sync + 'static,
     {
-        self.run_with_plan_inner(n, plan, false, f).0
+        self.run_with_plan_inner(n, plan, false, false, f).0
+    }
+
+    /// [`World::run_with_plan`] with communication event logging on:
+    /// also returns the per-rank event lanes concatenated in rank
+    /// order — every send (with its fault-plan draw), receive, CRC
+    /// failure, retry backoff, failure detection, collective entry,
+    /// crash and abort, stamped with virtual time. Per-rank sequences
+    /// are deterministic, so the returned log is bit-reproducible:
+    /// same plan, same seed ⇒ identical events.
+    pub fn run_with_plan_logged<T, F>(
+        &self,
+        n: usize,
+        plan: FaultPlan,
+        f: F,
+    ) -> (Vec<RankRun<T>>, Vec<CommEvent>)
+    where
+        T: Send + 'static,
+        F: Fn(&mut RankCtx) -> T + Send + Sync + 'static,
+    {
+        let (runs, _, log) = self.run_with_plan_full(n, plan, false, true, f);
+        (runs, log)
     }
 
     /// [`World::run`] with span recording on: also returns the
@@ -848,7 +978,7 @@ impl World {
         T: Send + 'static,
         F: Fn(&mut RankCtx) -> T + Send + Sync + 'static,
     {
-        let (runs, session) = self.run_with_plan_inner(n, FaultPlan::default(), true, f);
+        let (runs, session) = self.run_with_plan_inner(n, FaultPlan::default(), true, false, f);
         let results = runs
             .into_iter()
             .enumerate()
@@ -877,7 +1007,7 @@ impl World {
         T: Send + 'static,
         F: Fn(&mut RankCtx) -> T + Send + Sync + 'static,
     {
-        self.run_with_plan_inner(n, plan, true, f)
+        self.run_with_plan_inner(n, plan, true, false, f)
     }
 
     fn run_with_plan_inner<T, F>(
@@ -885,8 +1015,25 @@ impl World {
         n: usize,
         plan: FaultPlan,
         traced: bool,
+        logged: bool,
         f: F,
     ) -> (Vec<RankRun<T>>, TraceSession)
+    where
+        T: Send + 'static,
+        F: Fn(&mut RankCtx) -> T + Send + Sync + 'static,
+    {
+        let (runs, session, _) = self.run_with_plan_full(n, plan, traced, logged, f);
+        (runs, session)
+    }
+
+    fn run_with_plan_full<T, F>(
+        &self,
+        n: usize,
+        plan: FaultPlan,
+        traced: bool,
+        logged: bool,
+        f: F,
+    ) -> (Vec<RankRun<T>>, TraceSession, Vec<CommEvent>)
     where
         T: Send + 'static,
         F: Fn(&mut RankCtx) -> T + Send + Sync + 'static,
@@ -941,19 +1088,24 @@ impl World {
                         crash_at,
                         send_seq: HashMap::new(),
                         obs,
+                        log: if logged { Some(Vec::new()) } else { None },
                         registry,
                     };
                     let result = panic::catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
                     let outcome = match result {
                         Ok(t) => RankOutcome::Completed(t),
                         Err(payload) => match payload.downcast::<CrashSignal>() {
-                            Ok(sig) => RankOutcome::Crashed { at: sig.at },
+                            Ok(sig) => {
+                                ctx.log_event(CommEventKind::Crash);
+                                RankOutcome::Crashed { at: sig.at }
+                            }
                             Err(payload) => match payload.downcast::<CommError>() {
                                 Ok(e) => {
                                     // An aborting rank will never answer its
                                     // peers again; mark it so they detect the
                                     // failure instead of deadlocking.
                                     dead.mark(ctx.rank, ctx.clock);
+                                    ctx.log_event(CommEventKind::Abort);
                                     RankOutcome::Failed(*e)
                                 }
                                 Err(payload) => {
@@ -964,28 +1116,39 @@ impl World {
                         },
                     };
                     let timeline = std::mem::take(&mut ctx.obs).into_timeline(rank, ctx.clock);
+                    let log = ctx.log.take().unwrap_or_default();
                     (
                         RankRun {
                             outcome,
                             report: ctx.report(),
                         },
                         timeline,
+                        log,
                     )
                 })
                 .expect("spawn rank thread");
             handles.push(handle);
         }
 
-        let (runs, lanes): (Vec<_>, Vec<_>) = handles
-            .into_iter()
-            .map(|h| match h.join() {
-                Ok(res) => res,
+        let mut runs = Vec::with_capacity(n);
+        let mut lanes = Vec::with_capacity(n);
+        let mut log = Vec::new();
+        for h in handles {
+            match h.join() {
+                Ok((run, lane, rank_log)) => {
+                    runs.push(run);
+                    lanes.push(lane);
+                    // Rank-order concatenation: the global interleaving
+                    // of rank threads is host-dependent, but each
+                    // rank's own sequence is deterministic.
+                    log.extend(rank_log);
+                }
                 // The closure catches all unwinds; a join error would
                 // mean the harness itself is broken.
                 Err(e) => panic::resume_unwind(e),
-            })
-            .unzip();
-        (runs, TraceSession::new(lanes))
+            }
+        }
+        (runs, TraceSession::new(lanes), log)
     }
 }
 
@@ -1363,6 +1526,60 @@ mod tests {
             RankOutcome::Failed(CommError::Corrupted { .. }) => {}
             o => panic!("expected Failed(Corrupted), got {o:?}"),
         }
+    }
+
+    #[test]
+    fn logged_fault_runs_are_bit_deterministic() {
+        let run = || {
+            let plan = FaultPlan::new(11)
+                .with_drop_prob(0.2)
+                .with_dup_prob(0.2)
+                .with_delay(0.3, 2e-6);
+            world().run_with_plan_logged(4, plan, |ctx| {
+                let me = ctx.rank();
+                ctx.compute(KernelCost::flops(1e8 * (me + 1) as f64));
+                for round in 0..5 {
+                    ctx.send((me + 1) % 4, round, vec![me as f64; 64]);
+                    let _ = ctx.recv((me + 3) % 4, round);
+                }
+                let g = ctx.world();
+                g.allreduce_scalar(ctx, crate::ReduceOp::Sum, ctx.rank() as f64)
+            })
+        };
+        let (runs_a, log_a) = run();
+        let (_, log_b) = run();
+        assert!(!log_a.is_empty());
+        assert_eq!(log_a, log_b);
+        // Logging must not perturb the virtual timeline.
+        let plan = FaultPlan::new(11)
+            .with_drop_prob(0.2)
+            .with_dup_prob(0.2)
+            .with_delay(0.3, 2e-6);
+        let plain = world().run_with_plan(4, plan, |ctx| {
+            let me = ctx.rank();
+            ctx.compute(KernelCost::flops(1e8 * (me + 1) as f64));
+            for round in 0..5 {
+                ctx.send((me + 1) % 4, round, vec![me as f64; 64]);
+                let _ = ctx.recv((me + 3) % 4, round);
+            }
+            let g = ctx.world();
+            g.allreduce_scalar(ctx, crate::ReduceOp::Sum, ctx.rank() as f64)
+        });
+        for (ra, rb) in runs_a.iter().zip(&plain) {
+            assert_eq!(ra.report, rb.report);
+        }
+        // The log carries fault draws: some send event must be dropped.
+        assert!(log_a
+            .iter()
+            .any(|e| matches!(e.kind, CommEventKind::Send { dropped: true, .. })));
+        // And collectives are logged on every rank.
+        assert_eq!(
+            log_a
+                .iter()
+                .filter(|e| matches!(e.kind, CommEventKind::Collective { .. }))
+                .count(),
+            4
+        );
     }
 
     #[test]

@@ -57,4 +57,7 @@ pub use instance::{AppInstance, AppKind, CuSpec, FaultScenario, Scenario, StcVar
 pub use model::ScenarioModels;
 pub use profile::{PhaseProfile, PhaseRow};
 pub use sdc::{SdcInjection, SdcPolicy, SdcSite};
-pub use sim::{coupled_phase_names, trace_coupled, CoupledRun};
+pub use sim::{
+    coupled_phase_names, coupled_program, run_coupled_resilient_logged, trace_coupled, CoupledRun,
+    ResilienceEvent,
+};

@@ -398,6 +398,80 @@ pub fn trace_coupled(
     (names, out, session)
 }
 
+/// One recorded resilience decision of a resilient coupled run (see
+/// [`run_coupled_resilient_logged`]): which checkpoint/rollback/shrink
+/// and SDC detect/recover actions the scenario's fault plan forced, in
+/// deterministic emission order. The whole resilient timeline is a pure
+/// function of `(scenario, allocation, machine)`, so two runs of the
+/// same inputs produce identical logs — which is what makes the log a
+/// recordable/replayable artifact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ResilienceEvent {
+    /// A CU exchange payload was lost; the target re-applied its
+    /// last-good (stale) mapping.
+    StaleExchange {
+        /// Density iteration of the wasted exchange.
+        iter: u64,
+        /// Coupler-unit index in scenario order.
+        cu: usize,
+    },
+    /// A coordinated checkpoint was written.
+    Checkpoint {
+        /// Density iteration the checkpoint covers through.
+        iter: u64,
+    },
+    /// The fault plan crashed a rank of an app instance.
+    Crash {
+        /// App-instance index in scenario order.
+        app: usize,
+        /// Density iteration the crash landed in.
+        iter: u64,
+        /// Virtual time of the crash.
+        vtime: f64,
+    },
+    /// The run rolled back to the last checkpoint.
+    Rollback {
+        /// Density iteration of the restored checkpoint.
+        to_iter: u64,
+    },
+    /// The crashed instance's group redistributed the dead rank's cells
+    /// over one fewer rank (ULFM-style shrink recovery).
+    Shrink {
+        /// App-instance index in scenario order.
+        app: usize,
+        /// Rank count of the instance after the shrink.
+        ranks_after: usize,
+    },
+    /// The armed detector layer caught an injected silent corruption.
+    SdcDetected {
+        /// Density iteration of the strike.
+        iter: u64,
+        /// Where the corruption was injected.
+        site: crate::sdc::SdcSite,
+    },
+    /// A detected corruption was recovered under the scenario policy.
+    SdcRecovered {
+        /// Density iteration of the strike.
+        iter: u64,
+        /// Virtual seconds the recovery cost.
+        cost: f64,
+    },
+}
+
+/// The coupled program of [`run_coupled`] (all instances and CUs at
+/// their allocated rank counts, `sample_iters` density iterations),
+/// plus the MPMD layout. Exposed so external record/replay tooling can
+/// re-drive the exact program through the DES replayer.
+pub fn coupled_program(
+    scenario: &Scenario,
+    alloc: &Allocation,
+    machine: &Machine,
+    sample_iters: u64,
+) -> (TraceProgram, MpmdLayout) {
+    assert!(sample_iters >= 1);
+    build_program(scenario, alloc, machine, sample_iters, true, false)
+}
+
 /// Coordinated-checkpoint cost: every solver rank drains its state (the
 /// five conservative variables per local cell, bandwidth-bound at twice
 /// the memory traffic) and the world closes with a consistency-marker
@@ -491,9 +565,24 @@ pub fn run_coupled_resilient(
     machine: &Machine,
     sample_iters: u64,
 ) -> CoupledRun {
+    run_coupled_resilient_logged(scenario, alloc, machine, sample_iters).0
+}
+
+/// [`run_coupled_resilient`] plus the deterministic log of every
+/// resilience decision the run took — checkpoints written, the crash /
+/// rollback / shrink sequence, stale CU exchanges, and SDC detection /
+/// recovery — in emission order. Same inputs ⇒ identical log and
+/// identical [`CoupledRun`].
+pub fn run_coupled_resilient_logged(
+    scenario: &Scenario,
+    alloc: &Allocation,
+    machine: &Machine,
+    sample_iters: u64,
+) -> (CoupledRun, Vec<ResilienceEvent>) {
+    let mut log = Vec::new();
     let clean = run_coupled(scenario, alloc, machine, sample_iters);
     let Some(fault) = &scenario.fault else {
-        return clean;
+        return (clean, log);
     };
 
     let iters = scenario.density_iters;
@@ -515,6 +604,7 @@ pub fn run_coupled_resilient(
             if model.exchanges_on(it) {
                 stale_exchanges += 1;
                 stale_cost += model.interp_secs_per_rank(alloc.cu_ranks[ci].max(1));
+                log.push(ResilienceEvent::StaleExchange { iter: it, cu: ci });
             }
         }
     }
@@ -526,6 +616,9 @@ pub fn run_coupled_resilient(
     let checkpointing = fault.crash_time.is_finite()
         || (fault.sdc_policy == crate::sdc::SdcPolicy::Rollback && !fault.sdc_events.is_empty());
     let n_ckpts = if checkpointing { iters / k } else { 0 };
+    for c in 1..=n_ckpts {
+        log.push(ResilienceEvent::Checkpoint { iter: c * k });
+    }
     let mut checkpoint_cost = n_ckpts as f64 * ckpt;
     let mut faults_survived = stale_exchanges as u32;
     let mut total_runtime = clean.total_runtime + checkpoint_cost + stale_cost;
@@ -536,11 +629,21 @@ pub fn run_coupled_resilient(
         faults_survived += 1;
         let crash_iter = ((fault.crash_time / t_iter) as u64).min(iters - 1);
         let last_ckpt = (crash_iter / k) * k;
+        log.push(ResilienceEvent::Crash {
+            app: fault.crash_app,
+            iter: crash_iter,
+            vtime: fault.crash_time,
+        });
+        log.push(ResilienceEvent::Rollback { to_iter: last_ckpt });
 
         // Shrunk allocation: the crashed instance's group absorbs the
         // dead rank's share over one fewer rank.
         let mut shrunk = alloc.clone();
         shrunk.app_ranks[fault.crash_app] -= 1;
+        log.push(ResilienceEvent::Shrink {
+            app: fault.crash_app,
+            ranks_after: shrunk.app_ranks[fault.crash_app],
+        });
         let (program, _) = build_program(scenario, &shrunk, machine, sample_iters, true, false);
         let degraded = Replayer::new(machine.clone())
             .run(&program)
@@ -587,6 +690,10 @@ pub fn run_coupled_resilient(
                 continue;
             }
             sdc_detected += 1;
+            log.push(ResilienceEvent::SdcDetected {
+                iter: ev.iter,
+                site: ev.site,
+            });
             match fault.sdc_policy {
                 crate::sdc::SdcPolicy::FlagOnly => {}
                 crate::sdc::SdcPolicy::Recompute => {
@@ -594,12 +701,21 @@ pub fn run_coupled_resilient(
                     // iteration from its intact inputs.
                     sdc_cost += t_iter;
                     sdc_recovered += 1;
+                    log.push(ResilienceEvent::SdcRecovered {
+                        iter: ev.iter,
+                        cost: t_iter,
+                    });
                 }
                 crate::sdc::SdcPolicy::Rollback => {
                     // Replay from the last checkpoint, plus the restart
                     // coordination the crash path also pays.
-                    sdc_cost += (ev.iter % k) as f64 * t_iter + restart;
+                    let cost = (ev.iter % k) as f64 * t_iter + restart;
+                    sdc_cost += cost;
                     sdc_recovered += 1;
+                    log.push(ResilienceEvent::SdcRecovered {
+                        iter: ev.iter,
+                        cost,
+                    });
                 }
             }
         }
@@ -610,20 +726,23 @@ pub fn run_coupled_resilient(
     // Recovery overhead is the price of *reacting* to faults; the
     // standing detector cost is reported separately as `abft_overhead`.
     let recovery_overhead = (total_runtime - clean.total_runtime - abft_overhead).max(0.0);
-    CoupledRun {
-        app_runtimes: clean.app_runtimes,
-        total_runtime,
-        coupling_overhead: clean.coupling_overhead,
-        sample_iters,
-        world_size: clean.world_size,
-        faults_survived,
-        recovery_overhead,
-        checkpoint_cost,
-        stale_exchanges,
-        sdc_detected,
-        sdc_recovered,
-        abft_overhead,
-    }
+    (
+        CoupledRun {
+            app_runtimes: clean.app_runtimes,
+            total_runtime,
+            coupling_overhead: clean.coupling_overhead,
+            sample_iters,
+            world_size: clean.world_size,
+            faults_survived,
+            recovery_overhead,
+            checkpoint_cost,
+            stale_exchanges,
+            sdc_detected,
+            sdc_recovered,
+            abft_overhead,
+        },
+        log,
+    )
 }
 
 /// Standalone ("uncoupled") runtime of each instance at its allocated
@@ -967,6 +1086,51 @@ mod tests {
         assert_eq!(run.sdc_detected, 0);
         assert_eq!(run.recovery_overhead, 0.0);
         assert!(run.abft_overhead > 0.0, "detectors still run");
+    }
+
+    #[test]
+    fn resilient_log_records_crash_recovery_sequence() {
+        let (scenario, alloc) = small_alloc(2000);
+        let m = machine();
+        let clean = run_coupled(&scenario, &alloc, &m, 20);
+        let scenario = scenario.with_fault(
+            crate::instance::FaultScenario::crash(1, clean.total_runtime * 0.4)
+                .with_checkpoint_interval(10),
+        );
+        let (run, log) = run_coupled_resilient_logged(&scenario, &alloc, &m, 20);
+        let plain = run_coupled_resilient(&scenario, &alloc, &m, 20);
+        assert_eq!(run, plain);
+        // The crash path emits Crash → Rollback → Shrink in order.
+        let crash = log
+            .iter()
+            .position(|e| matches!(e, ResilienceEvent::Crash { app: 1, .. }))
+            .expect("crash logged");
+        let rollback = log
+            .iter()
+            .position(|e| matches!(e, ResilienceEvent::Rollback { .. }))
+            .expect("rollback logged");
+        let shrink = log
+            .iter()
+            .position(|e| {
+                matches!(
+                    e,
+                    ResilienceEvent::Shrink {
+                        app: 1,
+                        ranks_after
+                    } if *ranks_after == alloc.app_ranks[1] - 1
+                )
+            })
+            .expect("shrink logged");
+        assert!(crash < rollback && rollback < shrink);
+        // One Checkpoint event per checkpoint actually charged.
+        let n_ckpt_events = log
+            .iter()
+            .filter(|e| matches!(e, ResilienceEvent::Checkpoint { .. }))
+            .count();
+        assert_eq!(n_ckpt_events as u64, scenario.density_iters / 10);
+        // Determinism: identical inputs, identical log.
+        let (_, again) = run_coupled_resilient_logged(&scenario, &alloc, &m, 20);
+        assert_eq!(log, again);
     }
 
     #[test]

@@ -24,7 +24,7 @@ use cpx_obs::{RankRecorder, TraceSession};
 
 use crate::collectives::collective_time;
 use crate::model::Machine;
-use crate::trace::{CollectiveKind, Op, PhaseId, TraceProgram};
+use crate::trace::{CollectiveKind, Op, PhaseId, RankTrace, TraceProgram};
 
 /// Errors detected during replay.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,6 +77,40 @@ impl std::fmt::Display for ReplayError {
 }
 
 impl std::error::Error for ReplayError {}
+
+/// What happened in one replay-relevant scheduler step (see
+/// [`DesEvent`]). Compute ops are *not* logged — their effect is fully
+/// captured by the virtual timestamps of the surrounding events — so a
+/// log stays compact even for million-op programs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DesEventKind {
+    /// A rank deposited a message. `bytes` saturates at `u32::MAX`
+    /// (virtual messages are far smaller; the narrow fields keep the
+    /// event 32 bytes so logging stays within the recorder's <5%
+    /// overhead budget).
+    Send { dst: u32, tag: u32, bytes: u32 },
+    /// A rank completed a matching receive.
+    Recv { src: u32, tag: u32 },
+    /// A rank arrived at a collective.
+    Collective { kind: CollectiveKind, group: u32 },
+    /// A rank ran out of ops.
+    Finish,
+}
+
+/// One entry of the deterministic event log produced by
+/// [`Replayer::run_logged`]: which rank did what, at which virtual
+/// time. The run-to-block scheduler is deterministic, so the *global*
+/// order of these events is reproducible bit-for-bit — same program,
+/// same machine ⇒ identical log.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesEvent {
+    /// The rank the event happened on.
+    pub rank: u32,
+    /// The rank's virtual clock immediately after the event.
+    pub vtime: f64,
+    /// What happened.
+    pub kind: DesEventKind,
+}
 
 /// Per-phase, per-rank time accounting (enabled via
 /// [`Replayer::track_phases`]).
@@ -281,7 +315,52 @@ impl Replayer {
 
     /// Replay `program`, returning per-rank timings.
     pub fn run(&self, program: &TraceProgram) -> Result<ReplayOutcome, ReplayError> {
-        self.run_inner(program, None)
+        self.run_inner::<false>(program, None, &mut Vec::new())
+    }
+
+    /// Replay `program` and additionally return the deterministic
+    /// event log: every send, receive, collective arrival and rank
+    /// finish, in global scheduler order, each stamped with the rank's
+    /// virtual clock. Same program + machine ⇒ bit-identical log, which
+    /// is what makes the log usable as a golden trace for record/replay
+    /// regression checks.
+    pub fn run_logged(
+        &self,
+        program: &TraceProgram,
+    ) -> Result<(ReplayOutcome, Vec<DesEvent>), ReplayError> {
+        // Preallocate for the common case — one event per expanded op
+        // plus a finish per rank — so logging costs pushes, not
+        // reallocation+copy cycles (the <5% recorder-overhead budget).
+        let cap: usize = program
+            .traces
+            .iter()
+            .map(RankTrace::expanded_len)
+            .sum::<usize>()
+            + program.n_ranks();
+        let mut log = Vec::with_capacity(cap);
+        let out = self.run_inner::<true>(program, None, &mut log)?;
+        Ok((out, log))
+    }
+
+    /// As [`Replayer::run_logged`], recording into a caller-provided
+    /// buffer (cleared first, capacity reserved). Reusing one buffer
+    /// across many replays avoids the large-allocation round trip to
+    /// the OS per run — the recommended shape for repeated recording,
+    /// and what keeps recorder overhead under its <5% budget.
+    pub fn run_logged_into(
+        &self,
+        program: &TraceProgram,
+        log: &mut Vec<DesEvent>,
+    ) -> Result<ReplayOutcome, ReplayError> {
+        log.clear();
+        let cap: usize = program
+            .traces
+            .iter()
+            .map(RankTrace::expanded_len)
+            .sum::<usize>()
+            + program.n_ranks();
+        log.reserve(cap);
+        self.run_inner::<true>(program, None, log)
     }
 
     /// Replay `program` with span recording: alongside the outcome,
@@ -295,15 +374,19 @@ impl Replayer {
         phase_names: &[&str],
     ) -> Result<(ReplayOutcome, TraceSession), ReplayError> {
         let mut tracer = DesTracer::new(program.n_ranks(), phase_names);
-        let out = self.run_inner(program, Some(&mut tracer))?;
+        let out = self.run_inner::<false>(program, Some(&mut tracer), &mut Vec::new())?;
         let session = tracer.into_session(&out.finish);
         Ok((out, session))
     }
 
-    fn run_inner(
+    // Monomorphized over `LOGGED` so the unlogged replay carries zero
+    // event-recording code in its hot loop, and the logged one records
+    // with straight-line pushes (no per-event `Option` dispatch).
+    fn run_inner<const LOGGED: bool>(
         &self,
         program: &TraceProgram,
         mut tracer: Option<&mut DesTracer>,
+        log: &mut Vec<DesEvent>,
     ) -> Result<ReplayOutcome, ReplayError> {
         program.validate().map_err(ReplayError::Invalid)?;
         let n = program.n_ranks();
@@ -385,6 +468,13 @@ impl Replayer {
                         done[rank] = true;
                         if let Some(t) = tracer.as_deref_mut() {
                             t.close_segment(rank, phase[rank], clock[rank]);
+                        }
+                        if LOGGED {
+                            log.push(DesEvent {
+                                rank: rank as u32,
+                                vtime: clock[rank],
+                                kind: DesEventKind::Finish,
+                            });
                         }
                         break 'run;
                     }
@@ -469,6 +559,17 @@ impl Replayer {
                         );
                         messages += 1;
                         total_bytes += bytes as u64;
+                        if LOGGED {
+                            log.push(DesEvent {
+                                rank: rank as u32,
+                                vtime: clock[rank],
+                                kind: DesEventKind::Send {
+                                    dst: dst as u32,
+                                    tag,
+                                    bytes: bytes.min(u32::MAX as usize) as u32,
+                                },
+                            });
+                        }
                         let key = (rank, dst, tag);
                         mailbox.entry(key).or_default().push_back(arrival);
                         if let Some(&waiter) = recv_waiters.get(&key) {
@@ -489,6 +590,16 @@ impl Replayer {
                                 let wait = (arrival - clock[rank]).max(0.0);
                                 clock[rank] += wait;
                                 charge_comm(rank, wait, &phase, &mut comm_time, &mut phase_comm);
+                                if LOGGED {
+                                    log.push(DesEvent {
+                                        rank: rank as u32,
+                                        vtime: clock[rank],
+                                        kind: DesEventKind::Recv {
+                                            src: src as u32,
+                                            tag,
+                                        },
+                                    });
+                                }
                                 advance!();
                             }
                             None => {
@@ -521,6 +632,16 @@ impl Replayer {
                         entry.max_clock = entry.max_clock.max(clock[rank]);
                         entry.max_bytes = entry.max_bytes.max(bytes);
                         entry.waiters.push((rank, clock[rank]));
+                        if LOGGED {
+                            log.push(DesEvent {
+                                rank: rank as u32,
+                                vtime: clock[rank],
+                                kind: DesEventKind::Collective {
+                                    kind,
+                                    group: group as u32,
+                                },
+                            });
+                        }
                         // Advance this rank's cursor past the collective
                         // now; it will be unblocked when the group is
                         // complete.
@@ -868,6 +989,32 @@ mod tests {
         let out = Replayer::new(Machine::archer2()).run(&p).unwrap();
         assert_eq!(out.messages, n as u64);
         assert!(out.makespan() > 0.0);
+    }
+
+    #[test]
+    fn logged_replay_is_deterministic_and_agrees_with_plain() {
+        let mut p = TraceProgram::new(4);
+        let g = p.add_world_group();
+        for r in 0..4 {
+            p.rank(r).compute(KernelCost::flops(r as f64 + 1.0));
+            p.rank(r).send((r + 1) % 4, 64, 0);
+            p.rank(r).recv((r + 3) % 4, 0);
+            p.rank(r).collective(CollectiveKind::Allreduce, g, 8);
+        }
+        let rep = Replayer::new(simple_machine());
+        let (out, log) = rep.run_logged(&p).unwrap();
+        let plain = rep.run(&p).unwrap();
+        assert_eq!(out.finish, plain.finish);
+        // 4 sends + 4 recvs + 4 collective arrivals + 4 finishes.
+        assert_eq!(log.len(), 16);
+        assert_eq!(
+            log.iter()
+                .filter(|e| matches!(e.kind, DesEventKind::Finish))
+                .count(),
+            4
+        );
+        let (_, again) = rep.run_logged(&p).unwrap();
+        assert_eq!(log, again);
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod stats;
 pub mod trace;
 
 pub use cost::KernelCost;
-pub use des::{ReplayError, ReplayOutcome, Replayer};
+pub use des::{DesEvent, DesEventKind, ReplayError, ReplayOutcome, Replayer};
 pub use model::{Machine, MachineBuilder};
 pub use stats::TraceStats;
 pub use trace::{CollectiveKind, Op, PhaseId, RankTrace, TraceProgram};

@@ -9,27 +9,92 @@
 //! recovery, plus the checkpoint-interval trade-off.
 //!
 //! ```text
-//! cargo run --release --example fault_study [budget]
+//! cargo run --release --example fault_study [budget] \
+//!     [--seed <u64>] [--record <path>] [--replay <path>]
 //! ```
+//!
+//! `--seed` perturbs every seeded fault draw (added to the built-in
+//! plan seeds; the default 0 reproduces the stock study). `--record`
+//! saves the full nondeterminism log — comm events from part 1 and
+//! resilience decisions from part 2 — as a `cpx-replay` trace;
+//! `--replay` re-drives the study against a saved trace and exits
+//! nonzero on the first diverging event.
+
+use std::path::PathBuf;
 
 use cpx_comm::{FaultPlan, RankOutcome, ReduceOp, World};
 use cpx_core::prelude::*;
-use cpx_core::sim::run_coupled_resilient;
+use cpx_core::sim::{run_coupled_resilient_logged, CoupledRun};
+use cpx_replay::{verify, ReplayEvent, Trace};
+
+struct Args {
+    budget: usize,
+    seed: u64,
+    record: Option<PathBuf>,
+    replay: Option<PathBuf>,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: fault_study [budget] [--seed <u64>] [--record <path>] [--replay <path>]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        budget: 2000,
+        seed: 0,
+        record: None,
+        replay: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--record" => args.record = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            "--replay" => args.replay = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            s => match s.parse() {
+                Ok(b) => args.budget = b,
+                Err(_) => usage(),
+            },
+        }
+    }
+    args
+}
+
+/// Run the resilient coupled case, folding its resilience decisions
+/// into the study's event log.
+fn resilient_logged(
+    scenario: &Scenario,
+    alloc: &Allocation,
+    machine: &Machine,
+    events: &mut Vec<ReplayEvent>,
+) -> CoupledRun {
+    let (run, log) = run_coupled_resilient_logged(scenario, alloc, machine, 20);
+    events.extend(log.into_iter().map(ReplayEvent::from));
+    run
+}
 
 fn main() {
-    let budget: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2000);
+    let args = parse_args();
+    let budget = args.budget;
     let machine = Machine::archer2();
+    let mut events: Vec<ReplayEvent> = Vec::new();
 
     // ---- Part 1: the virtual MPI runtime under a fault plan --------
     println!("=== comm layer: 8-rank allreduce under 20% message drop ===");
-    let plan = FaultPlan::new(9).with_drop_prob(0.20).with_dup_prob(0.05);
-    let runs = World::new(machine.clone()).run_with_plan(8, plan, |ctx| {
+    let plan = FaultPlan::new(9u64.wrapping_add(args.seed))
+        .with_drop_prob(0.20)
+        .with_dup_prob(0.05);
+    let (runs, log) = World::new(machine.clone()).run_with_plan_logged(8, plan, |ctx| {
         let g = ctx.world();
         g.allreduce_scalar(ctx, ReduceOp::Sum, ctx.rank() as f64 + 1.0)
     });
+    events.extend(log.into_iter().map(ReplayEvent::from));
     for (r, run) in runs.iter().enumerate() {
         if let RankOutcome::Completed(v) = &run.outcome {
             println!(
@@ -42,12 +107,13 @@ fn main() {
     }
 
     println!("\n=== comm layer: rank 2 crashes mid-collective ===");
-    let plan = FaultPlan::new(7).with_crash(2, 5e-5);
-    let runs = World::new(machine.clone()).run_with_plan(4, plan, |ctx| {
+    let plan = FaultPlan::new(7u64.wrapping_add(args.seed)).with_crash(2, 5e-5);
+    let (runs, log) = World::new(machine.clone()).run_with_plan_logged(4, plan, |ctx| {
         ctx.compute_secs(1e-4);
         let g = ctx.world();
         g.try_allreduce_scalar(ctx, ReduceOp::Sum, 1.0)
     });
+    events.extend(log.into_iter().map(ReplayEvent::from));
     for (r, run) in runs.iter().enumerate() {
         match &run.outcome {
             RankOutcome::Crashed { at } => println!("rank {r}: crashed at t={at:.1e}s"),
@@ -79,7 +145,7 @@ fn main() {
             let faulty = scenario.clone().with_fault(
                 FaultScenario::crash(app, clean.total_runtime * frac).with_checkpoint_interval(10),
             );
-            let run = run_coupled_resilient(&faulty, &alloc, &machine, 20);
+            let run = resilient_logged(&faulty, &alloc, &machine, &mut events);
             println!(
                 "{:>7.0}% {:>18} {:>8} {:>12.1} {:>10.1}% {:>9.1}",
                 frac * 100.0,
@@ -101,7 +167,7 @@ fn main() {
         let faulty = scenario.clone().with_fault(
             FaultScenario::crash(0, clean.total_runtime * 0.5).with_checkpoint_interval(k),
         );
-        let run = run_coupled_resilient(&faulty, &alloc, &machine, 20);
+        let run = resilient_logged(&faulty, &alloc, &machine, &mut events);
         println!(
             "{k:>6} {:>12.1} {:>12.1} {:>12.1}",
             run.checkpoint_cost, run.recovery_overhead, run.total_runtime
@@ -113,9 +179,77 @@ fn main() {
         FaultScenario::crash(0, clean.total_runtime * 10.0) // no crash
             .with_dropped_exchanges(vec![0, 7, 20]),
     );
-    let run = run_coupled_resilient(&faulty, &alloc, &machine, 20);
+    let run = resilient_logged(&faulty, &alloc, &machine, &mut events);
     println!(
         "{} exchanges fell back to the last-good mapping; overhead {:.1}s",
         run.stale_exchanges, run.recovery_overhead
     );
+
+    finish_record_replay(
+        "fault_study",
+        args.seed,
+        8,
+        events,
+        &args.record,
+        &args.replay,
+    );
+}
+
+/// Shared record/replay tail: save the event log and/or verify it
+/// against a previously recorded trace, exiting nonzero on divergence.
+fn finish_record_replay(
+    label: &str,
+    seed: u64,
+    world_size: u32,
+    events: Vec<ReplayEvent>,
+    record: &Option<PathBuf>,
+    replay: &Option<PathBuf>,
+) {
+    if let Some(path) = record {
+        let trace = Trace {
+            label: label.to_string(),
+            seed,
+            world_size,
+            events: events.clone(),
+        };
+        match trace.save(path) {
+            Ok(()) => println!(
+                "\nrecorded {} events to {}",
+                trace.events.len(),
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = replay {
+        let trace = match Trace::load(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot load {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        };
+        if trace.seed != seed {
+            eprintln!(
+                "trace {} was recorded with --seed {}, this run used --seed {seed}",
+                path.display(),
+                trace.seed
+            );
+            std::process::exit(1);
+        }
+        match verify(&trace.events, &events) {
+            Ok(()) => println!(
+                "\nreplay ok: {} events match {}",
+                events.len(),
+                path.display()
+            ),
+            Err(d) => {
+                eprintln!("\nreplay DIVERGED from {}: {d}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -24,6 +24,12 @@ fn main() {
     let run = sim::run_coupled(&scenario, &alloc, &machine, 20);
 
     let report = markdown_report(&scenario, &alloc, &run);
+    if let Some(dir) = std::path::Path::new(&out_path)
+        .parent()
+        .filter(|d| !d.as_os_str().is_empty())
+    {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
     std::fs::write(&out_path, &report).expect("write report");
     println!("{report}");
     println!("(written to {out_path})");

@@ -22,21 +22,31 @@
 //!    quantifying detector overhead versus coverage at scale.
 //!
 //! ```text
-//! cargo run --release --example sdc_study [budget]
+//! cargo run --release --example sdc_study [budget] \
+//!     [--seed <u64>] [--record <path>] [--replay <path>]
 //! ```
+//!
+//! `--seed` perturbs every seeded draw (the bit-flip RNG and the comm
+//! fault plans; the default 0 reproduces the stock study). `--record`
+//! saves the nondeterminism log — comm events from part 4 and SDC
+//! detection/recovery decisions from part 5 — as a `cpx-replay` trace;
+//! `--replay` re-drives the study against a saved trace and exits
+//! nonzero on the first diverging event.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use cpx_amg::{apply_cycle_guarded, CycleType, Hierarchy, HierarchyConfig};
 use cpx_comm::{BitFlipInjector, CommError, FaultPlan, RankOutcome, World};
 use cpx_core::prelude::*;
 use cpx_core::sdc::{SdcInjection, SdcPolicy, SdcSite};
-use cpx_core::sim::run_coupled_resilient;
+use cpx_core::sim::run_coupled_resilient_logged;
 use cpx_coupler::ConservativeMap;
 use cpx_mesh::mesh::{annulus_sector, combustor_box};
 use cpx_mesh::{sliding_plane_pair, MeshHierarchy};
 use cpx_mgcfd::guard::InvariantGuard;
 use cpx_mgcfd::EulerSolver;
+use cpx_replay::{verify, ReplayEvent, Trace};
 use cpx_simpic::guard::PicGuard;
 use cpx_simpic::{Pic1D, SimpicConfig};
 use cpx_sparse::abft::{spgemm_hash_checked, spgemm_spa_checked, spgemm_twopass_checked};
@@ -72,7 +82,7 @@ fn row_offsets(m: &Csr) -> Vec<usize> {
     offsets
 }
 
-fn abft_coverage_sweep() {
+fn abft_coverage_sweep(seed: u64) {
     println!("=== part 1: sparse ABFT detection coverage ===");
     let n = 600;
     let base = banded(n, 12);
@@ -82,7 +92,7 @@ fn abft_coverage_sweep() {
     let threshold = work.spmv_tolerance(&x);
 
     let trials = 2000;
-    let mut rng = StdRng::seed_from_u64(0x5dc_57d1);
+    let mut rng = StdRng::seed_from_u64(0x5dc_57d1u64.wrapping_add(seed));
     let (mut above, mut caught_above) = (0u32, 0u32);
     let (mut below, mut caught_below) = (0u32, 0u32);
     let mut y = vec![0.0; n];
@@ -303,16 +313,17 @@ fn physics_guards() {
     assert!(clean && struck.is_err());
 }
 
-fn comm_crc(machine: &Machine) {
+fn comm_crc(machine: &Machine, seed: u64, events: &mut Vec<ReplayEvent>) {
     println!("\n=== part 4: payload CRC on the virtual MPI runtime ===");
-    let plan = FaultPlan::new(31).with_corrupt_prob(1.0);
-    let runs = World::new(machine.clone()).run_with_plan(2, plan, |ctx| {
+    let plan = FaultPlan::new(31u64.wrapping_add(seed)).with_corrupt_prob(1.0);
+    let (runs, log) = World::new(machine.clone()).run_with_plan_logged(2, plan, |ctx| {
         if ctx.rank() == 0 {
             ctx.try_send(1, 0, vec![1.0f64, 2.0, 3.0]).map(|_| ())
         } else {
             ctx.try_recv_from(0, 0).map(|_| ())
         }
     });
+    events.extend(log.into_iter().map(ReplayEvent::from));
     match &runs[1].outcome {
         RankOutcome::Completed(Err(CommError::Corrupted {
             crc_sent, crc_got, ..
@@ -328,19 +339,24 @@ fn comm_crc(machine: &Machine) {
         runs[1].report.corrupted_msgs
     );
 
-    let clean = World::new(machine.clone()).run_with_plan(4, FaultPlan::new(32), |ctx| {
-        let me = ctx.rank();
-        for round in 0..8u32 {
-            ctx.send((me + 1) % 4, round, vec![me as f64; 257]);
-            let _ = ctx.recv((me + 3) % 4, round);
-        }
-    });
+    let (clean, log) = World::new(machine.clone()).run_with_plan_logged(
+        4,
+        FaultPlan::new(32u64.wrapping_add(seed)),
+        |ctx| {
+            let me = ctx.rank();
+            for round in 0..8u32 {
+                ctx.send((me + 1) % 4, round, vec![me as f64; 257]);
+                let _ = ctx.recv((me + 3) % 4, round);
+            }
+        },
+    );
+    events.extend(log.into_iter().map(ReplayEvent::from));
     let total: u64 = clean.iter().map(|r| r.report.corrupted_msgs).sum();
     println!("  clean 4-rank ring: {total} corrupted messages (CRC never false-positives)");
     assert_eq!(total, 0);
 }
 
-fn coupled_policies(machine: &Machine, budget: usize) {
+fn coupled_policies(machine: &Machine, budget: usize, replay_log: &mut Vec<ReplayEvent>) {
     let scenario = testcases::small_150m_28m(StcVariant::Base);
     let models = model::build_models_with_grid(&scenario, machine, 100.0, &[100, 400, 1600, 6400]);
     let alloc = model::allocate_scenario(&models, budget);
@@ -371,7 +387,8 @@ fn coupled_policies(machine: &Machine, budget: usize) {
                 .with_sdc_policy(policy)
                 .with_checkpoint_interval(10),
         );
-        let run = run_coupled_resilient(&s, &alloc, machine, 20);
+        let (run, log) = run_coupled_resilient_logged(&s, &alloc, machine, 20);
+        replay_log.extend(log.into_iter().map(ReplayEvent::from));
         println!(
             "{:>20} {:>9} {:>10} {:>11.1} {:>12.1} {:>10.1}",
             policy.to_string(),
@@ -392,7 +409,8 @@ fn coupled_policies(machine: &Machine, budget: usize) {
     let s = scenario
         .clone()
         .with_fault(FaultScenario::sdc_only(events).with_abft(false));
-    let run = run_coupled_resilient(&s, &alloc, machine, 20);
+    let (run, log) = run_coupled_resilient_logged(&s, &alloc, machine, 20);
+    replay_log.extend(log.into_iter().map(ReplayEvent::from));
     println!(
         "{:>20} {:>9} {:>10} {:>11.1} {:>12.1} {:>10.1}   <- silent corruption",
         "(abft disarmed)",
@@ -404,18 +422,104 @@ fn coupled_policies(machine: &Machine, budget: usize) {
     );
 }
 
-fn main() {
-    let budget: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2000);
-    let machine = Machine::archer2();
+struct Args {
+    budget: usize,
+    seed: u64,
+    record: Option<PathBuf>,
+    replay: Option<PathBuf>,
+}
 
-    abft_coverage_sweep();
+fn usage() -> ! {
+    eprintln!("usage: sdc_study [budget] [--seed <u64>] [--record <path>] [--replay <path>]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        budget: 2000,
+        seed: 0,
+        record: None,
+        replay: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--record" => args.record = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            "--replay" => args.replay = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            s => match s.parse() {
+                Ok(b) => args.budget = b,
+                Err(_) => usage(),
+            },
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let machine = Machine::archer2();
+    let mut events: Vec<ReplayEvent> = Vec::new();
+
+    abft_coverage_sweep(args.seed);
     abft_overhead_bench();
     physics_guards();
-    comm_crc(&machine);
-    coupled_policies(&machine, budget);
+    comm_crc(&machine, args.seed, &mut events);
+    coupled_policies(&machine, args.budget, &mut events);
 
     println!("\nall SDC study checks passed");
+
+    if let Some(path) = &args.record {
+        let trace = Trace {
+            label: "sdc_study".to_string(),
+            seed: args.seed,
+            world_size: 4,
+            events: events.clone(),
+        };
+        match trace.save(path) {
+            Ok(()) => println!(
+                "recorded {} events to {}",
+                trace.events.len(),
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = &args.replay {
+        let trace = match Trace::load(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot load {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        };
+        if trace.seed != args.seed {
+            eprintln!(
+                "trace {} was recorded with --seed {}, this run used --seed {}",
+                path.display(),
+                trace.seed,
+                args.seed
+            );
+            std::process::exit(1);
+        }
+        match verify(&trace.events, &events) {
+            Ok(()) => println!(
+                "replay ok: {} events match {}",
+                events.len(),
+                path.display()
+            ),
+            Err(d) => {
+                eprintln!("replay DIVERGED from {}: {d}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
 }
