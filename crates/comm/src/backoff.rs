@@ -1,0 +1,125 @@
+//! One backoff law for every retry loop in the crate.
+//!
+//! Collective retries (virtual-time domain) and TCP connection retries
+//! (wall-clock domain) both back off exponentially; before PR 7 each
+//! computed its own `base * 2^attempt`, and the connection path was
+//! about to grow a third copy. [`BackoffPolicy`] centralises the
+//! computation with the two hazards handled once:
+//!
+//! * **overflow** — the exponent is capped (`attempt.min(max_exp)`,
+//!   itself clamped below 63) so a pathological retry count can never
+//!   shift past the width of `u64`;
+//! * **nondeterministic jitter** — jitter comes from a seeded
+//!   [splitmix64](https://prng.di.unimi.it/splitmix64.c) hash of the
+//!   attempt number, not a wall-clock or thread-local RNG, so replay
+//!   traces and golden corpora stay byte-stable run over run.
+//!
+//! The virtual-time collective path uses `jitter_frac = 0.0` and
+//! `max_exp = 10`, which reproduces the pre-PR 7 delays bit-for-bit
+//! (`base * (1 << attempt.min(10))` exactly — no rounding detour).
+
+use crate::fault::{mix64, unit};
+
+/// Golden-ratio increment decorrelates per-attempt jitter streams.
+const ATTEMPT_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Seeded, overflow-safe exponential backoff.
+#[derive(Debug, Clone, Copy)]
+pub struct BackoffPolicy {
+    /// Delay for attempt 0, in the caller's time unit (virtual seconds
+    /// for collectives, wall milliseconds for connection dialing).
+    pub base: f64,
+    /// Exponent cap: attempt `k` contributes `2^min(k, max_exp)`.
+    pub max_exp: u32,
+    /// Jitter amplitude as a fraction of the capped delay; the delay is
+    /// scaled by a deterministic factor in `[1 - jitter_frac, 1 + jitter_frac]`.
+    /// Zero means no jitter (and no RNG draw at all).
+    pub jitter_frac: f64,
+    /// Seed for the jitter stream. Unused when `jitter_frac == 0.0`.
+    pub seed: u64,
+}
+
+impl BackoffPolicy {
+    /// Jitter-free policy: exact `base * 2^min(attempt, max_exp)`.
+    pub fn deterministic(base: f64, max_exp: u32) -> Self {
+        BackoffPolicy {
+            base,
+            max_exp,
+            jitter_frac: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Jittered policy with a caller-supplied seed.
+    pub fn jittered(base: f64, max_exp: u32, jitter_frac: f64, seed: u64) -> Self {
+        BackoffPolicy {
+            base,
+            max_exp,
+            jitter_frac,
+            seed,
+        }
+    }
+
+    /// Delay before retry number `attempt` (0-based).
+    pub fn delay(&self, attempt: u64) -> f64 {
+        // Double clamp: the policy's own cap, then a hard 63 so the
+        // shift is defined even for a misconfigured max_exp.
+        let exp = attempt.min(self.max_exp as u64).min(63);
+        let raw = self.base * (1u64 << exp) as f64;
+        if self.jitter_frac == 0.0 {
+            return raw;
+        }
+        let u = unit(mix64(self.seed ^ attempt.wrapping_mul(ATTEMPT_STRIDE)));
+        raw * (1.0 + self.jitter_frac * (2.0 * u - 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_matches_legacy_formula() {
+        // The virtual-time collective path must reproduce the pre-PR 7
+        // delay law exactly, or golden traces shift.
+        let base = 2.5e-6;
+        let p = BackoffPolicy::deterministic(base, 10);
+        for attempt in 0u64..80 {
+            let legacy = base * (1u64 << attempt.min(10)) as f64;
+            assert_eq!(p.delay(attempt), legacy, "attempt {attempt}");
+        }
+    }
+
+    #[test]
+    fn huge_attempt_does_not_overflow() {
+        let p = BackoffPolicy::deterministic(1.0, 200);
+        // max_exp above 63 clamps at 63 instead of shifting past u64.
+        assert_eq!(p.delay(u64::MAX), (1u64 << 63) as f64);
+        let j = BackoffPolicy::jittered(1.0, 200, 0.5, 42);
+        let d = j.delay(u64::MAX);
+        assert!(d.is_finite() && d > 0.0);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let p = BackoffPolicy::jittered(100.0, 6, 0.25, 0xDEAD_BEEF);
+        for attempt in 0u64..32 {
+            let a = p.delay(attempt);
+            let b = p.delay(attempt);
+            assert_eq!(a, b, "same seed+attempt must give same delay");
+            let raw = 100.0 * (1u64 << attempt.min(6)) as f64;
+            assert!(
+                a >= raw * 0.75 && a <= raw * 1.25,
+                "attempt {attempt}: {a} vs raw {raw}"
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_decorrelate() {
+        let a = BackoffPolicy::jittered(1.0, 8, 0.5, 1);
+        let b = BackoffPolicy::jittered(1.0, 8, 0.5, 2);
+        let diverged = (0u64..16).any(|k| a.delay(k) != b.delay(k));
+        assert!(diverged);
+    }
+}

@@ -1,0 +1,185 @@
+//! Multi-process cluster bootstrap: one shared [`ClusterConfig`], one
+//! OS process per node.
+//!
+//! A distributed run works like `mpirun` without the launcher daemon:
+//! every process is started with the *same* configuration (same world
+//! size, same node→rank map, same ports, same seed) plus a
+//! `--current-node` selector; each process calls [`run_node`] with its
+//! own node id, the processes mesh up over TCP ([`crate::net`]), and
+//! each returns the results of the ranks it hosts. A launcher (see
+//! `cpx-replay`'s `multiproc_smoke` bin or the chaos harness) spawns
+//! the children, waits, and merges the per-node results in rank order.
+//!
+//! Because all timing inside the rank programs is virtual and every
+//! fault decision is a pure function of the plan, a crash-free run
+//! produces **bit-identical reports and event logs** whether the world
+//! runs in one process ([`crate::World::run_with_plan_logged`]) or
+//! across many ([`run_node`] on each) — the golden
+//! `multiproc_smoke` corpus in the repository enforces exactly this.
+
+use std::io;
+use std::sync::Arc;
+use std::time::Duration;
+
+use cpx_machine::Machine;
+
+use crate::fault::FaultPlan;
+use crate::net::NetMesh;
+use crate::runtime::{
+    install_quiet_fault_hook, run_endpoints, CommEvent, RankCtx, RankRun, Registry,
+};
+use crate::transport::Transport;
+
+/// The one configuration every process of a distributed run shares.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Listen address of each node, indexed by node id.
+    pub addrs: Vec<String>,
+    /// World ranks hosted by each node, indexed by node id.
+    pub node_ranks: Vec<Vec<usize>>,
+    /// Seed for connection-retry jitter (distinct per dialing pair; has
+    /// no effect on virtual-time results).
+    pub seed: u64,
+    /// Total budget for dialing each peer during mesh bring-up.
+    pub connect_timeout: Duration,
+    /// Heartbeat silence after which a peer node's unfinished ranks are
+    /// declared dead.
+    pub heartbeat_timeout: Duration,
+}
+
+impl ClusterConfig {
+    /// A loopback cluster: `world_size` ranks block-partitioned over
+    /// `nodes` processes listening on `base_port..base_port+nodes`.
+    pub fn local(world_size: usize, nodes: usize, base_port: u16, seed: u64) -> ClusterConfig {
+        assert!(nodes >= 1 && world_size >= nodes, "need >= 1 rank per node");
+        let per = world_size / nodes;
+        let extra = world_size % nodes;
+        let mut node_ranks = Vec::with_capacity(nodes);
+        let mut next = 0usize;
+        for nd in 0..nodes {
+            let take = per + usize::from(nd < extra);
+            node_ranks.push((next..next + take).collect());
+            next += take;
+        }
+        ClusterConfig {
+            addrs: (0..nodes)
+                .map(|i| format!("127.0.0.1:{}", base_port + i as u16))
+                .collect(),
+            node_ranks,
+            seed,
+            connect_timeout: Duration::from_secs(10),
+            heartbeat_timeout: Duration::from_secs(2),
+        }
+    }
+
+    /// Total number of ranks.
+    pub fn world_size(&self) -> usize {
+        self.node_ranks.iter().map(|r| r.len()).sum()
+    }
+
+    /// Number of nodes (processes).
+    pub fn nodes(&self) -> usize {
+        self.node_ranks.len()
+    }
+
+    /// The node hosting `rank`.
+    pub fn node_of(&self, rank: usize) -> Option<usize> {
+        self.node_ranks
+            .iter()
+            .position(|ranks| ranks.contains(&rank))
+    }
+}
+
+/// The results of one node's ranks, in local rank order.
+#[derive(Debug)]
+pub struct NodeRun<T> {
+    /// The world ranks this node hosted (ascending).
+    pub ranks: Vec<usize>,
+    /// Outcome + report per hosted rank, parallel to `ranks`.
+    pub runs: Vec<RankRun<T>>,
+    /// Communication event log of the hosted ranks, concatenated in
+    /// rank order (empty unless `logged`).
+    pub log: Vec<CommEvent>,
+}
+
+/// Run this process's share of a distributed world: mesh up with the
+/// other nodes of `cfg`, execute `f` on every locally hosted rank, and
+/// tear the mesh down cleanly (goodbye, so peers don't mistake our exit
+/// for a crash).
+///
+/// `f` sees exactly the same [`RankCtx`] API as under
+/// [`crate::World::run_with_plan`]; world size, fault decisions and all
+/// virtual-time accounting are identical across backends.
+pub fn run_node<T, F>(
+    machine: Machine,
+    cfg: &ClusterConfig,
+    node: usize,
+    plan: FaultPlan,
+    logged: bool,
+    f: F,
+) -> io::Result<NodeRun<T>>
+where
+    T: Send + 'static,
+    F: Fn(&mut RankCtx) -> T + Send + Sync + 'static,
+{
+    assert!(node < cfg.nodes(), "node id {node} out of range");
+    // Real process deaths surface as CommError unwinds in surviving
+    // ranks; keep them quiet like fault-plan unwinds.
+    install_quiet_fault_hook();
+    let mut mesh = NetMesh::establish(
+        node,
+        &cfg.addrs,
+        &cfg.node_ranks,
+        cfg.connect_timeout,
+        cfg.heartbeat_timeout,
+        cfg.seed,
+    )?;
+    let endpoints: Vec<(usize, Box<dyn Transport>)> = mesh
+        .take_transports()
+        .into_iter()
+        .map(|(rank, t)| (rank, Box::new(t) as Box<dyn Transport>))
+        .collect();
+    let world_size = cfg.world_size();
+    let results = run_endpoints(
+        Arc::new(machine),
+        world_size,
+        endpoints,
+        Arc::new(plan),
+        Arc::new(Registry::default()),
+        false,
+        logged,
+        Arc::new(f),
+    );
+    mesh.shutdown();
+
+    let mut ranks = Vec::with_capacity(results.len());
+    let mut runs = Vec::with_capacity(results.len());
+    let mut log = Vec::new();
+    let mut ordered = results;
+    ordered.sort_by_key(|(rank, ..)| *rank);
+    for (rank, run, _timeline, rank_log) in ordered {
+        ranks.push(rank);
+        runs.push(run);
+        log.extend(rank_log);
+    }
+    Ok(NodeRun { ranks, runs, log })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_config_partitions_all_ranks() {
+        let cfg = ClusterConfig::local(8, 3, 9100, 42);
+        assert_eq!(cfg.nodes(), 3);
+        assert_eq!(cfg.world_size(), 8);
+        assert_eq!(cfg.node_ranks[0], vec![0, 1, 2]);
+        assert_eq!(cfg.node_ranks[1], vec![3, 4, 5]);
+        assert_eq!(cfg.node_ranks[2], vec![6, 7]);
+        assert_eq!(cfg.node_of(4), Some(1));
+        assert_eq!(cfg.node_of(7), Some(2));
+        assert_eq!(cfg.node_of(8), None);
+        assert_eq!(cfg.addrs[2], "127.0.0.1:9102");
+    }
+}

@@ -78,6 +78,22 @@ pub enum CommError {
         /// CRC recomputed over the delivered payload.
         crc_got: u64,
     },
+    /// The collective group this operation belongs to was revoked by a
+    /// member that observed a failure (ULFM-style `MPI_Comm_revoke`):
+    /// the group's tag space is abandoned and the caller must re-form.
+    Revoked {
+        /// The failed rank whose death triggered the revocation.
+        peer: usize,
+        /// Virtual time of that failure.
+        at: f64,
+    },
+    /// The peer rank already completed the protocol and exited cleanly;
+    /// it will never answer again, but unlike [`CommError::PeerDead`]
+    /// its results stand and no recovery is required.
+    RankDone {
+        /// World rank of the completed peer.
+        peer: usize,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -107,6 +123,13 @@ impl fmt::Display for CommError {
                 "payload from rank {src} tag {tag:#x} corrupted in flight \
                  (crc {crc_got:#018x}, expected {crc_sent:#018x})"
             ),
+            CommError::Revoked { peer, at } => write!(
+                f,
+                "collective group revoked after rank {peer} failed at t={at:.6}s"
+            ),
+            CommError::RankDone { peer } => {
+                write!(f, "peer rank {peer} already completed and exited")
+            }
         }
     }
 }
@@ -209,14 +232,14 @@ impl Default for FaultPlan {
 }
 
 /// splitmix64 finalizer: the mixing core of every fault decision.
-fn mix64(mut x: u64) -> u64 {
+pub(crate) fn mix64(mut x: u64) -> u64 {
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
     x ^ (x >> 31)
 }
 
 /// Map 64 random bits to a uniform `f64` in `[0, 1)`.
-fn unit(h: u64) -> f64 {
+pub(crate) fn unit(h: u64) -> f64 {
     (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
@@ -445,9 +468,21 @@ pub(crate) struct CrashSignal {
 /// then (b) drains its inbox is guaranteed to have seen every message
 /// the dead rank ever sent — that ordering is what makes `PeerDead`
 /// detection deterministic.
+///
+/// PR 7 widened the registry into the full shared lifecycle store the
+/// [`crate::transport::Transport`] trait exposes: besides dead marks it
+/// now tracks *done* marks (ranks that completed the protocol and will
+/// never answer again, but whose results stand) and *group
+/// revocations* (a member that abandons a collective group records the
+/// triggering failure under the group signature, so stragglers blocked
+/// in that group's tag space observe it in bounded time). The same
+/// first-write-wins / ordered-after-sends discipline applies to all
+/// three maps.
 #[derive(Default)]
 pub(crate) struct DeadRegistry {
     map: Mutex<HashMap<usize, f64>>,
+    done: Mutex<HashMap<usize, ()>>,
+    revoked: Mutex<HashMap<(u64, usize), (usize, f64)>>,
 }
 
 impl DeadRegistry {
@@ -457,6 +492,28 @@ impl DeadRegistry {
 
     pub fn time_of(&self, rank: usize) -> Option<f64> {
         self.map.lock().get(&rank).copied()
+    }
+
+    pub fn mark_done(&self, rank: usize) {
+        self.done.lock().insert(rank, ());
+    }
+
+    pub fn is_done(&self, rank: usize) -> bool {
+        self.done.lock().contains_key(&rank)
+    }
+
+    /// Record that rank `by` revoked group `sig`, blaming the failure
+    /// of `peer` at virtual time `at`. Keyed per revoker: a waiter
+    /// checks the flag *of the specific rank it is blocked on*, whose
+    /// revocation is ordered after that rank's last send on the group —
+    /// the same ordered-after-sends discipline as the dead map, which
+    /// is what keeps revocation-driven recovery deterministic.
+    pub fn revoke(&self, sig: u64, by: usize, peer: usize, at: f64) {
+        self.revoked.lock().entry((sig, by)).or_insert((peer, at));
+    }
+
+    pub fn revoked_by(&self, sig: u64, by: usize) -> Option<(usize, f64)> {
+        self.revoked.lock().get(&(sig, by)).copied()
     }
 }
 

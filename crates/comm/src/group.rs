@@ -21,6 +21,7 @@
 //! failure.
 
 use std::cell::Cell;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::fault::CommError;
 use crate::payload::Payload;
@@ -125,6 +126,13 @@ impl Group {
         self.my_index == 0
     }
 
+    /// The group's deterministic signature: the identity of its tag
+    /// space, and the key under which the group can be revoked (see
+    /// [`crate::transport::Transport::revoke`]).
+    pub fn sig(&self) -> u64 {
+        self.sig
+    }
+
     fn next_tag(&self) -> u64 {
         let seq = self.coll_seq.get();
         self.coll_seq.set(seq + 1);
@@ -165,10 +173,11 @@ impl Group {
     }
 
     /// Receive one collective-stage message from group member `i`,
-    /// observing `PeerDead` for crashed partners instead of
-    /// deadlocking.
+    /// observing `PeerDead` for crashed partners — or `Revoked` when a
+    /// member abandoned this group after a failure we have not seen
+    /// ourselves — instead of deadlocking.
     fn frecv(&self, ctx: &mut RankCtx, member: usize, tag: u64) -> Result<Payload, CommError> {
-        ctx.recv_checked(self.ranks[member], tag)
+        ctx.recv_checked_group(self.ranks[member], tag, self.sig)
     }
 
     /// Unwrap a fallible collective result for the infallible wrappers:
@@ -637,6 +646,116 @@ impl Group {
             split_seq: Cell::new(0),
         }
     }
+
+    /// Reserved tag for round `round` of the shrink agreement. Lives in
+    /// the internal tag space of this group's signature but outside the
+    /// `next_tag` sequence, so agreement rounds can never cross-match
+    /// with ordinary collective stages.
+    fn agree_tag(&self, round: u64) -> u64 {
+        INTERNAL | (mix64(self.sig ^ 0x5AFE_A64E ^ (round << 32)) >> 1)
+    }
+
+    /// Crash-tolerant agreement on a *revoked* group — the analogue of
+    /// ULFM's `MPI_Comm_agree` + `MPI_Comm_shrink`. Every live member
+    /// that abandons this group must call this exactly once, after
+    /// revoking the group in its own name; the call returns a view that
+    /// is **uniform** across every member that survives it, from which
+    /// all survivors derive the identical successor group.
+    ///
+    /// The algorithm is textbook crash-fault flooding consensus run for
+    /// `n = |group|` synchronous rounds (`f + 1` with `f = n - 1`): each
+    /// round, every participant sends its current contribution set to
+    /// every member it has not observed dead or done, then receives one
+    /// message from each such member — or observes that member's death
+    /// or completion, both of which the runtime reports deterministically
+    /// (marks are ordered after the marker's last send). Message loss is
+    /// sender-visible here (fault-plan drops surface at the send call),
+    /// so delivery between live members is reliable and the classic
+    /// argument applies: a contribution known to one survivor but not
+    /// another would need a distinct mid-broadcast crash in every round,
+    /// i.e. `n` crashes among `n` ranks of which two are alive.
+    ///
+    /// Uniformity of the outcome: the contributor set is uniform by the
+    /// flooding argument; the done set is uniform because a done member
+    /// never sends on agreement tags, so *every* participant observes
+    /// its completion mark. Members that die mid-agreement may appear in
+    /// the contributor set — the successor group then still names a dead
+    /// rank, which the next collective on it reports immediately, and
+    /// the following recovery round prunes it with everyone watching.
+    ///
+    /// Late joiners cost nothing: a member still blocked inside an old
+    /// collective of this group observes a revocation in bounded time
+    /// (every participant revoked before calling this), joins at round
+    /// 1, and the per-`(src, tag)` matching lets the other participants'
+    /// buffered round messages pair up regardless of arrival order.
+    pub(crate) fn agree_shrink(&self, ctx: &mut RankCtx, my_ckpt: u64) -> ShrinkOutcome {
+        let me = self.ranks[self.my_index];
+        let n = self.size();
+        let mut contrib: BTreeMap<usize, u64> = BTreeMap::new();
+        contrib.insert(me, my_ckpt);
+        let mut dead: BTreeSet<usize> = BTreeSet::new();
+        let mut done: BTreeSet<usize> = BTreeSet::new();
+        ctx.obs_begin("agree_shrink");
+        for round in 1..=n as u64 {
+            if n == 1 {
+                break;
+            }
+            let tag = self.agree_tag(round);
+            let flat: Vec<f64> = contrib
+                .iter()
+                .flat_map(|(&r, &c)| [r as f64, c as f64])
+                .collect();
+            for &r in &self.ranks {
+                if r != me && !dead.contains(&r) && !done.contains(&r) {
+                    ctx.send_tagged(r, tag, Payload::F64(flat.clone()));
+                }
+            }
+            for &r in &self.ranks {
+                if r == me || dead.contains(&r) || done.contains(&r) {
+                    continue;
+                }
+                match ctx.recv_checked(r, tag) {
+                    Ok(payload) => {
+                        let vals = payload.into_f64();
+                        for pair in vals.chunks_exact(2) {
+                            contrib.entry(pair[0] as usize).or_insert(pair[1] as u64);
+                        }
+                    }
+                    Err(CommError::PeerDead { .. }) => {
+                        dead.insert(r);
+                    }
+                    Err(CommError::RankDone { .. }) => {
+                        done.insert(r);
+                    }
+                    // Anything else (e.g. corruption eating a one-shot
+                    // agreement message) is unrecoverable for this rank;
+                    // abort it and let the other members shrink past us.
+                    Err(e) => std::panic::panic_any(e),
+                }
+            }
+        }
+        ctx.obs_end();
+        let min_ckpt = *contrib.values().min().expect("own contribution present");
+        ShrinkOutcome {
+            survivors: contrib.into_keys().collect(),
+            done: done.into_iter().collect(),
+            min_ckpt,
+        }
+    }
+}
+
+/// What [`Group::agree_shrink`] agreed on — uniform across every member
+/// that survives the agreement.
+pub(crate) struct ShrinkOutcome {
+    /// Members that contributed to the agreement, ascending world rank.
+    /// These are the successor group's members (a rank that died *during*
+    /// the agreement may still appear; the next recovery removes it).
+    pub survivors: Vec<usize>,
+    /// Members observed protocol-complete during the agreement.
+    pub done: Vec<usize>,
+    /// Minimum over the contributors' newest checkpoint iterations: the
+    /// agreed rollback point.
+    pub min_ckpt: u64,
 }
 
 #[cfg(test)]

@@ -72,21 +72,32 @@
 //! mini-apps and SDC studies strike their own arrays with it and let
 //! the ABFT/invariant detectors in the solver crates do the catching.
 
+pub mod backoff;
+pub mod cluster;
 pub mod fault;
 pub mod group;
+pub mod net;
 pub mod nonblocking;
 pub mod payload;
+pub mod protocol;
+pub mod resilient;
 pub mod runtime;
 pub mod serialize;
+pub mod transport;
 pub mod window;
 
+pub use backoff::BackoffPolicy;
+pub use cluster::{run_node, ClusterConfig, NodeRun};
 pub use fault::{BitFlipInjector, CommError, FaultPlan, LinkDegradation};
 pub use group::Group;
+pub use net::TcpTransport;
 pub use nonblocking::{irecv, isend, wait_all, RecvRequest};
 pub use payload::Payload;
+pub use resilient::{resilient_loop, ResilientConfig, ResilientReport};
 pub use runtime::{
     CollectiveOp, CommEvent, CommEventKind, RankCtx, RankOutcome, RankRun, TimeReport, World,
 };
+pub use transport::{Packet, RecvPoll, Transport};
 pub use window::Window;
 
 /// Reduction operators for collectives.

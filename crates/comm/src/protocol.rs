@@ -1,0 +1,659 @@
+//! Hand-rolled explicit-state model checker for the shrink-recovery
+//! protocol of [`crate::resilient`].
+//!
+//! The checker enumerates, by breadth-first search, every reachable
+//! interleaving of an abstracted version of the protocol — bounded
+//! ranks, iterations, retries and crash budget — and verifies safety
+//! invariants on every state plus deadlock- and livelock-freedom on the
+//! full state graph. It is deliberately small and dependency-free: the
+//! state space for the bounds exercised in the tests is a few hundred
+//! thousand states, well within a `cargo test`.
+//!
+//! # The abstraction
+//!
+//! Each rank is in one of six phases:
+//!
+//! * `Work(i)` — computing iteration `i` (no communication),
+//! * `Coll(i, r)` — inside the allreduce closing iteration `i`, having
+//!   retried `r` times (dropped-message retries with backoff),
+//! * `Rec` — observed a failure, revoked its group, waiting in the
+//!   rollback agreement,
+//! * `Fence` — finished all iterations, inside the termination barrier,
+//! * `Done` — passed the fence and published its done mark,
+//! * `Dead` — crashed.
+//!
+//! plus an *epoch* (which group generation it is on) and a *ckpt* (its
+//! newest checkpoint iteration). Global state adds the set of revoked
+//! epochs and the remaining crash budget.
+//!
+//! The rollback agreement is modelled as a **joint** transition: it
+//! fires only when every non-dead, non-done rank is in `Rec`, exactly
+//! as the real agreement collective completes only once every member of
+//! the re-formed group has reached it, and moves all of them to the
+//! minimum checkpoint on a fresh epoch. The real system's transient
+//! group-identity divergence (two ranks observing failures in different
+//! orders briefly computing different memberships or generations) sits
+//! *below* this abstraction: it self-heals through the same monotone
+//! registries the model treats as atomically visible, because a rank on
+//! a stale view fails fast and recomputes (see `crate::resilient`'s
+//! module docs).
+//!
+//! Collective completion for a rank requires every same-epoch member to
+//! have arrived at that collective (and none dead, none in recovery) —
+//! the emergent lockstep of blocking collectives. Failure observation
+//! comes in two flavours, matching the receive poll loop: directly,
+//! when a same-epoch member is dead (the waiter's `frecv` source died),
+//! or indirectly, when the epoch has been revoked (the waiter was
+//! blocked on a *live* peer that left for recovery — only the
+//! revocation can unblock it). The `worst_case_detection` mode
+//! restricts direct observation to a single first detector, forcing
+//! every other rank through the revocation path; the protocol must stay
+//! live even then.
+//!
+//! # Invariants
+//!
+//! * **I1 revoke-before-abandon** — a rank in recovery has always
+//!   revoked the epoch it abandoned (no member can be left waiting
+//!   forever on a group someone has quit).
+//! * **I2 epoch agreement / lockstep** — live non-done ranks are always
+//!   on the same epoch, and their collective frontiers never diverge by
+//!   more than one iteration.
+//! * **I3 done-safety** — once any rank is `Done`, no live rank is
+//!   still computing: every survivor is at (or past) the fence with all
+//!   iterations complete. This is the "no rank commits a shrunk world
+//!   while another still needs it" property.
+//! * **I4 deadlock-freedom** — every non-terminal state has a
+//!   successor.
+//! * **I5 livelock-freedom** — from every reachable state some terminal
+//!   state remains reachable (may-termination; the bounded retry and
+//!   crash budgets make this the appropriate finite-state liveness
+//!   check).
+//! * **terminal-completion** — in every terminal state at least one
+//!   rank is `Done`, and every `Done` rank completed all iterations.
+//!
+//! Two deliberately broken protocol variants double as checker
+//! validation: disabling revocation under worst-case detection must
+//! produce a deadlock, and letting a rank exit the fence without
+//! done-evidence must violate I3. A checker that cannot find planted
+//! bugs proves nothing.
+
+use std::collections::{HashMap, VecDeque};
+
+/// Bounds and variant switches for one checking run.
+#[derive(Debug, Clone)]
+pub struct ModelConfig {
+    /// Number of ranks (keep ≤ 4; state count grows exponentially).
+    pub ranks: usize,
+    /// Iterations each rank must complete.
+    pub iters: u8,
+    /// Checkpoint cadence.
+    pub ckpt_every: u8,
+    /// Bound on modelled dropped-message retries per collective.
+    pub max_retries: u8,
+    /// Crash budget (total rank deaths the adversary may inject).
+    pub crashes: u8,
+    /// Restrict direct dead-peer observation to one first detector per
+    /// recovery round; everyone else must escape via revocation.
+    pub single_detector: bool,
+    /// When false, ranks abandon groups WITHOUT revoking them — a
+    /// deliberately broken variant the checker must catch.
+    pub revocation: bool,
+    /// When true, a fence rank may exit `Done` on failure without
+    /// done-evidence — a deliberately broken variant violating I3.
+    pub unsafe_fence_exit: bool,
+}
+
+impl ModelConfig {
+    /// Standard bounds: `ranks` ranks, `iters` iterations,
+    /// checkpointing every iteration, one retry, `crashes` crash
+    /// budget, full protocol.
+    pub fn new(ranks: usize, iters: u8, crashes: u8) -> ModelConfig {
+        ModelConfig {
+            ranks,
+            iters,
+            ckpt_every: 1,
+            max_retries: 1,
+            crashes,
+            single_detector: false,
+            revocation: true,
+            unsafe_fence_exit: false,
+        }
+    }
+
+    /// Checkpoint every `k` iterations instead of every iteration.
+    pub fn checkpoint_every(mut self, k: u8) -> ModelConfig {
+        assert!(k >= 1);
+        self.ckpt_every = k;
+        self
+    }
+
+    /// Only one rank per recovery round may observe a death directly.
+    pub fn worst_case_detection(mut self) -> ModelConfig {
+        self.single_detector = true;
+        self
+    }
+
+    /// Broken variant: abandon groups without revoking them.
+    pub fn without_revocation(mut self) -> ModelConfig {
+        self.revocation = false;
+        self
+    }
+
+    /// Broken variant: exit the fence as `Done` without done-evidence.
+    pub fn with_unsafe_fence_exit(mut self) -> ModelConfig {
+        self.unsafe_fence_exit = true;
+        self
+    }
+}
+
+/// Where a rank is in the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Computing iteration `i`.
+    Work(u8),
+    /// In the collective closing iteration `.0`, after `.1` retries.
+    Coll(u8, u8),
+    /// Observed a failure; waiting in the rollback agreement.
+    Rec,
+    /// In the termination barrier.
+    Fence,
+    /// Published its done mark and exited.
+    Done,
+    /// Crashed.
+    Dead,
+}
+
+/// One rank's abstract state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RankState {
+    /// Protocol phase.
+    pub phase: Phase,
+    /// Group generation this rank is on.
+    pub epoch: u8,
+    /// Newest checkpoint iteration.
+    pub ckpt: u8,
+}
+
+/// A global protocol state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct State {
+    /// Per-rank states.
+    pub ranks: Vec<RankState>,
+    /// Bitmask of revoked epochs.
+    pub revoked: u16,
+    /// Remaining crash budget.
+    pub crashes_left: u8,
+}
+
+impl State {
+    fn initial(cfg: &ModelConfig) -> State {
+        State {
+            ranks: vec![
+                RankState {
+                    phase: Phase::Work(0),
+                    epoch: 0,
+                    ckpt: 0,
+                };
+                cfg.ranks
+            ],
+            revoked: 0,
+            crashes_left: cfg.crashes,
+        }
+    }
+
+    fn revoked_epoch(&self, e: u8) -> bool {
+        self.revoked & (1u16 << e) != 0
+    }
+
+    fn terminal(&self) -> bool {
+        self.ranks
+            .iter()
+            .all(|r| matches!(r.phase, Phase::Done | Phase::Dead))
+    }
+}
+
+/// What the checker explored when all invariants held.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelStats {
+    /// Distinct reachable states.
+    pub states: usize,
+    /// Explored transitions (edges).
+    pub transitions: usize,
+    /// Terminal states (all ranks done or dead).
+    pub terminals: usize,
+}
+
+/// A counterexample: the violated invariant and the interleaving that
+/// reaches the bad state (initial state first).
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which invariant failed.
+    pub invariant: &'static str,
+    /// Execution from the initial state to the violating state.
+    pub trace: Vec<State>,
+}
+
+/// All successor states of `s` under the protocol's transitions.
+fn successors(cfg: &ModelConfig, s: &State) -> Vec<State> {
+    let mut out = Vec::new();
+    let n = s.ranks.len();
+    let dead_in_epoch = |e: u8| {
+        s.ranks
+            .iter()
+            .any(|r| r.phase == Phase::Dead && r.epoch == e)
+    };
+    let any_done = s.ranks.iter().any(|r| r.phase == Phase::Done);
+    let any_rec = s.ranks.iter().any(|r| r.phase == Phase::Rec);
+    let active = s
+        .ranks
+        .iter()
+        .filter(|r| !matches!(r.phase, Phase::Dead | Phase::Done))
+        .count();
+
+    for i in 0..n {
+        let r = s.ranks[i];
+
+        // Crash: the adversary kills any active rank, sparing the last
+        // one (the chaos harness likewise always leaves a survivor).
+        if !matches!(r.phase, Phase::Dead | Phase::Done) && s.crashes_left > 0 && active >= 2 {
+            let mut t = s.clone();
+            t.ranks[i].phase = Phase::Dead;
+            t.crashes_left -= 1;
+            out.push(t);
+        }
+
+        // Failure observation, from inside a collective or the fence:
+        // directly via a dead same-epoch member (the frecv source
+        // died), or indirectly via revocation (blocked on a live peer
+        // that left — only the revocation can unblock us).
+        let observes = |in_collective: bool| -> bool {
+            let direct = dead_in_epoch(r.epoch) && (!cfg.single_detector || !any_rec);
+            let _ = in_collective;
+            direct || s.revoked_epoch(r.epoch)
+        };
+        let observe_to_rec = |s: &State| -> State {
+            let mut t = s.clone();
+            if cfg.revocation {
+                t.revoked |= 1u16 << r.epoch;
+            }
+            t.ranks[i].phase = Phase::Rec;
+            t
+        };
+
+        match r.phase {
+            Phase::Work(it) => {
+                // Compute finishes; enter the closing collective.
+                let mut t = s.clone();
+                t.ranks[i].phase = Phase::Coll(it, 0);
+                out.push(t);
+            }
+            Phase::Coll(it, tries) => {
+                // Dropped-message retry (bounded; backoff is virtual
+                // time, invisible to the abstraction).
+                if tries < cfg.max_retries {
+                    let mut t = s.clone();
+                    t.ranks[i].phase = Phase::Coll(it, tries + 1);
+                    out.push(t);
+                }
+                // Completion: every same-epoch member has arrived at
+                // (or passed) this collective, none dead or recovering,
+                // epoch not revoked.
+                let all_arrived = s.ranks.iter().all(|o| {
+                    o.epoch != r.epoch
+                        || match o.phase {
+                            Phase::Done | Phase::Fence => true,
+                            Phase::Work(w) => w > it,
+                            Phase::Coll(c, _) => c >= it,
+                            Phase::Rec | Phase::Dead => false,
+                        }
+                });
+                if !s.revoked_epoch(r.epoch) && all_arrived {
+                    let next = it + 1;
+                    let mut t = s.clone();
+                    if next == cfg.iters {
+                        // Final checkpoint accompanies fence entry.
+                        t.ranks[i].phase = Phase::Fence;
+                        t.ranks[i].ckpt = cfg.iters;
+                    } else {
+                        t.ranks[i].phase = Phase::Work(next);
+                        if next % cfg.ckpt_every == 0 {
+                            t.ranks[i].ckpt = next;
+                        }
+                    }
+                    out.push(t);
+                }
+                if observes(true) {
+                    out.push(observe_to_rec(s));
+                }
+            }
+            Phase::Fence => {
+                // Barrier completes: every same-epoch member is at the
+                // fence or already done.
+                let all_at_fence = s
+                    .ranks
+                    .iter()
+                    .all(|o| o.epoch != r.epoch || matches!(o.phase, Phase::Fence | Phase::Done));
+                if !s.revoked_epoch(r.epoch) && all_at_fence {
+                    let mut t = s.clone();
+                    t.ranks[i].phase = Phase::Done;
+                    out.push(t);
+                }
+                // Done-override: evidence of any done rank suffices.
+                if any_done {
+                    let mut t = s.clone();
+                    t.ranks[i].phase = Phase::Done;
+                    out.push(t);
+                }
+                // Broken variant: exit on failure without evidence.
+                if cfg.unsafe_fence_exit && (s.revoked_epoch(r.epoch) || dead_in_epoch(r.epoch)) {
+                    let mut t = s.clone();
+                    t.ranks[i].phase = Phase::Done;
+                    out.push(t);
+                }
+                if observes(false) {
+                    out.push(observe_to_rec(s));
+                }
+            }
+            Phase::Rec | Phase::Done | Phase::Dead => {}
+        }
+    }
+
+    // Joint rollback: the agreement collective completes once every
+    // live, non-done rank has reached recovery; all of them move to
+    // the minimum checkpoint on a fresh epoch (re-entering the fence
+    // directly if nobody lost progress).
+    if any_rec
+        && s.ranks
+            .iter()
+            .all(|r| matches!(r.phase, Phase::Dead | Phase::Done | Phase::Rec))
+    {
+        let new_epoch = s.ranks.iter().map(|r| r.epoch).max().unwrap() + 1;
+        assert!((new_epoch as usize) < 16, "epoch bound exceeded");
+        let m = s
+            .ranks
+            .iter()
+            .filter(|r| r.phase == Phase::Rec)
+            .map(|r| r.ckpt)
+            .min()
+            .unwrap();
+        let mut t = s.clone();
+        for r in t.ranks.iter_mut().filter(|r| r.phase == Phase::Rec) {
+            r.epoch = new_epoch;
+            r.ckpt = m;
+            r.phase = if m == cfg.iters {
+                Phase::Fence
+            } else {
+                Phase::Work(m)
+            };
+        }
+        out.push(t);
+    }
+
+    out
+}
+
+/// Check the per-state safety invariants; `None` means all hold.
+fn safety_violation(cfg: &ModelConfig, s: &State) -> Option<&'static str> {
+    // I1: a recovering rank has revoked the epoch it abandoned.
+    // (Meaningless, and expected to fail, in the broken no-revocation
+    // variant — there the checker finds the resulting deadlock instead.)
+    if cfg.revocation {
+        for r in &s.ranks {
+            if r.phase == Phase::Rec && !s.revoked_epoch(r.epoch) {
+                return Some("I1-revoke-before-abandon");
+            }
+        }
+    }
+
+    // I2a: live non-done ranks agree on the epoch.
+    let mut live_epoch = None;
+    for r in &s.ranks {
+        if matches!(r.phase, Phase::Dead | Phase::Done) {
+            continue;
+        }
+        match live_epoch {
+            None => live_epoch = Some(r.epoch),
+            Some(e) if e != r.epoch => return Some("I2-epoch-agreement"),
+            _ => {}
+        }
+    }
+    // I2b: collective frontiers stay within one iteration, and no
+    // checkpoint is ahead of its rank's frontier.
+    let frontiers: Vec<u8> = s
+        .ranks
+        .iter()
+        .filter_map(|r| match r.phase {
+            Phase::Work(i) | Phase::Coll(i, _) => Some(i),
+            Phase::Fence => Some(cfg.iters),
+            _ => None,
+        })
+        .collect();
+    if let (Some(&lo), Some(&hi)) = (frontiers.iter().min(), frontiers.iter().max()) {
+        if hi - lo > 1 {
+            return Some("I2-lockstep");
+        }
+    }
+    for r in &s.ranks {
+        let frontier = match r.phase {
+            Phase::Work(i) | Phase::Coll(i, _) => i,
+            _ => cfg.iters,
+        };
+        if r.ckpt > frontier {
+            return Some("I2-checkpoint-ahead-of-frontier");
+        }
+    }
+
+    // I3: once anyone is done, no live rank is still computing and
+    // every survivor has all iterations checkpointed.
+    if s.ranks.iter().any(|r| r.phase == Phase::Done) {
+        for r in &s.ranks {
+            match r.phase {
+                Phase::Work(_) | Phase::Coll(..) => return Some("I3-done-safety"),
+                Phase::Fence | Phase::Rec => {
+                    if r.ckpt != cfg.iters {
+                        return Some("I3-done-safety");
+                    }
+                }
+                Phase::Done | Phase::Dead => {}
+            }
+        }
+    }
+
+    None
+}
+
+/// Exhaustively explore the bounded protocol and verify every
+/// invariant. Returns exploration statistics, or the first violation
+/// found with a full counterexample trace.
+pub fn check(cfg: &ModelConfig) -> Result<ModelStats, Box<Violation>> {
+    assert!(
+        (1..=4).contains(&cfg.ranks) && cfg.iters >= 1 && cfg.iters <= 6,
+        "bounds keep the state space test-sized"
+    );
+
+    let init = State::initial(cfg);
+    let mut ids: HashMap<State, usize> = HashMap::new();
+    let mut order: Vec<State> = Vec::new();
+    let mut parent: Vec<usize> = Vec::new(); // parent[0] unused
+    let mut preds: Vec<Vec<usize>> = Vec::new();
+    let mut terminal_ids: Vec<usize> = Vec::new();
+    let mut transitions = 0usize;
+
+    ids.insert(init.clone(), 0);
+    order.push(init);
+    parent.push(usize::MAX);
+    preds.push(Vec::new());
+
+    let trace_to = |id: usize, order: &[State], parent: &[usize]| -> Vec<State> {
+        let mut chain = Vec::new();
+        let mut cur = id;
+        loop {
+            chain.push(order[cur].clone());
+            if cur == 0 {
+                break;
+            }
+            cur = parent[cur];
+        }
+        chain.reverse();
+        chain
+    };
+
+    let mut queue: VecDeque<usize> = VecDeque::from([0usize]);
+    while let Some(id) = queue.pop_front() {
+        let s = order[id].clone();
+        if let Some(invariant) = safety_violation(cfg, &s) {
+            return Err(Box::new(Violation {
+                invariant,
+                trace: trace_to(id, &order, &parent),
+            }));
+        }
+        if s.terminal() {
+            terminal_ids.push(id);
+            continue;
+        }
+        let succs = successors(cfg, &s);
+        if succs.is_empty() {
+            return Err(Box::new(Violation {
+                invariant: "I4-deadlock",
+                trace: trace_to(id, &order, &parent),
+            }));
+        }
+        for t in succs {
+            transitions += 1;
+            let next_id = *ids.entry(t.clone()).or_insert_with(|| {
+                let nid = order.len();
+                order.push(t);
+                parent.push(id);
+                preds.push(Vec::new());
+                queue.push_back(nid);
+                nid
+            });
+            preds[next_id].push(id);
+        }
+    }
+
+    // I5: may-termination — every reachable state can still reach a
+    // terminal (reverse reachability from the terminals).
+    let mut can_finish = vec![false; order.len()];
+    let mut rq: VecDeque<usize> = VecDeque::new();
+    for &t in &terminal_ids {
+        can_finish[t] = true;
+        rq.push_back(t);
+    }
+    while let Some(id) = rq.pop_front() {
+        for &p in &preds[id] {
+            if !can_finish[p] {
+                can_finish[p] = true;
+                rq.push_back(p);
+            }
+        }
+    }
+    if let Some(stuck) = can_finish.iter().position(|&ok| !ok) {
+        return Err(Box::new(Violation {
+            invariant: "I5-livelock",
+            trace: trace_to(stuck, &order, &parent),
+        }));
+    }
+
+    // Terminal completion: someone finished, and every done rank
+    // completed all iterations.
+    for &t in &terminal_ids {
+        let s = &order[t];
+        let done_ok = s
+            .ranks
+            .iter()
+            .any(|r| r.phase == Phase::Done && r.ckpt == cfg.iters);
+        let all_done_complete = s
+            .ranks
+            .iter()
+            .all(|r| r.phase != Phase::Done || r.ckpt == cfg.iters);
+        if !done_ok || !all_done_complete {
+            return Err(Box::new(Violation {
+                invariant: "terminal-completion",
+                trace: trace_to(t, &order, &parent),
+            }));
+        }
+    }
+
+    Ok(ModelStats {
+        states: order.len(),
+        transitions,
+        terminals: terminal_ids.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_holds_three_ranks_one_crash() {
+        let stats = check(&ModelConfig::new(3, 2, 1)).expect("protocol must verify");
+        assert!(stats.states > 100, "exploration too small: {stats:?}");
+        assert!(stats.terminals >= 1);
+    }
+
+    #[test]
+    fn protocol_holds_three_ranks_two_crashes() {
+        check(&ModelConfig::new(3, 2, 2)).expect("protocol must verify");
+    }
+
+    #[test]
+    fn protocol_holds_four_ranks() {
+        check(&ModelConfig::new(4, 2, 1)).expect("protocol must verify");
+    }
+
+    #[test]
+    fn protocol_holds_with_sparse_checkpoints() {
+        // Rollback points predating a rank's newest checkpoint.
+        check(&ModelConfig::new(3, 4, 2).checkpoint_every(2)).expect("protocol must verify");
+    }
+
+    #[test]
+    fn protocol_holds_under_worst_case_detection() {
+        // Only one rank per round sees the death directly; everyone
+        // else depends on revocation gossip.
+        check(&ModelConfig::new(3, 2, 2).worst_case_detection()).expect("protocol must verify");
+    }
+
+    #[test]
+    fn no_crash_budget_has_unique_all_done_terminal() {
+        let stats = check(&ModelConfig::new(2, 2, 0)).expect("protocol must verify");
+        assert_eq!(stats.terminals, 1);
+    }
+
+    #[test]
+    fn checker_catches_missing_revocation() {
+        // Abandoning a group without revoking it strands a member that
+        // was blocked on a live peer: the checker must find the
+        // deadlock (under worst-case detection, where the revocation
+        // path is load-bearing).
+        let broken = ModelConfig::new(3, 2, 1)
+            .worst_case_detection()
+            .without_revocation();
+        let v = check(&broken).expect_err("broken variant must be caught");
+        assert_eq!(v.invariant, "I4-deadlock");
+        assert!(
+            v.trace.len() > 1,
+            "counterexample trace must be non-trivial"
+        );
+        assert!(
+            v.trace
+                .last()
+                .unwrap()
+                .ranks
+                .iter()
+                .any(|r| matches!(r.phase, Phase::Coll(..) | Phase::Fence)),
+            "deadlock should strand a rank mid-collective"
+        );
+    }
+
+    #[test]
+    fn checker_catches_unsafe_fence_exit() {
+        // Exiting the fence without done-evidence lets a rank declare
+        // completion while a survivor still has work to redo.
+        let broken = ModelConfig::new(3, 2, 1).with_unsafe_fence_exit();
+        let v = check(&broken).expect_err("broken variant must be caught");
+        assert_eq!(v.invariant, "I3-done-safety");
+    }
+}

@@ -36,16 +36,17 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::{Arc, Once};
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::unbounded;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use cpx_machine::{KernelCost, Machine};
-use cpx_obs::{RankRecorder, SpanName, TraceSession};
+use cpx_obs::{RankRecorder, RankTimeline, SpanName, TraceSession};
 
 use crate::fault::{CommError, CrashSignal, DeadRegistry, FaultPlan};
 use crate::group::Group;
 use crate::payload::Payload;
+use crate::transport::{InProcTransport, Packet, RecvPoll, Transport};
 
 /// How long a blocking receive waits on the host before declaring the
 /// simulated program deadlocked. Generous: functional runs are fast.
@@ -65,28 +66,6 @@ const TIMEOUT_WALL_BUDGET: Duration = Duration::from_millis(250);
 /// With any drop probability < 1 the retry loop terminates long before
 /// this; the cap only guards pathological plans.
 const MAX_SEND_ATTEMPTS: u64 = 64;
-
-/// A message in flight.
-#[derive(Debug)]
-pub(crate) struct Packet {
-    pub src: usize,
-    pub tag: u64,
-    /// Sender's virtual clock at the send call.
-    pub send_time: f64,
-    /// Extra delivery latency injected by the fault plan.
-    pub extra_delay: f64,
-    /// Fault-injected duplicate: discarded by the receiver's transport
-    /// intake, as a sequence-numbered protocol would.
-    pub dup: bool,
-    /// Collective-abort marker (ULFM-style revoke): payload carries
-    /// `[crashed peer, crash time]` and matching it yields a
-    /// `CommError::PeerDead` instead of data.
-    pub abort: bool,
-    /// CRC-64 stamped by the sender over the *intact* payload, before
-    /// any fault-injected corruption mangles it on the link.
-    pub crc: u64,
-    pub payload: Payload,
-}
 
 /// Rendezvous registry for shared-memory windows (and anything else that
 /// needs cross-rank shared state keyed by a deterministic id).
@@ -281,12 +260,12 @@ pub struct RankCtx {
     dropped_msgs: u64,
     corrupted_msgs: u64,
     recovery_time: f64,
-    senders: Arc<Vec<Sender<Packet>>>,
-    inbox: Receiver<Packet>,
+    /// Message plumbing: in-process channels or a TCP mesh, behind one
+    /// trait (see [`crate::transport`]).
+    transport: Box<dyn Transport>,
     /// Out-of-order messages awaiting a matching receive.
     pending: VecDeque<Packet>,
     plan: Arc<FaultPlan>,
-    dead: Arc<DeadRegistry>,
     /// Scheduled crash time for this rank (cached from the plan).
     crash_at: Option<f64>,
     /// Per-destination send-attempt counters feeding the fault plan's
@@ -402,7 +381,7 @@ impl RankCtx {
                 // already completed (program order), so marking now lets
                 // survivors conclude "drained inbox + mark observed ⇒ no
                 // more messages coming" deterministically.
-                self.dead.mark(self.rank, at);
+                self.transport.mark_dead(self.rank, at);
                 panic::panic_any(CrashSignal { at });
             }
         }
@@ -505,7 +484,7 @@ impl RankCtx {
                 }
                 return Err(self.charge_timeout(src, tag, timeout));
             }
-            if let Some(at) = self.dead.time_of(src) {
+            if let Some(at) = self.transport.dead_time_of(src) {
                 // The mark is ordered after all of src's sends; one more
                 // drain closes the race with messages enqueued before it.
                 self.drain_inbox();
@@ -522,12 +501,10 @@ impl RankCtx {
             if wall_start.elapsed() >= TIMEOUT_WALL_BUDGET {
                 return Err(self.charge_timeout(src, tag, timeout));
             }
-            match self.inbox.recv_timeout(POLL_SLICE) {
-                Ok(pkt) => self.intake(pkt),
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => {
-                    return Err(self.charge_timeout(src, tag, timeout))
-                }
+            match self.transport.recv_wait(POLL_SLICE) {
+                RecvPoll::Packet(pkt) => self.intake(pkt),
+                RecvPoll::Empty => {}
+                RecvPoll::Closed => return Err(self.charge_timeout(src, tag, timeout)),
             }
         }
     }
@@ -646,9 +623,9 @@ impl RankCtx {
                 crc,
                 payload: pkt.payload.clone(),
             };
-            let _ = self.senders[dst].send(dup);
+            self.transport.send(dst, dup);
         }
-        let _ = self.senders[dst].send(pkt);
+        self.transport.send(dst, pkt);
         self.messages_sent += 1;
         self.bytes_sent += bytes as u64;
         self.obs_end();
@@ -674,13 +651,15 @@ impl RankCtx {
             crc: payload.crc64(),
             payload,
         };
-        let _ = self.senders[dst].send(pkt);
+        self.transport.send(dst, pkt);
     }
 
-    /// Charge exponential backoff before a send retry.
+    /// Charge exponential backoff before a send retry. The delay law is
+    /// the crate-wide [`crate::backoff::BackoffPolicy`]; jitter-free on
+    /// the virtual-time path so fault runs stay bit-deterministic.
     pub(crate) fn charge_backoff(&mut self, attempt: u64) {
         let base = self.machine.send_overhead.max(self.machine.intra_latency);
-        let dt = base * (1u64 << attempt.min(10)) as f64;
+        let dt = crate::backoff::BackoffPolicy::deterministic(base, 10).delay(attempt);
         self.obs_begin("retry backoff");
         self.clock += dt;
         self.comm_time += dt;
@@ -702,6 +681,18 @@ impl RankCtx {
         self.recovery_time += detect;
         self.log_event(CommEventKind::PeerDead { peer });
         CommError::PeerDead { peer, at }
+    }
+
+    /// Charge the failure-detection wait for observing a group
+    /// revocation (same detector model as a dead peer: the revocation
+    /// carries the triggering failure's virtual time) and build the
+    /// error.
+    fn charge_revoked(&mut self, peer: usize, at: f64) -> CommError {
+        let detect = (at + self.plan.detect_latency - self.clock).max(0.0);
+        self.clock += detect;
+        self.comm_time += detect;
+        self.recovery_time += detect;
+        CommError::Revoked { peer, at }
     }
 
     fn charge_timeout(&mut self, src: usize, tag: u64, timeout: f64) -> CommError {
@@ -727,6 +718,28 @@ impl RankCtx {
     /// Fallible receive: blocks until a matching message arrives or the
     /// peer is known dead with no matching message left.
     pub(crate) fn recv_checked(&mut self, src: usize, tag: u64) -> Result<Payload, CommError> {
+        self.recv_checked_sig(src, tag, None)
+    }
+
+    /// [`RankCtx::recv_checked`] bound to a collective group: if the
+    /// group is revoked while this rank is blocked, the wait breaks
+    /// with [`CommError::Revoked`] instead of hanging on a tag stream
+    /// the surviving members have abandoned.
+    pub(crate) fn recv_checked_group(
+        &mut self,
+        src: usize,
+        tag: u64,
+        sig: u64,
+    ) -> Result<Payload, CommError> {
+        self.recv_checked_sig(src, tag, Some(sig))
+    }
+
+    fn recv_checked_sig(
+        &mut self,
+        src: usize,
+        tag: u64,
+        sig: Option<u64>,
+    ) -> Result<Payload, CommError> {
         if src >= self.size {
             return Err(CommError::RankOutOfRange {
                 rank: src,
@@ -735,12 +748,17 @@ impl RankCtx {
         }
         self.check_crash();
         self.obs_begin("recv");
-        let r = self.recv_checked_inner(src, tag);
+        let r = self.recv_checked_inner(src, tag, sig);
         self.obs_end();
         r
     }
 
-    fn recv_checked_inner(&mut self, src: usize, tag: u64) -> Result<Payload, CommError> {
+    fn recv_checked_inner(
+        &mut self,
+        src: usize,
+        tag: u64,
+        sig: Option<u64>,
+    ) -> Result<Payload, CommError> {
         if let Some(pos) = self.match_pending(src, tag) {
             let pkt = self.pending.remove(pos).expect("position valid");
             return self.admit_checked(pkt);
@@ -752,7 +770,24 @@ impl RankCtx {
                 let pkt = self.pending.remove(pos).expect("position valid");
                 return self.admit_checked(pkt);
             }
-            if let Some(at) = self.dead.time_of(src) {
+            if let Some((peer, at)) = sig.and_then(|s| self.transport.revoked_by(s, src)) {
+                // `src` revoked this group after observing `peer` fail
+                // and will never send on its tags again. The check is
+                // scoped to the rank we are blocked on and precedes the
+                // dead check: a rank's revocation is ordered after its
+                // last send on the group and before any later crash
+                // mark of its own, so the receive-or-revoked outcome is
+                // deterministic — the same ordered-after-sends argument
+                // as dead marks. Real data already in flight is still
+                // preferred (one more drain).
+                self.drain_inbox();
+                if let Some(pos) = self.match_pending(src, tag) {
+                    let pkt = self.pending.remove(pos).expect("position valid");
+                    return self.admit_checked(pkt);
+                }
+                return Err(self.charge_revoked(peer, at));
+            }
+            if let Some(at) = self.transport.dead_time_of(src) {
                 // Final drain: anything src sent was enqueued before the
                 // mark we just observed.
                 self.drain_inbox();
@@ -762,6 +797,17 @@ impl RankCtx {
                 }
                 return Err(self.charge_peer_dead(src, at));
             }
+            if self.transport.is_done(src) {
+                // Done marks follow the same ordered-after-sends
+                // discipline as dead marks: drain once more, then
+                // conclude nothing further is coming.
+                self.drain_inbox();
+                if let Some(pos) = self.match_pending(src, tag) {
+                    let pkt = self.pending.remove(pos).expect("position valid");
+                    return self.admit_checked(pkt);
+                }
+                return Err(CommError::RankDone { peer: src });
+            }
             if wall_start.elapsed() >= DEADLOCK_TIMEOUT {
                 panic!(
                     "rank {}: deadlock waiting for message from rank {src} tag {tag:#x}; \
@@ -770,10 +816,10 @@ impl RankCtx {
                     self.pending.len()
                 );
             }
-            match self.inbox.recv_timeout(POLL_SLICE) {
-                Ok(pkt) => self.intake(pkt),
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => panic!(
+            match self.transport.recv_wait(POLL_SLICE) {
+                RecvPoll::Packet(pkt) => self.intake(pkt),
+                RecvPoll::Empty => {}
+                RecvPoll::Closed => panic!(
                     "rank {}: all peers exited while waiting for message from \
                      rank {src} tag {tag:#x} ({} unmatched pending messages)",
                     self.rank,
@@ -783,9 +829,23 @@ impl RankCtx {
         }
     }
 
-    /// Move everything currently in the channel into the pending buffer.
+    /// Revoke collective group `sig` in this rank's name (see
+    /// [`Transport::revoke`]): every member blocked on a message *from
+    /// this rank* on the group's tags observes the triggering failure
+    /// in bounded time instead of waiting forever.
+    pub(crate) fn revoke_group(&mut self, sig: u64, peer: usize, at: f64) {
+        self.transport.revoke(sig, self.rank, peer, at);
+    }
+
+    /// Mark this rank protocol-complete (ordered after all its sends).
+    pub(crate) fn mark_self_done(&mut self) {
+        self.transport.mark_done(self.rank);
+    }
+
+    /// Move everything currently in the transport intake into the
+    /// pending buffer.
     fn drain_inbox(&mut self) {
-        while let Ok(pkt) = self.inbox.try_recv() {
+        while let Some(pkt) = self.transport.try_recv() {
             self.intake(pkt);
         }
     }
@@ -822,10 +882,22 @@ impl RankCtx {
         let (src, tag, crc_sent) = (pkt.src, pkt.tag, pkt.crc);
         let payload = self.admit(pkt);
         if abort {
-            let info = payload.into_f64();
-            return Err(CommError::PeerDead {
-                peer: info[0] as usize,
-                at: info[1],
+            // Defensive decode: over the TCP backend an abort marker
+            // arrives from the wire, so a malformed one must surface as
+            // an error, never panic the rank.
+            if let Payload::F64(info) = &payload {
+                if info.len() == 2 && info[0].is_finite() && info[0] >= 0.0 {
+                    return Err(CommError::PeerDead {
+                        peer: info[0] as usize,
+                        at: info[1],
+                    });
+                }
+            }
+            return Err(CommError::Corrupted {
+                src,
+                tag,
+                crc_sent,
+                crc_got: payload.crc64(),
             });
         }
         self.obs_count("crc_checks", 1);
@@ -873,7 +945,7 @@ impl RankCtx {
 /// Silence the default panic-hook noise for fault-injected unwinds
 /// (scheduled crashes and `CommError` aborts are expected outcomes, not
 /// bugs); everything else still reports through the previous hook.
-fn install_quiet_fault_hook() {
+pub(crate) fn install_quiet_fault_hook() {
     static HOOK: Once = Once::new();
     HOOK.call_once(|| {
         let previous = panic::take_hook();
@@ -1044,112 +1116,154 @@ impl World {
         }
         let (senders, receivers): (Vec<_>, Vec<_>) = (0..n).map(|_| unbounded::<Packet>()).unzip();
         let senders = Arc::new(senders);
-        let registry = Arc::new(Registry::default());
         let dead = Arc::new(DeadRegistry::default());
-        let plan = Arc::new(plan);
-        let f = Arc::new(f);
-
-        let mut handles = Vec::with_capacity(n);
-        for (rank, inbox) in receivers.into_iter().enumerate() {
-            let senders = Arc::clone(&senders);
-            let machine = Arc::clone(&self.machine);
-            let registry = Arc::clone(&registry);
-            let dead = Arc::clone(&dead);
-            let plan = Arc::clone(&plan);
-            let f = Arc::clone(&f);
-            let handle = std::thread::Builder::new()
-                .name(format!("rank-{rank}"))
-                .stack_size(8 << 20)
-                .spawn(move || {
-                    let crash_at = plan.crash_time(rank);
-                    let obs = if traced {
-                        RankRecorder::on()
-                    } else {
-                        RankRecorder::off()
-                    };
-                    let mut ctx = RankCtx {
-                        rank,
-                        size: n,
-                        machine,
-                        clock: 0.0,
-                        compute_time: 0.0,
-                        comm_time: 0.0,
-                        messages_sent: 0,
-                        bytes_sent: 0,
-                        retries: 0,
-                        dropped_msgs: 0,
-                        corrupted_msgs: 0,
-                        recovery_time: 0.0,
-                        senders,
-                        inbox,
-                        pending: VecDeque::new(),
-                        plan,
-                        dead: Arc::clone(&dead),
-                        crash_at,
-                        send_seq: HashMap::new(),
-                        obs,
-                        log: if logged { Some(Vec::new()) } else { None },
-                        registry,
-                    };
-                    let result = panic::catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
-                    let outcome = match result {
-                        Ok(t) => RankOutcome::Completed(t),
-                        Err(payload) => match payload.downcast::<CrashSignal>() {
-                            Ok(sig) => {
-                                ctx.log_event(CommEventKind::Crash);
-                                RankOutcome::Crashed { at: sig.at }
-                            }
-                            Err(payload) => match payload.downcast::<CommError>() {
-                                Ok(e) => {
-                                    // An aborting rank will never answer its
-                                    // peers again; mark it so they detect the
-                                    // failure instead of deadlocking.
-                                    dead.mark(ctx.rank, ctx.clock);
-                                    ctx.log_event(CommEventKind::Abort);
-                                    RankOutcome::Failed(*e)
-                                }
-                                Err(payload) => {
-                                    dead.mark(ctx.rank, ctx.clock);
-                                    RankOutcome::Panicked(payload)
-                                }
-                            },
-                        },
-                    };
-                    let timeline = std::mem::take(&mut ctx.obs).into_timeline(rank, ctx.clock);
-                    let log = ctx.log.take().unwrap_or_default();
-                    (
-                        RankRun {
-                            outcome,
-                            report: ctx.report(),
-                        },
-                        timeline,
-                        log,
-                    )
-                })
-                .expect("spawn rank thread");
-            handles.push(handle);
-        }
+        let endpoints: Vec<(usize, Box<dyn Transport>)> = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, inbox)| {
+                let t = InProcTransport::new(Arc::clone(&senders), inbox, Arc::clone(&dead));
+                (rank, Box::new(t) as Box<dyn Transport>)
+            })
+            .collect();
+        let results = run_endpoints(
+            Arc::clone(&self.machine),
+            n,
+            endpoints,
+            Arc::new(plan),
+            Arc::new(Registry::default()),
+            traced,
+            logged,
+            Arc::new(f),
+        );
 
         let mut runs = Vec::with_capacity(n);
         let mut lanes = Vec::with_capacity(n);
         let mut log = Vec::new();
-        for h in handles {
-            match h.join() {
-                Ok((run, lane, rank_log)) => {
-                    runs.push(run);
-                    lanes.push(lane);
-                    // Rank-order concatenation: the global interleaving
-                    // of rank threads is host-dependent, but each
-                    // rank's own sequence is deterministic.
-                    log.extend(rank_log);
-                }
-                // The closure catches all unwinds; a join error would
-                // mean the harness itself is broken.
-                Err(e) => panic::resume_unwind(e),
-            }
+        for (_, run, lane, rank_log) in results {
+            runs.push(run);
+            lanes.push(lane);
+            // Rank-order concatenation: the global interleaving of rank
+            // threads is host-dependent, but each rank's own sequence
+            // is deterministic.
+            log.extend(rank_log);
         }
         (runs, TraceSession::new(lanes), log)
     }
+}
+
+/// Run one rank program on an explicit set of `(rank, transport)`
+/// endpoints — the backend-agnostic core under [`World::run_with_plan`]
+/// (which hands it all `n` in-process endpoints) and the multi-process
+/// cluster driver in [`crate::cluster`] (which hands it only this
+/// node's ranks, on TCP transports). Spawns one OS thread per endpoint
+/// and returns each endpoint's result in the order given, tagged with
+/// its rank.
+#[allow(clippy::type_complexity)]
+pub(crate) fn run_endpoints<T, F>(
+    machine: Arc<Machine>,
+    world_size: usize,
+    endpoints: Vec<(usize, Box<dyn Transport>)>,
+    plan: Arc<FaultPlan>,
+    registry: Arc<Registry>,
+    traced: bool,
+    logged: bool,
+    f: Arc<F>,
+) -> Vec<(usize, RankRun<T>, RankTimeline, Vec<CommEvent>)>
+where
+    T: Send + 'static,
+    F: Fn(&mut RankCtx) -> T + Send + Sync + 'static,
+{
+    let mut handles = Vec::with_capacity(endpoints.len());
+    for (rank, transport) in endpoints {
+        let machine = Arc::clone(&machine);
+        let registry = Arc::clone(&registry);
+        let plan = Arc::clone(&plan);
+        let f = Arc::clone(&f);
+        let handle = std::thread::Builder::new()
+            .name(format!("rank-{rank}"))
+            .stack_size(8 << 20)
+            .spawn(move || {
+                let crash_at = plan.crash_time(rank);
+                let obs = if traced {
+                    RankRecorder::on()
+                } else {
+                    RankRecorder::off()
+                };
+                let mut ctx = RankCtx {
+                    rank,
+                    size: world_size,
+                    machine,
+                    clock: 0.0,
+                    compute_time: 0.0,
+                    comm_time: 0.0,
+                    messages_sent: 0,
+                    bytes_sent: 0,
+                    retries: 0,
+                    dropped_msgs: 0,
+                    corrupted_msgs: 0,
+                    recovery_time: 0.0,
+                    transport,
+                    pending: VecDeque::new(),
+                    plan,
+                    crash_at,
+                    send_seq: HashMap::new(),
+                    obs,
+                    log: if logged { Some(Vec::new()) } else { None },
+                    registry,
+                };
+                let result = panic::catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
+                let outcome = match result {
+                    Ok(t) => RankOutcome::Completed(t),
+                    Err(payload) => match payload.downcast::<CrashSignal>() {
+                        Ok(sig) => {
+                            ctx.log_event(CommEventKind::Crash);
+                            RankOutcome::Crashed { at: sig.at }
+                        }
+                        Err(payload) => match payload.downcast::<CommError>() {
+                            Ok(e) => {
+                                // An aborting rank will never answer its
+                                // peers again; mark it so they detect the
+                                // failure instead of deadlocking.
+                                let at = ctx.clock;
+                                ctx.transport.mark_dead(rank, at);
+                                ctx.log_event(CommEventKind::Abort);
+                                RankOutcome::Failed(*e)
+                            }
+                            Err(payload) => {
+                                let at = ctx.clock;
+                                ctx.transport.mark_dead(rank, at);
+                                RankOutcome::Panicked(payload)
+                            }
+                        },
+                    },
+                };
+                ctx.transport.finish();
+                let timeline = std::mem::take(&mut ctx.obs).into_timeline(rank, ctx.clock);
+                let log = ctx.log.take().unwrap_or_default();
+                (
+                    rank,
+                    RankRun {
+                        outcome,
+                        report: ctx.report(),
+                    },
+                    timeline,
+                    log,
+                )
+            })
+            .expect("spawn rank thread");
+        handles.push(handle);
+    }
+
+    let mut results = Vec::with_capacity(handles.len());
+    for h in handles {
+        match h.join() {
+            Ok(r) => results.push(r),
+            // The closure catches all unwinds; a join error would mean
+            // the harness itself is broken.
+            Err(e) => panic::resume_unwind(e),
+        }
+    }
+    results
 }
 
 #[cfg(test)]

@@ -82,6 +82,15 @@ impl ToJson for CommError {
                 ("crc_sent", Json::Str(format!("{crc_sent:016x}"))),
                 ("crc_got", Json::Str(format!("{crc_got:016x}"))),
             ]),
+            CommError::Revoked { peer, at } => Json::obj(vec![
+                ("kind", Json::Str("revoked".into())),
+                ("peer", Json::Num(*peer as f64)),
+                ("at", Json::Num(*at)),
+            ]),
+            CommError::RankDone { peer } => Json::obj(vec![
+                ("kind", Json::Str("rank_done".into())),
+                ("peer", Json::Num(*peer as f64)),
+            ]),
         }
     }
 }
@@ -121,6 +130,13 @@ impl FromJson for CommError {
                     crc_got: crc("crc_got")?,
                 })
             }
+            "revoked" => Ok(CommError::Revoked {
+                peer: field(v, "peer")?,
+                at: field(v, "at")?,
+            }),
+            "rank_done" => Ok(CommError::RankDone {
+                peer: field(v, "peer")?,
+            }),
             other => Err(JsonError::convert(format!(
                 "unknown CommError kind '{other}'"
             ))),
@@ -242,6 +258,8 @@ mod tests {
                 crc_sent: u64::MAX,
                 crc_got: 0x0123_4567_89ab_cdef,
             },
+            CommError::Revoked { peer: 2, at: 0.125 },
+            CommError::RankDone { peer: 5 },
         ];
         for e in errors {
             let text = e.to_json().write();

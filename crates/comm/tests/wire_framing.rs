@@ -1,0 +1,163 @@
+//! Property tests for the TCP wire framing: every frame round-trips
+//! exactly, and *no* hostile input — truncation, bit flips, oversize
+//! length prefixes, arbitrary byte soup — ever panics or allocates
+//! unboundedly. The streaming reader in `cpx_comm::net` performs the
+//! same checks incrementally; `decode_frame_bytes` is the shared
+//! decode path these properties pin down.
+
+use proptest::prelude::*;
+
+use cpx_comm::net::{decode_frame_bytes, encode_frame, Frame, FrameError, MAX_FRAME};
+use cpx_comm::{Packet, Payload};
+
+/// SplitMix64 finalizer: expands a few drawn seeds into payload
+/// contents without burning one strategy parameter per element.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn make_payload(kind: u8, seed: u64, len: usize) -> Payload {
+    match kind % 4 {
+        0 => Payload::F64(
+            (0..len)
+                .map(|i| (mix(seed ^ i as u64) % 1_000_000) as f64 * 1e-3)
+                .collect(),
+        ),
+        1 => Payload::U64((0..len).map(|i| mix(seed.wrapping_add(i as u64))).collect()),
+        2 => Payload::Bytes(
+            (0..len)
+                .map(|i| mix(seed ^ ((i as u64) << 8)) as u8)
+                .collect(),
+        ),
+        _ => Payload::Empty,
+    }
+}
+
+/// Build one frame from plain random draws (`kind` selects the
+/// variant; the integer/float fields are reused per variant).
+fn make_frame(kind: u8, a: u64, b: u64, t: f64, pkind: u8, pseed: u64, plen: usize) -> Frame {
+    match kind % 7 {
+        0 => Frame::Hello { node: a as u32 },
+        1 => Frame::Packet {
+            dst: a as u32,
+            pkt: Packet {
+                src: (b % 1024) as usize,
+                tag: b,
+                send_time: t,
+                extra_delay: t * 1e-3,
+                dup: a & 1 == 1,
+                abort: a & 2 == 2,
+                crc: mix(a ^ b),
+                payload: make_payload(pkind, pseed, plen),
+            },
+        },
+        2 => Frame::Heartbeat {
+            node: a as u32,
+            vclock: t,
+        },
+        3 => Frame::Dead {
+            rank: a as u32,
+            at: t,
+        },
+        4 => Frame::Done { rank: a as u32 },
+        5 => Frame::Revoke {
+            sig: b,
+            by: a as u32,
+            peer: (a >> 32) as u32,
+            at: t,
+        },
+        _ => Frame::Goodbye { node: a as u32 },
+    }
+}
+
+proptest! {
+    // Encode → decode is the identity. `Frame` has no Eq; its Debug
+    // form carries every field (floats as exact decimal expansions),
+    // so Debug equality is structural equality.
+    #[test]
+    fn frames_round_trip(
+        kind in 0u8..7,
+        a in 0u64..u64::MAX,
+        b in 0u64..u64::MAX,
+        t in 0.0f64..1e9,
+        pkind in 0u8..4,
+        pseed in 0u64..u64::MAX,
+        plen in 0usize..64,
+    ) {
+        let frame = make_frame(kind, a, b, t, pkind, pseed, plen);
+        let bytes = encode_frame(&frame);
+        let back = decode_frame_bytes(&bytes).expect("well-formed frame decodes");
+        prop_assert_eq!(format!("{frame:?}"), format!("{back:?}"));
+    }
+
+    // Every strict prefix of a valid frame is rejected with a typed
+    // error — never a panic, never a partial decode.
+    #[test]
+    fn truncation_never_panics(
+        kind in 0u8..7,
+        a in 0u64..u64::MAX,
+        b in 0u64..u64::MAX,
+        t in 0.0f64..1e9,
+        pkind in 0u8..4,
+        pseed in 0u64..u64::MAX,
+        plen in 0usize..64,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let bytes = encode_frame(&make_frame(kind, a, b, t, pkind, pseed, plen));
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        prop_assert!(cut < bytes.len());
+        prop_assert!(decode_frame_bytes(&bytes[..cut]).is_err());
+    }
+
+    // Any single bit flip anywhere in the frame is rejected: body
+    // flips trip the CRC, header flips break the length or CRC fields.
+    #[test]
+    fn single_bit_flip_rejected(
+        kind in 0u8..7,
+        a in 0u64..u64::MAX,
+        b in 0u64..u64::MAX,
+        t in 0.0f64..1e9,
+        pkind in 0u8..4,
+        pseed in 0u64..u64::MAX,
+        plen in 0usize..64,
+        bit_frac in 0.0f64..1.0,
+    ) {
+        let bytes = encode_frame(&make_frame(kind, a, b, t, pkind, pseed, plen));
+        let nbits = bytes.len() * 8;
+        let bit = ((nbits as f64) * bit_frac) as usize % nbits;
+        let mut mangled = bytes.clone();
+        mangled[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(decode_frame_bytes(&mangled).is_err());
+    }
+
+    // A length prefix past the frame cap is rejected up front as
+    // `Oversize` — it must never become an allocation request.
+    #[test]
+    fn oversize_length_rejected(
+        len in (MAX_FRAME as u64 + 1)..(u32::MAX as u64 + 1),
+        tail_seed in 0u64..u64::MAX,
+        tail_len in 0usize..64,
+    ) {
+        let mut bytes = (len as u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0u8; 4]);
+        bytes.extend((0..tail_len).map(|i| mix(tail_seed ^ i as u64) as u8));
+        prop_assert!(matches!(
+            decode_frame_bytes(&bytes),
+            Err(FrameError::Oversize { .. })
+        ));
+    }
+
+    // Arbitrary byte soup never panics; if it decodes (it would have to
+    // win the CRC-32 lottery), re-encoding reproduces the input exactly
+    // — there is one canonical encoding.
+    #[test]
+    fn random_bytes_never_panic(seed in 0u64..u64::MAX, len in 0usize..512) {
+        let bytes: Vec<u8> = (0..len).map(|i| mix(seed ^ i as u64) as u8).collect();
+        if let Ok(frame) = decode_frame_bytes(&bytes) {
+            prop_assert_eq!(encode_frame(&frame), bytes);
+        }
+    }
+}

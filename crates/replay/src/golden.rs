@@ -34,11 +34,12 @@ use crate::event::ReplayEvent;
 use crate::format::{Trace, TraceError};
 
 /// Scenario names in the corpus, in canonical order.
-pub const SCENARIOS: [&str; 4] = [
+pub const SCENARIOS: [&str; 5] = [
     "clean_coupled",
     "crash_shrink",
     "sdc_recovery",
     "lossy_faultplan",
+    "multiproc_smoke",
 ];
 
 /// Everything a scenario produces: the trace plus rendered artifacts.
@@ -141,7 +142,12 @@ fn event_histogram(events: &[ReplayEvent]) -> Json {
     )
 }
 
-fn bench_json(label: &str, seed: u64, trace: &Trace, run: Option<&CoupledRun>) -> String {
+pub(crate) fn bench_json(
+    label: &str,
+    seed: u64,
+    trace: &Trace,
+    run: Option<&CoupledRun>,
+) -> String {
     let mut fields = vec![
         ("scenario", Json::Str(label.to_string())),
         ("seed", Json::Num(seed as f64)),
@@ -317,6 +323,10 @@ pub fn generate(name: &str) -> Result<GoldenArtifacts, GoldenFailure> {
         "crash_shrink" => Ok(crash_shrink()),
         "sdc_recovery" => Ok(sdc_recovery()),
         "lossy_faultplan" => Ok(lossy_faultplan()),
+        // The canonical artifacts come from the in-process backend; the
+        // `multiproc_smoke` launcher re-runs the same scenario across OS
+        // processes and byte-compares against these.
+        "multiproc_smoke" => Ok(crate::multiproc::run_inproc()),
         other => Err(GoldenFailure::UnknownScenario(other.to_string())),
     }
 }

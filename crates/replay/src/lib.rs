@@ -28,6 +28,8 @@ pub mod divergence;
 pub mod event;
 pub mod format;
 pub mod golden;
+pub mod launcher;
+pub mod multiproc;
 pub mod wire;
 
 pub use divergence::{verify, DivergenceError};
