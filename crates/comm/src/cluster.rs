@@ -18,10 +18,12 @@
 //! `multiproc_smoke` corpus in the repository enforces exactly this.
 
 use std::io;
+use std::net::TcpListener;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 use cpx_machine::Machine;
+use cpx_obs::{NetStats, NodeObs, TraceSession, WallRecorder};
 
 use crate::fault::FaultPlan;
 use crate::net::NetMesh;
@@ -102,6 +104,38 @@ pub struct NodeRun<T> {
     pub log: Vec<CommEvent>,
 }
 
+/// What [`run_node_obs`] should observe on top of running the ranks.
+///
+/// The default is everything off, which makes `run_node_obs` behave
+/// exactly like [`run_node`] (and costs exactly as much: disabled
+/// recorders are branch-on-bool no-ops and a disabled [`NetStats`] is a
+/// branch on an `Option` discriminant).
+#[derive(Debug, Clone, Default)]
+pub struct NodeObsOptions {
+    /// Record a virtual-clock span/counter timeline per hosted rank.
+    pub traced: bool,
+    /// Record a wall-clock lane for this node (establish/run/shutdown).
+    pub wall: bool,
+    /// Count per-peer transport traffic, heartbeats, CRC failures and
+    /// frame round-trip times.
+    pub net_stats: bool,
+    /// Serve `/metrics` + `/healthz` on this address for the duration
+    /// of the run (e.g. `"127.0.0.1:9800"`).
+    pub metrics_addr: Option<String>,
+}
+
+impl NodeObsOptions {
+    /// Everything on except the HTTP endpoint.
+    pub fn full() -> Self {
+        NodeObsOptions {
+            traced: true,
+            wall: true,
+            net_stats: true,
+            metrics_addr: None,
+        }
+    }
+}
+
 /// Run this process's share of a distributed world: mesh up with the
 /// other nodes of `cfg`, execute `f` on every locally hosted rank, and
 /// tear the mesh down cleanly (goodbye, so peers don't mistake our exit
@@ -122,10 +156,65 @@ where
     T: Send + 'static,
     F: Fn(&mut RankCtx) -> T + Send + Sync + 'static,
 {
+    run_node_obs(
+        machine,
+        cfg,
+        node,
+        plan,
+        logged,
+        NodeObsOptions::default(),
+        f,
+    )
+    .map(|(run, _obs)| run)
+}
+
+/// [`run_node`] plus the node's observability bundle.
+///
+/// Depending on `opts` this records per-rank virtual timelines (with
+/// recovery events), a node-level wall-clock lane, per-peer transport
+/// statistics, and serves the live `/metrics` + `/healthz` endpoint
+/// while ranks run. The returned [`NodeObs`] is what a child process
+/// ships to the launcher (via [`NodeObs::encode`]) so the parent can
+/// merge one Chrome trace and one `cluster_metrics.json` for the whole
+/// cluster.
+pub fn run_node_obs<T, F>(
+    machine: Machine,
+    cfg: &ClusterConfig,
+    node: usize,
+    plan: FaultPlan,
+    logged: bool,
+    opts: NodeObsOptions,
+    f: F,
+) -> io::Result<(NodeRun<T>, NodeObs)>
+where
+    T: Send + 'static,
+    F: Fn(&mut RankCtx) -> T + Send + Sync + 'static,
+{
     assert!(node < cfg.nodes(), "node id {node} out of range");
     // Real process deaths surface as CommError unwinds in surviving
     // ranks; keep them quiet like fault-plan unwinds.
     install_quiet_fault_hook();
+
+    let stats = if opts.net_stats {
+        NetStats::on(node, cfg.nodes())
+    } else {
+        NetStats::off()
+    };
+    let mut wall = if opts.wall {
+        WallRecorder::on()
+    } else {
+        WallRecorder::off()
+    };
+    // SystemTime at the wall recorder's epoch, so the launcher can
+    // shift each node's wall lane onto a shared axis.
+    let wall_epoch_unix = wall.is_on().then(|| {
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(0.0)
+    });
+
+    wall.begin("establish");
     let mut mesh = NetMesh::establish(
         node,
         &cfg.addrs,
@@ -133,36 +222,84 @@ where
         cfg.connect_timeout,
         cfg.heartbeat_timeout,
         cfg.seed,
+        stats,
     )?;
+    wall.end();
+
+    let server = match &opts.metrics_addr {
+        Some(addr) => Some(mesh.serve_metrics(addr)?),
+        None => None,
+    };
+
     let endpoints: Vec<(usize, Box<dyn Transport>)> = mesh
         .take_transports()
         .into_iter()
         .map(|(rank, t)| (rank, Box::new(t) as Box<dyn Transport>))
         .collect();
     let world_size = cfg.world_size();
+    wall.begin("run");
     let results = run_endpoints(
         Arc::new(machine),
         world_size,
         endpoints,
         Arc::new(plan),
         Arc::new(Registry::default()),
-        false,
+        opts.traced,
         logged,
         Arc::new(f),
     );
+    wall.end();
+
+    // Snapshot transport counters before goodbye traffic muddies them,
+    // but after the ranks are done so the totals cover the whole run.
+    let net = mesh.net_snapshot();
+    wall.begin("shutdown");
+    if let Some(server) = server {
+        server.stop();
+    }
     mesh.shutdown();
+    wall.end();
 
     let mut ranks = Vec::with_capacity(results.len());
     let mut runs = Vec::with_capacity(results.len());
     let mut log = Vec::new();
+    let mut lanes = Vec::new();
     let mut ordered = results;
     ordered.sort_by_key(|(rank, ..)| *rank);
-    for (rank, run, _timeline, rank_log) in ordered {
+    for (rank, run, timeline, rank_log) in ordered {
         ranks.push(rank);
         runs.push(run);
         log.extend(rank_log);
+        if opts.traced {
+            lanes.push(timeline);
+        }
     }
-    Ok(NodeRun { ranks, runs, log })
+    let obs = NodeObs {
+        node,
+        virt: TraceSession::new(lanes),
+        wall: wall
+            .is_on()
+            .then(|| TraceSession::new(vec![wall.into_timeline(node)])),
+        wall_epoch_unix,
+        net,
+    };
+    Ok((NodeRun { ranks, runs, log }, obs))
+}
+
+/// Reserve `n` distinct free loopback TCP ports.
+///
+/// Binds `n` listeners on port 0, records the kernel-assigned ports,
+/// then drops the listeners. The usual caveat applies: the ports are
+/// only *likely* still free when the caller binds them again, which is
+/// plenty for tests and local smoke harnesses.
+pub fn free_ports(n: usize) -> Vec<u16> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind loopback port 0"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().expect("local_addr").port())
+        .collect()
 }
 
 #[cfg(test)]

@@ -23,6 +23,8 @@
 use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet};
 
+use cpx_obs::RecoveryKind;
+
 use crate::fault::CommError;
 use crate::payload::Payload;
 use crate::runtime::{CollectiveOp, RankCtx};
@@ -700,6 +702,11 @@ impl Group {
             if n == 1 {
                 break;
             }
+            ctx.obs_recovery(RecoveryKind::AgreeRound {
+                sig: self.sig,
+                round,
+                known: contrib.len(),
+            });
             let tag = self.agree_tag(round);
             let flat: Vec<f64> = contrib
                 .iter()

@@ -87,7 +87,7 @@ pub mod transport;
 pub mod window;
 
 pub use backoff::BackoffPolicy;
-pub use cluster::{run_node, ClusterConfig, NodeRun};
+pub use cluster::{free_ports, run_node, run_node_obs, ClusterConfig, NodeObsOptions, NodeRun};
 pub use fault::{BitFlipInjector, CommError, FaultPlan, LinkDegradation};
 pub use group::Group;
 pub use net::TcpTransport;

@@ -46,6 +46,8 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
+use cpx_obs::http::{MetricsServer, Response};
+use cpx_obs::{Json, NetStats, NetStatsSnapshot, ToJson};
 use cpx_wire::{crc32, Decoder, Encoder, WireError};
 
 use crate::backoff::BackoffPolicy;
@@ -66,6 +68,8 @@ const KIND_DEAD: u8 = 3;
 const KIND_DONE: u8 = 4;
 const KIND_REVOKE: u8 = 5;
 const KIND_GOODBYE: u8 = 6;
+const KIND_PING: u8 = 7;
+const KIND_PONG: u8 = 8;
 
 const PAYLOAD_F64: u8 = 0;
 const PAYLOAD_U64: u8 = 1;
@@ -125,6 +129,23 @@ pub enum Frame {
     Goodbye {
         /// Node id of the sending process.
         node: u32,
+    },
+    /// Round-trip probe, sent on the heartbeat cadence. The receiver
+    /// echoes the nonce back as a [`Frame::Pong`]; the sender matches
+    /// the nonce to its launch instant and records the elapsed wall
+    /// time into the per-peer RTT histogram.
+    Ping {
+        /// Node id of the probing process.
+        node: u32,
+        /// Correlation nonce (unique per outstanding probe).
+        nonce: u64,
+    },
+    /// Echo of a [`Frame::Ping`].
+    Pong {
+        /// Node id of the echoing process.
+        node: u32,
+        /// The probe's nonce, returned unchanged.
+        nonce: u64,
     },
 }
 
@@ -261,6 +282,16 @@ fn encode_body(frame: &Frame) -> Vec<u8> {
             e.put_u8(KIND_GOODBYE);
             e.put_u32(*node);
         }
+        Frame::Ping { node, nonce } => {
+            e.put_u8(KIND_PING);
+            e.put_u32(*node);
+            e.put_u64(*nonce);
+        }
+        Frame::Pong { node, nonce } => {
+            e.put_u8(KIND_PONG);
+            e.put_u32(*node);
+            e.put_u64(*nonce);
+        }
     }
     e.into_bytes()
 }
@@ -325,6 +356,14 @@ fn decode_body(body: &[u8]) -> Result<Frame, FrameError> {
                 at: d.get_f64()?,
             },
             KIND_GOODBYE => Frame::Goodbye { node: d.get_u32()? },
+            KIND_PING => Frame::Ping {
+                node: d.get_u32()?,
+                nonce: d.get_u64()?,
+            },
+            KIND_PONG => Frame::Pong {
+                node: d.get_u32()?,
+                nonce: d.get_u64()?,
+            },
             _ => {
                 return Err(WireError::Invalid {
                     offset: 0,
@@ -366,10 +405,36 @@ pub fn decode_frame_bytes(bytes: &[u8]) -> Result<Frame, FrameError> {
     decode_body(body)
 }
 
-/// Read one frame from a stream. `Ok(None)` means clean EOF at a frame
-/// boundary; `Err` covers I/O errors and protocol violations (both
+/// Marker payload inside the `io::Error` a CRC mismatch produces, so
+/// the reader threads can count corruption distinctly from plain I/O
+/// failures (both remain connection-fatal).
+#[derive(Debug)]
+struct CrcMismatch {
+    expect: u32,
+    got: u32,
+}
+
+impl std::fmt::Display for CrcMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "frame crc mismatch (expect {:#010x}, got {:#010x})",
+            self.expect, self.got
+        )
+    }
+}
+
+impl std::error::Error for CrcMismatch {}
+
+fn is_crc_mismatch(e: &io::Error) -> bool {
+    e.get_ref().is_some_and(|inner| inner.is::<CrcMismatch>())
+}
+
+/// Read one frame from a stream, returning it with its total wire size
+/// (header + body). `Ok(None)` means clean EOF at a frame boundary;
+/// `Err` covers I/O errors and protocol violations (both
 /// connection-fatal for the caller).
-fn read_frame(stream: &mut TcpStream) -> io::Result<Option<Frame>> {
+fn read_frame(stream: &mut TcpStream) -> io::Result<Option<(Frame, usize)>> {
     let mut header = [0u8; 8];
     match stream.read_exact(&mut header) {
         Ok(()) => {}
@@ -390,15 +455,17 @@ fn read_frame(stream: &mut TcpStream) -> io::Result<Option<Frame>> {
     if got != expect {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("frame crc mismatch (expect {expect:#010x}, got {got:#010x})"),
+            CrcMismatch { expect, got },
         ));
     }
-    decode_body(&body).map(Some).map_err(|e| {
-        io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("malformed frame: {e:?}"),
-        )
-    })
+    decode_body(&body)
+        .map(|f| Some((f, 8 + body.len())))
+        .map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed frame: {e:?}"),
+            )
+        })
 }
 
 /// Atomic f64 max register (stored as bits) for the virtual-time high
@@ -466,6 +533,12 @@ pub(crate) struct NetShared {
     /// Set once the local node driver is shutting down.
     closing: AtomicBool,
     heartbeat_timeout: Duration,
+    /// Transport counters (no-op unless observability is enabled).
+    stats: NetStats,
+    /// Outstanding RTT probes: nonce → (peer node, launch instant).
+    pings: Mutex<HashMap<u64, (usize, Instant)>>,
+    /// Nonce source for RTT probes.
+    ping_nonce: AtomicU64,
 }
 
 impl NetShared {
@@ -474,7 +547,9 @@ impl NetShared {
             // A write error means the peer is gone; the reader/monitor
             // will declare it dead. The message vanishes exactly as it
             // would on a real network.
-            let _ = peer.writer.lock().write_all(bytes);
+            if peer.writer.lock().write_all(bytes).is_ok() {
+                self.stats.frame_sent(node, bytes.len());
+            }
         }
     }
 
@@ -527,6 +602,7 @@ impl NetShared {
                 self.deliver_local(dst as usize, pkt);
             }
             Frame::Heartbeat { vclock, .. } => {
+                self.stats.heartbeat_recv(from_node);
                 if let Some(peer) = self.peers.get(from_node).and_then(|p| p.as_ref()) {
                     peer.vclock.raise(vclock);
                 }
@@ -546,7 +622,49 @@ impl NetShared {
                     peer.goodbye.store(true, Ordering::Release);
                 }
             }
+            Frame::Ping { nonce, .. } => {
+                // Echo straight back on the sender's stream.
+                let pong = encode_frame(&Frame::Pong {
+                    node: self.node as u32,
+                    nonce,
+                });
+                self.write_to(from_node, &pong);
+            }
+            Frame::Pong { nonce, .. } => {
+                if let Some((peer, launched)) = self.pings.lock().remove(&nonce) {
+                    let us = launched.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                    self.stats.rtt_sample(peer, us);
+                }
+            }
             Frame::Hello { .. } => {} // handshake frames are consumed during bring-up
+        }
+    }
+
+    /// Launch one RTT probe per live peer (heartbeat-thread cadence).
+    /// Stale probes (a peer died before echoing) are pruned so the
+    /// outstanding map stays bounded.
+    fn launch_pings(&self) {
+        if !self.stats.is_on() {
+            return;
+        }
+        {
+            let mut pings = self.pings.lock();
+            pings.retain(|_, (_, launched)| launched.elapsed() < Duration::from_secs(5));
+        }
+        for nd in 0..self.peers.len() {
+            let Some(peer) = self.peers.get(nd).and_then(|p| p.as_ref()) else {
+                continue;
+            };
+            if peer.goodbye.load(Ordering::Acquire) || peer.declared_dead.load(Ordering::Acquire) {
+                continue;
+            }
+            let nonce = self.ping_nonce.fetch_add(1, Ordering::Relaxed);
+            self.pings.lock().insert(nonce, (nd, Instant::now()));
+            let ping = encode_frame(&Frame::Ping {
+                node: self.node as u32,
+                nonce,
+            });
+            self.write_to(nd, &ping);
         }
     }
 }
@@ -651,6 +769,8 @@ impl NetMesh {
     ///
     /// `addrs[i]` is node *i*'s listen address; `node_ranks[i]` its
     /// ranks. `connect_timeout` bounds the total dial time per peer.
+    /// `stats` collects transport counters; pass [`NetStats::off`] for
+    /// the zero-overhead default.
     pub fn establish(
         node: usize,
         addrs: &[String],
@@ -658,6 +778,7 @@ impl NetMesh {
         connect_timeout: Duration,
         heartbeat_timeout: Duration,
         seed: u64,
+        stats: NetStats,
     ) -> io::Result<NetMesh> {
         let n_nodes = addrs.len();
         assert!(node < n_nodes, "node id out of range");
@@ -693,14 +814,18 @@ impl NetMesh {
                                 format!("node {node}: dialing node {peer} timed out: {e}"),
                             ));
                         }
-                        std::thread::sleep(Duration::from_millis(policy.delay(attempt) as u64));
+                        let backoff_ms = policy.delay(attempt) as u64;
+                        stats.dial_retry(backoff_ms);
+                        std::thread::sleep(Duration::from_millis(backoff_ms));
                         attempt += 1;
                     }
                 }
             };
             stream.set_nodelay(true)?;
             let mut s = stream;
-            s.write_all(&encode_frame(&Frame::Hello { node: node as u32 }))?;
+            let hello = encode_frame(&Frame::Hello { node: node as u32 });
+            s.write_all(&hello)?;
+            stats.frame_sent(peer, hello.len());
             streams[peer] = Some(s);
         }
 
@@ -728,7 +853,7 @@ impl NetMesh {
             s.set_nonblocking(false)?;
             s.set_nodelay(true)?;
             match read_frame(&mut s)? {
-                Some(Frame::Hello { node: who }) => {
+                Some((Frame::Hello { node: who }, nbytes)) => {
                     let who = who as usize;
                     if who >= n_nodes || who <= node || streams[who].is_some() {
                         return Err(io::Error::new(
@@ -736,6 +861,7 @@ impl NetMesh {
                             format!("node {node}: bad hello from claimed node {who}"),
                         ));
                     }
+                    stats.frame_recv(who, nbytes);
                     streams[who] = Some(s);
                 }
                 other => {
@@ -784,6 +910,9 @@ impl NetMesh {
             local_vclock: AtomicClock::new(),
             closing: AtomicBool::new(false),
             heartbeat_timeout,
+            stats,
+            pings: Mutex::new(HashMap::new()),
+            ping_nonce: AtomicU64::new(1),
         });
 
         let mut threads = Vec::new();
@@ -794,16 +923,26 @@ impl NetMesh {
                     .name(format!("net-read-{node}-{peer_node}"))
                     .spawn(move || loop {
                         match read_frame(&mut stream) {
-                            Ok(Some(frame)) => {
+                            Ok(Some((frame, nbytes))) => {
+                                shared.stats.frame_recv(peer_node, nbytes);
                                 let bye = matches!(frame, Frame::Goodbye { .. });
                                 shared.absorb(peer_node, frame);
                                 if bye {
                                     break;
                                 }
                             }
-                            Ok(None) | Err(_) => {
-                                // EOF or protocol violation: if the peer
-                                // never said goodbye, its ranks are dead.
+                            Ok(None) => {
+                                // EOF: if the peer never said goodbye,
+                                // its ranks are dead.
+                                shared.declare_node_dead(peer_node);
+                                break;
+                            }
+                            Err(e) => {
+                                // Protocol violation: same as EOF, but
+                                // corruption is counted separately.
+                                if is_crc_mismatch(&e) {
+                                    shared.stats.crc_failure(peer_node);
+                                }
                                 shared.declare_node_dead(peer_node);
                                 break;
                             }
@@ -824,8 +963,22 @@ impl NetMesh {
                                 vclock: shared.local_vclock.get(),
                             });
                             for nd in 0..shared.peers.len() {
+                                if nd != shared.node {
+                                    shared.stats.heartbeat_sent(nd);
+                                }
+                            }
+                            shared.launch_pings();
+                            for nd in 0..shared.peers.len() {
                                 if let Some(peer) = shared.peers[nd].as_ref() {
+                                    if peer.goodbye.load(Ordering::Acquire)
+                                        || peer.declared_dead.load(Ordering::Acquire)
+                                    {
+                                        continue;
+                                    }
                                     let silent = peer.last_seen.lock().elapsed();
+                                    if silent > HEARTBEAT_PERIOD {
+                                        shared.stats.heartbeat_missed(nd);
+                                    }
                                     if silent > shared.heartbeat_timeout {
                                         shared.declare_node_dead(nd);
                                     }
@@ -864,6 +1017,26 @@ impl NetMesh {
         self.transports.take().expect("transports already taken")
     }
 
+    /// Current transport-counter snapshot (empty when stats are off).
+    pub fn net_snapshot(&self) -> NetStatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Serve `/metrics` and `/healthz` for this node on `bind_addr`
+    /// (e.g. `"127.0.0.1:9100"` or `"127.0.0.1:0"` for an ephemeral
+    /// port). The server holds its own handle on the mesh state, so it
+    /// keeps answering until dropped — including through shrink
+    /// recoveries, which is the point: it reports group generation and
+    /// live peers *while* the cluster degrades.
+    pub fn serve_metrics(&self, bind_addr: &str) -> io::Result<MetricsServer> {
+        let shared = Arc::clone(&self.shared);
+        MetricsServer::serve(bind_addr, move |path| match path {
+            "/healthz" => Some(Response::json(health_json(&shared).write())),
+            "/metrics" => Some(Response::json(metrics_endpoint_json(&shared).write())),
+            _ => None,
+        })
+    }
+
     /// Clean shutdown: announce goodbye, stop the heartbeat thread and
     /// join the readers (they exit on the peers' goodbyes or EOFs).
     pub fn shutdown(self) {
@@ -877,9 +1050,59 @@ impl NetMesh {
     }
 }
 
+/// Peer nodes currently connected and active (no goodbye, not declared
+/// dead). Self is excluded.
+fn live_peers(shared: &NetShared) -> Vec<usize> {
+    (0..shared.peers.len())
+        .filter(|&nd| {
+            shared.peers[nd].as_ref().is_some_and(|p| {
+                !p.goodbye.load(Ordering::Acquire) && !p.declared_dead.load(Ordering::Acquire)
+            })
+        })
+        .collect()
+}
+
+/// Group generation proxy: distinct revoked group signatures + 1. The
+/// initial world group is generation 1; every completed revoke-shrink
+/// cycle retires one signature.
+fn generation(shared: &NetShared) -> usize {
+    let revoked = shared.revoked.lock();
+    let mut sigs: Vec<u64> = revoked.keys().map(|&(sig, _)| sig).collect();
+    sigs.sort_unstable();
+    sigs.dedup();
+    sigs.len() + 1
+}
+
+/// Body of the `/healthz` endpoint.
+fn health_json(shared: &NetShared) -> Json {
+    let live = live_peers(shared);
+    Json::obj(vec![
+        ("status", Json::Str("ok".to_string())),
+        ("node", shared.node.to_json()),
+        ("generation", generation(shared).to_json()),
+        ("live_peers", live.len().to_json()),
+    ])
+}
+
+/// Body of the `/metrics` endpoint: identity, group state and the full
+/// counter snapshot.
+fn metrics_endpoint_json(shared: &NetShared) -> Json {
+    Json::obj(vec![
+        ("schema_version", Json::Num(1.0)),
+        ("node", shared.node.to_json()),
+        ("generation", generation(shared).to_json()),
+        ("live_peers", live_peers(shared).to_json()),
+        ("dead_ranks", shared.dead.lock().len().to_json()),
+        ("done_ranks", shared.done.lock().len().to_json()),
+        ("local_vclock", Json::Num(shared.local_vclock.get())),
+        ("net", shared.stats.snapshot().to_json()),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cpx_obs::FromJson;
 
     fn sample_packet() -> Packet {
         Packet {
@@ -915,6 +1138,14 @@ mod tests {
                 at: 0.5,
             },
             Frame::Goodbye { node: 0 },
+            Frame::Ping {
+                node: 1,
+                nonce: 0xFEED_F00D,
+            },
+            Frame::Pong {
+                node: 2,
+                nonce: 0xFEED_F00D,
+            },
         ];
         for f in frames {
             let bytes = encode_frame(&f);
@@ -983,5 +1214,108 @@ mod tests {
         assert_eq!(c.get(), 1.0);
         c.raise(2.0);
         assert_eq!(c.get(), 2.0);
+    }
+
+    /// Two meshes on loopback: counters fill in on both sides, RTT
+    /// probes complete, and the live endpoints answer.
+    #[test]
+    fn loopback_mesh_collects_stats_and_serves_metrics() {
+        let ports = crate::cluster::free_ports(2);
+        let addrs: Vec<String> = ports.iter().map(|p| format!("127.0.0.1:{p}")).collect();
+        let node_ranks = vec![vec![0], vec![1]];
+        let timeout = Duration::from_secs(10);
+        let hb_timeout = Duration::from_secs(5);
+
+        let addrs1 = addrs.clone();
+        let ranks1 = node_ranks.clone();
+        let peer = std::thread::spawn(move || {
+            let mut mesh = NetMesh::establish(
+                1,
+                &addrs1,
+                &ranks1,
+                timeout,
+                hb_timeout,
+                7,
+                NetStats::on(1, 2),
+            )
+            .expect("node 1 mesh");
+            let mut transports = mesh.take_transports();
+            let (_, t) = &mut transports[0];
+            // Wait (bounded) for the packet node 0 sends; a panic here
+            // would leave node 0's shutdown joining a reader forever,
+            // so fail via a sentinel value instead.
+            let mut pkt = None;
+            for _ in 0..100 {
+                if let RecvPoll::Packet(p) = t.recv_wait(Duration::from_millis(100)) {
+                    pkt = Some(p);
+                    break;
+                }
+            }
+            let got_packet = pkt.map(|p| p.src) == Some(sample_packet().src);
+            // Give heartbeats/pings a couple of cycles.
+            std::thread::sleep(HEARTBEAT_PERIOD * 3);
+            let snap = mesh.net_snapshot();
+            mesh.shutdown();
+            (got_packet, snap)
+        });
+
+        let mut mesh = NetMesh::establish(
+            0,
+            &addrs,
+            &node_ranks,
+            timeout,
+            hb_timeout,
+            7,
+            NetStats::on(0, 2),
+        )
+        .expect("node 0 mesh");
+        let server = mesh.serve_metrics("127.0.0.1:0").expect("metrics server");
+        let mut transports = mesh.take_transports();
+        let (_, t) = &mut transports[0];
+        t.send(1, sample_packet());
+        std::thread::sleep(HEARTBEAT_PERIOD * 3);
+
+        // Probe the endpoints over plain TCP.
+        let fetch = |path: &str| -> String {
+            let mut s = TcpStream::connect(server.local_addr()).expect("connect metrics");
+            write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+            let mut out = String::new();
+            s.read_to_string(&mut out).expect("read metrics");
+            out
+        };
+        let health = fetch("/healthz");
+        assert!(health.starts_with("HTTP/1.1 200"), "{health}");
+        assert!(health.contains("\"status\":\"ok\""), "{health}");
+        let metrics = fetch("/metrics");
+        let body = metrics.split("\r\n\r\n").nth(1).expect("metrics body");
+        let v = Json::parse(body).expect("metrics is valid JSON");
+        assert_eq!(v.get("node").unwrap().as_u64(), Some(0));
+        assert_eq!(v.get("generation").unwrap().as_u64(), Some(1));
+        let net = v.get("net").unwrap();
+        let snap0_live = NetStatsSnapshot::from_json(net).expect("net snapshot decodes");
+        assert!(snap0_live.total(|p| p.frames_sent) > 0);
+
+        let snap0 = mesh.net_snapshot();
+        mesh.shutdown();
+        drop(server);
+        let (got_packet, snap1) = peer.join().expect("peer thread");
+        assert!(got_packet, "node 1 never received node 0's packet");
+
+        // Node 0 sent the data packet plus heartbeats/pings to node 1.
+        let p1 = &snap0.peers[0];
+        assert_eq!(p1.peer, 1);
+        assert!(p1.frames_sent > 0 && p1.bytes_sent > 0);
+        assert!(p1.heartbeats_sent > 0);
+        // Node 1 heard node 0's heartbeats and echoed its pings.
+        let p0 = &snap1.peers[0];
+        assert_eq!(p0.peer, 0);
+        assert!(p0.frames_recv > 0 && p0.bytes_recv > 0);
+        assert!(p0.heartbeats_recv > 0);
+        // At least one RTT sample completed somewhere.
+        assert!(
+            snap0.total(|p| p.rtt.count) + snap1.total(|p| p.rtt.count) > 0,
+            "no RTT sample completed: {snap0:?} / {snap1:?}"
+        );
+        assert_eq!(snap0.total(|p| p.crc_failures), 0);
     }
 }

@@ -83,6 +83,8 @@
 use std::collections::BTreeSet;
 use std::panic;
 
+use cpx_obs::RecoveryKind;
+
 use crate::fault::CommError;
 use crate::group::Group;
 use crate::runtime::RankCtx;
@@ -255,6 +257,10 @@ fn recover(
     // (invariant I1 — no unrevoked abandonment).
     let (peer, at) = failure_site(ctx, p.me, &error);
     ctx.revoke_group(p.group.sig(), peer, at);
+    ctx.obs_recovery(RecoveryKind::Revoke {
+        sig: p.group.sig(),
+        peer,
+    });
     p.rollbacks += 1;
     if p.rollbacks > cfg.max_recoveries {
         panic::panic_any(error);
@@ -274,6 +280,11 @@ fn recover(
     // Label chaining off the revoked signature gives every survivor the
     // identical successor group with a chain-unique tag space.
     p.group = Group::from_ranks(p.group.sig() ^ RESILIENT_LABEL, p.members.clone(), p.me);
+    ctx.obs_recovery(RecoveryKind::Shrink {
+        sig: p.group.sig(),
+        survivors: p.members.len(),
+        min_ckpt: outcome.min_ckpt,
+    });
 
     let agreed = outcome.min_ckpt as usize;
     // Later checkpoints describe the pre-shrink world; recomputation on
@@ -287,6 +298,7 @@ fn recover(
         it, agreed,
         "every member checkpoints at the agreed iteration"
     );
+    ctx.obs_recovery(RecoveryKind::Rollback { to_iter: it as u64 });
     (it, val)
 }
 

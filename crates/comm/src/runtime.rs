@@ -41,7 +41,7 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use cpx_machine::{KernelCost, Machine};
-use cpx_obs::{RankRecorder, RankTimeline, SpanName, TraceSession};
+use cpx_obs::{RankRecorder, RankTimeline, RecoveryKind, SpanName, TraceSession};
 
 use crate::fault::{CommError, CrashSignal, DeadRegistry, FaultPlan};
 use crate::group::Group;
@@ -348,6 +348,15 @@ impl RankCtx {
     #[inline]
     pub fn obs_on(&self) -> bool {
         self.obs.is_on()
+    }
+
+    /// Record a shrink-recovery protocol step at the current virtual
+    /// time (feeds the recovery lane of exported traces). No-op unless
+    /// tracing is live, like every other obs call.
+    #[inline]
+    pub(crate) fn obs_recovery(&mut self, kind: RecoveryKind) {
+        let t = self.clock;
+        self.obs.recovery_event(t, kind);
     }
 
     /// Append to the comm event log at the current virtual time. No-op

@@ -8,18 +8,40 @@
 //! identical bytes — the export is a deterministic function of the
 //! trace session.
 //!
+//! Sessions carrying [`RecoveryEvent`](crate::RecoveryEvent)s
+//! additionally get a dedicated **recovery lane** per process (a
+//! synthetic thread named `recovery`): every revoke, agreement round,
+//! shrink commit and rollback becomes an instant (`"ph":"i"`) event
+//! with its protocol details in `args`, so a chaos run's recovery
+//! sequence is visually replayable next to the rank lanes.
+//!
+//! Exporters write into any [`std::io::Write`] sink
+//! ([`chrome_trace_to`], [`dual_chrome_trace_to`]) so multi-megabyte
+//! cluster traces stream straight to a file; the `*_json` variants are
+//! thin build-a-`String` wrappers for existing callers.
+//!
 //! [trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
 
+use std::io::{self, Write};
+
 use crate::json::escape_str;
-use crate::TraceSession;
+use crate::{RecoveryKind, TraceSession};
+
+/// Synthetic `tid` of the per-process recovery lane — far above any
+/// real rank id so it sorts last in the viewer.
+pub const RECOVERY_LANE_TID: u32 = 1_000_000;
 
 /// Render a session as Chrome trace-event JSON (`{"traceEvents":[...]}`).
 pub fn chrome_trace_json(session: &TraceSession) -> String {
-    let mut out = String::from("{\"traceEvents\":[\n");
+    to_string(|out| chrome_trace_to(out, session))
+}
+
+/// Stream a session as Chrome trace-event JSON into `out`.
+pub fn chrome_trace_to<W: Write>(out: &mut W, session: &TraceSession) -> io::Result<()> {
     let mut first = true;
-    push_session_events(&mut out, &mut first, session, 1, None);
-    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
-    out
+    out.write_all(b"{\"traceEvents\":[\n")?;
+    push_session_events(out, &mut first, session, 1, None)?;
+    out.write_all(b"\n],\"displayTimeUnit\":\"ms\"}\n")
 }
 
 /// Render a *dual-lane* Chrome trace: the virtual-time session as
@@ -28,28 +50,39 @@ pub fn chrome_trace_json(session: &TraceSession) -> String {
 /// process carries a `process_name` metadata record (`virtual time` /
 /// `wall clock`); lanes within a process are ranks as usual.
 pub fn dual_chrome_trace_json(virtual_session: &TraceSession, wall: &TraceSession) -> String {
-    let mut out = String::from("{\"traceEvents\":[\n");
-    let mut first = true;
-    push_session_events(
-        &mut out,
-        &mut first,
-        virtual_session,
-        1,
-        Some("virtual time"),
-    );
-    push_session_events(&mut out, &mut first, wall, 2, Some("wall clock"));
-    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
-    out
+    to_string(|out| dual_chrome_trace_to(out, virtual_session, wall))
 }
 
-/// Emit one session's metadata, span and counter events under `pid`.
-fn push_session_events(
-    out: &mut String,
+/// Stream the dual-lane trace of [`dual_chrome_trace_json`] into `out`.
+pub fn dual_chrome_trace_to<W: Write>(
+    out: &mut W,
+    virtual_session: &TraceSession,
+    wall: &TraceSession,
+) -> io::Result<()> {
+    let mut first = true;
+    out.write_all(b"{\"traceEvents\":[\n")?;
+    push_session_events(out, &mut first, virtual_session, 1, Some("virtual time"))?;
+    push_session_events(out, &mut first, wall, 2, Some("wall clock"))?;
+    out.write_all(b"\n],\"displayTimeUnit\":\"ms\"}\n")
+}
+
+/// Run a sink-writer into a fresh `String` (infallible for `Vec<u8>`).
+pub(crate) fn to_string(f: impl FnOnce(&mut Vec<u8>) -> io::Result<()>) -> String {
+    let mut buf = Vec::new();
+    f(&mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("exporters emit UTF-8")
+}
+
+/// Emit one session's metadata, span, counter and recovery events under
+/// `pid`. Shared with the cluster merge exporter, which calls it once
+/// per node process.
+pub(crate) fn push_session_events<W: Write>(
+    out: &mut W,
     first: &mut bool,
     session: &TraceSession,
     pid: u32,
     process_name: Option<&str>,
-) {
+) -> io::Result<()> {
     if let Some(pname) = process_name {
         push_event(
             out,
@@ -59,7 +92,7 @@ fn push_session_events(
                  \"args\":{{\"name\":{}}}}}",
                 escape_str(pname)
             ),
-        );
+        )?;
     }
     for lane in &session.lanes {
         push_event(
@@ -70,7 +103,17 @@ fn push_session_events(
                  \"args\":{{\"name\":\"rank {}\"}}}}",
                 lane.rank, lane.rank
             ),
-        );
+        )?;
+    }
+    if session.total_recovery_events() > 0 {
+        push_event(
+            out,
+            first,
+            &format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{RECOVERY_LANE_TID},\
+                 \"name\":\"thread_name\",\"args\":{{\"name\":\"recovery\"}}}}"
+            ),
+        )?;
     }
     for lane in &session.lanes {
         let mut spans: Vec<_> = lane.spans.iter().collect();
@@ -91,7 +134,7 @@ fn push_session_events(
                 micros(span.duration()),
                 escape_str(&span.name)
             );
-            push_event(out, first, &ev);
+            push_event(out, first, &ev)?;
         }
         for (name, value) in &lane.counters {
             let ev = format!(
@@ -102,17 +145,57 @@ fn push_session_events(
                 escape_str(name),
                 value
             );
-            push_event(out, first, &ev);
+            push_event(out, first, &ev)?;
         }
+    }
+    // Recovery instants, merged across ranks into one lane, ordered by
+    // time then observing rank (both deterministic under the virtual
+    // clock).
+    let mut recovery: Vec<_> = session
+        .lanes
+        .iter()
+        .flat_map(|lane| lane.recovery.iter().map(move |ev| (lane.rank, ev)))
+        .collect();
+    recovery.sort_by(|a, b| a.1.t.total_cmp(&b.1.t).then(a.0.cmp(&b.0)));
+    for (rank, ev) in recovery {
+        let text = format!(
+            "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":{RECOVERY_LANE_TID},\"ts\":{},\
+             \"name\":{},\"s\":\"t\",\"args\":{{\"rank\":{rank},{}}}}}",
+            micros(ev.t),
+            escape_str(ev.kind.label()),
+            recovery_args(&ev.kind)
+        );
+        push_event(out, first, &text)?;
+    }
+    Ok(())
+}
+
+/// Detail fields of one recovery instant. Group signatures are 64-bit
+/// hashes, so they render as hex strings rather than JSON numbers
+/// (which only hold 53 bits exactly).
+fn recovery_args(kind: &RecoveryKind) -> String {
+    match kind {
+        RecoveryKind::Revoke { sig, peer } => {
+            format!("\"sig\":\"{sig:016x}\",\"peer\":{peer}")
+        }
+        RecoveryKind::AgreeRound { sig, round, known } => {
+            format!("\"sig\":\"{sig:016x}\",\"round\":{round},\"known\":{known}")
+        }
+        RecoveryKind::Shrink {
+            sig,
+            survivors,
+            min_ckpt,
+        } => format!("\"sig\":\"{sig:016x}\",\"survivors\":{survivors},\"min_ckpt\":{min_ckpt}"),
+        RecoveryKind::Rollback { to_iter } => format!("\"to_iter\":{to_iter}"),
     }
 }
 
-fn push_event(out: &mut String, first: &mut bool, ev: &str) {
+fn push_event<W: Write>(out: &mut W, first: &mut bool, ev: &str) -> io::Result<()> {
     if !*first {
-        out.push_str(",\n");
+        out.write_all(b",\n")?;
     }
     *first = false;
-    out.push_str(ev);
+    out.write_all(ev.as_bytes())
 }
 
 /// Virtual seconds → microsecond timestamp text with fixed precision.
@@ -127,7 +210,7 @@ fn micros(secs: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{RankRecorder, TraceSession};
+    use crate::{RankRecorder, RecoveryKind, TraceSession};
 
     fn sample() -> TraceSession {
         let mut r0 = RankRecorder::on();
@@ -167,10 +250,75 @@ mod tests {
     }
 
     #[test]
+    fn sink_writer_matches_string_wrapper() {
+        let mut buf = Vec::new();
+        chrome_trace_to(&mut buf, &sample()).unwrap();
+        assert_eq!(
+            String::from_utf8(buf).unwrap(),
+            chrome_trace_json(&sample())
+        );
+    }
+
+    #[test]
     fn micros_formatting() {
         assert_eq!(micros(0.0), "0");
         assert_eq!(micros(1.0), "1000000");
         assert_eq!(micros(2.5e-6), "2.500");
+    }
+
+    #[test]
+    fn recovery_events_form_a_dedicated_lane() {
+        let mut r0 = RankRecorder::on();
+        r0.begin("step", 0.0);
+        r0.recovery_event(
+            2e-6,
+            RecoveryKind::Revoke {
+                sig: 0xabcd,
+                peer: 1,
+            },
+        );
+        r0.recovery_event(
+            4e-6,
+            RecoveryKind::Shrink {
+                sig: 0x1234,
+                survivors: 3,
+                min_ckpt: 10,
+            },
+        );
+        r0.end(5e-6);
+        let s = TraceSession::new(vec![r0.into_timeline(0, 5e-6)]);
+        let text = chrome_trace_json(&s);
+        let v = crate::Json::parse(&text).expect("valid JSON");
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        let lane_meta = events
+            .iter()
+            .find(|e| {
+                e.get("tid").and_then(crate::Json::as_u64) == Some(RECOVERY_LANE_TID as u64)
+                    && e.get("ph").unwrap().as_str() == Some("M")
+            })
+            .expect("recovery lane metadata");
+        assert_eq!(
+            lane_meta.get("args").unwrap().get("name").unwrap().as_str(),
+            Some("recovery")
+        );
+        let instants: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("i"))
+            .collect();
+        assert_eq!(instants.len(), 2);
+        assert_eq!(instants[0].get("name").unwrap().as_str(), Some("revoke"));
+        let args = instants[0].get("args").unwrap();
+        assert_eq!(args.get("sig").unwrap().as_str(), Some("000000000000abcd"));
+        assert_eq!(args.get("peer").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            instants[1]
+                .get("args")
+                .unwrap()
+                .get("min_ckpt")
+                .unwrap()
+                .as_u64(),
+            Some(10)
+        );
     }
 
     #[test]

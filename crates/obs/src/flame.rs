@@ -9,12 +9,17 @@
 //! deterministic.
 
 use std::collections::BTreeMap;
-use std::fmt::Write as _;
+use std::io::{self, Write};
 
 use crate::TraceSession;
 
 /// Render a session as collapsed-stack text.
 pub fn collapsed_stacks(session: &TraceSession) -> String {
+    crate::chrome::to_string(|out| collapsed_stacks_to(out, session))
+}
+
+/// Stream a session's collapsed stacks into `out`.
+pub fn collapsed_stacks_to<W: Write>(out: &mut W, session: &TraceSession) -> io::Result<()> {
     let mut totals: BTreeMap<String, u64> = BTreeMap::new();
     for lane in &session.lanes {
         for span in &lane.spans {
@@ -32,11 +37,10 @@ pub fn collapsed_stacks(session: &TraceSession) -> String {
             *totals.entry(key).or_insert(0) += ns;
         }
     }
-    let mut out = String::new();
     for (stack, ns) in &totals {
-        let _ = writeln!(out, "{stack} {ns}");
+        writeln!(out, "{stack} {ns}")?;
     }
-    out
+    Ok(())
 }
 
 #[cfg(test)]
@@ -57,6 +61,10 @@ mod tests {
         let text = collapsed_stacks(&s);
         // Two halo spans merged into one stack line; step keeps 3 µs self.
         assert_eq!(text, "rank 0;step 3000\nrank 0;step;halo 2000\n");
+        // The sink writer produces the same bytes.
+        let mut buf = Vec::new();
+        collapsed_stacks_to(&mut buf, &s).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), text);
     }
 
     #[test]

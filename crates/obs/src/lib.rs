@@ -56,15 +56,26 @@ use std::collections::BTreeMap;
 
 pub mod chrome;
 pub mod flame;
+pub mod http;
 pub mod json;
+pub mod merge;
 pub mod metrics;
+pub mod netstats;
 pub mod roofline;
 pub mod wall;
 
-pub use chrome::{chrome_trace_json, dual_chrome_trace_json};
-pub use flame::collapsed_stacks;
+pub use chrome::{
+    chrome_trace_json, chrome_trace_to, dual_chrome_trace_json, dual_chrome_trace_to,
+};
+pub use flame::{collapsed_stacks, collapsed_stacks_to};
+pub use http::{MetricsServer, Response};
 pub use json::{FromJson, Json, JsonError, ToJson};
+pub use merge::{
+    cluster_chrome_trace_json, cluster_chrome_trace_to, cluster_metrics_json,
+    cluster_virtual_trace_json, cluster_virtual_trace_to, NodeObs,
+};
 pub use metrics::{metrics_json, phase_stats, PhaseStats};
+pub use netstats::{NetStats, NetStatsSnapshot};
 pub use roofline::{KernelIntensity, OpCounts};
 pub use wall::WallRecorder;
 
@@ -108,6 +119,66 @@ struct Frame {
     child_time: f64,
 }
 
+/// One step of a shrink-recovery round, timestamped on the observing
+/// rank's virtual clock. Recovery events are rare (only failures
+/// produce them) but load-bearing when they happen: exported together
+/// they replay a chaos run's revoke → agreement → shrink → rollback
+/// sequence as a dedicated Chrome-trace lane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryEvent {
+    /// Virtual time of the step on the recording rank.
+    pub t: f64,
+    /// Which protocol step.
+    pub kind: RecoveryKind,
+}
+
+/// The protocol step a [`RecoveryEvent`] records.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveryKind {
+    /// The rank revoked group `sig` after observing `peer` fail.
+    Revoke {
+        /// Signature of the revoked group.
+        sig: u64,
+        /// The failed rank the revocation blames.
+        peer: usize,
+    },
+    /// One flooding round of the shrink agreement on group `sig`.
+    AgreeRound {
+        /// Signature of the revoked group the agreement runs on.
+        sig: u64,
+        /// Round number (1-based).
+        round: u64,
+        /// Contributors known entering the round.
+        known: usize,
+    },
+    /// The agreement committed: the successor group is formed.
+    Shrink {
+        /// Signature of the *successor* group.
+        sig: u64,
+        /// Members of the successor group.
+        survivors: usize,
+        /// Agreed minimum checkpoint iteration.
+        min_ckpt: u64,
+    },
+    /// The rank rolled its state back to the agreed checkpoint.
+    Rollback {
+        /// Iteration resumed from.
+        to_iter: u64,
+    },
+}
+
+impl RecoveryKind {
+    /// Short label used as the Chrome-trace event name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RecoveryKind::Revoke { .. } => "revoke",
+            RecoveryKind::AgreeRound { .. } => "agree round",
+            RecoveryKind::Shrink { .. } => "shrink",
+            RecoveryKind::Rollback { .. } => "rollback",
+        }
+    }
+}
+
 /// Per-rank span/counter recorder.
 ///
 /// Spans must nest: `begin`/`end` pairs form a stack. Times passed in
@@ -120,6 +191,7 @@ pub struct RankRecorder {
     stack: Vec<Frame>,
     spans: Vec<Span>,
     counters: BTreeMap<String, u64>,
+    recovery: Vec<RecoveryEvent>,
 }
 
 impl RankRecorder {
@@ -226,6 +298,16 @@ impl RankRecorder {
         }
     }
 
+    /// Record a shrink-recovery protocol step at virtual time `t`.
+    /// No-op while disabled, like every other method.
+    #[inline]
+    pub fn recovery_event(&mut self, t: f64, kind: RecoveryKind) {
+        if !self.enabled {
+            return;
+        }
+        self.recovery.push(RecoveryEvent { t, kind });
+    }
+
     /// Current nesting depth (0 when no span is open).
     pub fn open_depth(&self) -> usize {
         self.stack.len()
@@ -241,6 +323,7 @@ impl RankRecorder {
             rank,
             spans: self.spans,
             counters: self.counters,
+            recovery: self.recovery,
             finish: t,
         }
     }
@@ -255,6 +338,9 @@ pub struct RankTimeline {
     pub spans: Vec<Span>,
     /// Named event counters.
     pub counters: BTreeMap<String, u64>,
+    /// Shrink-recovery protocol steps observed by this rank, in
+    /// emission (= virtual-time) order. Empty on fault-free runs.
+    pub recovery: Vec<RecoveryEvent>,
     /// Final virtual clock value of the rank.
     pub finish: f64,
 }
@@ -277,6 +363,11 @@ impl TraceSession {
     /// Total number of spans across all lanes.
     pub fn total_spans(&self) -> usize {
         self.lanes.iter().map(|l| l.spans.len()).sum()
+    }
+
+    /// Total number of recovery events across all lanes.
+    pub fn total_recovery_events(&self) -> usize {
+        self.lanes.iter().map(|l| l.recovery.len()).sum()
     }
 
     /// Sum of a counter across all lanes.
@@ -341,6 +432,23 @@ mod tests {
         rec.end(1.0);
         let lane = rec.into_timeline(0, 1.0);
         assert!(lane.spans.is_empty());
+    }
+
+    #[test]
+    fn recovery_events_recorded_only_when_enabled() {
+        let mut off = RankRecorder::off();
+        off.recovery_event(1.0, RecoveryKind::Rollback { to_iter: 3 });
+        assert!(off.into_timeline(0, 1.0).recovery.is_empty());
+
+        let mut on = RankRecorder::on();
+        on.recovery_event(0.5, RecoveryKind::Revoke { sig: 7, peer: 2 });
+        on.recovery_event(0.6, RecoveryKind::Rollback { to_iter: 4 });
+        let lane = on.into_timeline(1, 1.0);
+        assert_eq!(lane.recovery.len(), 2);
+        assert_eq!(lane.recovery[0].kind.label(), "revoke");
+        assert_eq!(lane.recovery[1].t, 0.6);
+        let s = TraceSession::new(vec![lane]);
+        assert_eq!(s.total_recovery_events(), 2);
     }
 
     #[test]

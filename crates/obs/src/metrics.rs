@@ -168,6 +168,55 @@ mod tests {
     }
 
     #[test]
+    fn empty_session_yields_no_phases() {
+        let s = TraceSession::new(vec![]);
+        assert!(phase_stats(&s).is_empty());
+        let v = metrics_json(&s, &[]);
+        assert_eq!(v.get("ranks").unwrap().as_f64(), Some(0.0));
+        assert_eq!(v.get("spans").unwrap().as_f64(), Some(0.0));
+        assert_eq!(v.get("makespan").unwrap().as_f64(), Some(0.0));
+        assert_eq!(v.get("phases"), Some(&Json::Obj(vec![])));
+    }
+
+    #[test]
+    fn single_span_percentiles_all_equal_that_span() {
+        let s = session(&[2.5]);
+        let stats = &phase_stats(&s)["step"];
+        assert_eq!(stats.ranks, 1);
+        assert_eq!(stats.count, 1);
+        for q in [stats.min, stats.p50, stats.p95, stats.p99, stats.max] {
+            assert_eq!(q, 2.5);
+        }
+        assert_eq!(stats.mean, 2.5);
+        assert_eq!(stats.total, 2.5);
+    }
+
+    #[test]
+    fn all_equal_durations_collapse_every_quantile() {
+        let s = session(&[1.5; 8]);
+        let stats = &phase_stats(&s)["step"];
+        assert_eq!(stats.ranks, 8);
+        for q in [stats.min, stats.p50, stats.p95, stats.p99, stats.max] {
+            assert_eq!(q, 1.5);
+        }
+        assert!((stats.total - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p99_on_two_samples_is_the_larger() {
+        let s = session(&[1.0, 9.0]);
+        let stats = &phase_stats(&s)["step"];
+        assert_eq!(stats.ranks, 2);
+        // Nearest rank: 0.99 * (2-1) rounds to index 1.
+        assert_eq!(stats.p99, 9.0);
+        assert_eq!(stats.p95, 9.0);
+        // 0.5 * (2-1) rounds half-up to index 1 as well.
+        assert_eq!(stats.p50, 9.0);
+        assert_eq!(stats.min, 1.0);
+        assert!((stats.mean - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn snapshot_includes_extra_counters() {
         let s = session(&[1.0, 2.0]);
         let v = metrics_json(&s, &[("retries", 7.0)]);

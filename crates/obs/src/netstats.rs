@@ -1,0 +1,476 @@
+//! Transport-layer counters for the TCP multi-process backend.
+//!
+//! [`NetStats`] is the wire-level sibling of
+//! [`RankRecorder`](crate::RankRecorder): a recorder of per-peer frame,
+//! byte, heartbeat and failure counters plus a wall-clock frame
+//! round-trip histogram, with the same **zero-cost-when-disabled**
+//! contract. A disabled collector is a `None` — every record call is a
+//! branch on an `Option` discriminant: no allocation, no atomic
+//! read-modify-write, not even a relaxed load (the workspace test
+//! `netstats_overhead` pins the zero-allocation half of that contract).
+//!
+//! An enabled collector is an `Arc` of relaxed atomics so the transport
+//! threads (per-peer readers, the heartbeat thread, every local rank's
+//! sends) can record without locks; [`NetStats::snapshot`] flattens it
+//! into the plain-data [`NetStatsSnapshot`], which serializes to/from
+//! JSON for the `/metrics` endpoint and the cluster trace merge.
+//!
+//! Round-trip times come from ping/pong frames riding the heartbeat
+//! cadence and land in a log₂-bucketed microsecond histogram
+//! ([`RttHistogram`]): cheap to record (one relaxed increment), compact
+//! to ship, and good enough for p50/p95/p99 at the accuracy a
+//! cluster-health view needs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::json::{field, FromJson, Json, JsonError, ToJson};
+
+/// Number of log₂ buckets in an RTT histogram: bucket `i` counts
+/// samples in `[2^i, 2^(i+1))` microseconds, with the last bucket
+/// absorbing everything above (~67 s and beyond — a dead peer, not a
+/// latency).
+pub const RTT_BUCKETS: usize = 27;
+
+/// Index of the histogram bucket for a sample of `us` microseconds.
+fn bucket_of(us: u64) -> usize {
+    ((64 - us.max(1).leading_zeros()) as usize - 1).min(RTT_BUCKETS - 1)
+}
+
+/// Lower edge (microseconds) of bucket `i`.
+fn bucket_floor(i: usize) -> u64 {
+    1u64 << i
+}
+
+#[derive(Default)]
+struct PeerCounters {
+    frames_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+    frames_recv: AtomicU64,
+    bytes_recv: AtomicU64,
+    heartbeats_sent: AtomicU64,
+    heartbeats_recv: AtomicU64,
+    heartbeats_missed: AtomicU64,
+    crc_failures: AtomicU64,
+    rtt_count: AtomicU64,
+    rtt_sum_us: AtomicU64,
+    rtt_buckets: [AtomicU64; RTT_BUCKETS],
+}
+
+struct Inner {
+    node: usize,
+    peers: Vec<PeerCounters>,
+    dial_retries: AtomicU64,
+    dial_backoff_ms: AtomicU64,
+}
+
+/// Live transport-counter collector. Cloning shares the underlying
+/// counters (it is an `Arc` internally), so the mesh, its reader
+/// threads and the metrics endpoint all record into and read from the
+/// same cells.
+#[derive(Clone)]
+pub struct NetStats {
+    inner: Option<Arc<Inner>>,
+}
+
+impl NetStats {
+    /// A collector for `node` with one counter block per peer node
+    /// (self included, so peer ids index directly).
+    pub fn on(node: usize, nodes: usize) -> NetStats {
+        NetStats {
+            inner: Some(Arc::new(Inner {
+                node,
+                peers: (0..nodes).map(|_| PeerCounters::default()).collect(),
+                dial_retries: AtomicU64::new(0),
+                dial_backoff_ms: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// A collector where every record call is a no-op: no allocation,
+    /// no atomic access.
+    pub fn off() -> NetStats {
+        NetStats { inner: None }
+    }
+
+    /// Is this collector live?
+    #[inline]
+    pub fn is_on(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    #[inline]
+    fn peer(&self, peer: usize) -> Option<&PeerCounters> {
+        self.inner.as_ref().and_then(|i| i.peers.get(peer))
+    }
+
+    /// A data or control frame of `bytes` total wire bytes left for `peer`.
+    #[inline]
+    pub fn frame_sent(&self, peer: usize, bytes: usize) {
+        if let Some(p) = self.peer(peer) {
+            p.frames_sent.fetch_add(1, Ordering::Relaxed);
+            p.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// A frame of `bytes` total wire bytes arrived from `peer`.
+    #[inline]
+    pub fn frame_recv(&self, peer: usize, bytes: usize) {
+        if let Some(p) = self.peer(peer) {
+            p.frames_recv.fetch_add(1, Ordering::Relaxed);
+            p.bytes_recv.fetch_add(bytes as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// A heartbeat left for `peer`.
+    #[inline]
+    pub fn heartbeat_sent(&self, peer: usize) {
+        if let Some(p) = self.peer(peer) {
+            p.heartbeats_sent.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A heartbeat arrived from `peer`.
+    #[inline]
+    pub fn heartbeat_recv(&self, peer: usize) {
+        if let Some(p) = self.peer(peer) {
+            p.heartbeats_recv.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// `peer` was silent past a heartbeat period when the monitor looked.
+    #[inline]
+    pub fn heartbeat_missed(&self, peer: usize) {
+        if let Some(p) = self.peer(peer) {
+            p.heartbeats_missed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A frame from `peer` failed its CRC (connection-fatal upstream).
+    #[inline]
+    pub fn crc_failure(&self, peer: usize) {
+        if let Some(p) = self.peer(peer) {
+            p.crc_failures.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// One failed dial attempt followed by `backoff_ms` of sleep.
+    #[inline]
+    pub fn dial_retry(&self, backoff_ms: u64) {
+        if let Some(i) = &self.inner {
+            i.dial_retries.fetch_add(1, Ordering::Relaxed);
+            i.dial_backoff_ms.fetch_add(backoff_ms, Ordering::Relaxed);
+        }
+    }
+
+    /// A measured ping→pong round trip to `peer`, in microseconds.
+    #[inline]
+    pub fn rtt_sample(&self, peer: usize, us: u64) {
+        if let Some(p) = self.peer(peer) {
+            p.rtt_count.fetch_add(1, Ordering::Relaxed);
+            p.rtt_sum_us.fetch_add(us, Ordering::Relaxed);
+            p.rtt_buckets[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Flatten the live counters into plain data. Returns the empty
+    /// snapshot when disabled.
+    pub fn snapshot(&self) -> NetStatsSnapshot {
+        let Some(i) = &self.inner else {
+            return NetStatsSnapshot::default();
+        };
+        let ld = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        NetStatsSnapshot {
+            node: i.node,
+            dial_retries: ld(&i.dial_retries),
+            dial_backoff_ms: ld(&i.dial_backoff_ms),
+            peers: i
+                .peers
+                .iter()
+                .enumerate()
+                .filter(|&(peer, _)| peer != i.node)
+                .map(|(peer, p)| PeerSnapshot {
+                    peer,
+                    frames_sent: ld(&p.frames_sent),
+                    bytes_sent: ld(&p.bytes_sent),
+                    frames_recv: ld(&p.frames_recv),
+                    bytes_recv: ld(&p.bytes_recv),
+                    heartbeats_sent: ld(&p.heartbeats_sent),
+                    heartbeats_recv: ld(&p.heartbeats_recv),
+                    heartbeats_missed: ld(&p.heartbeats_missed),
+                    crc_failures: ld(&p.crc_failures),
+                    rtt: RttHistogram {
+                        count: ld(&p.rtt_count),
+                        sum_us: ld(&p.rtt_sum_us),
+                        buckets: p.rtt_buckets.iter().map(ld).collect(),
+                    },
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Log₂-bucketed microsecond round-trip histogram (plain data).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RttHistogram {
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples (microseconds), for the mean.
+    pub sum_us: u64,
+    /// One count per log₂ bucket ([`RTT_BUCKETS`] entries; empty when
+    /// no sample was ever recorded).
+    pub buckets: Vec<u64>,
+}
+
+impl RttHistogram {
+    /// Mean round trip in microseconds (0 with no samples).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile (`q` in 0..=100): the lower edge of the
+    /// bucket holding the nearest-rank sample. 0 with no samples.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q / 100.0) * (self.count - 1) as f64).round() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                return bucket_floor(i);
+            }
+        }
+        bucket_floor(RTT_BUCKETS - 1)
+    }
+}
+
+impl ToJson for RttHistogram {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("count", self.count.to_json()),
+            ("sum_us", self.sum_us.to_json()),
+            ("mean_us", Json::Num(self.mean_us())),
+            ("p50_us", self.quantile_us(50.0).to_json()),
+            ("p95_us", self.quantile_us(95.0).to_json()),
+            ("p99_us", self.quantile_us(99.0).to_json()),
+            ("buckets", self.buckets.to_json()),
+        ])
+    }
+}
+
+impl FromJson for RttHistogram {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(RttHistogram {
+            count: field(v, "count")?,
+            sum_us: field(v, "sum_us")?,
+            buckets: field(v, "buckets")?,
+        })
+    }
+}
+
+/// One peer's flattened counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PeerSnapshot {
+    /// Peer node id.
+    pub peer: usize,
+    /// Frames written to this peer's stream.
+    pub frames_sent: u64,
+    /// Total wire bytes written (headers included).
+    pub bytes_sent: u64,
+    /// Frames read from this peer's stream.
+    pub frames_recv: u64,
+    /// Total wire bytes read.
+    pub bytes_recv: u64,
+    /// Heartbeats broadcast to this peer.
+    pub heartbeats_sent: u64,
+    /// Heartbeats received from this peer.
+    pub heartbeats_recv: u64,
+    /// Monitor ticks that found this peer silent past a beat period.
+    pub heartbeats_missed: u64,
+    /// CRC-rejected frames from this peer (connection-fatal).
+    pub crc_failures: u64,
+    /// Ping→pong round-trip histogram.
+    pub rtt: RttHistogram,
+}
+
+impl ToJson for PeerSnapshot {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("peer", self.peer.to_json()),
+            ("frames_sent", self.frames_sent.to_json()),
+            ("bytes_sent", self.bytes_sent.to_json()),
+            ("frames_recv", self.frames_recv.to_json()),
+            ("bytes_recv", self.bytes_recv.to_json()),
+            ("heartbeats_sent", self.heartbeats_sent.to_json()),
+            ("heartbeats_recv", self.heartbeats_recv.to_json()),
+            ("heartbeats_missed", self.heartbeats_missed.to_json()),
+            ("crc_failures", self.crc_failures.to_json()),
+            ("rtt", self.rtt.to_json()),
+        ])
+    }
+}
+
+impl FromJson for PeerSnapshot {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(PeerSnapshot {
+            peer: field(v, "peer")?,
+            frames_sent: field(v, "frames_sent")?,
+            bytes_sent: field(v, "bytes_sent")?,
+            frames_recv: field(v, "frames_recv")?,
+            bytes_recv: field(v, "bytes_recv")?,
+            heartbeats_sent: field(v, "heartbeats_sent")?,
+            heartbeats_recv: field(v, "heartbeats_recv")?,
+            heartbeats_missed: field(v, "heartbeats_missed")?,
+            crc_failures: field(v, "crc_failures")?,
+            rtt: field(v, "rtt")?,
+        })
+    }
+}
+
+/// A whole node's transport counters at one instant (plain data,
+/// JSON-serializable both ways so children can ship it to the merge
+/// parent and `/metrics` can serve it live).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetStatsSnapshot {
+    /// The node these counters belong to.
+    pub node: usize,
+    /// Failed dial attempts during mesh bring-up.
+    pub dial_retries: u64,
+    /// Cumulative backoff slept across those attempts (milliseconds).
+    pub dial_backoff_ms: u64,
+    /// Per-peer counters, ascending peer id, self excluded.
+    pub peers: Vec<PeerSnapshot>,
+}
+
+impl NetStatsSnapshot {
+    /// Sum of a per-peer counter across all peers.
+    pub fn total(&self, f: impl Fn(&PeerSnapshot) -> u64) -> u64 {
+        self.peers.iter().map(f).sum()
+    }
+}
+
+impl ToJson for NetStatsSnapshot {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("node", self.node.to_json()),
+            ("dial_retries", self.dial_retries.to_json()),
+            ("dial_backoff_ms", self.dial_backoff_ms.to_json()),
+            ("peers", self.peers.to_json()),
+        ])
+    }
+}
+
+impl FromJson for NetStatsSnapshot {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(NetStatsSnapshot {
+            node: field(v, "node")?,
+            dial_retries: field(v, "dial_retries")?,
+            dial_backoff_ms: field(v, "dial_backoff_ms")?,
+            peers: field(v, "peers")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_collector_records_nothing() {
+        let s = NetStats::off();
+        assert!(!s.is_on());
+        s.frame_sent(0, 100);
+        s.frame_recv(1, 50);
+        s.heartbeat_sent(0);
+        s.crc_failure(1);
+        s.dial_retry(25);
+        s.rtt_sample(0, 300);
+        assert_eq!(s.snapshot(), NetStatsSnapshot::default());
+    }
+
+    #[test]
+    fn counters_accumulate_per_peer() {
+        let s = NetStats::on(1, 3);
+        s.frame_sent(0, 64);
+        s.frame_sent(0, 36);
+        s.frame_recv(2, 8);
+        s.heartbeat_sent(0);
+        s.heartbeat_recv(2);
+        s.heartbeat_missed(2);
+        s.crc_failure(0);
+        s.dial_retry(25);
+        s.dial_retry(50);
+        let snap = s.snapshot();
+        assert_eq!(snap.node, 1);
+        assert_eq!(snap.dial_retries, 2);
+        assert_eq!(snap.dial_backoff_ms, 75);
+        // Self (node 1) is excluded; peers 0 and 2 remain.
+        assert_eq!(snap.peers.len(), 2);
+        let p0 = &snap.peers[0];
+        assert_eq!((p0.peer, p0.frames_sent, p0.bytes_sent), (0, 2, 100));
+        assert_eq!(p0.crc_failures, 1);
+        let p2 = &snap.peers[1];
+        assert_eq!((p2.peer, p2.frames_recv, p2.bytes_recv), (2, 1, 8));
+        assert_eq!((p2.heartbeats_recv, p2.heartbeats_missed), (1, 1));
+        assert_eq!(snap.total(|p| p.frames_sent), 2);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let a = NetStats::on(0, 2);
+        let b = a.clone();
+        b.frame_sent(1, 10);
+        assert_eq!(a.snapshot().peers[0].frames_sent, 1);
+    }
+
+    #[test]
+    fn out_of_range_peer_is_ignored() {
+        let s = NetStats::on(0, 2);
+        s.frame_sent(99, 10);
+        assert_eq!(s.snapshot().total(|p| p.frames_sent), 0);
+    }
+
+    #[test]
+    fn rtt_histogram_buckets_and_quantiles() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), RTT_BUCKETS - 1);
+
+        let s = NetStats::on(0, 2);
+        for us in [100, 100, 100, 100, 100, 100, 100, 100, 100, 4000] {
+            s.rtt_sample(1, us);
+        }
+        let h = s.snapshot().peers[0].rtt.clone();
+        assert_eq!(h.count, 10);
+        assert!((h.mean_us() - 490.0).abs() < 1e-9);
+        // 100 µs falls in bucket [64, 128); 4000 µs in [2048, 4096).
+        assert_eq!(h.quantile_us(50.0), 64);
+        assert_eq!(h.quantile_us(99.0), 2048);
+        assert_eq!(RttHistogram::default().quantile_us(99.0), 0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let s = NetStats::on(2, 4);
+        s.frame_sent(0, 123);
+        s.rtt_sample(1, 250);
+        s.heartbeat_missed(3);
+        s.dial_retry(40);
+        let snap = s.snapshot();
+        let back = NetStatsSnapshot::from_json(&snap.to_json()).expect("round trip");
+        assert_eq!(snap, back);
+        // And through text.
+        let text = snap.to_json().write();
+        let parsed = NetStatsSnapshot::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(snap, parsed);
+    }
+}

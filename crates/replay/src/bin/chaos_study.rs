@@ -22,13 +22,18 @@
 //! delay) is a pure function of the trial seed, so failures reproduce.
 //! A JSON resilience report of every trial is written for CI upload.
 
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
-use cpx_comm::{resilient_loop, run_node, ClusterConfig, RankOutcome, ResilientConfig};
+use cpx_comm::{
+    resilient_loop, run_node_obs, ClusterConfig, NodeObsOptions, RankOutcome, ResilientConfig,
+};
 use cpx_machine::{KernelCost, Machine};
 use cpx_obs::json::Json;
+use cpx_obs::{cluster_chrome_trace_json, cluster_metrics_json, NodeObs};
 use cpx_replay::launcher::{seed_mix, spawn_node, wait_until, WaitOutcome};
 
 /// World shape: 8 ranks over 4 processes, 2 ranks per process.
@@ -51,7 +56,9 @@ const KILL_SPREAD_MS: u64 = 400;
 fn usage() -> ! {
     eprintln!(
         "usage: chaos_study [--trials N] [--base-seed S] [--port <base>] [--report <path>]\n\
-         internal: chaos_study --current-node <i> --port <base> --seed <s> --out <dir>"
+         \x20                  [--obs-dir <dir>] [--metrics-port <base>]\n\
+         internal: chaos_study --current-node <i> --port <base> --seed <s> --out <dir>\n\
+         \x20         [--obs] [--metrics-addr <addr>]"
     );
     std::process::exit(2);
 }
@@ -115,6 +122,10 @@ fn main() -> ExitCode {
     let mut out: Option<PathBuf> = None;
     let mut trials: usize = 3;
     let mut report_path = PathBuf::from("target/chaos_report.json");
+    let mut obs = false;
+    let mut obs_dir: Option<PathBuf> = None;
+    let mut metrics_addr: Option<String> = None;
+    let mut metrics_port: Option<u16> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -139,38 +150,84 @@ fn main() -> ExitCode {
                 None => usage(),
             },
             "--report" => report_path = PathBuf::from(args.next().unwrap_or_else(|| usage())),
+            "--obs" => obs = true,
+            "--obs-dir" => obs_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--metrics-addr" => metrics_addr = Some(args.next().unwrap_or_else(|| usage())),
+            "--metrics-port" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(p) => metrics_port = Some(p),
+                None => usage(),
+            },
             _ => usage(),
         }
     }
 
+    let opts = ObsSetup {
+        obs_dir,
+        metrics_port,
+    };
     match current_node {
-        Some(node) => child(node, port, seed, &out.unwrap_or_else(|| usage())),
-        None => parent(trials, seed, port, &report_path),
+        Some(node) => child(
+            node,
+            port,
+            seed,
+            &out.unwrap_or_else(|| usage()),
+            obs,
+            metrics_addr,
+        ),
+        None => parent(trials, seed, port, &report_path, &opts),
     }
+}
+
+/// Parent-side observability switches: where to put merged per-trial
+/// artifacts, and the base port for the children's `/metrics` servers.
+struct ObsSetup {
+    obs_dir: Option<PathBuf>,
+    metrics_port: Option<u16>,
 }
 
 /// One worker process: run the resilient loop on this node's ranks.
 /// The per-iteration sleep stretches wall-clock time so the parent's
 /// SIGKILL lands mid-computation; all *simulated* time stays virtual.
-fn child(node: usize, port: u16, seed: u64, out: &Path) -> ExitCode {
+fn child(
+    node: usize,
+    port: u16,
+    seed: u64,
+    out: &Path,
+    obs: bool,
+    metrics_addr: Option<String>,
+) -> ExitCode {
     let cfg = cluster(port, seed);
     let rcfg = ResilientConfig::new(ITERS, CKPT_EVERY);
     // A bare plan: no injected link faults — the only failures in a
     // chaos trial are the real SIGKILLs.
     let plan = cpx_comm::FaultPlan::new(seed);
-    let run = match run_node(Machine::archer2(), &cfg, node, plan, false, move |ctx| {
-        resilient_loop(ctx, &rcfg, |ctx, _iter| {
-            std::thread::sleep(Duration::from_millis(3));
-            ctx.compute(KernelCost::flops(5e5 * (ctx.rank() + 1) as f64));
-            (ctx.rank() + 1) as f64
-        })
+    let opts = NodeObsOptions {
+        traced: obs,
+        wall: obs,
+        net_stats: obs || metrics_addr.is_some(),
+        metrics_addr,
+    };
+    let (run, bundle) = match run_node_obs(Machine::archer2(), &cfg, node, plan, false, opts, {
+        move |ctx| {
+            resilient_loop(ctx, &rcfg, |ctx, _iter| {
+                std::thread::sleep(Duration::from_millis(3));
+                ctx.compute(KernelCost::flops(5e5 * (ctx.rank() + 1) as f64));
+                (ctx.rank() + 1) as f64
+            })
+        }
     }) {
-        Ok(run) => run,
+        Ok(pair) => pair,
         Err(e) => {
             eprintln!("node {node}: mesh bring-up failed: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if obs {
+        if let Err(e) = std::fs::write(out.join(format!("node{node}.obs.json")), bundle.encode()) {
+            eprintln!("node {node}: writing obs bundle failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     let mut lines = String::new();
     for (&rank, rr) in run.ranks.iter().zip(&run.runs) {
         match &rr.outcome {
@@ -201,9 +258,58 @@ fn child(node: usize, port: u16, seed: u64, out: &Path) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Blocking `GET <path>` against a loopback observability endpoint;
+/// returns the response body on a 200.
+fn http_get(addr: &str, path: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    if !raw.starts_with("HTTP/1.1 200") {
+        return Err(bad(&format!(
+            "unexpected status line: {:?}",
+            raw.lines().next().unwrap_or("")
+        )));
+    }
+    match raw.split_once("\r\n\r\n") {
+        Some((_, body)) => Ok(body.to_string()),
+        None => Err(bad("no header/body separator in response")),
+    }
+}
+
+/// Probe one node's live `/healthz` + `/metrics` mid-trial; returns a
+/// JSON record of what the endpoint reported, or an error string.
+fn probe_metrics(addr: &str) -> Result<Json, String> {
+    let health = http_get(addr, "/healthz").map_err(|e| format!("/healthz: {e}"))?;
+    let health = Json::parse(&health).map_err(|e| format!("/healthz parse: {e}"))?;
+    let metrics = http_get(addr, "/metrics").map_err(|e| format!("/metrics: {e}"))?;
+    let metrics = Json::parse(&metrics).map_err(|e| format!("/metrics parse: {e}"))?;
+    let num = |j: &Json, key: &str| j.get(key).and_then(Json::as_f64).unwrap_or(-1.0);
+    let live = metrics
+        .get("live_peers")
+        .and_then(|j| match j {
+            Json::Arr(a) => Some(a.len() as f64),
+            _ => None,
+        })
+        .unwrap_or(-1.0);
+    Ok(Json::obj(vec![
+        ("addr", Json::Str(addr.to_string())),
+        ("status", Json::Str("ok".to_string())),
+        ("generation", Json::Num(num(&metrics, "generation"))),
+        ("live_peers", Json::Num(live)),
+        ("health_generation", Json::Num(num(&health, "generation"))),
+    ]))
+}
+
 /// Run one seeded trial; returns the trial's JSON record and whether it
 /// passed.
-fn run_trial(exe: &Path, trial: usize, seed: u64, base_port: u16) -> (Json, bool) {
+fn run_trial(exe: &Path, trial: usize, seed: u64, base_port: u16, obs: &ObsSetup) -> (Json, bool) {
     let port = base_port + (trial * NODES) as u16;
     let cfg = cluster(port, seed);
     let kill_delay = Duration::from_millis(KILL_MIN_MS + seed_mix(seed) % KILL_SPREAD_MS);
@@ -218,10 +324,17 @@ fn run_trial(exe: &Path, trial: usize, seed: u64, base_port: u16) -> (Json, bool
         failures.push(format!("cannot create scratch dir: {e}"));
     }
 
+    // Per-trial metrics ports, offset like the mesh ports so back-to-
+    // back trials never race a lingering listener.
+    let metrics_port_of = |node: usize| {
+        obs.metrics_port
+            .map(|base| base + (trial * NODES + node) as u16)
+    };
+
     let started = Instant::now();
     let mut children = Vec::new();
     for node in 0..NODES {
-        let args = vec![
+        let mut args = vec![
             "--current-node".to_string(),
             node.to_string(),
             "--port".to_string(),
@@ -231,6 +344,13 @@ fn run_trial(exe: &Path, trial: usize, seed: u64, base_port: u16) -> (Json, bool
             "--out".to_string(),
             tmp.display().to_string(),
         ];
+        if obs.obs_dir.is_some() {
+            args.push("--obs".to_string());
+        }
+        if let Some(mp) = metrics_port_of(node) {
+            args.push("--metrics-addr".to_string());
+            args.push(format!("127.0.0.1:{mp}"));
+        }
         match spawn_node(exe, &args) {
             Ok(c) => children.push(Some(c)),
             Err(e) => {
@@ -247,6 +367,21 @@ fn run_trial(exe: &Path, trial: usize, seed: u64, base_port: u16) -> (Json, bool
         let _ = victim_child.kill();
         let _ = victim_child.wait();
     }
+
+    // With the victim down and the survivors still looping (the run
+    // outlasts the latest kill by >= 850 ms), hit node 0's live
+    // endpoint: this is the observability plane observed *during* a
+    // recovery, not after the fact.
+    let probe = metrics_port_of(0).map(|mp| {
+        std::thread::sleep(Duration::from_millis(200));
+        match probe_metrics(&format!("127.0.0.1:{mp}")) {
+            Ok(record) => record,
+            Err(e) => {
+                failures.push(format!("metrics probe failed: {e}"));
+                Json::obj(vec![("status", Json::Str(e))])
+            }
+        }
+    });
 
     let deadline = Instant::now() + Duration::from_secs(180);
     for (node, slot) in children.iter_mut().enumerate() {
@@ -337,6 +472,45 @@ fn run_trial(exe: &Path, trial: usize, seed: u64, base_port: u16) -> (Json, bool
             }
         }
     }
+    // Merge the surviving nodes' observability bundles. The victim
+    // never writes one — a SIGKILL leaves no bundle behind — so the
+    // merged trace shows exactly the processes that lived to report.
+    if let Some(dir) = &obs.obs_dir {
+        let mut bundles = Vec::new();
+        for node in 0..NODES {
+            if node == victim {
+                continue;
+            }
+            let path = tmp.join(format!("node{node}.obs.json"));
+            match std::fs::read_to_string(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|text| NodeObs::decode(&text).map_err(|e| e.to_string()))
+            {
+                Ok(b) => bundles.push(b),
+                Err(e) => failures.push(format!("node {node} obs bundle: {e}")),
+            }
+        }
+        if !bundles.is_empty() {
+            let trial_dir = dir.join(format!("trial{trial}"));
+            let extra = [("trial_seed", Json::Num(seed as f64))];
+            let written = std::fs::create_dir_all(&trial_dir)
+                .and_then(|()| {
+                    std::fs::write(
+                        trial_dir.join("cluster_trace.json"),
+                        cluster_chrome_trace_json(&bundles),
+                    )
+                })
+                .and_then(|()| {
+                    std::fs::write(
+                        trial_dir.join("cluster_metrics.json"),
+                        cluster_metrics_json(&bundles, &extra).write_pretty(),
+                    )
+                });
+            if let Err(e) = written {
+                failures.push(format!("writing trial obs artifacts: {e}"));
+            }
+        }
+    }
     let _ = std::fs::remove_dir_all(&tmp);
 
     let passed = failures.is_empty();
@@ -368,6 +542,10 @@ fn run_trial(exe: &Path, trial: usize, seed: u64, base_port: u16) -> (Json, bool
             ),
         ),
         (
+            "metrics_probe",
+            probe.unwrap_or(Json::Str("disabled".to_string())),
+        ),
+        (
             "failures",
             Json::Arr(failures.iter().map(|f| Json::Str(f.clone())).collect()),
         ),
@@ -379,7 +557,13 @@ fn run_trial(exe: &Path, trial: usize, seed: u64, base_port: u16) -> (Json, bool
     (record, passed)
 }
 
-fn parent(trials: usize, base_seed: u64, base_port: u16, report_path: &Path) -> ExitCode {
+fn parent(
+    trials: usize,
+    base_seed: u64,
+    base_port: u16,
+    report_path: &Path,
+    obs: &ObsSetup,
+) -> ExitCode {
     let exe = match std::env::current_exe() {
         Ok(p) => p,
         Err(e) => {
@@ -391,7 +575,7 @@ fn parent(trials: usize, base_seed: u64, base_port: u16, report_path: &Path) -> 
     let mut passed = 0usize;
     for trial in 0..trials {
         let seed = base_seed.wrapping_add(trial as u64);
-        let (record, ok) = run_trial(&exe, trial, seed, base_port);
+        let (record, ok) = run_trial(&exe, trial, seed, base_port, obs);
         if ok {
             passed += 1;
             println!("ok  chaos trial {trial} (seed {seed})");
@@ -401,6 +585,7 @@ fn parent(trials: usize, base_seed: u64, base_port: u16, report_path: &Path) -> 
         records.push(record);
     }
     let report = Json::obj(vec![
+        ("schema_version", Json::Num(1.0)),
         ("world_size", Json::Num(WORLD as f64)),
         ("nodes", Json::Num(NODES as f64)),
         ("iters", Json::Num(ITERS as f64)),

@@ -24,15 +24,18 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
-use cpx_comm::{run_node, ClusterConfig};
+use cpx_comm::{run_node_obs, ClusterConfig, NodeObsOptions};
+use cpx_obs::{
+    cluster_chrome_trace_json, cluster_metrics_json, cluster_virtual_trace_json, NodeObs,
+};
 use cpx_replay::launcher::{spawn_node, wait_until, WaitOutcome};
 use cpx_replay::multiproc::{self, RankSummary};
 use cpx_replay::{ReplayEvent, Trace};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: multiproc_smoke [--corpus <dir>] [--port <base>] [--no-corpus]\n\
-         internal: multiproc_smoke --current-node <i> --port <base> --out <dir>"
+        "usage: multiproc_smoke [--corpus <dir>] [--port <base>] [--no-corpus] [--obs-dir <dir>]\n\
+         internal: multiproc_smoke --current-node <i> --port <base> --out <dir> [--obs]"
     );
     std::process::exit(2);
 }
@@ -47,6 +50,8 @@ fn main() -> ExitCode {
     let mut out: Option<PathBuf> = None;
     let mut corpus = PathBuf::from("golden");
     let mut check_corpus = true;
+    let mut obs = false;
+    let mut obs_dir: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -64,35 +69,49 @@ fn main() -> ExitCode {
             "--out" => out = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
             "--corpus" => corpus = PathBuf::from(args.next().unwrap_or_else(|| usage())),
             "--no-corpus" => check_corpus = false,
+            "--obs" => obs = true,
+            "--obs-dir" => obs_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
             _ => usage(),
         }
     }
 
     match current_node {
-        Some(node) => child(node, port, &out.unwrap_or_else(|| usage())),
-        None => parent(port, &corpus, check_corpus),
+        Some(node) => child(node, port, &out.unwrap_or_else(|| usage()), obs),
+        None => parent(port, &corpus, check_corpus, obs_dir.as_deref()),
     }
 }
 
 /// One node of the distributed run: execute the scenario's local ranks
 /// over the TCP mesh and leave a trace fragment plus summary lines for
 /// the parent to merge.
-fn child(node: usize, port: u16, out: &Path) -> ExitCode {
+fn child(node: usize, port: u16, out: &Path, obs: bool) -> ExitCode {
     let cfg = cluster(port);
-    let run = match run_node(
+    let opts = if obs {
+        NodeObsOptions::full()
+    } else {
+        NodeObsOptions::default()
+    };
+    let (run, bundle) = match run_node_obs(
         multiproc::machine(),
         &cfg,
         node,
         multiproc::plan(),
         true,
+        opts,
         multiproc::program,
     ) {
-        Ok(run) => run,
+        Ok(pair) => pair,
         Err(e) => {
             eprintln!("node {node}: mesh bring-up failed: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if obs {
+        if let Err(e) = std::fs::write(out.join(format!("node{node}.obs.json")), bundle.encode()) {
+            eprintln!("node {node}: writing obs bundle failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     let fragment = Trace {
         label: multiproc::LABEL.to_string(),
         seed: multiproc::SEED,
@@ -115,7 +134,33 @@ fn child(node: usize, port: u16, out: &Path) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn parent(port: u16, corpus: &Path, check_corpus: bool) -> ExitCode {
+/// Decode every `nodeN.obs.json` bundle from the scratch dir and write
+/// the merged cluster artifacts under `dir`.
+fn merge_obs(tmp: &Path, dir: &Path) -> std::io::Result<()> {
+    let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+    let mut nodes = Vec::with_capacity(multiproc::NODES);
+    for node in 0..multiproc::NODES {
+        let text = std::fs::read_to_string(tmp.join(format!("node{node}.obs.json")))?;
+        nodes
+            .push(NodeObs::decode(&text).map_err(|e| bad(format!("node {node} obs bundle: {e}")))?);
+    }
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(
+        dir.join("cluster_trace.json"),
+        cluster_chrome_trace_json(&nodes),
+    )?;
+    std::fs::write(
+        dir.join("cluster_trace_virtual.json"),
+        cluster_virtual_trace_json(&nodes),
+    )?;
+    std::fs::write(
+        dir.join("cluster_metrics.json"),
+        cluster_metrics_json(&nodes, &[]).write_pretty(),
+    )?;
+    Ok(())
+}
+
+fn parent(port: u16, corpus: &Path, check_corpus: bool, obs_dir: Option<&Path>) -> ExitCode {
     let exe = match std::env::current_exe() {
         Ok(p) => p,
         Err(e) => {
@@ -131,7 +176,7 @@ fn parent(port: u16, corpus: &Path, check_corpus: bool) -> ExitCode {
 
     let mut children = Vec::new();
     for node in 0..multiproc::NODES {
-        let args = vec![
+        let mut args = vec![
             "--current-node".to_string(),
             node.to_string(),
             "--port".to_string(),
@@ -139,6 +184,9 @@ fn parent(port: u16, corpus: &Path, check_corpus: bool) -> ExitCode {
             "--out".to_string(),
             tmp.display().to_string(),
         ];
+        if obs_dir.is_some() {
+            args.push("--obs".to_string());
+        }
         match spawn_node(&exe, &args) {
             Ok(c) => children.push(c),
             Err(e) => {
@@ -263,6 +311,23 @@ fn parent(port: u16, corpus: &Path, check_corpus: bool) -> ExitCode {
                     eprintln!("FAIL {file}: committed artifact unreadable: {e}");
                     failures += 1;
                 }
+            }
+        }
+    }
+
+    // Merge the per-node observability bundles into one cross-node
+    // Chrome trace (plus the byte-deterministic virtual-only variant
+    // CI compares across runs) and one cluster metrics snapshot.
+    if let Some(dir) = obs_dir {
+        match merge_obs(&tmp, dir) {
+            Ok(()) => println!(
+                "ok  observability: merged {} node bundles into {}",
+                multiproc::NODES,
+                dir.display()
+            ),
+            Err(e) => {
+                eprintln!("FAIL observability merge: {e}");
+                failures += 1;
             }
         }
     }

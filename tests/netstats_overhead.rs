@@ -1,0 +1,136 @@
+//! The `NetStats` disabled-path contract: a handle built with
+//! [`cpx_obs::NetStats::off`] must be free on the transport hot path —
+//! zero allocations and no atomic traffic, just a branch on the
+//! `Option` discriminant inside the handle. Uses the same counting
+//! global allocator as `tests/wall_recorder_overhead.rs` (its own test
+//! binary, since a `#[global_allocator]` is process-wide).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::time::Instant;
+
+use cpx_obs::NetStats;
+
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocs_on_this_thread() -> u64 {
+    ALLOCS.with(Cell::get)
+}
+
+#[test]
+fn disabled_netstats_adds_zero_allocations_per_frame() {
+    let stats = NetStats::off();
+    // Warm up any lazy one-time state.
+    stats.frame_sent(0, 64);
+    stats.frame_recv(0, 64);
+
+    let before = allocs_on_this_thread();
+    for i in 0..10_000usize {
+        stats.frame_sent(i % 4, 64);
+        stats.frame_recv(i % 4, 64);
+        stats.heartbeat_sent(i % 4);
+        stats.heartbeat_recv(i % 4);
+        stats.heartbeat_missed(i % 4);
+        stats.crc_failure(i % 4);
+        stats.dial_retry(25);
+        stats.rtt_sample(i % 4, 120);
+    }
+    let after = allocs_on_this_thread();
+    assert_eq!(after - before, 0, "disabled NetStats must not allocate");
+
+    // The snapshot of a disabled handle is empty, not partial garbage.
+    let snap = stats.snapshot();
+    assert!(snap.peers.is_empty());
+    assert_eq!(snap.dial_retries, 0);
+}
+
+#[test]
+fn enabled_netstats_counts_and_does_not_allocate_per_record() {
+    let stats = NetStats::on(0, 4);
+    // Counters are preallocated at construction: recording a frame on
+    // the hot path must not allocate either, only the snapshot does.
+    stats.frame_sent(1, 64);
+    let before = allocs_on_this_thread();
+    for i in 0..10_000usize {
+        stats.frame_sent(1 + i % 3, 64);
+        stats.rtt_sample(1 + i % 3, 120);
+    }
+    let after = allocs_on_this_thread();
+    assert_eq!(
+        after - before,
+        0,
+        "enabled NetStats must record into preallocated atomics"
+    );
+    let snap = stats.snapshot();
+    assert_eq!(snap.total(|p| p.frames_sent), 10_001);
+    assert_eq!(snap.total(|p| p.rtt.count), 10_000);
+}
+
+fn wall_min(reps: usize, mut f: impl FnMut()) -> f64 {
+    (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[test]
+fn disabled_netstats_overhead_on_a_frame_loop_is_bounded() {
+    // A stand-in for the transport writer loop: checksum a frame body,
+    // then (maybe) record it. The disabled path is a single branch on
+    // an `Option` discriminant — no atomics — so its cost must vanish
+    // against even this cheap per-frame work.
+    let body = vec![0xA5u8; 256];
+    let stats = NetStats::off();
+    let frames = 200_000usize;
+    let reps = 10;
+
+    let checksum = |acc: u64, body: &[u8]| -> u64 {
+        body.iter()
+            .fold(acc, |a, &b| a.wrapping_mul(31).wrapping_add(b as u64))
+    };
+
+    let plain = wall_min(reps, || {
+        let mut acc = 0u64;
+        for _ in 0..frames {
+            acc = checksum(acc, &body);
+        }
+        std::hint::black_box(acc);
+    });
+    let wrapped = wall_min(reps, || {
+        let mut acc = 0u64;
+        for _ in 0..frames {
+            acc = checksum(acc, &body);
+            stats.frame_sent(1, body.len());
+        }
+        std::hint::black_box(acc);
+    });
+
+    // Generous bound so shared CI runners never flake, while still
+    // catching an accidental atomic or allocation sneaking into the
+    // disabled path.
+    assert!(
+        wrapped < plain * 2.0 + 1e-3,
+        "disabled NetStats overhead too high: {wrapped:.6}s wrapped vs {plain:.6}s plain"
+    );
+}
