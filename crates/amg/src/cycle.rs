@@ -8,9 +8,7 @@
 //!   but performs more coarse-level work and more inner products — the
 //!   scalability drawback the paper cites for large core counts.
 
-use cpx_sparse::Csr;
-
-use crate::hierarchy::Hierarchy;
+use crate::hierarchy::{Hierarchy, Level};
 
 /// Cycle selection for the preconditioner.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,7 +79,7 @@ pub fn wcycle(h: &Hierarchy, level: usize, b: &[f64], x: &mut [f64]) {
     let r_op = lvl.r.as_ref().expect("non-coarsest level has R");
     let p_op = lvl.p.as_ref().expect("non-coarsest level has P");
     for _ in 0..2 {
-        let residual = residual_of(a, b, x);
+        let residual = residual_of(h, lvl, b, x);
         let mut rc = vec![0.0; r_op.nrows()];
         r_op.spmv(&residual, &mut rc);
         let mut xc = vec![0.0; rc.len()];
@@ -110,7 +108,7 @@ pub fn vcycle(h: &Hierarchy, level: usize, b: &[f64], x: &mut [f64]) {
     smoother.smooth(a, b, x, h.config.pre_sweeps);
 
     // Coarse correction.
-    let residual = residual_of(a, b, x);
+    let residual = residual_of(h, lvl, b, x);
     let r_op = lvl.r.as_ref().expect("non-coarsest level has R");
     let p_op = lvl.p.as_ref().expect("non-coarsest level has P");
     let mut rc = vec![0.0; r_op.nrows()];
@@ -139,7 +137,7 @@ pub fn kcycle(h: &Hierarchy, level: usize, b: &[f64], x: &mut [f64]) {
     let smoother = h.config.smoother;
     smoother.smooth(a, b, x, h.config.pre_sweeps);
 
-    let residual = residual_of(a, b, x);
+    let residual = residual_of(h, lvl, b, x);
     let r_op = lvl.r.as_ref().expect("non-coarsest level has R");
     let p_op = lvl.p.as_ref().expect("non-coarsest level has P");
     let mut rc = vec![0.0; r_op.nrows()];
@@ -161,7 +159,7 @@ pub fn kcycle(h: &Hierarchy, level: usize, b: &[f64], x: &mut [f64]) {
 /// Notay's inner Krylov acceleration for the coarse problem
 /// `A_c x = rc`.
 fn kcycle_coarse_solve(h: &Hierarchy, level: usize, rc: &[f64]) -> Vec<f64> {
-    let a = &h.levels[level].a;
+    let lvl = &h.levels[level];
     let n = rc.len();
     if level + 1 == h.n_levels() {
         return h.coarse_solve(rc);
@@ -170,7 +168,7 @@ fn kcycle_coarse_solve(h: &Hierarchy, level: usize, rc: &[f64]) -> Vec<f64> {
     let mut c1 = vec![0.0; n];
     kcycle(h, level, rc, &mut c1);
     let mut v1 = vec![0.0; n];
-    a.spmv(&c1, &mut v1);
+    lvl.mat_ref().spmv_p(&h.policy, &c1, &mut v1);
     let rho1 = dot(&c1, &v1);
     let alpha1 = dot(&c1, rc);
     if rho1.abs() < f64::MIN_POSITIVE {
@@ -186,7 +184,7 @@ fn kcycle_coarse_solve(h: &Hierarchy, level: usize, rc: &[f64]) -> Vec<f64> {
     let mut c2 = vec![0.0; n];
     kcycle(h, level, &rtilde, &mut c2);
     let mut v2 = vec![0.0; n];
-    a.spmv(&c2, &mut v2);
+    lvl.mat_ref().spmv_p(&h.policy, &c2, &mut v2);
     let gamma = dot(&c2, &v1);
     let beta = dot(&c2, &v2);
     let alpha2 = dot(&c2, &rtilde);
@@ -298,9 +296,9 @@ pub fn apply_cycle_guarded(
     })
 }
 
-fn residual_of(a: &Csr, b: &[f64], x: &[f64]) -> Vec<f64> {
+fn residual_of(h: &Hierarchy, lvl: &Level, b: &[f64], x: &[f64]) -> Vec<f64> {
     let mut ax = vec![0.0; b.len()];
-    a.spmv(x, &mut ax);
+    lvl.mat_ref().spmv_p(&h.policy, x, &mut ax);
     b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect()
 }
 
@@ -317,6 +315,7 @@ mod tests {
     use super::*;
     use crate::hierarchy::{HierarchyConfig, InterpKind};
     use crate::smoother::Smoother;
+    use cpx_sparse::Csr;
 
     fn residual_ratio_after(cycles: usize, ty: CycleType, cfg: HierarchyConfig) -> f64 {
         let a = Csr::poisson2d(24, 24);

@@ -46,7 +46,7 @@ pub use cycle::{
     apply_cycle, apply_cycle_guarded, convergence_factor, kcycle, vcycle, wcycle, CycleType,
     CycleViolation, GuardedCycle,
 };
-pub use hierarchy::{Hierarchy, HierarchyConfig, InterpKind};
-pub use pcg::{pcg, CgConfig, CgOutcome, Preconditioner};
+pub use hierarchy::{Hierarchy, HierarchyConfig, InterpKind, Level};
+pub use pcg::{pcg, pcg_with, CgConfig, CgOutcome, Preconditioner};
 pub use profile::{profile_vcycles, CycleProfiler};
-pub use smoother::Smoother;
+pub use smoother::{Smoother, SweepScratch};

@@ -26,6 +26,21 @@ pub enum Smoother {
     HybridGaussSeidel { blocks: usize },
 }
 
+/// Reusable smoother scratch: the frozen-iterate copy the hybrid sweep
+/// needs and the Jacobi target vector, retained across sweeps so the
+/// smoothing hot loop stops allocating once warmed.
+#[derive(Debug, Default)]
+pub struct SweepScratch {
+    x_old: Vec<f64>,
+    x_new: Vec<f64>,
+}
+
+impl SweepScratch {
+    pub fn new() -> SweepScratch {
+        SweepScratch::default()
+    }
+}
+
 impl Smoother {
     /// Apply one smoothing sweep to `x` in place for `A x = b`.
     /// Returns the op statistics of the sweep.
@@ -38,35 +53,43 @@ impl Smoother {
     /// Gauss–Seidel sweep fans out (its blocks are independent given the
     /// frozen iterate); the result is bit-identical for any pool.
     pub fn sweep_with(&self, pool: &ParPool, a: &Csr, b: &[f64], x: &mut [f64]) -> SpOpStats {
+        self.sweep_scratch_with(pool, a, b, x, &mut SweepScratch::new())
+    }
+
+    /// [`Smoother::sweep_with`] through a reusable [`SweepScratch`]:
+    /// bit-identical results, but the frozen-iterate / Jacobi buffers
+    /// come from `scratch`, so steady-state sweeps are allocation-free.
+    pub fn sweep_scratch_with(
+        &self,
+        pool: &ParPool,
+        a: &Csr,
+        b: &[f64],
+        x: &mut [f64],
+        scratch: &mut SweepScratch,
+    ) -> SpOpStats {
         let n = a.nrows();
         assert_eq!(b.len(), n);
         assert_eq!(x.len(), n);
         match *self {
             Smoother::Jacobi { omega } => {
-                let mut x_new = vec![0.0; n];
+                scratch.x_new.clear();
+                scratch.x_new.resize(n, 0.0);
+                let x_new = &mut scratch.x_new;
                 for i in 0..n {
                     let (cols, vals) = a.row(i);
-                    let mut sigma = 0.0;
-                    let mut diag = 0.0;
-                    for (&c, &v) in cols.iter().zip(vals) {
-                        if c == i {
-                            diag = v;
-                        } else {
-                            sigma += v * x[c];
-                        }
-                    }
+                    let (sigma, diag) = sigma_diag(cols, vals, i, x);
                     debug_assert!(diag != 0.0, "zero diagonal at {i}");
                     x_new[i] = (1.0 - omega) * x[i] + omega * (b[i] - sigma) / diag;
                 }
-                x.copy_from_slice(&x_new);
+                x.copy_from_slice(x_new);
                 sweep_stats(a, 1.0)
             }
             Smoother::GaussSeidel => {
-                gs_block(a, b, x, 0, n, x as *const [f64]);
+                gs_block(a, b, x, 0, n);
                 sweep_stats(a, 1.0)
             }
             Smoother::SymmetricGaussSeidel => {
-                gs_block(a, b, x, 0, n, x as *const [f64]);
+                gs_block(a, b, x, 0, n);
                 gs_block_backward(a, b, x, 0, n);
                 sweep_stats(a, 2.0)
             }
@@ -76,14 +99,16 @@ impl Smoother {
                     // A single block has no cross-block couplings: the
                     // sweep is exact Gauss–Seidel and needs no frozen
                     // copy of the iterate (allocation-free).
-                    gs_block(a, b, x, 0, n, x as *const [f64]);
+                    gs_block(a, b, x, 0, n);
                 } else {
                     // Freeze the incoming iterate for cross-block
                     // (Jacobi) coupling; blocks then update disjoint row
                     // ranges and may run on the pool's workers.
-                    let x_old = x.to_vec();
+                    scratch.x_old.clear();
+                    scratch.x_old.extend_from_slice(x);
+                    let x_old = &scratch.x_old;
                     pool.chunks_mut(x, blocks, |_, rows, x_blk| {
-                        hybrid_gs_block(a, b, x_blk, &x_old, rows.start, rows.end);
+                        hybrid_gs_block(a, b, x_blk, x_old, rows.start, rows.end);
                     });
                 }
                 sweep_stats(a, 1.0)
@@ -93,9 +118,11 @@ impl Smoother {
 
     /// Apply `sweeps` sweeps.
     pub fn smooth(&self, a: &Csr, b: &[f64], x: &mut [f64], sweeps: usize) -> SpOpStats {
+        let pool = ParPool::current().limited(a.nnz());
+        let mut scratch = SweepScratch::new();
         let mut total = SpOpStats::default();
         for _ in 0..sweeps {
-            let s = self.sweep(a, b, x);
+            let s = self.sweep_scratch_with(&pool, a, b, x, &mut scratch);
             total.flops += s.flops;
             total.bytes_read += s.bytes_read;
             total.bytes_written += s.bytes_written;
@@ -103,6 +130,29 @@ impl Smoother {
         }
         total
     }
+}
+
+/// `(Σ_{c≠i} v·x[c], a_ii)` for one row, accumulated in ascending
+/// column order with the diagonal *skipped* (not subtracted) — exactly
+/// the FP sequence of the historical branch-per-entry loop, but as two
+/// branch-free segment sums split at the diagonal's position.
+#[inline]
+fn sigma_diag(cols: &[usize], vals: &[f64], i: usize, x: &[f64]) -> (f64, f64) {
+    let d = cols.partition_point(|&c| c < i);
+    let mut sigma = 0.0;
+    for (&c, &v) in cols[..d].iter().zip(&vals[..d]) {
+        sigma += v * x[c];
+    }
+    let rest = if d < cols.len() && cols[d] == i {
+        d + 1
+    } else {
+        d
+    };
+    let diag = if rest > d { vals[d] } else { 0.0 };
+    for (&c, &v) in cols[rest..].iter().zip(&vals[rest..]) {
+        sigma += v * x[c];
+    }
+    (sigma, diag)
 }
 
 fn sweep_stats(a: &Csr, factor: f64) -> SpOpStats {
@@ -118,18 +168,10 @@ fn sweep_stats(a: &Csr, factor: f64) -> SpOpStats {
 
 /// Forward GS over rows `[lo, hi)`, reading the *current* vector for all
 /// couplings (true GS when applied to the full range).
-fn gs_block(a: &Csr, b: &[f64], x: &mut [f64], lo: usize, hi: usize, _marker: *const [f64]) {
+fn gs_block(a: &Csr, b: &[f64], x: &mut [f64], lo: usize, hi: usize) {
     for i in lo..hi {
         let (cols, vals) = a.row(i);
-        let mut sigma = 0.0;
-        let mut diag = 0.0;
-        for (&c, &v) in cols.iter().zip(vals) {
-            if c == i {
-                diag = v;
-            } else {
-                sigma += v * x[c];
-            }
-        }
+        let (sigma, diag) = sigma_diag(cols, vals, i, x);
         debug_assert!(diag != 0.0);
         x[i] = (b[i] - sigma) / diag;
     }
@@ -138,15 +180,7 @@ fn gs_block(a: &Csr, b: &[f64], x: &mut [f64], lo: usize, hi: usize, _marker: *c
 fn gs_block_backward(a: &Csr, b: &[f64], x: &mut [f64], lo: usize, hi: usize) {
     for i in (lo..hi).rev() {
         let (cols, vals) = a.row(i);
-        let mut sigma = 0.0;
-        let mut diag = 0.0;
-        for (&c, &v) in cols.iter().zip(vals) {
-            if c == i {
-                diag = v;
-            } else {
-                sigma += v * x[c];
-            }
-        }
+        let (sigma, diag) = sigma_diag(cols, vals, i, x);
         debug_assert!(diag != 0.0);
         x[i] = (b[i] - sigma) / diag;
     }
@@ -156,20 +190,38 @@ fn gs_block_backward(a: &Csr, b: &[f64], x: &mut [f64], lo: usize, hi: usize) {
 /// the frozen `x_old` (Jacobi across blocks). `x_blk` is the block's
 /// slice of the iterate, i.e. `x[lo..hi]`, so disjoint blocks can be
 /// swept concurrently.
+///
+/// The historical implementation branched per entry on the coupling
+/// source. Here each row's (ascending) columns are cut once by three
+/// `partition_point`s into `[< lo | lo..diag | diag | diag..hi | ≥ hi]`
+/// and summed as four branch-free segment loops — the same values in
+/// the same left-to-right order, so the result is bit-identical while
+/// the inner loops vectorize.
 fn hybrid_gs_block(a: &Csr, b: &[f64], x_blk: &mut [f64], x_old: &[f64], lo: usize, hi: usize) {
     debug_assert_eq!(x_blk.len(), hi - lo);
     for i in lo..hi {
         let (cols, vals) = a.row(i);
+        let s_lo = cols.partition_point(|&c| c < lo);
+        let s_d = cols.partition_point(|&c| c < i);
+        let s_hi = cols.partition_point(|&c| c < hi);
         let mut sigma = 0.0;
-        let mut diag = 0.0;
-        for (&c, &v) in cols.iter().zip(vals) {
-            if c == i {
-                diag = v;
-            } else if c >= lo && c < hi {
-                sigma += v * x_blk[c - lo];
-            } else {
-                sigma += v * x_old[c];
-            }
+        for (&c, &v) in cols[..s_lo].iter().zip(&vals[..s_lo]) {
+            sigma += v * x_old[c];
+        }
+        for (&c, &v) in cols[s_lo..s_d].iter().zip(&vals[s_lo..s_d]) {
+            sigma += v * x_blk[c - lo];
+        }
+        let rest = if s_d < cols.len() && cols[s_d] == i {
+            s_d + 1
+        } else {
+            s_d
+        };
+        let diag = if rest > s_d { vals[s_d] } else { 0.0 };
+        for (&c, &v) in cols[rest..s_hi].iter().zip(&vals[rest..s_hi]) {
+            sigma += v * x_blk[c - lo];
+        }
+        for (&c, &v) in cols[s_hi..].iter().zip(&vals[s_hi..]) {
+            sigma += v * x_old[c];
         }
         debug_assert!(diag != 0.0);
         x_blk[i - lo] = (b[i] - sigma) / diag;
@@ -248,6 +300,86 @@ mod tests {
         let eg = err_after(Smoother::GaussSeidel, 30);
         assert!(eh <= ej * 1.0001, "hybrid {eh} should beat Jacobi {ej}");
         assert!(eg <= eh * 1.0001, "GS {eg} should beat hybrid {eh}");
+    }
+
+    /// The historical branch-per-entry hybrid block, kept as the
+    /// reference the segment-split rewrite must match bit-for-bit.
+    fn hybrid_gs_block_reference(
+        a: &Csr,
+        b: &[f64],
+        x_blk: &mut [f64],
+        x_old: &[f64],
+        lo: usize,
+        hi: usize,
+    ) {
+        for i in lo..hi {
+            let (cols, vals) = a.row(i);
+            let mut sigma = 0.0;
+            let mut diag = 0.0;
+            for (&c, &v) in cols.iter().zip(vals) {
+                if c == i {
+                    diag = v;
+                } else if c >= lo && c < hi {
+                    sigma += v * x_blk[c - lo];
+                } else {
+                    sigma += v * x_old[c];
+                }
+            }
+            x_blk[i - lo] = (b[i] - sigma) / diag;
+        }
+    }
+
+    #[test]
+    fn segment_split_hybrid_block_bit_identical_to_reference() {
+        // Matrices with wide couplings exercise all four segments.
+        for a in [
+            Csr::poisson3d(7, 6, 5),
+            Csr::poisson2d(17, 13),
+            Csr::poisson1d(64),
+        ] {
+            let n = a.nrows();
+            let b: Vec<f64> = (0..n)
+                .map(|i| ((i * 13 % 31) as f64) * 0.17 - 2.0)
+                .collect();
+            let x0: Vec<f64> = (0..n).map(|i| ((i * 7 % 23) as f64) * 0.09 - 1.0).collect();
+            for blocks in [2usize, 3, 5, 8] {
+                let ranges = cpx_par::chunk_ranges(n, blocks);
+                let mut want = x0.clone();
+                let mut got = x0.clone();
+                for r in &ranges {
+                    let mut blk = want[r.clone()].to_vec();
+                    hybrid_gs_block_reference(&a, &b, &mut blk, &x0, r.start, r.end);
+                    want[r.clone()].copy_from_slice(&blk);
+                    let mut blk = got[r.clone()].to_vec();
+                    hybrid_gs_block(&a, &b, &mut blk, &x0, r.start, r.end);
+                    got[r.clone()].copy_from_slice(&blk);
+                }
+                assert_eq!(got, want, "blocks={blocks}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_sweeps_bit_identical_to_plain_sweeps() {
+        let a = Csr::poisson2d(14, 15);
+        let n = a.nrows();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.4).sin()).collect();
+        let pool = ParPool::current().limited(a.nnz());
+        for s in [
+            Smoother::Jacobi { omega: 0.8 },
+            Smoother::GaussSeidel,
+            Smoother::SymmetricGaussSeidel,
+            Smoother::HybridGaussSeidel { blocks: 4 },
+        ] {
+            let mut x1 = vec![0.0; n];
+            let mut x2 = vec![0.0; n];
+            let mut scratch = SweepScratch::new();
+            for _ in 0..3 {
+                s.sweep_with(&pool, &a, &b, &mut x1);
+                s.sweep_scratch_with(&pool, &a, &b, &mut x2, &mut scratch);
+            }
+            assert_eq!(x1, x2, "{s:?}");
+        }
     }
 
     #[test]

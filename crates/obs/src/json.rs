@@ -62,6 +62,14 @@ impl Json {
         }
     }
 
+    /// Boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// String value, if this is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {

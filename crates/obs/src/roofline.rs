@@ -104,6 +104,56 @@ impl KernelIntensity {
         self.intensity() < peak_flops / peak_bytes_per_sec
     }
 
+    /// Roofline ceiling for this kernel's intensity on the given
+    /// machine, in FLOP/s: `min(peak_flops, intensity × peak_bw)` — the
+    /// best rate the roofline model permits the kernel.
+    pub fn roofline_ceiling(&self, peak_flops: f64, peak_bytes_per_sec: f64) -> f64 {
+        peak_flops.min(self.intensity() * peak_bytes_per_sec)
+    }
+
+    /// Achieved rate as a percentage of the roofline ceiling. For a
+    /// zero-flop kernel (pure data movement, e.g. the hash/merge
+    /// renumbering) the flop roofline is degenerate, so the fraction is
+    /// taken against the bandwidth peak instead.
+    pub fn percent_of_peak(&self, peak_flops: f64, peak_bytes_per_sec: f64) -> f64 {
+        if self.ops.flops > 0.0 {
+            let ceiling = self.roofline_ceiling(peak_flops, peak_bytes_per_sec);
+            if ceiling > 0.0 {
+                self.ops.flops / self.seconds / ceiling * 100.0
+            } else {
+                0.0
+            }
+        } else if peak_bytes_per_sec > 0.0 {
+            self.ops.bytes() / self.seconds / peak_bytes_per_sec * 100.0
+        } else {
+            0.0
+        }
+    }
+
+    /// [`to_json`](Self::to_json) extended with the roofline position
+    /// on a named machine: the ceiling, the achieved %-of-peak and
+    /// which side of the ridge the kernel sits on.
+    pub fn to_json_on(&self, machine: &str, peak_flops: f64, peak_bytes_per_sec: f64) -> Json {
+        let mut fields = match self.to_json() {
+            Json::Obj(fields) => fields,
+            _ => unreachable!("to_json always builds an object"),
+        };
+        fields.push(("machine".to_string(), Json::Str(machine.to_string())));
+        fields.push((
+            "roofline_ceiling_gflops".to_string(),
+            Json::Num(self.roofline_ceiling(peak_flops, peak_bytes_per_sec) / 1e9),
+        ));
+        fields.push((
+            "percent_of_peak".to_string(),
+            Json::Num(self.percent_of_peak(peak_flops, peak_bytes_per_sec)),
+        ));
+        fields.push((
+            "bandwidth_bound".to_string(),
+            Json::Bool(self.bandwidth_bound(peak_flops, peak_bytes_per_sec)),
+        ));
+        Json::Obj(fields)
+    }
+
     /// Render as a JSON object for the benchmark artifacts.
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
@@ -179,6 +229,37 @@ mod tests {
         assert_eq!(s.bytes(), 120.0);
         assert_eq!(s.nnz, 20.0);
         assert!((s.intensity() - c.intensity()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn percent_of_peak_against_the_right_ceiling() {
+        let k = spmv_like();
+        // Bandwidth-bound: ceiling = intensity × peak_bw < peak_flops.
+        let ceiling = k.roofline_ceiling(2.2e9, 1.56e9);
+        assert!((ceiling - (2.0 / 26.0) * 1.56e9).abs() < 1.0);
+        let pct = k.percent_of_peak(2.2e9, 1.56e9);
+        assert!((pct - 2e9 / ceiling * 100.0).abs() < 1e-9);
+        // A zero-flop kernel is scored against the bandwidth peak.
+        let mover = KernelIntensity::new(
+            "renumber",
+            OpCounts {
+                flops: 0.0,
+                bytes_read: 1.56e6,
+                bytes_written: 0.0,
+                nnz: 1e6,
+            },
+            1e-3,
+        );
+        assert!((mover.percent_of_peak(2.2e9, 1.56e9) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_on_machine_extends_the_plain_shape() {
+        let v = spmv_like().to_json_on("ARCHER2", 2.2e9, 1.56e9);
+        assert_eq!(v.get("name").unwrap().as_str(), Some("spmv"));
+        assert!(v.get("percent_of_peak").is_some());
+        assert!(v.get("roofline_ceiling_gflops").is_some());
+        assert_eq!(v.get("machine").unwrap().as_str(), Some("ARCHER2"));
     }
 
     #[test]

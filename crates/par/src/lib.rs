@@ -51,12 +51,32 @@ pub const MAX_THREADS: usize = 256;
 
 /// Minimum work units (rows, nonzeros, particles, …) per worker before
 /// the global-pool entry points fan out: below this, scoped-thread
-/// setup costs more than the kernel body.
-pub const MIN_WORK_PER_WORKER: usize = 16_384;
+/// setup costs more than the kernel body. Sized so the smoke-problem
+/// kernels (≲100k nonzeros) stay on the serial fast path — measured in
+/// `bench_kernels --size`, spawn latency only amortises above roughly
+/// this many units per worker.
+pub const MIN_WORK_PER_WORKER: usize = 131_072;
 
 /// Global thread count; 0 means "not yet initialised from the
 /// environment".
 static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Cached `std::thread::available_parallelism` (0 = not yet probed).
+static HW_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Hardware parallelism as reported by the OS, probed once and cached.
+/// Oversubscribing beyond this only adds context-switch latency — the
+/// determinism contract keys results to chunk counts, so capping the
+/// worker count never changes a result bit.
+pub fn hardware_threads() -> usize {
+    let cached = HW_THREADS.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    HW_THREADS.store(hw, Ordering::Relaxed);
+    hw
+}
 
 fn env_threads() -> usize {
     std::env::var("CPX_THREADS")
@@ -122,11 +142,15 @@ impl ParPool {
     }
 
     /// This pool with its worker count capped so each worker gets at
-    /// least [`MIN_WORK_PER_WORKER`] of the given work units.
+    /// least [`MIN_WORK_PER_WORKER`] of the given work units, and never
+    /// more workers than the machine has hardware threads
+    /// ([`hardware_threads`]). Tiny problems (like the smoke-suite
+    /// kernels) therefore degrade to the serial fast path instead of
+    /// paying spawn latency for a guaranteed loss.
     pub fn limited(&self, work_units: usize) -> ParPool {
         let cap = (work_units / MIN_WORK_PER_WORKER).max(1);
         ParPool {
-            threads: self.threads.min(cap),
+            threads: self.threads.min(cap).min(hardware_threads()),
         }
     }
 
@@ -186,7 +210,42 @@ impl ParPool {
         T: Send,
         F: Fn(usize, Range<usize>, &mut [T]) + Sync,
     {
-        let ranges = chunk_ranges(data.len(), chunks);
+        let chunks = chunks.max(1);
+        if self.threads.min(chunks) <= 1 {
+            // Serial fast path: the same ceil-division layout as
+            // [`chunk_ranges`], computed on the fly so steady-state
+            // serial kernels never touch the allocator.
+            let n = data.len();
+            let per = n.div_ceil(chunks);
+            let mut rest = data;
+            for i in 0..chunks {
+                let r = (i * per).min(n)..((i + 1) * per).min(n);
+                let (head, tail) = rest.split_at_mut(r.len());
+                telemetry::timed_chunk(i, 0, r.len(), || f(i, r.clone(), head));
+                rest = tail;
+            }
+            return;
+        }
+        self.ranges_mut(data, &chunk_ranges(data.len(), chunks), f)
+    }
+
+    /// [`ParPool::chunks_mut`] with caller-supplied partition ranges:
+    /// `ranges` must tile `data` contiguously from 0 to `data.len()`.
+    /// Used by kernels whose natural work unit is not a uniform block —
+    /// e.g. the SELL-C-σ SpMV, whose parallel boundaries must align
+    /// with σ sorting windows so each task owns whole output rows.
+    pub fn ranges_mut<T, F>(&self, data: &mut [T], ranges: &[Range<usize>], f: F)
+    where
+        T: Send,
+        F: Fn(usize, Range<usize>, &mut [T]) + Sync,
+    {
+        let mut next = 0;
+        for r in ranges {
+            assert_eq!(r.start, next, "ranges_mut: ranges must tile contiguously");
+            assert!(r.end >= r.start, "ranges_mut: range end before start");
+            next = r.end;
+        }
+        assert_eq!(next, data.len(), "ranges_mut: ranges must cover data");
         let workers = self.threads.min(ranges.len()).max(1);
         if workers <= 1 {
             let mut rest = data;
@@ -396,10 +455,51 @@ mod tests {
 
     #[test]
     fn limited_caps_workers_by_granularity() {
+        let hw = hardware_threads();
         let pool = ParPool::with_threads(8);
         assert_eq!(pool.limited(100).threads(), 1);
-        assert_eq!(pool.limited(MIN_WORK_PER_WORKER * 3).threads(), 3);
-        assert_eq!(pool.limited(MIN_WORK_PER_WORKER * 100).threads(), 8);
+        assert_eq!(pool.limited(MIN_WORK_PER_WORKER - 1).threads(), 1);
+        assert_eq!(pool.limited(MIN_WORK_PER_WORKER * 3).threads(), 3.min(hw));
+        assert_eq!(pool.limited(MIN_WORK_PER_WORKER * 100).threads(), 8.min(hw));
+    }
+
+    #[test]
+    fn ranges_mut_matches_chunks_mut_on_uniform_ranges() {
+        let n = 513;
+        let mut via_chunks: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mut via_ranges = via_chunks.clone();
+        let scale = |_: usize, r: Range<usize>, s: &mut [f64]| {
+            for (v, idx) in s.iter_mut().zip(r) {
+                *v = *v * 2.0 + idx as f64;
+            }
+        };
+        for threads in [1, 4] {
+            let pool = ParPool::with_threads(threads);
+            pool.chunks_mut(&mut via_chunks, 7, scale);
+            pool.ranges_mut(&mut via_ranges, &chunk_ranges(n, 7), scale);
+            assert_eq!(via_chunks, via_ranges, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn ranges_mut_accepts_nonuniform_tiling() {
+        let mut data = vec![0usize; 10];
+        let ranges = vec![0..3, 3..3, 3..9, 9..10];
+        ParPool::with_threads(4).ranges_mut(&mut data, &ranges, |i, r, s| {
+            assert_eq!(r.len(), s.len());
+            for v in s {
+                *v = i + 1;
+            }
+        });
+        assert_eq!(data, vec![1, 1, 1, 3, 3, 3, 3, 3, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ranges_mut: ranges must cover data")]
+    #[allow(clippy::single_range_in_vec_init)]
+    fn ranges_mut_rejects_short_tiling() {
+        let mut data = vec![0usize; 10];
+        ParPool::serial().ranges_mut(&mut data, &[0..4], |_, _, _| {});
     }
 
     #[test]

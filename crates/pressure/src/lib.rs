@@ -32,7 +32,9 @@ pub mod async_spray;
 pub mod config;
 pub mod solver;
 pub mod spray;
+pub mod stc;
 pub mod trace;
 
 pub use config::{PressureConfig, PressureVariant};
+pub use stc::{run_stc, StcConfig, StcMode, StcOutcome, StcStepTiming};
 pub use trace::{PfSubPhase, PressurePhase, PressureTraceModel};

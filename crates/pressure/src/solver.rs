@@ -9,8 +9,9 @@
 //! 7-point Laplacian), so projection annihilates interior divergence to
 //! solver tolerance — the correctness invariant the tests pin.
 
-use cpx_amg::{pcg, CgConfig, CycleType, Hierarchy, HierarchyConfig, Preconditioner};
-use cpx_sparse::Csr;
+use cpx_amg::{pcg_with, CgConfig, CycleType, Hierarchy, HierarchyConfig, Preconditioner};
+use cpx_sparse::spgemm::GalerkinWorkspace;
+use cpx_sparse::{Csr, KernelPolicy, LayoutMatrix};
 
 use crate::spray::SprayCloud;
 
@@ -23,7 +24,9 @@ pub struct MiniPressureSolver {
     pub u: Vec<[f64; 3]>,
     /// The Poisson operator and its AMG hierarchy.
     hierarchy: Hierarchy,
-    a: Csr,
+    a: LayoutMatrix,
+    /// Kernel execution policy threaded through the pressure solve.
+    policy: KernelPolicy,
     /// The spray cloud.
     pub spray: SprayCloud,
     /// Iterations used by the last pressure solve.
@@ -33,9 +36,25 @@ pub struct MiniPressureSolver {
 impl MiniPressureSolver {
     /// Initialise with a swirling velocity field and an injected cloud.
     pub fn new(n: usize, droplets: usize, seed: u64) -> MiniPressureSolver {
+        MiniPressureSolver::new_with_policy(n, droplets, seed, KernelPolicy::current())
+    }
+
+    /// [`MiniPressureSolver::new`] with an explicit kernel policy: the
+    /// AMG hierarchy, its cycles and the CG matvec all dispatch
+    /// through it (a SELL layout prepares views at build time).
+    /// Every policy computes bit-identical fields.
+    pub fn new_with_policy(
+        n: usize,
+        droplets: usize,
+        seed: u64,
+        policy: KernelPolicy,
+    ) -> MiniPressureSolver {
         assert!(n >= 4);
         let a = Csr::poisson3d(n, n, n);
-        let hierarchy = Hierarchy::build(a.clone(), HierarchyConfig::default());
+        let mut ws = GalerkinWorkspace::new();
+        let hierarchy =
+            Hierarchy::build_with(a.clone(), HierarchyConfig::default(), policy, &mut ws);
+        let a = LayoutMatrix::new(a, &policy);
         let idx = |i: usize, j: usize, k: usize| (i * n + j) * n + k;
         let mut u = vec![[0.0; 3]; n * n * n];
         for i in 0..n {
@@ -58,6 +77,7 @@ impl MiniPressureSolver {
             u,
             hierarchy,
             a,
+            policy,
             spray: SprayCloud::inject(droplets, seed),
             last_pressure_iters: 0,
         }
@@ -122,8 +142,9 @@ impl MiniPressureSolver {
         let div = self.divergence();
         let rhs: Vec<f64> = div.iter().map(|d| -d).collect();
         let mut p = vec![0.0; rhs.len()];
-        let out = pcg(
-            &self.a,
+        let out = pcg_with(
+            self.a.as_ref(),
+            &self.policy,
             &rhs,
             &mut p,
             &Preconditioner::Amg {
@@ -176,6 +197,21 @@ impl MiniPressureSolver {
     /// One full timestep: explicit velocity relaxation, projection,
     /// spray update.
     pub fn step(&mut self, dt: f64) {
+        self.advance_field(dt);
+        // Spray sees the projected carrier field.
+        let n_cells = self.n;
+        let u_snapshot = self.u.clone();
+        let idx = move |i: usize, j: usize, k: usize| (i * n_cells + j) * n_cells + k;
+        self.spray.update(dt, move |x| {
+            let cell = |v: f64| ((v * n_cells as f64) as usize).min(n_cells - 1);
+            u_snapshot[idx(cell(x[0]), cell(x[1]), cell(x[2]))]
+        });
+    }
+
+    /// The solver half of a timestep: explicit velocity relaxation and
+    /// the pressure projection, leaving the spray untouched (the
+    /// task-based STC split runs this concurrently with the spray).
+    pub fn advance_field(&mut self, dt: f64) {
         // Mild explicit diffusion of the velocity (keeps the field
         // evolving so repeated projections have work to do).
         let n = self.n;
@@ -199,14 +235,6 @@ impl MiniPressureSolver {
         }
         self.u = u_new;
         self.project();
-        // Spray sees the projected carrier field.
-        let n_cells = self.n;
-        let u_snapshot = self.u.clone();
-        let idx = move |i: usize, j: usize, k: usize| (i * n_cells + j) * n_cells + k;
-        self.spray.update(dt, move |x| {
-            let cell = |v: f64| ((v * n_cells as f64) as usize).min(n_cells - 1);
-            u_snapshot[idx(cell(x[0]), cell(x[1]), cell(x[2]))]
-        });
     }
 }
 

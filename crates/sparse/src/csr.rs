@@ -36,6 +36,13 @@ impl Csr {
         m
     }
 
+    /// Decompose into the raw `(rowptr, colidx, vals)` arrays, giving
+    /// their capacity back to the caller (workspace reuse for the
+    /// Galerkin rebuild path).
+    pub fn into_raw(self) -> (Vec<usize>, Vec<usize>, Vec<f64>) {
+        (self.rowptr, self.colidx, self.vals)
+    }
+
     /// The `n × n` identity.
     pub fn identity(n: usize) -> Self {
         Csr {
@@ -236,6 +243,12 @@ impl Csr {
                 *yi = acc;
             }
         });
+        self.spmv_identity_top_stats(k)
+    }
+
+    /// Op statistics of one identity-top SpMV (the §IV-B accounting:
+    /// the identity rows cost only the copy, the tail a full SpMV).
+    pub fn spmv_identity_top_stats(&self, k: usize) -> SpOpStats {
         let tail_nnz = self.rowptr[self.nrows] - self.rowptr[k];
         SpOpStats {
             flops: 2.0 * tail_nnz as f64,

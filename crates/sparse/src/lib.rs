@@ -48,7 +48,9 @@ pub mod csr;
 pub mod dist;
 pub mod multilevel;
 pub mod partition;
+pub mod policy;
 pub mod renumber;
+pub mod sell;
 pub mod spgemm;
 pub mod tridiag;
 
@@ -58,6 +60,8 @@ pub use csr::Csr;
 pub use dist::DistCsr;
 pub use multilevel::{multilevel_partition, MultilevelConfig};
 pub use partition::{greedy_graph_partition, rcb_partition, PartitionQuality};
+pub use policy::{KernelPolicy, Layout, LayoutMatrix, MatRef};
+pub use sell::{SellCSigma, SELL_MAX_C};
 
 /// Operation counts for a sparse kernel invocation, used to drive the
 /// roofline cost model.

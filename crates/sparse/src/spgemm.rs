@@ -267,6 +267,191 @@ pub fn spgemm_spa_with(pool: &ParPool, a: &Csr, b: &Csr, chunks: usize) -> SpGem
     }
 }
 
+/// Reusable SPA scratch arena: one [`Spa`]-shaped slot per chunk plus
+/// per-chunk output buffers, all retained across calls so steady-state
+/// SpGEMMs (the AMG hierarchy rebuild path) allocate nothing once the
+/// high-water capacities are reached.
+///
+/// Markers are epoch-stamped: instead of re-filling `marker` with
+/// `usize::MAX` per call (an O(m) write that would defeat reuse), each
+/// row bumps the slot's epoch and matches on the stamp, so stale marks
+/// from any previous call or row can never collide.
+#[derive(Debug, Default)]
+pub struct SpaWorkspace {
+    slots: Vec<SpaSlot>,
+}
+
+#[derive(Debug, Default)]
+struct SpaSlot {
+    acc: Vec<f64>,
+    /// Epoch stamp per output column; 0 means "never touched".
+    marker: Vec<u64>,
+    epoch: u64,
+    touched: Vec<usize>,
+    // Private per-chunk output pieces (parallel path).
+    rp: Vec<usize>,
+    ci: Vec<usize>,
+    va: Vec<f64>,
+}
+
+impl SpaWorkspace {
+    pub fn new() -> SpaWorkspace {
+        SpaWorkspace::default()
+    }
+
+    /// Make sure `chunks` slots exist, each sized for `m` output
+    /// columns. Only grows — no steady-state work once warmed.
+    fn ensure(&mut self, chunks: usize, m: usize) {
+        if self.slots.len() < chunks {
+            self.slots.resize_with(chunks, SpaSlot::default);
+        }
+        for slot in &mut self.slots[..chunks] {
+            if slot.acc.len() < m {
+                slot.acc.resize(m, 0.0);
+                slot.marker.resize(m, 0);
+            }
+        }
+    }
+}
+
+impl SpaSlot {
+    /// Gustavson rows `rows` of `a·b`, appending to `ci`/`va` and row
+    /// ends to `rp` (no leading 0 — callers track the base).
+    fn spa_rows_into(
+        &mut self,
+        a: &Csr,
+        b: &Csr,
+        rows: std::ops::Range<usize>,
+        rp: &mut Vec<usize>,
+        ci: &mut Vec<usize>,
+        va: &mut Vec<f64>,
+    ) {
+        for r in rows {
+            self.epoch += 1;
+            let stamp = self.epoch;
+            self.touched.clear();
+            let (acols, avals) = a.row(r);
+            for (&k, &av) in acols.iter().zip(avals) {
+                let (bcols, bvals) = b.row(k);
+                for (&c, &bv) in bcols.iter().zip(bvals) {
+                    if self.marker[c] != stamp {
+                        self.marker[c] = stamp;
+                        self.acc[c] = av * bv;
+                        self.touched.push(c);
+                    } else {
+                        self.acc[c] += av * bv;
+                    }
+                }
+            }
+            self.touched.sort_unstable();
+            for &c in &self.touched {
+                ci.push(c);
+                va.push(self.acc[c]);
+            }
+            rp.push(ci.len());
+        }
+    }
+}
+
+/// [`spgemm_spa`] writing into caller-owned output buffers through a
+/// reusable [`SpaWorkspace`]: the zero-allocation steady-state form.
+/// Output vectors are cleared and refilled (capacity is retained);
+/// result bits and modelled stats are identical to [`spgemm_spa`].
+#[allow(clippy::too_many_arguments)]
+pub fn spgemm_spa_reuse(
+    pool: &ParPool,
+    a: &Csr,
+    b: &Csr,
+    chunks: usize,
+    ws: &mut SpaWorkspace,
+    rowptr: &mut Vec<usize>,
+    colidx: &mut Vec<usize>,
+    vals: &mut Vec<f64>,
+) -> SpOpStats {
+    check_dims(a, b);
+    let chunks = chunks.max(1);
+    let n = a.nrows();
+    let m = b.ncols();
+    rowptr.clear();
+    colidx.clear();
+    vals.clear();
+    rowptr.push(0usize);
+
+    if pool.threads() <= 1 {
+        // Serial fast path: rows in chunk order are rows in row order,
+        // so append straight into the output through one slot — chunk
+        // boundaries computed on the fly (same ceil-division layout as
+        // `chunk_ranges`) to keep the steady state allocation-free.
+        ws.ensure(1, m);
+        let slot = &mut ws.slots[0];
+        let per = n.div_ceil(chunks);
+        for c in 0..chunks {
+            let r = (c * per).min(n)..((c + 1) * per).min(n);
+            slot.spa_rows_into(a, b, r, rowptr, colidx, vals);
+        }
+    } else {
+        let ranges = chunk_ranges(n, chunks);
+        // One private slot (scratch + output piece) per chunk; the
+        // slot slice itself is dealt out by the pool, so each worker
+        // mutates only its own arena.
+        ws.ensure(chunks, m);
+        let slots = &mut ws.slots[..chunks];
+        pool.chunks_mut(slots, chunks, |c, _, part| {
+            let slot = &mut part[0];
+            slot.rp.clear();
+            slot.ci.clear();
+            slot.va.clear();
+            // Split-borrow the scratch fields from the output buffers.
+            let (mut rp, mut ci, mut va) = (
+                std::mem::take(&mut slot.rp),
+                std::mem::take(&mut slot.ci),
+                std::mem::take(&mut slot.va),
+            );
+            slot.spa_rows_into(a, b, ranges[c].clone(), &mut rp, &mut ci, &mut va);
+            slot.rp = rp;
+            slot.ci = ci;
+            slot.va = va;
+        });
+        for slot in ws.slots[..chunks].iter() {
+            let base = colidx.len();
+            rowptr.extend(slot.rp.iter().map(|&e| base + e));
+            colidx.extend_from_slice(&slot.ci);
+            vals.extend_from_slice(&slot.va);
+        }
+    }
+    while rowptr.len() < n + 1 {
+        rowptr.push(colidx.len());
+    }
+
+    let work = multiply_work(a, b);
+    let read_once = (a.nnz() + b.nnz()) as f64 * 16.0 + (a.nrows() + b.nrows()) as f64 * 8.0;
+    SpOpStats {
+        flops: 2.0 * work,
+        bytes_read: read_once,
+        bytes_written: 2.0 * colidx.len() as f64 * 16.0,
+        input_passes: 1,
+    }
+}
+
+/// [`spgemm_spa_reuse`] returning a fresh [`Csr`] (output allocated,
+/// scratch reused from the workspace).
+pub fn spgemm_spa_ws(
+    pool: &ParPool,
+    a: &Csr,
+    b: &Csr,
+    chunks: usize,
+    ws: &mut SpaWorkspace,
+) -> SpGemmResult {
+    let mut rowptr = Vec::new();
+    let mut colidx = Vec::new();
+    let mut vals = Vec::new();
+    let stats = spgemm_spa_reuse(pool, a, b, chunks, ws, &mut rowptr, &mut colidx, &mut vals);
+    SpGemmResult {
+        product: Csr::from_raw(a.nrows(), b.ncols(), rowptr, colidx, vals),
+        stats,
+    }
+}
+
 /// Hash-map accumulation SpGEMM (one pass; per-row `HashMap`).
 pub fn spgemm_hash(a: &Csr, b: &Csr) -> SpGemmResult {
     let pool = ParPool::current().limited(a.nnz() + b.nnz());
@@ -348,12 +533,59 @@ pub fn spgemm_hash_with(pool: &ParPool, a: &Csr, b: &Csr, chunks: usize) -> SpGe
 /// The Galerkin triple product `R · A · P` (AMG coarse operator), using
 /// the SPA variant internally. Returns the product and combined stats.
 pub fn triple_product(r: &Csr, a: &Csr, p: &Csr, chunks: usize) -> SpGemmResult {
-    let ap = spgemm_spa(a, p, chunks);
-    let rap = spgemm_spa(r, &ap.product, chunks);
+    triple_product_ws(r, a, p, chunks, &mut GalerkinWorkspace::new())
+}
+
+/// Scratch for the Galerkin rebuild path: the SPA arena plus the raw
+/// arrays of the intermediate `A·P` product, so a hierarchy rebuilt
+/// every outer step reuses all of its setup-phase allocations.
+#[derive(Debug, Default)]
+pub struct GalerkinWorkspace {
+    /// SPA slots shared by both multiplies.
+    pub spa: SpaWorkspace,
+    ap_rowptr: Vec<usize>,
+    ap_colidx: Vec<usize>,
+    ap_vals: Vec<f64>,
+}
+
+impl GalerkinWorkspace {
+    pub fn new() -> GalerkinWorkspace {
+        GalerkinWorkspace::default()
+    }
+}
+
+/// [`triple_product`] through a reusable [`GalerkinWorkspace`]:
+/// bit-identical product and stats, but the SPA scratch and the
+/// intermediate `A·P` storage come from (and return to) the workspace.
+pub fn triple_product_ws(
+    r: &Csr,
+    a: &Csr,
+    p: &Csr,
+    chunks: usize,
+    ws: &mut GalerkinWorkspace,
+) -> SpGemmResult {
+    let pool_ap = ParPool::current().limited(a.nnz() + p.nnz());
+    let mut rp = std::mem::take(&mut ws.ap_rowptr);
+    let mut ci = std::mem::take(&mut ws.ap_colidx);
+    let mut va = std::mem::take(&mut ws.ap_vals);
+    let ap_stats = spgemm_spa_reuse(
+        &pool_ap,
+        a,
+        p,
+        chunks,
+        &mut ws.spa,
+        &mut rp,
+        &mut ci,
+        &mut va,
+    );
+    let ap = Csr::from_raw(a.nrows(), p.ncols(), rp, ci, va);
+    let pool_rap = ParPool::current().limited(r.nnz() + ap.nnz());
+    let rap = spgemm_spa_ws(&pool_rap, r, &ap, chunks, &mut ws.spa);
+    (ws.ap_rowptr, ws.ap_colidx, ws.ap_vals) = ap.into_raw();
     let stats = SpOpStats {
-        flops: ap.stats.flops + rap.stats.flops,
-        bytes_read: ap.stats.bytes_read + rap.stats.bytes_read,
-        bytes_written: ap.stats.bytes_written + rap.stats.bytes_written,
+        flops: ap_stats.flops + rap.stats.flops,
+        bytes_read: ap_stats.bytes_read + rap.stats.bytes_read,
+        bytes_written: ap_stats.bytes_written + rap.stats.bytes_written,
         input_passes: 1,
     };
     SpGemmResult {
@@ -493,6 +725,51 @@ mod tests {
         let base = spgemm_spa(&a, &a, 1).product;
         for chunks in [2, 3, 7, 50, 64] {
             assert_eq!(spgemm_spa(&a, &a, chunks).product, base, "chunks={chunks}");
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical_across_pools_and_shapes() {
+        let a = random_csr(40, 35, 5, 11);
+        let b = random_csr(35, 50, 4, 12);
+        let c = random_csr(50, 40, 3, 13);
+        let want_ab = spgemm_spa(&a, &b, 4);
+        let want_cb = spgemm_spa(&c, &a, 2);
+        let mut ws = SpaWorkspace::new();
+        let mut rp = Vec::new();
+        let mut ci = Vec::new();
+        let mut va = Vec::new();
+        for pool in [ParPool::serial(), ParPool::with_threads(4)] {
+            // Same workspace across different shapes and repeated calls:
+            // stale stamps/capacity must never leak into results.
+            for _ in 0..3 {
+                let st = spgemm_spa_reuse(&pool, &a, &b, 4, &mut ws, &mut rp, &mut ci, &mut va);
+                let got = Csr::from_raw(40, 50, rp.clone(), ci.clone(), va.clone());
+                assert_eq!(got, want_ab.product);
+                assert_eq!(st, want_ab.stats);
+                let st = spgemm_spa_reuse(&pool, &c, &a, 2, &mut ws, &mut rp, &mut ci, &mut va);
+                let got = Csr::from_raw(50, 35, rp.clone(), ci.clone(), va.clone());
+                assert_eq!(got, want_cb.product);
+                assert_eq!(st, want_cb.stats);
+            }
+        }
+    }
+
+    #[test]
+    fn triple_product_ws_matches_triple_product() {
+        let a = Csr::poisson2d(10, 10);
+        let mut coo = Coo::new(100, 25);
+        for f in 0..100 {
+            coo.push(f, f / 4, 1.0);
+        }
+        let p = coo.to_csr();
+        let r = p.transpose();
+        let want = triple_product(&r, &a, &p, 3);
+        let mut ws = GalerkinWorkspace::new();
+        for _ in 0..2 {
+            let got = triple_product_ws(&r, &a, &p, 3, &mut ws);
+            assert_eq!(got.product, want.product);
+            assert_eq!(got.stats, want.stats);
         }
     }
 
