@@ -1,0 +1,75 @@
+//! Schema gate over every committed benchmark artifact.
+//!
+//! Each diffable JSON the repo commits — the `BENCH_*.json` studies at
+//! the repo root and the golden corpus `bench.json` summaries — must
+//! carry a numeric `schema_version` and parse with the workspace's
+//! minimal JSON reader. A file that fails either check breaks diffing
+//! and the CI comparison gates silently, so this test fails loudly with
+//! the offending path instead.
+
+use std::path::{Path, PathBuf};
+
+use cpx_obs::Json;
+
+fn repo_root() -> PathBuf {
+    // crates/bench -> crates -> repo root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("bench crate lives two levels under the repo root")
+        .to_path_buf()
+}
+
+/// All committed bench artifacts: `BENCH_*.json` at the root plus every
+/// `golden/*/bench.json`.
+fn committed_bench_files() -> Vec<PathBuf> {
+    let root = repo_root();
+    let mut files: Vec<PathBuf> = Vec::new();
+    for entry in std::fs::read_dir(&root).expect("read repo root") {
+        let path = entry.expect("dir entry").path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.starts_with("BENCH_") && name.ends_with(".json") {
+            files.push(path);
+        }
+    }
+    let golden = root.join("golden");
+    if golden.is_dir() {
+        for entry in std::fs::read_dir(&golden).expect("read golden dir") {
+            let bench = entry.expect("dir entry").path().join("bench.json");
+            if bench.is_file() {
+                files.push(bench);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+#[test]
+fn every_committed_bench_artifact_is_versioned_and_parses() {
+    let files = committed_bench_files();
+    // The repo commits artifacts from its studies and the golden
+    // corpus; an empty walk means the path logic broke, not that there
+    // is nothing to check.
+    assert!(
+        files.len() >= 5,
+        "expected committed bench artifacts, found {files:?}"
+    );
+    for path in files {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{}: unreadable: {e}", path.display()));
+        let v = Json::parse(&text)
+            .unwrap_or_else(|e| panic!("{}: invalid JSON: {e:?}", path.display()));
+        let version = v
+            .get("schema_version")
+            .unwrap_or_else(|| panic!("{}: missing schema_version", path.display()));
+        let n = version
+            .as_f64()
+            .unwrap_or_else(|| panic!("{}: schema_version is not numeric", path.display()));
+        assert!(
+            n >= 1.0 && n.fract() == 0.0,
+            "{}: schema_version {n} is not a positive integer",
+            path.display()
+        );
+    }
+}

@@ -58,6 +58,6 @@ pub use model::ScenarioModels;
 pub use profile::{PhaseProfile, PhaseRow};
 pub use sdc::{SdcInjection, SdcPolicy, SdcSite};
 pub use sim::{
-    coupled_phase_names, coupled_program, run_coupled_resilient_logged, trace_coupled, CoupledRun,
-    ResilienceEvent,
+    coupled_phase_names, coupled_program, coupled_program_phased, run_coupled_resilient_logged,
+    trace_coupled, CoupledRun, ResilienceEvent,
 };

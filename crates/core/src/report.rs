@@ -89,6 +89,41 @@ impl Report {
     }
 }
 
+/// Append a "Critical path" section rendering a
+/// [`cpx_obs::PathReport`]: path composition (compute vs communication
+/// seconds, coverage sanity figure), the per-phase breakdown of where
+/// the binding chain spends its time, and the longest blamed spans.
+pub fn critical_path_section<'a>(r: &'a mut Report, rep: &cpx_obs::PathReport) -> &'a mut Report {
+    r.section("Critical path");
+    r.bullet(format!(
+        "makespan **{:.4} s**; path compute {:.4} s, communication {:.4} s \
+         ({} segments, coverage {:.6})",
+        rep.makespan, rep.compute_s, rep.comm_s, rep.segments, rep.coverage
+    ));
+    r.table_header(&["phase", "path s", "share %"]);
+    for (name, secs, pct) in &rep.by_phase {
+        r.table_row(&[name.clone(), format!("{secs:.4}"), format!("{pct:.2}")]);
+    }
+    if !rep.top_spans.is_empty() {
+        r.section("Longest blamed spans");
+        r.table_header(&["rank", "phase", "label", "class", "t0 (s)", "dur (s)"]);
+        for b in &rep.top_spans {
+            r.table_row(&[
+                b.rank.to_string(),
+                b.phase.clone(),
+                b.label.clone(),
+                match b.class {
+                    cpx_obs::SegClass::Compute => "compute".to_string(),
+                    cpx_obs::SegClass::Comm => "comm".to_string(),
+                },
+                format!("{:.4}", b.t0),
+                format!("{:.4}", b.dur),
+            ]);
+        }
+    }
+    r
+}
+
 /// Render a full study report.
 pub fn markdown_report(scenario: &Scenario, alloc: &Allocation, run: &CoupledRun) -> String {
     markdown_report_with(scenario, alloc, run, None)

@@ -472,6 +472,22 @@ pub fn coupled_program(
     build_program(scenario, alloc, machine, sample_iters, true, false)
 }
 
+/// As [`coupled_program`] but with every op labelled with the phase ids
+/// of [`coupled_phase_names`]. The op stream is otherwise identical —
+/// phase markers are free — so replays of the phased and unphased
+/// programs produce the same virtual times. This is the input the
+/// critical-path analytics build their task graph from: phase labels
+/// are what the path attribution and the what-if rescaling key on.
+pub fn coupled_program_phased(
+    scenario: &Scenario,
+    alloc: &Allocation,
+    machine: &Machine,
+    sample_iters: u64,
+) -> (TraceProgram, MpmdLayout) {
+    assert!(sample_iters >= 1);
+    build_program(scenario, alloc, machine, sample_iters, true, true)
+}
+
 /// Coordinated-checkpoint cost: every solver rank drains its state (the
 /// five conservative variables per local cell, bandwidth-bound at twice
 /// the memory traffic) and the world closes with a consistency-marker

@@ -33,12 +33,14 @@
 pub mod collectives;
 pub mod cost;
 pub mod des;
+pub mod graph;
 pub mod model;
 pub mod stats;
 pub mod trace;
 
 pub use cost::KernelCost;
 pub use des::{DesEvent, DesEventKind, ReplayError, ReplayOutcome, Replayer};
+pub use graph::{build_task_graph, collective_label, scale_compute_by_phase, validate_against_des};
 pub use model::{Machine, MachineBuilder};
 pub use stats::TraceStats;
 pub use trace::{CollectiveKind, Op, PhaseId, RankTrace, TraceProgram};

@@ -24,6 +24,7 @@
 
 use std::io::{self, Write};
 
+use crate::critical::{CriticalPath, SegClass, TaskGraph};
 use crate::json::escape_str;
 use crate::{RecoveryKind, TraceSession};
 
@@ -168,6 +169,89 @@ pub(crate) fn push_session_events<W: Write>(
         push_event(out, first, &text)?;
     }
     Ok(())
+}
+
+/// Render a critical-path analysis as Chrome trace-event JSON: a
+/// dedicated **critical path** lane (tid 0) holding every binding
+/// segment back-to-back across `[0, makespan]`, plus one lane per rank
+/// that appears on the path carrying just its blamed segments. Ranks
+/// never on the path get no lane — for a thousand-rank coupled run the
+/// export stays viewer-sized while still showing which ranks the run
+/// actually waited on. Deterministic bytes, like every exporter here.
+pub fn critical_chrome_trace_json(graph: &TaskGraph, path: &CriticalPath) -> String {
+    to_string(|out| critical_chrome_trace_to(out, graph, path))
+}
+
+/// Stream the critical-path trace of [`critical_chrome_trace_json`].
+pub fn critical_chrome_trace_to<W: Write>(
+    out: &mut W,
+    graph: &TaskGraph,
+    path: &CriticalPath,
+) -> io::Result<()> {
+    let phase_name = |p: u16| -> String {
+        graph
+            .phase_names
+            .get(p as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("phase {p}"))
+    };
+    let mut ranks: Vec<usize> = path.segments.iter().map(|s| s.rank).collect();
+    ranks.sort_unstable();
+    ranks.dedup();
+
+    let mut first = true;
+    out.write_all(b"{\"traceEvents\":[\n")?;
+    push_event(
+        out,
+        &mut first,
+        "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\
+         \"args\":{\"name\":\"critical path\"}}",
+    )?;
+    push_event(
+        out,
+        &mut first,
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"thread_name\",\
+         \"args\":{\"name\":\"critical path\"}}",
+    )?;
+    for &rank in &ranks {
+        push_event(
+            out,
+            &mut first,
+            &format!(
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"rank {rank}\"}}}}",
+                rank + 1
+            ),
+        )?;
+    }
+    for seg in &path.segments {
+        let name = escape_str(&format!("{} · {}", seg.label, phase_name(seg.phase)));
+        let class = match seg.class {
+            SegClass::Compute => "compute",
+            SegClass::Comm => "comm",
+        };
+        let detail = format!(
+            "\"ts\":{},\"dur\":{},\"name\":{name},\
+             \"args\":{{\"rank\":{},\"class\":\"{class}\"}}",
+            micros(seg.t0),
+            micros(seg.dur()),
+            seg.rank
+        );
+        push_event(
+            out,
+            &mut first,
+            &format!("{{\"ph\":\"X\",\"pid\":1,\"tid\":0,{detail}}}"),
+        )?;
+        push_event(
+            out,
+            &mut first,
+            &format!(
+                "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},{detail}}}",
+                seg.rank + 1
+            ),
+        )?;
+    }
+    out.write_all(b"\n],\"displayTimeUnit\":\"ms\"}\n")
 }
 
 /// Detail fields of one recovery instant. Group signatures are 64-bit
@@ -319,6 +403,59 @@ mod tests {
                 .as_u64(),
             Some(10)
         );
+    }
+
+    #[test]
+    fn critical_lane_tiles_and_is_deterministic() {
+        use crate::critical::{PathSegment, Rescale};
+        // Two-rank graph: compute then a message bound; the path has a
+        // compute and a transfer segment.
+        let g = TaskGraph {
+            nodes: vec![
+                crate::TaskNode {
+                    rank: 0,
+                    phase: 1,
+                    kind: crate::TaskKind::Compute,
+                    dur: 3.0,
+                    transfer: 0.0,
+                    prev: None,
+                    matched_send: None,
+                },
+                crate::TaskNode {
+                    rank: 1,
+                    phase: 1,
+                    kind: crate::TaskKind::Recv { src: 0, tag: 5 },
+                    dur: 0.0,
+                    transfer: 2.0,
+                    prev: None,
+                    matched_send: Some(0),
+                },
+            ],
+            meets: vec![],
+            n_ranks: 2,
+            phase_names: vec!["(untracked)".into(), "solve \"x\"".into()],
+        };
+        let sched = g.schedule(&Rescale::none()).unwrap();
+        let path = g.critical_path(&sched);
+        assert!(!path.segments.is_empty());
+        let text = critical_chrome_trace_json(&g, &path);
+        let v = crate::Json::parse(&text).expect("valid JSON despite quoted phase name");
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        // Every path segment appears twice: critical lane + rank lane.
+        let xs: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .collect();
+        assert_eq!(xs.len(), 2 * path.segments.len());
+        let lane0: Vec<_> = xs
+            .iter()
+            .filter(|e| e.get("tid").unwrap().as_u64() == Some(0))
+            .collect();
+        assert_eq!(lane0.len(), path.segments.len());
+        // The lane tiles [0, makespan]: durations sum to the makespan.
+        let total: f64 = path.segments.iter().map(PathSegment::dur).sum();
+        assert!((total - path.makespan).abs() < 1e-12 * path.makespan.max(1.0));
+        assert_eq!(text, critical_chrome_trace_json(&g, &path));
     }
 
     #[test]

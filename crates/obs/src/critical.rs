@@ -1,0 +1,953 @@
+//! Critical-path analytics over happens-before task graphs.
+//!
+//! A [`TaskGraph`] is the causal (PERT-style) view of one coupled run:
+//! every compute burst, point-to-point message and collective becomes a
+//! node, ordered by the two dependence kinds the testbed has — program
+//! order within a rank, and message/collective arrivals across ranks.
+//! The graph is built *offline* from artifacts the workspace already
+//! records (a `TraceProgram` walked against a machine model in
+//! `cpx-machine`, or a `.cpxr` event trace in `cpx-replay`); nothing
+//! here touches a hot path.
+//!
+//! Three analyses run on a graph:
+//!
+//! * [`TaskGraph::schedule`] — a forward pass that replays the
+//!   discrete-event semantics of `cpx_machine::des` *exactly* (same
+//!   float operations in a dependency-respecting order), so the
+//!   baseline makespan bit-matches the replayer's;
+//! * [`TaskGraph::critical_path`] — the backward walk along binding
+//!   constraints from the finishing node, yielding a gap-free chain of
+//!   segments (compute, send overhead, wire transfer, collective) that
+//!   tiles `[0, makespan]`;
+//! * [`TaskGraph::slack`] — a latest-end pass giving, per node, how far
+//!   it could slip without moving the makespan (0 on the critical path).
+//!
+//! The **what-if engine** is the forward pass parameterised by a
+//! [`Rescale`]: scale any phase's compute cost (a hypothetical kernel
+//! optimisation) or any tag range's transfer time (a hypothetical
+//! interconnect/coupler change) and the new makespan — hence the
+//! end-to-end speedup — falls out without re-deriving the program.
+
+use crate::Json;
+
+/// Index of a node in [`TaskGraph::nodes`].
+pub type NodeId = usize;
+
+/// What a node does. Durations live on the node ([`TaskNode::dur`]) for
+/// the rigid kinds (compute, send overhead); receives and collectives
+/// are *elastic* — their cost depends on when dependencies arrive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskKind {
+    /// Local computation of `dur` seconds.
+    Compute,
+    /// Eager send: the sender is charged `dur` = software overhead; the
+    /// payload travels on the wire for [`TaskNode::transfer`] seconds
+    /// measured from the send's *start* (the DES convention).
+    Send {
+        /// Destination rank.
+        dst: usize,
+        /// Message tag.
+        tag: u32,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// Blocking receive matched to a send node.
+    Recv {
+        /// Source rank.
+        src: usize,
+        /// Message tag.
+        tag: u32,
+    },
+    /// One member's participation in a collective; the shared occurrence
+    /// is [`TaskGraph::meets`]`[meet]`.
+    Collective {
+        /// Index into [`TaskGraph::meets`].
+        meet: usize,
+    },
+}
+
+/// One node of the happens-before graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskNode {
+    /// Rank the node executes on.
+    pub rank: usize,
+    /// Phase id active when the node runs (0 = untracked).
+    pub phase: u16,
+    /// What the node does.
+    pub kind: TaskKind,
+    /// Rigid duration in seconds (compute time or send overhead; 0 for
+    /// elastic kinds).
+    pub dur: f64,
+    /// Wire time of the matched message, for `Recv` nodes: the payload
+    /// arrives at `start(send) + transfer`. 0 otherwise.
+    pub transfer: f64,
+    /// Previous node on the same rank (program order), if any.
+    pub prev: Option<NodeId>,
+    /// The matched `Send` node, for `Recv` nodes.
+    pub matched_send: Option<NodeId>,
+}
+
+/// One collective occurrence: the set of member nodes (in group rank
+/// order) plus the modelled cost charged after the last member arrives.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Meet {
+    /// Member nodes, in group rank order.
+    pub members: Vec<NodeId>,
+    /// Collective cost in seconds, charged after the last entry.
+    pub cost: f64,
+    /// Human label (e.g. `"allreduce"`) for blamed-span output.
+    pub label: &'static str,
+}
+
+/// The causal graph of one run.
+#[derive(Debug, Clone, Default)]
+pub struct TaskGraph {
+    /// All nodes; program order within a rank, ranks concatenated.
+    pub nodes: Vec<TaskNode>,
+    /// Collective occurrences referenced by `TaskKind::Collective`.
+    pub meets: Vec<Meet>,
+    /// Number of ranks.
+    pub n_ranks: usize,
+    /// Phase id → display name (index 0 = untracked).
+    pub phase_names: Vec<String>,
+}
+
+/// A what-if transform applied during [`TaskGraph::schedule`].
+///
+/// `compute_by_phase[p]` multiplies the duration of every compute node
+/// in phase `p` (missing entries mean 1.0). `transfer_by_tag` entries
+/// `(lo, hi, f)` multiply the wire time of every message whose tag lies
+/// in `lo..=hi`. [`Rescale::none`] is the identity: multiplying by 1.0
+/// is bit-exact, so the baseline schedule reproduces the DES replay.
+#[derive(Debug, Clone, Default)]
+pub struct Rescale {
+    /// Per-phase compute multipliers (index = phase id).
+    pub compute_by_phase: Vec<f64>,
+    /// Inclusive tag ranges with transfer-time multipliers.
+    pub transfer_by_tag: Vec<(u32, u32, f64)>,
+}
+
+impl Rescale {
+    /// The identity transform.
+    pub fn none() -> Rescale {
+        Rescale::default()
+    }
+
+    /// Multiplier for compute in phase `p`.
+    #[inline]
+    fn compute_factor(&self, p: u16) -> f64 {
+        *self.compute_by_phase.get(p as usize).unwrap_or(&1.0)
+    }
+
+    /// Multiplier for a transfer with tag `t`.
+    #[inline]
+    fn transfer_factor(&self, t: u32) -> f64 {
+        for &(lo, hi, f) in &self.transfer_by_tag {
+            if (lo..=hi).contains(&t) {
+                return f;
+            }
+        }
+        1.0
+    }
+}
+
+/// Blend a kernel-level speedup into a phase-level compute multiplier:
+/// if the kernel accounts for `share ∈ [0,1]` of the phase's compute
+/// and gets `speedup`× faster, the phase's compute scales by
+/// `1 - share + share/speedup` (Amdahl within the phase).
+pub fn blend_factor(share: f64, speedup: f64) -> f64 {
+    1.0 - share + share / speedup
+}
+
+/// The result of a forward pass: per-node times plus bookkeeping the
+/// backward analyses need.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Node start times.
+    pub start: Vec<f64>,
+    /// Node end times.
+    pub end: Vec<f64>,
+    /// Effective rigid duration used per node (after rescale).
+    pub eff_dur: Vec<f64>,
+    /// Effective wire transfer used per `Recv` node (after rescale).
+    pub eff_transfer: Vec<f64>,
+    /// Exit time per meet.
+    pub meet_end: Vec<f64>,
+    /// Max end over all nodes (0.0 for an empty graph).
+    pub makespan: f64,
+    /// Node achieving the makespan (lowest id on ties); `None` when the
+    /// graph is empty.
+    pub sink: Option<NodeId>,
+    /// A topological order (the order values were computed in).
+    pub topo: Vec<NodeId>,
+}
+
+/// How a critical-path segment spends its time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegClass {
+    /// Local computation.
+    Compute,
+    /// Communication: send overhead, wire transfer or collective cost.
+    Comm,
+}
+
+/// One contiguous stretch of the critical path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathSegment {
+    /// Rank blamed for the segment (the sender for transfers, the
+    /// last-arriving member for collectives).
+    pub rank: usize,
+    /// Phase id of the blamed node.
+    pub phase: u16,
+    /// Compute or comm.
+    pub class: SegClass,
+    /// Short label (`"compute"`, `"send"`, `"transfer"`, or the
+    /// collective kind).
+    pub label: &'static str,
+    /// Segment start time.
+    pub t0: f64,
+    /// Segment end time.
+    pub t1: f64,
+}
+
+impl PathSegment {
+    /// Segment duration.
+    pub fn dur(&self) -> f64 {
+        self.t1 - self.t0
+    }
+}
+
+/// The extracted critical path: binding segments from time 0 to the
+/// makespan, earliest first.
+#[derive(Debug, Clone, Default)]
+pub struct CriticalPath {
+    /// Segments in increasing time order; they tile `[0, makespan]`.
+    pub segments: Vec<PathSegment>,
+    /// The schedule's makespan.
+    pub makespan: f64,
+}
+
+impl CriticalPath {
+    /// Total compute seconds on the path.
+    pub fn compute_s(&self) -> f64 {
+        self.class_total(SegClass::Compute)
+    }
+
+    /// Total communication seconds on the path.
+    pub fn comm_s(&self) -> f64 {
+        self.class_total(SegClass::Comm)
+    }
+
+    fn class_total(&self, c: SegClass) -> f64 {
+        self.segments
+            .iter()
+            .filter(|s| s.class == c)
+            .map(PathSegment::dur)
+            .sum()
+    }
+
+    /// Fraction of the makespan covered by path segments — 1.0 up to
+    /// float roundoff (the walk is gap-free by construction).
+    pub fn coverage(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            return 1.0;
+        }
+        self.segments.iter().map(PathSegment::dur).sum::<f64>() / self.makespan
+    }
+}
+
+/// Graph-wide time attribution per phase: where *all* ranks' time went,
+/// split compute / comm / idle-wait (the DES replayer folds the last
+/// two together as "comm"; here waiting on a dependency is its own
+/// bucket, which is what makes blame actionable).
+#[derive(Debug, Clone, Default)]
+pub struct Attribution {
+    /// Per-phase compute seconds summed over ranks.
+    pub compute: Vec<f64>,
+    /// Per-phase communication seconds (send overheads + collective
+    /// costs) summed over ranks.
+    pub comm: Vec<f64>,
+    /// Per-phase idle seconds waiting on a dependency (receive waits +
+    /// collective waits) summed over ranks.
+    pub wait: Vec<f64>,
+}
+
+impl TaskGraph {
+    /// Forward pass under `rescale`. Errors if the graph has a
+    /// dependency cycle (e.g. mismatched send/recv matching).
+    pub fn schedule(&self, rescale: &Rescale) -> Result<Schedule, String> {
+        let n = self.nodes.len();
+        let mut start = vec![0.0f64; n];
+        let mut end = vec![0.0f64; n];
+        let mut eff_dur = vec![0.0f64; n];
+        let mut eff_transfer = vec![0.0f64; n];
+        let mut done = vec![false; n];
+        let mut topo = Vec::with_capacity(n);
+
+        // Dependency counts and dependents adjacency.
+        let mut deps = vec![0u32; n];
+        let mut dependents: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let Some(p) = node.prev {
+                deps[i] += 1;
+                dependents[p].push(i);
+            }
+            if let Some(s) = node.matched_send {
+                deps[i] += 1;
+                dependents[s].push(i);
+            }
+        }
+
+        // Per-meet arrival bookkeeping.
+        let mut meet_arrived = vec![0usize; self.meets.len()];
+        let mut meet_end = vec![0.0f64; self.meets.len()];
+
+        let mut ready: Vec<NodeId> = (0..n).filter(|&i| deps[i] == 0).collect();
+        // Process in reverse so pop() yields ascending ids first —
+        // values are order-independent, this just keeps `topo` tidy.
+        ready.reverse();
+
+        fn release(
+            i: NodeId,
+            dependents: &[Vec<NodeId>],
+            deps: &mut [u32],
+            ready: &mut Vec<NodeId>,
+        ) {
+            for &d in &dependents[i] {
+                deps[d] -= 1;
+                if deps[d] == 0 {
+                    ready.push(d);
+                }
+            }
+        }
+
+        while let Some(i) = ready.pop() {
+            if done[i] {
+                continue;
+            }
+            let node = &self.nodes[i];
+            let s = node.prev.map(|p| end[p]).unwrap_or(0.0);
+            start[i] = s;
+            match node.kind {
+                TaskKind::Compute => {
+                    let dt = node.dur * rescale.compute_factor(node.phase);
+                    eff_dur[i] = dt;
+                    end[i] = s + dt;
+                    done[i] = true;
+                    topo.push(i);
+                    release(i, &dependents, &mut deps, &mut ready);
+                }
+                TaskKind::Send { .. } => {
+                    eff_dur[i] = node.dur;
+                    end[i] = s + node.dur;
+                    done[i] = true;
+                    topo.push(i);
+                    release(i, &dependents, &mut deps, &mut ready);
+                }
+                TaskKind::Recv { tag, .. } => {
+                    let send = node
+                        .matched_send
+                        .ok_or_else(|| format!("recv node {i} has no matched send"))?;
+                    let transfer = node.transfer * rescale.transfer_factor(tag);
+                    eff_transfer[i] = transfer;
+                    // The DES float sequence exactly: arrival computed
+                    // at send time, wait = (arrival - clock).max(0),
+                    // clock += wait.
+                    let arrival = start[send] + transfer;
+                    end[i] = s + (arrival - s).max(0.0);
+                    done[i] = true;
+                    topo.push(i);
+                    release(i, &dependents, &mut deps, &mut ready);
+                }
+                TaskKind::Collective { meet } => {
+                    meet_arrived[meet] += 1;
+                    let m = &self.meets[meet];
+                    if meet_arrived[meet] == m.members.len() {
+                        // Fold entries in member order, from 0.0, like
+                        // the DES replayer's running max.
+                        let mut base = 0.0f64;
+                        for &mem in &m.members {
+                            base = base.max(start[mem]);
+                        }
+                        meet_end[meet] = base + m.cost;
+                        for &mem in &m.members {
+                            end[mem] = meet_end[meet];
+                            done[mem] = true;
+                            topo.push(mem);
+                        }
+                        for &mem in &m.members {
+                            release(mem, &dependents, &mut deps, &mut ready);
+                        }
+                    }
+                    // else: the member's end resolves when the meet
+                    // completes; it is not released yet.
+                }
+            }
+        }
+
+        if topo.len() != n {
+            let stuck = (0..n).filter(|&i| !done[i]).count();
+            return Err(format!(
+                "dependency cycle or unmatched communication: {stuck} of {n} nodes never ran"
+            ));
+        }
+
+        let mut makespan = 0.0f64;
+        let mut sink = None;
+        for (i, &e) in end.iter().enumerate() {
+            if e > makespan {
+                makespan = e;
+                sink = Some(i);
+            } else if sink.is_none() && !self.nodes.is_empty() {
+                sink = Some(0);
+            }
+        }
+        Ok(Schedule {
+            start,
+            end,
+            eff_dur,
+            eff_transfer,
+            meet_end,
+            makespan,
+            sink,
+            topo,
+        })
+    }
+
+    /// New makespan under `rescale` — the what-if engine's core query.
+    pub fn what_if_makespan(&self, rescale: &Rescale) -> Result<f64, String> {
+        Ok(self.schedule(rescale)?.makespan)
+    }
+
+    /// Extract the critical path of `sched` by walking binding
+    /// constraints backward from the sink.
+    pub fn critical_path(&self, sched: &Schedule) -> CriticalPath {
+        let mut segments = Vec::new();
+        let mut cur = sched.sink;
+        while let Some(i) = cur {
+            let node = &self.nodes[i];
+            let (s, e) = (sched.start[i], sched.end[i]);
+            match node.kind {
+                TaskKind::Compute => {
+                    if e > s {
+                        segments.push(PathSegment {
+                            rank: node.rank,
+                            phase: node.phase,
+                            class: SegClass::Compute,
+                            label: "compute",
+                            t0: s,
+                            t1: e,
+                        });
+                    }
+                    cur = node.prev;
+                }
+                TaskKind::Send { .. } => {
+                    if e > s {
+                        segments.push(PathSegment {
+                            rank: node.rank,
+                            phase: node.phase,
+                            class: SegClass::Comm,
+                            label: "send",
+                            t0: s,
+                            t1: e,
+                        });
+                    }
+                    cur = node.prev;
+                }
+                TaskKind::Recv { .. } => {
+                    let send = node.matched_send.expect("scheduled recv is matched");
+                    let arrival = sched.start[send] + sched.eff_transfer[i];
+                    if arrival > s {
+                        // The message bound: the wire segment from the
+                        // send's start to the arrival is on the path,
+                        // and the walk continues on the *sender* before
+                        // the send was issued.
+                        segments.push(PathSegment {
+                            rank: self.nodes[send].rank,
+                            phase: node.phase,
+                            class: SegClass::Comm,
+                            label: "transfer",
+                            t0: sched.start[send],
+                            t1: e,
+                        });
+                        cur = self.nodes[send].prev;
+                    } else {
+                        // Arrived early: local program order bound.
+                        cur = node.prev;
+                    }
+                }
+                TaskKind::Collective { meet } => {
+                    let m = &self.meets[meet];
+                    // Last-arriving member (first on ties, in member
+                    // order) determines the exit.
+                    let mut base = 0.0f64;
+                    for &mem in &m.members {
+                        base = base.max(sched.start[mem]);
+                    }
+                    let det = m
+                        .members
+                        .iter()
+                        .copied()
+                        .find(|&mem| sched.start[mem] == base)
+                        .unwrap_or(i);
+                    if e > base {
+                        segments.push(PathSegment {
+                            rank: self.nodes[det].rank,
+                            phase: self.nodes[det].phase,
+                            class: SegClass::Comm,
+                            label: m.label,
+                            t0: base,
+                            t1: e,
+                        });
+                    }
+                    cur = self.nodes[det].prev;
+                }
+            }
+        }
+        segments.reverse();
+        CriticalPath {
+            segments,
+            makespan: sched.makespan,
+        }
+    }
+
+    /// Per-node slack: how many seconds the node's end could slip
+    /// without moving the makespan. Nodes on the critical path have
+    /// slack 0 (up to float roundoff).
+    pub fn slack(&self, sched: &Schedule) -> Vec<f64> {
+        let n = self.nodes.len();
+        let mut latest = vec![sched.makespan; n];
+        let mut meet_done = vec![false; self.meets.len()];
+        for &i in sched.topo.iter().rev() {
+            let node = &self.nodes[i];
+            match node.kind {
+                TaskKind::Collective { meet } => {
+                    if !meet_done[meet] {
+                        meet_done[meet] = true;
+                        let m = &self.meets[meet];
+                        // All members' dependents were processed (they
+                        // come later in topo), so member latests are
+                        // final: the meet may exit at the tightest one.
+                        let mut exit = f64::INFINITY;
+                        for &mem in &m.members {
+                            exit = exit.min(latest[mem]);
+                        }
+                        let entry_latest = exit - m.cost;
+                        for &mem in &m.members {
+                            if let Some(p) = self.nodes[mem].prev {
+                                latest[p] = latest[p].min(entry_latest);
+                            }
+                        }
+                    }
+                }
+                TaskKind::Recv { .. } => {
+                    // Elastic: the predecessor may run right up to this
+                    // node's latest end; the sender is constrained
+                    // through the wire.
+                    if let Some(p) = node.prev {
+                        latest[p] = latest[p].min(latest[i]);
+                    }
+                    if let Some(send) = node.matched_send {
+                        let bound = latest[i] - sched.eff_transfer[i] + sched.eff_dur[send];
+                        latest[send] = latest[send].min(bound);
+                    }
+                }
+                TaskKind::Compute | TaskKind::Send { .. } => {
+                    if let Some(p) = node.prev {
+                        latest[p] = latest[p].min(latest[i] - sched.eff_dur[i]);
+                    }
+                }
+            }
+        }
+        (0..n).map(|i| latest[i] - sched.end[i]).collect()
+    }
+
+    /// Graph-wide per-phase attribution of every rank's time.
+    pub fn attribution(&self, sched: &Schedule) -> Attribution {
+        let np = self.phase_names.len().max(1);
+        let mut att = Attribution {
+            compute: vec![0.0; np],
+            comm: vec![0.0; np],
+            wait: vec![0.0; np],
+        };
+        for (i, node) in self.nodes.iter().enumerate() {
+            let p = (node.phase as usize).min(np - 1);
+            match node.kind {
+                TaskKind::Compute => att.compute[p] += sched.eff_dur[i],
+                TaskKind::Send { .. } => att.comm[p] += sched.eff_dur[i],
+                TaskKind::Recv { .. } => att.wait[p] += sched.end[i] - sched.start[i],
+                TaskKind::Collective { meet } => {
+                    let exit = sched.meet_end[meet];
+                    let cost = self.meets[meet].cost;
+                    let entry = sched.start[i];
+                    att.wait[p] += (exit - cost - entry).max(0.0);
+                    att.comm[p] += cost;
+                }
+            }
+        }
+        att
+    }
+}
+
+/// A blamed span: one of the longest segments on the critical path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlamedSpan {
+    /// Blamed rank.
+    pub rank: usize,
+    /// Phase name.
+    pub phase: String,
+    /// Segment label (`"compute"`, `"transfer"`, ...).
+    pub label: String,
+    /// Compute or comm.
+    pub class: SegClass,
+    /// Start time.
+    pub t0: f64,
+    /// Duration.
+    pub dur: f64,
+}
+
+/// The diffable summary of one critical-path analysis.
+#[derive(Debug, Clone, Default)]
+pub struct PathReport {
+    /// Schedule makespan.
+    pub makespan: f64,
+    /// Compute seconds on the path.
+    pub compute_s: f64,
+    /// Comm seconds on the path.
+    pub comm_s: f64,
+    /// Path coverage of the makespan (≈ 1.0).
+    pub coverage: f64,
+    /// Number of path segments.
+    pub segments: usize,
+    /// Per phase: (name, path seconds, share of makespan in percent).
+    pub by_phase: Vec<(String, f64, f64)>,
+    /// The longest path segments, longest first.
+    pub top_spans: Vec<BlamedSpan>,
+}
+
+/// Summarise a critical path: composition by phase plus the `top_n`
+/// longest blamed spans. Phase names fall back to `"phase {id}"`.
+pub fn path_report(graph: &TaskGraph, path: &CriticalPath, top_n: usize) -> PathReport {
+    let phase_name = |p: u16| -> String {
+        graph
+            .phase_names
+            .get(p as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("phase {p}"))
+    };
+
+    // Path seconds per phase id, in first-appearance order made
+    // deterministic by scanning ids ascending.
+    let mut per_phase: Vec<f64> = Vec::new();
+    for seg in &path.segments {
+        let p = seg.phase as usize;
+        if per_phase.len() <= p {
+            per_phase.resize(p + 1, 0.0);
+        }
+        per_phase[p] += seg.dur();
+    }
+    let by_phase: Vec<(String, f64, f64)> = per_phase
+        .iter()
+        .enumerate()
+        .filter(|(_, &s)| s > 0.0)
+        .map(|(p, &s)| {
+            let pct = if path.makespan > 0.0 {
+                100.0 * s / path.makespan
+            } else {
+                0.0
+            };
+            (phase_name(p as u16), s, pct)
+        })
+        .collect();
+
+    // Top-N longest segments; ties broken by earlier start, then rank.
+    let mut idx: Vec<usize> = (0..path.segments.len()).collect();
+    idx.sort_by(|&a, &b| {
+        let (sa, sb) = (&path.segments[a], &path.segments[b]);
+        sb.dur()
+            .partial_cmp(&sa.dur())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(
+                sa.t0
+                    .partial_cmp(&sb.t0)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+            .then(sa.rank.cmp(&sb.rank))
+    });
+    let top_spans: Vec<BlamedSpan> = idx
+        .into_iter()
+        .take(top_n)
+        .map(|k| {
+            let s = &path.segments[k];
+            BlamedSpan {
+                rank: s.rank,
+                phase: phase_name(s.phase),
+                label: s.label.to_string(),
+                class: s.class,
+                t0: s.t0,
+                dur: s.dur(),
+            }
+        })
+        .collect();
+
+    PathReport {
+        makespan: path.makespan,
+        compute_s: path.compute_s(),
+        comm_s: path.comm_s(),
+        coverage: path.coverage(),
+        segments: path.segments.len(),
+        by_phase,
+        top_spans,
+    }
+}
+
+impl PathReport {
+    /// JSON form (deterministic field order).
+    pub fn to_json(&self) -> Json {
+        let phases: Vec<Json> = self
+            .by_phase
+            .iter()
+            .map(|(name, s, pct)| {
+                Json::obj(vec![
+                    ("name", Json::Str(name.clone())),
+                    ("path_s", Json::Num(*s)),
+                    ("share_pct", Json::Num(*pct)),
+                ])
+            })
+            .collect();
+        let spans: Vec<Json> = self
+            .top_spans
+            .iter()
+            .map(|b| {
+                Json::obj(vec![
+                    ("rank", Json::Num(b.rank as f64)),
+                    ("phase", Json::Str(b.phase.clone())),
+                    ("label", Json::Str(b.label.clone())),
+                    (
+                        "class",
+                        Json::Str(
+                            match b.class {
+                                SegClass::Compute => "compute",
+                                SegClass::Comm => "comm",
+                            }
+                            .to_string(),
+                        ),
+                    ),
+                    ("t0", Json::Num(b.t0)),
+                    ("dur", Json::Num(b.dur)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("makespan", Json::Num(self.makespan)),
+            ("compute_s", Json::Num(self.compute_s)),
+            ("comm_s", Json::Num(self.comm_s)),
+            ("coverage", Json::Num(self.coverage)),
+            ("segments", Json::Num(self.segments as f64)),
+            ("by_phase", Json::Arr(phases)),
+            ("top_spans", Json::Arr(spans)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compute(rank: usize, phase: u16, dur: f64, prev: Option<NodeId>) -> TaskNode {
+        TaskNode {
+            rank,
+            phase,
+            kind: TaskKind::Compute,
+            dur,
+            transfer: 0.0,
+            prev,
+            matched_send: None,
+        }
+    }
+
+    /// rank 0: compute 3s, send (overhead .5, wire 2).
+    /// rank 1: compute 1s, recv.
+    fn two_rank_graph() -> TaskGraph {
+        TaskGraph {
+            nodes: vec![
+                compute(0, 1, 3.0, None),
+                TaskNode {
+                    rank: 0,
+                    phase: 1,
+                    kind: TaskKind::Send {
+                        dst: 1,
+                        tag: 7,
+                        bytes: 8,
+                    },
+                    dur: 0.5,
+                    transfer: 0.0,
+                    prev: Some(0),
+                    matched_send: None,
+                },
+                compute(1, 2, 1.0, None),
+                TaskNode {
+                    rank: 1,
+                    phase: 2,
+                    kind: TaskKind::Recv { src: 0, tag: 7 },
+                    dur: 0.0,
+                    transfer: 2.0,
+                    prev: Some(2),
+                    matched_send: Some(1),
+                },
+            ],
+            meets: vec![],
+            n_ranks: 2,
+            phase_names: vec!["(untracked)".into(), "a".into(), "b".into()],
+        }
+    }
+
+    #[test]
+    fn forward_pass_matches_hand_schedule() {
+        let g = two_rank_graph();
+        let s = g.schedule(&Rescale::none()).unwrap();
+        // Send starts at 3, arrival = 3 + 2 = 5; recv waits 1 -> 5.
+        assert_eq!(s.end[0], 3.0);
+        assert_eq!(s.end[1], 3.5);
+        assert_eq!(s.end[2], 1.0);
+        assert_eq!(s.end[3], 5.0);
+        assert_eq!(s.makespan, 5.0);
+        assert_eq!(s.sink, Some(3));
+    }
+
+    #[test]
+    fn critical_path_tiles_makespan_and_blames_sender() {
+        let g = two_rank_graph();
+        let s = g.schedule(&Rescale::none()).unwrap();
+        let path = g.critical_path(&s);
+        // compute(0..3) on rank 0, transfer(3..5) blamed on rank 0.
+        assert_eq!(path.segments.len(), 2);
+        assert_eq!(path.segments[0].label, "compute");
+        assert_eq!(path.segments[0].rank, 0);
+        assert_eq!(path.segments[1].label, "transfer");
+        assert_eq!(path.segments[1].t0, 3.0);
+        assert_eq!(path.segments[1].t1, 5.0);
+        assert!((path.coverage() - 1.0).abs() < 1e-12);
+        assert_eq!(path.compute_s(), 3.0);
+        assert_eq!(path.comm_s(), 2.0);
+    }
+
+    #[test]
+    fn what_if_rescale_moves_the_makespan() {
+        let g = two_rank_graph();
+        // Halve phase-1 compute: send starts at 1.5, arrival 3.5.
+        let r = Rescale {
+            compute_by_phase: vec![1.0, 0.5],
+            transfer_by_tag: vec![],
+        };
+        assert_eq!(g.what_if_makespan(&r).unwrap(), 3.5);
+        // Halve the wire time instead: arrival 3 + 1 = 4.
+        let r = Rescale {
+            compute_by_phase: vec![],
+            transfer_by_tag: vec![(7, 7, 0.5)],
+        };
+        assert_eq!(g.what_if_makespan(&r).unwrap(), 4.0);
+        // Speeding up the *receiver's* compute changes nothing.
+        let r = Rescale {
+            compute_by_phase: vec![1.0, 1.0, 0.01],
+            transfer_by_tag: vec![],
+        };
+        assert_eq!(g.what_if_makespan(&r).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn slack_is_zero_on_path_and_positive_off_it() {
+        let g = two_rank_graph();
+        let s = g.schedule(&Rescale::none()).unwrap();
+        let slack = g.slack(&s);
+        assert_eq!(slack[0], 0.0); // rank-0 compute: on path
+        assert_eq!(slack[3], 0.0); // the recv: the sink
+                                   // Rank-1 compute may slip until the arrival at t=5: 4s of slack.
+        assert_eq!(slack[2], 4.0);
+        // The send's *start* launches the binding transfer, so it is
+        // pinned too: zero slack.
+        assert_eq!(slack[1], 0.0);
+    }
+
+    #[test]
+    fn collective_meet_charges_last_arrival_plus_cost() {
+        // Two ranks compute 1s and 4s, then allreduce costing 0.25.
+        let mut g = TaskGraph {
+            nodes: vec![compute(0, 0, 1.0, None), compute(1, 0, 4.0, None)],
+            meets: vec![Meet {
+                members: vec![2, 3],
+                cost: 0.25,
+                label: "allreduce",
+            }],
+            n_ranks: 2,
+            phase_names: vec!["(untracked)".into()],
+        };
+        g.nodes.push(TaskNode {
+            rank: 0,
+            phase: 0,
+            kind: TaskKind::Collective { meet: 0 },
+            dur: 0.0,
+            transfer: 0.0,
+            prev: Some(0),
+            matched_send: None,
+        });
+        g.nodes.push(TaskNode {
+            rank: 1,
+            phase: 0,
+            kind: TaskKind::Collective { meet: 0 },
+            dur: 0.0,
+            transfer: 0.0,
+            prev: Some(1),
+            matched_send: None,
+        });
+        let s = g.schedule(&Rescale::none()).unwrap();
+        assert_eq!(s.end[2], 4.25);
+        assert_eq!(s.end[3], 4.25);
+        let path = g.critical_path(&s);
+        // compute on rank 1 (0..4), collective (4..4.25).
+        assert_eq!(path.segments.len(), 2);
+        assert_eq!(path.segments[0].rank, 1);
+        assert_eq!(path.segments[1].label, "allreduce");
+        let slack = g.slack(&s);
+        assert_eq!(slack[1], 0.0);
+        assert_eq!(slack[0], 3.0); // rank 0 may arrive 3s later
+                                   // Attribution: rank 0 waited 3s, both paid the 0.25 cost.
+        let att = g.attribution(&s);
+        assert_eq!(att.wait[0], 3.0);
+        assert_eq!(att.comm[0], 0.5);
+        assert_eq!(att.compute[0], 5.0);
+    }
+
+    #[test]
+    fn unmatched_recv_is_an_error_not_a_hang() {
+        let mut g = two_rank_graph();
+        g.nodes[3].matched_send = None;
+        // With no matched send the recv has one dependency fewer and
+        // schedules immediately — builders must match first. Force the
+        // cycle case instead: make the recv depend on itself.
+        g.nodes[3].matched_send = Some(3);
+        assert!(g.schedule(&Rescale::none()).is_err());
+    }
+
+    #[test]
+    fn blend_factor_endpoints() {
+        assert_eq!(blend_factor(0.0, 2.0), 1.0);
+        assert_eq!(blend_factor(1.0, 2.0), 0.5);
+        assert!((blend_factor(0.5, 2.0) - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn path_report_orders_spans_longest_first() {
+        let g = two_rank_graph();
+        let s = g.schedule(&Rescale::none()).unwrap();
+        let path = g.critical_path(&s);
+        let rep = path_report(&g, &path, 10);
+        assert_eq!(rep.top_spans[0].label, "compute");
+        assert_eq!(rep.top_spans[0].dur, 3.0);
+        assert!((rep.coverage - 1.0).abs() < 1e-12);
+        let json = rep.to_json().write_pretty();
+        assert!(json.contains("\"by_phase\""));
+        // Round-trips through the reader.
+        crate::Json::parse(&json).unwrap();
+    }
+}

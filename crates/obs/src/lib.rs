@@ -55,6 +55,7 @@ use std::borrow::Cow;
 use std::collections::BTreeMap;
 
 pub mod chrome;
+pub mod critical;
 pub mod flame;
 pub mod http;
 pub mod json;
@@ -62,10 +63,16 @@ pub mod merge;
 pub mod metrics;
 pub mod netstats;
 pub mod roofline;
+pub mod stats;
 pub mod wall;
 
 pub use chrome::{
-    chrome_trace_json, chrome_trace_to, dual_chrome_trace_json, dual_chrome_trace_to,
+    chrome_trace_json, chrome_trace_to, critical_chrome_trace_json, critical_chrome_trace_to,
+    dual_chrome_trace_json, dual_chrome_trace_to,
+};
+pub use critical::{
+    blend_factor, path_report, BlamedSpan, CriticalPath, Meet, PathReport, PathSegment, Rescale,
+    Schedule, SegClass, TaskGraph, TaskKind, TaskNode,
 };
 pub use flame::{collapsed_stacks, collapsed_stacks_to};
 pub use http::{MetricsServer, Response};
@@ -77,6 +84,7 @@ pub use merge::{
 pub use metrics::{metrics_json, phase_stats, PhaseStats};
 pub use netstats::{NetStats, NetStatsSnapshot};
 pub use roofline::{KernelIntensity, OpCounts};
+pub use stats::{nearest_rank_index, percentile_sorted};
 pub use wall::WallRecorder;
 
 /// Span names are either static strings (the common, allocation-free

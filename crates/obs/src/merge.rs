@@ -424,6 +424,16 @@ pub fn cluster_metrics_json(nodes: &[NodeObs], extra: &[(&str, Json)]) -> Json {
         nodes.iter().map(|n| n.net.total(f)).sum()
     };
     let makespan = nodes.iter().fold(0.0_f64, |m, n| m.max(n.virt.makespan()));
+    // Cluster-wide RTT roll-up: bucket-wise sum over every peer link of
+    // every node. Raw bucket counts ride along (plus the bucket edges),
+    // so offline tooling can re-aggregate or re-quantile without this
+    // code.
+    let mut rtt = crate::netstats::RttHistogram::default();
+    for n in nodes {
+        for p in &n.net.peers {
+            rtt.absorb(&p.rtt);
+        }
+    }
     let mut pairs = vec![
         ("schema_version", Json::Num(1.0)),
         ("nodes", Json::Arr(per_node)),
@@ -469,6 +479,11 @@ pub fn cluster_metrics_json(nodes: &[NodeObs], extra: &[(&str, Json)]) -> Json {
                     net_total(|p| p.heartbeats_missed).to_json(),
                 ),
                 ("crc_failures", net_total(|p| p.crc_failures).to_json()),
+                ("rtt_histogram", rtt.to_json()),
+                (
+                    "rtt_bucket_floors_us",
+                    crate::netstats::RttHistogram::bucket_floors_us().to_json(),
+                ),
                 (
                     "dial_retries",
                     nodes
@@ -655,6 +670,22 @@ mod tests {
         assert_eq!(cluster.get("frames_sent").unwrap().as_u64(), Some(2));
         assert_eq!(cluster.get("bytes_sent").unwrap().as_u64(), Some(128));
         assert_eq!(cluster.get("recovery_events").unwrap().as_u64(), Some(4));
+        // The RTT roll-up sums the per-peer histograms: one 150 µs
+        // sample per node → count 2, bucket-wise counts preserved.
+        let rtt = cluster.get("rtt_histogram").unwrap();
+        assert_eq!(rtt.get("count").unwrap().as_u64(), Some(2));
+        assert_eq!(rtt.get("sum_us").unwrap().as_u64(), Some(300));
+        let buckets = rtt.get("buckets").unwrap().as_arr().unwrap();
+        assert_eq!(buckets.len(), crate::netstats::RTT_BUCKETS);
+        let total: u64 = buckets.iter().filter_map(Json::as_u64).sum();
+        assert_eq!(total, 2);
+        let floors = cluster
+            .get("rtt_bucket_floors_us")
+            .unwrap()
+            .as_arr()
+            .unwrap();
+        assert_eq!(floors.len(), crate::netstats::RTT_BUCKETS);
+        assert_eq!(floors[0].as_u64(), Some(1));
         let node_entries = v.get("nodes").unwrap().as_arr().unwrap();
         assert_eq!(node_entries.len(), 2);
         assert_eq!(node_entries[0].get("node").unwrap().as_u64(), Some(0));

@@ -9,6 +9,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::stats::percentile_sorted as percentile;
 use crate::{Json, TraceSession};
 
 /// Summary statistics for one span name across ranks.
@@ -69,12 +70,6 @@ pub fn phase_stats(session: &TraceSession) -> BTreeMap<String, PhaseStats> {
             (name, stats)
         })
         .collect()
-}
-
-/// Nearest-rank percentile of an ascending-sorted, non-empty slice.
-fn percentile(sorted: &[f64], q: f64) -> f64 {
-    let idx = (q / 100.0 * (sorted.len() - 1) as f64).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
 }
 
 /// Render the metrics snapshot as a JSON value.

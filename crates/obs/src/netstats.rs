@@ -238,7 +238,7 @@ impl RttHistogram {
         if self.count == 0 {
             return 0;
         }
-        let rank = ((q / 100.0) * (self.count - 1) as f64).round() as u64;
+        let rank = crate::stats::nearest_rank_index(self.count as usize, q) as u64;
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
@@ -247,6 +247,35 @@ impl RttHistogram {
             }
         }
         bucket_floor(RTT_BUCKETS - 1)
+    }
+
+    /// Fold `other`'s samples into this histogram. The log₂ bucket
+    /// edges are global constants, so bucket-wise summation is exact:
+    /// merging per-peer (or per-node) histograms yields the histogram
+    /// the merged population would have produced directly. This is how
+    /// the cluster roll-up in [`crate::merge::cluster_metrics_json`] is
+    /// built, and what offline re-aggregation of the exported raw
+    /// bucket counts should do too.
+    pub fn absorb(&mut self, other: &RttHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; RTT_BUCKETS];
+        }
+        for (i, &c) in other.buckets.iter().enumerate() {
+            self.buckets[i] += c;
+        }
+    }
+
+    /// Lower edges of all buckets in microseconds (`buckets[i]` counts
+    /// samples in `[edge[i], edge[i+1])`) — exported so offline
+    /// consumers can re-aggregate raw counts without hardcoding the
+    /// log₂ layout.
+    pub fn bucket_floors_us() -> Vec<u64> {
+        (0..RTT_BUCKETS).map(bucket_floor).collect()
     }
 }
 

@@ -1,0 +1,76 @@
+//! Shared nearest-rank percentile arithmetic.
+//!
+//! Three exporters used to carry private copies of the same formula
+//! (`metrics::phase_stats`, `netstats::RttHistogram::quantile_us`, and
+//! `cpx_par::PoolTelemetry::worker_busy_percentile`); they all route
+//! through here now, so "p99" means one thing everywhere: the
+//! nearest-rank statistic `x[round(q/100 · (n-1))]` over ascending
+//! samples. Nearest-rank (as opposed to interpolating) percentiles
+//! always return an observed sample, which keeps exported artifacts
+//! byte-stable — there is no interpolation arithmetic to drift.
+
+/// Index of the nearest-rank `q`-th percentile among `count` ascending
+/// samples; `q` in percent. Returns 0 for an empty population (callers
+/// decide what an empty population's percentile means).
+#[inline]
+pub fn nearest_rank_index(count: usize, q: f64) -> usize {
+    if count == 0 {
+        return 0;
+    }
+    let idx = (q / 100.0 * (count - 1) as f64).round() as usize;
+    idx.min(count - 1)
+}
+
+/// Nearest-rank `q`-th percentile of an ascending-sorted slice; `q` in
+/// percent. Returns 0.0 for an empty slice.
+#[inline]
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    sorted[nearest_rank_index(sorted.len(), q)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Edge-case suite migrated from the three former private copies.
+
+    #[test]
+    fn empty_population_is_zero() {
+        assert_eq!(percentile_sorted(&[], 50.0), 0.0);
+        assert_eq!(nearest_rank_index(0, 99.0), 0);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        for q in [0.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(percentile_sorted(&[7.25], q), 7.25);
+        }
+    }
+
+    #[test]
+    fn all_equal_samples_collapse_every_quantile() {
+        let xs = [3.0; 11];
+        for q in [0.0, 25.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(percentile_sorted(&xs, q), 3.0);
+        }
+    }
+
+    #[test]
+    fn p99_on_two_samples_is_the_larger() {
+        assert_eq!(percentile_sorted(&[1.0, 9.0], 99.0), 9.0);
+        // ...and p50 rounds to the larger too (round(0.5) == 1).
+        assert_eq!(nearest_rank_index(2, 99.0), 1);
+    }
+
+    #[test]
+    fn quartiles_of_a_ramp() {
+        let xs: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        assert_eq!(percentile_sorted(&xs, 0.0), 0.0);
+        assert_eq!(percentile_sorted(&xs, 50.0), 50.0);
+        assert_eq!(percentile_sorted(&xs, 95.0), 95.0);
+        assert_eq!(percentile_sorted(&xs, 100.0), 100.0);
+    }
+}

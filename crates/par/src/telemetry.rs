@@ -129,8 +129,7 @@ impl PoolTelemetry {
             return 0.0;
         }
         busy.sort_by(f64::total_cmp);
-        let idx = (q / 100.0 * (busy.len() - 1) as f64).round() as usize;
-        busy[idx.min(busy.len() - 1)]
+        cpx_obs::percentile_sorted(&busy, q)
     }
 
     /// Total busy seconds across all workers.

@@ -149,6 +149,7 @@ pub(crate) fn bench_json(
     run: Option<&CoupledRun>,
 ) -> String {
     let mut fields = vec![
+        ("schema_version", Json::Num(1.0)),
         ("scenario", Json::Str(label.to_string())),
         ("seed", Json::Num(seed as f64)),
         ("world_size", Json::Num(trace.world_size as f64)),
